@@ -1,0 +1,97 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark file regenerates one table or figure of the paper,
+prints it, writes it to ``benchmarks/out/<name>.txt``, and checks the
+*shape* claims the paper makes about it (who wins, what is slowest,
+where curves flatten).  Absolute numbers are not expected to match the
+paper — the substrate is a Python simulator over synthetic data — but
+every qualitative claim is asserted.
+
+Heavy work (dataset builds, the standard 4-system × 6-workload
+evaluation) is memoized per process so the whole suite builds each
+corpus once.
+
+Set ``REPRO_BENCH_SCALE=small`` for a quick smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+
+from repro.eval.experiments import (
+    DatasetSetting,
+    all_settings,
+    eps_for,
+)
+from repro.eval.runner import EvalResult, evaluate_suggester
+
+OUT_DIR = Path(__file__).parent / "out"
+
+WORKLOAD_KINDS = ("CLEAN", "RAND", "RULE")
+
+#: Workload order used across the paper's tables.
+WORKLOAD_ORDER = (
+    ("DBLP", "RAND"),
+    ("DBLP", "RULE"),
+    ("DBLP", "CLEAN"),
+    ("INEX", "RAND"),
+    ("INEX", "RULE"),
+    ("INEX", "CLEAN"),
+)
+
+
+def bench_scale() -> str:
+    """Benchmark scale; override with REPRO_BENCH_SCALE=small."""
+    return os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+def emit(name: str, text: str) -> None:
+    """Print an artifact and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+@lru_cache(maxsize=2)
+def settings(scale: str) -> dict[str, DatasetSetting]:
+    """Both dataset settings, keyed by label."""
+    return {s.label: s for s in all_settings(scale)}
+
+
+def make_suggester(setting: DatasetSetting, system: str, kind: str):
+    """Instantiate one of the standard systems for a workload kind."""
+    eps = eps_for(kind)
+    if system == "XClean":
+        return setting.xclean(max_errors=eps)
+    if system == "PY08":
+        return setting.py08(max_errors=eps)
+    if system == "SE1":
+        return setting.se1(max_errors=eps)
+    if system == "SE2":
+        return setting.se2(max_errors=eps)
+    raise ValueError(f"unknown system {system!r}")
+
+
+@lru_cache(maxsize=64)
+def standard_result(
+    scale: str, dataset: str, kind: str, system: str
+) -> EvalResult:
+    """One memoized (system, dataset, workload) evaluation."""
+    setting = settings(scale)[dataset]
+    suggester = make_suggester(setting, system, kind)
+    k = 1 if system.startswith("SE") else 10
+    return evaluate_suggester(
+        suggester,
+        setting.workloads[kind],
+        k=k,
+        system=system,
+        workload=f"{dataset}-{kind}",
+    )
+
+
+def mrr_of(scale: str, dataset: str, kind: str, system: str) -> float:
+    return standard_result(scale, dataset, kind, system).mrr

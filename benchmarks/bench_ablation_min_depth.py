@@ -1,0 +1,80 @@
+"""Ablation — the minimal depth threshold d (Section V-B).
+
+The paper: "a large portion of the candidate query space is
+unpromising, and d = 2 is usually enough to prune them without
+affecting the suggestion quality."  This ablation sweeps d ∈ {1, 2, 3}
+and reports MRR, candidates evaluated, and time:
+
+* d = 2 matches d = 1's quality (pruning is safe);
+* d = 2 evaluates no more candidates than d = 1 (the pruning is real —
+  at d = 1 every pair of keyword occurrences connects at the root).
+"""
+
+from _common import bench_scale, emit, settings
+
+from repro.eval.reporting import format_table, shape_check
+from repro.eval.runner import evaluate_suggester
+
+DEPTHS = (1, 2, 3)
+
+
+def test_ablation_min_depth(benchmark):
+    scale = bench_scale()
+    setting = settings(scale)["DBLP"]
+    records = setting.workloads["RAND"]
+
+    rows = []
+    results = {}
+    for depth in DEPTHS:
+        suggester = setting.xclean(min_depth=depth)
+        candidates = 0
+        groups = 0
+        for record in records:
+            suggester.suggest(record.dirty_text, 10)
+            candidates += suggester.last_stats.candidates_evaluated
+            groups += suggester.last_stats.groups_processed
+        timed = evaluate_suggester(suggester, records)
+        results[depth] = (timed, candidates, groups)
+        rows.append(
+            (
+                f"d={depth}",
+                timed.mrr,
+                candidates,
+                groups,
+                timed.mean_time * 1000,
+            )
+        )
+    table = format_table(
+        ("min depth", "MRR", "candidates", "groups", "mean time (ms)"),
+        rows,
+        title=f"Ablation — minimal depth threshold ({scale} scale, "
+        "DBLP-RAND)",
+    )
+
+    checks = [
+        shape_check(
+            "d=2 preserves d=1's suggestion quality "
+            f"({results[2][0].mrr:.2f} vs {results[1][0].mrr:.2f})",
+            results[2][0].mrr >= results[1][0].mrr - 0.05,
+        ),
+        shape_check(
+            "d=2 evaluates no more candidates than d=1 "
+            f"({results[2][1]} vs {results[1][1]})",
+            results[2][1] <= results[1][1],
+        ),
+        shape_check(
+            "deeper d keeps shrinking the work "
+            f"({results[3][1]} candidates at d=3)",
+            results[3][1] <= results[2][1],
+        ),
+    ]
+    emit("ablation_min_depth", table + "\n" + "\n".join(checks))
+    assert all("[OK ]" in c for c in checks)
+
+    record = records[0]
+    d2 = setting.xclean(min_depth=2)
+    benchmark.pedantic(
+        lambda: d2.suggest(record.dirty_text, 10),
+        rounds=5,
+        iterations=1,
+    )

@@ -1,0 +1,86 @@
+"""Ablation — non-uniform entity priors (the Eq. 8 generalization).
+
+Section IV-B2: "this can be easily generalized to non-uniform priors
+if additional data or domain knowledge is available."  We compare the
+paper's uniform prior with a length prior P(r|T) ∝ |D(r)| and check:
+
+* both priors keep the suggestion quality (the prior is a refinement,
+  not a crutch — rankings barely move on clean-cut corrections);
+* the prior changes scores (it is actually wired into Eq. 8);
+* the runtime cost of the weighted prior is negligible.
+"""
+
+from _common import bench_scale, emit, settings
+
+from repro.core.cleaner import XCleanSuggester
+from repro.core.config import XCleanConfig
+from repro.eval.reporting import format_table, shape_check
+from repro.eval.runner import evaluate_suggester
+
+
+def test_ablation_priors(benchmark):
+    scale = bench_scale()
+    setting = settings(scale)["DBLP"]
+    records = setting.workloads["RAND"]
+
+    def build(prior):
+        return XCleanSuggester(
+            setting.corpus,
+            generator=setting.generator.fresh_cache(),
+            config=XCleanConfig(max_errors=2, gamma=1000, prior=prior),
+        )
+
+    uniform = build("uniform")
+    weighted = build("length")
+    uniform_result = evaluate_suggester(uniform, records)
+    weighted_result = evaluate_suggester(weighted, records)
+
+    # Score divergence on one query (proves the prior is active).
+    sample = records[0].dirty_text
+    u_scores = build("uniform").score_all(sample)
+    w_scores = build("length").score_all(sample)
+    diverges = any(
+        abs(u_scores[c] - w_scores.get(c, 0.0)) > 1e-15 * (1 + u_scores[c])
+        for c in u_scores
+    )
+
+    table = format_table(
+        ("entity prior", "MRR", "P@1", "mean time (ms)"),
+        [
+            (
+                "uniform (paper)",
+                uniform_result.mrr,
+                uniform_result.precision[1],
+                uniform_result.mean_time * 1000,
+            ),
+            (
+                "length  P(r|T) ∝ |D(r)|",
+                weighted_result.mrr,
+                weighted_result.precision[1],
+                weighted_result.mean_time * 1000,
+            ),
+        ],
+        title=f"Ablation — entity priors ({scale} scale, DBLP-RAND)",
+    )
+    checks = [
+        shape_check(
+            "length prior preserves quality "
+            f"({weighted_result.mrr:.2f} vs {uniform_result.mrr:.2f})",
+            abs(weighted_result.mrr - uniform_result.mrr) <= 0.1,
+        ),
+        shape_check("prior actually changes candidate scores", diverges),
+        shape_check(
+            "weighted prior costs <= 2x the uniform prior",
+            weighted_result.mean_time
+            <= 2 * uniform_result.mean_time + 1e-3,
+        ),
+    ]
+    emit("ablation_priors", table + "\n" + "\n".join(checks))
+    assert all("[OK ]" in c for c in checks)
+
+    record = records[0]
+    benchmark.pedantic(
+        lambda: weighted.suggest(record.dirty_text, 10),
+        rounds=5,
+        iterations=1,
+    )

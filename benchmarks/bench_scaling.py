@@ -1,0 +1,132 @@
+"""Scalability — index build and query cost vs. corpus size.
+
+Not a paper artifact, but the claim behind Table VI generalizing:
+Algorithm 1's cost tracks keyword co-occurrence, not corpus size, while
+index construction is linear.  We build the DBLP generator at 1×, 2×
+and 4× scale and check:
+
+* index build time grows roughly linearly (within 2× of proportional);
+* XClean's postings read per query grows much slower than the corpus
+  (skipping pays more the bigger the data);
+* the naive enumerate-and-score reference grows roughly with corpus
+  size, unlike Algorithm 1.
+"""
+
+import time
+
+from _common import emit
+
+from repro.core.cleaner import XCleanSuggester
+from repro.core.config import XCleanConfig
+from repro.core.naive import NaiveCleaner
+from repro.datasets.queries import build_query_workloads
+from repro.datasets.synthetic_dblp import DBLPConfig, generate_dblp
+from repro.eval.reporting import format_table, shape_check
+from repro.fastss.generator import VariantGenerator
+from repro.index.corpus import build_corpus_index
+
+SIZES = (2000, 4000, 8000)
+
+
+def test_scaling(benchmark):
+    rows = []
+    measures = {}
+    for publications in SIZES:
+        document = generate_dblp(
+            DBLPConfig(publications=publications, seed=31)
+        ).document
+        started = time.perf_counter()
+        corpus = build_corpus_index(document)
+        build_time = time.perf_counter() - started
+
+        workloads = build_query_workloads(
+            corpus, document, count=12, seed=7, style="dblp"
+        )
+        records = workloads["RAND"]
+        generator = VariantGenerator(
+            corpus.vocabulary.tokens(), max_errors=2
+        )
+        fast = XCleanSuggester(
+            corpus,
+            generator=generator,
+            config=XCleanConfig(max_errors=2, gamma=1000),
+        )
+        slow = NaiveCleaner(
+            corpus,
+            generator=generator.fresh_cache(),
+            config=XCleanConfig(max_errors=2, gamma=None),
+        )
+        fast_reads = 0
+        slow_reads = 0
+        for record in records:
+            fast.suggest(record.dirty_text, 10)
+            fast_reads += fast.last_stats.postings_read
+            slow.suggest(record.dirty_text, 10)
+            slow_reads += slow.last_stats.postings_read
+        postings = corpus.inverted.total_postings()
+        measures[publications] = (
+            build_time,
+            postings,
+            fast_reads,
+            slow_reads,
+        )
+        rows.append(
+            (
+                publications,
+                postings,
+                build_time,
+                fast_reads // len(records),
+                slow_reads // len(records),
+            )
+        )
+
+    table = format_table(
+        (
+            "publications",
+            "postings",
+            "build (s)",
+            "XClean reads/q",
+            "naive reads/q",
+        ),
+        rows,
+        title="Scalability — DBLP generator at 1x/2x/4x",
+    )
+
+    small, large = measures[SIZES[0]], measures[SIZES[-1]]
+    corpus_growth = large[1] / small[1]
+    build_growth = large[0] / small[0]
+    fast_growth = large[2] / max(1, small[2])
+    slow_growth = large[3] / max(1, small[3])
+    checks = [
+        shape_check(
+            f"index build roughly linear (corpus x{corpus_growth:.1f},"
+            f" build x{build_growth:.1f})",
+            build_growth <= 2.0 * corpus_growth,
+        ),
+        # Workloads are re-sampled per scale, so per-query read counts
+        # are noisy; bound the growth loosely and require the absolute
+        # advantage over the naive scorer at every scale.
+        shape_check(
+            "XClean reads grow at most ~corpus growth "
+            f"(x{fast_growth:.1f} vs corpus x{corpus_growth:.1f})",
+            fast_growth <= 2.0 * corpus_growth,
+        ),
+        shape_check(
+            "XClean reads a small fraction of naive's at every scale",
+            all(
+                measures[p][2] * 5 <= measures[p][3] for p in SIZES
+            ),
+        ),
+        shape_check(
+            "XClean reads grow slower than naive reads "
+            f"(x{fast_growth:.1f} vs x{slow_growth:.1f})",
+            fast_growth <= slow_growth + 0.5,
+        ),
+    ]
+    emit("scaling", table + "\n" + "\n".join(checks))
+    assert all("[OK ]" in c for c in checks)
+
+    document = generate_dblp(DBLPConfig(publications=SIZES[0])).document
+    benchmark.pedantic(
+        lambda: build_corpus_index(document), rounds=1, iterations=1
+    )

@@ -1,0 +1,73 @@
+"""Table I — dataset statistics (size, #nodes, max/avg depth).
+
+Paper values (real datasets):
+
+    INEX  5878 MB  52M nodes  max depth 50  avg depth 5.58
+    DBLP   526 MB  12M nodes  max depth  7  avg depth 3.8
+
+Our substitutes are scaled down but must preserve the qualitative
+contrasts: INEX bigger, much deeper, larger vocabulary; DBLP shallow
+and regular.  The benchmark also times a full index build.
+"""
+
+from _common import bench_scale, emit, settings
+
+from repro.eval.reporting import format_table, shape_check
+from repro.index.corpus import build_corpus_index
+
+
+def test_table1_dataset_stats(benchmark):
+    scale = bench_scale()
+    by_label = settings(scale)
+    rows = []
+    vocab_sizes = {}
+    for label in ("INEX", "DBLP"):
+        setting = by_label[label]
+        stats = setting.document.stats
+        vocab_sizes[label] = len(setting.corpus.vocabulary)
+        row = stats.as_row()
+        rows.append(
+            (
+                label,
+                row["size (MB)"],
+                row["#node"],
+                row["max depth"],
+                row["avg depth"],
+                vocab_sizes[label],
+            )
+        )
+    table = format_table(
+        ("Dataset", "size (MB)", "#node", "max depth", "avg depth",
+         "|V|"),
+        rows,
+        title=f"Table I — dataset statistics ({scale} scale)",
+    )
+
+    inex = by_label["INEX"].document.stats
+    dblp = by_label["DBLP"].document.stats
+    checks = [
+        shape_check(
+            "INEX is larger than DBLP",
+            inex.size_bytes > dblp.size_bytes,
+        ),
+        shape_check(
+            "INEX max depth exceeds DBLP's",
+            inex.max_depth > dblp.max_depth,
+        ),
+        shape_check(
+            "INEX avg depth exceeds DBLP's",
+            inex.avg_depth > dblp.avg_depth,
+        ),
+        shape_check(
+            "INEX vocabulary is several times DBLP's",
+            vocab_sizes["INEX"] > 2 * vocab_sizes["DBLP"],
+        ),
+    ]
+    emit("table1_dataset_stats", table + "\n" + "\n".join(checks))
+    assert all("[OK ]" in c for c in checks)
+
+    # Benchmark: full index construction for the DBLP document.
+    document = by_label["DBLP"].document
+    benchmark.pedantic(
+        lambda: build_corpus_index(document), rounds=1, iterations=1
+    )

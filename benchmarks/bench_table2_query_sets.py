@@ -1,0 +1,84 @@
+"""Table II — query sets and their sample queries.
+
+Regenerates the six workloads of Section VII-A (CLEAN/RAND/RULE on
+both datasets) and prints one sample from each, mirroring the paper's
+Table II ("great barrier reef" / "gerat barrier reef" style rows).
+The benchmark times workload generation end to end.
+"""
+
+import random
+
+from _common import WORKLOAD_KINDS, bench_scale, emit, settings
+
+from repro.datasets.queries import build_query_workloads
+from repro.eval.reporting import format_table, shape_check
+
+
+def test_table2_query_sets(benchmark):
+    scale = bench_scale()
+    by_label = settings(scale)
+    rows = []
+    for label in ("INEX", "DBLP"):
+        for kind in WORKLOAD_KINDS:
+            records = by_label[label].workloads[kind]
+            sample = records[0]
+            rows.append(
+                (
+                    f"{label}-{kind}",
+                    len(records),
+                    sample.dirty_text,
+                    sample.golden_texts[0],
+                )
+            )
+    table = format_table(
+        ("Query set", "#queries", "sample (dirty)", "ground truth"),
+        rows,
+        title=f"Table II — query sets ({scale} scale)",
+    )
+
+    checks = []
+    for label in ("INEX", "DBLP"):
+        workloads = by_label[label].workloads
+        dirty_changed = all(
+            r.dirty != r.golden[0] for r in workloads["RAND"]
+        )
+        checks.append(
+            shape_check(
+                f"{label}-RAND queries all differ from ground truth",
+                dirty_changed,
+            )
+        )
+        clean_equal = all(
+            r.dirty == r.golden[0] for r in workloads["CLEAN"]
+        )
+        checks.append(
+            shape_check(
+                f"{label}-CLEAN queries equal ground truth", clean_equal
+            )
+        )
+        vocab = by_label[label].corpus.vocabulary
+        oov = all(
+            any(w not in vocab for w in r.dirty)
+            for r in workloads["RAND"]
+        )
+        checks.append(
+            shape_check(
+                f"{label}-RAND perturbations left the vocabulary", oov
+            )
+        )
+    emit("table2_query_sets", table + "\n" + "\n".join(checks))
+    assert all("[OK ]" in c for c in checks)
+
+    # Benchmark: regenerating one dataset's workloads from scratch.
+    setting = by_label["DBLP"]
+    benchmark.pedantic(
+        lambda: build_query_workloads(
+            setting.corpus,
+            setting.document,
+            count=len(setting.workloads["CLEAN"]),
+            seed=random.Random(0).randint(1, 10**6),
+            style="dblp",
+        ),
+        rounds=1,
+        iterations=1,
+    )

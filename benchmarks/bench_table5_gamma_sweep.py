@@ -1,0 +1,114 @@
+"""Table V — MRR as a function of the accumulator budget γ.
+
+Paper shapes:
+
+* XClean's suggestion quality improves with γ and saturates — around
+  γ = 1000 it reaches the unbounded quality;
+* for PY08, γ is the number of top combinations kept; quality
+  saturates at moderate γ there too.
+
+Documented deviation: on these corpus scales the estimate-based victim
+selection is good enough that saturation already happens by γ ≈ 10
+(degradation is visible only at γ ∈ {1, 2}); the paper's larger
+candidate populations push the knee out to γ ≈ 1000.  Pruning is
+demonstrably *active* — the evictions column counts real victims.
+"""
+
+from _common import WORKLOAD_ORDER, bench_scale, emit, settings
+
+from repro.eval.experiments import eps_for
+from repro.eval.reporting import format_table, shape_check
+from repro.eval.runner import evaluate_suggester
+
+GAMMAS = (1, 10, 100, 1000, 10000)
+
+
+def test_table5_gamma_sweep(benchmark):
+    scale = bench_scale()
+    by_label = settings(scale)
+    rows = []
+    mrr: dict[tuple[str, str, str, int], float] = {}
+    for system in ("XClean", "PY08"):
+        for dataset, kind in WORKLOAD_ORDER:
+            setting = by_label[dataset]
+            eps = eps_for(kind)
+            row = [system, f"{dataset}-{kind}"]
+            evictions = 0
+            for gamma in GAMMAS:
+                if system == "XClean":
+                    suggester = setting.xclean(
+                        gamma=gamma, max_errors=eps
+                    )
+                else:
+                    suggester = setting.py08(
+                        gamma=gamma, max_errors=eps
+                    )
+                result = evaluate_suggester(
+                    suggester, setting.workloads[kind]
+                )
+                if system == "XClean" and gamma == GAMMAS[0]:
+                    # Count evictions at the tightest budget.
+                    for record in setting.workloads[kind]:
+                        suggester.suggest(record.dirty_text, 10)
+                        evictions += (
+                            suggester.last_stats.accumulator_evictions
+                        )
+                mrr[(system, dataset, kind, gamma)] = result.mrr
+                row.append(result.mrr)
+            row.append(evictions if system == "XClean" else "-")
+            rows.append(tuple(row))
+    table = format_table(
+        (
+            "System",
+            "Query set",
+            *(f"γ={g}" for g in GAMMAS),
+            f"evictions@γ={GAMMAS[0]}",
+        ),
+        rows,
+        title=f"Table V — MRR vs γ ({scale} scale, β=5)",
+    )
+
+    checks = []
+    for dataset, kind in WORKLOAD_ORDER:
+        tiny = mrr[("XClean", dataset, kind, 1)]
+        large = mrr[("XClean", dataset, kind, 1000)]
+        huge = mrr[("XClean", dataset, kind, 10000)]
+        # Not strictly monotone: at γ=1 a lucky eviction can hide the
+        # competitor that outranks the truth in the exact evaluation,
+        # so allow a one-query wobble.
+        checks.append(
+            shape_check(
+                f"XClean {dataset}-{kind}: γ=1000 >= γ=1 "
+                f"({large:.2f} vs {tiny:.2f})",
+                large >= tiny - 0.05,
+            )
+        )
+        checks.append(
+            shape_check(
+                f"XClean {dataset}-{kind}: saturated by γ=1000 "
+                f"(Δ to γ=10000: {abs(huge - large):.3f})",
+                abs(huge - large) <= 0.05,
+            )
+        )
+    improvement = sum(
+        mrr[("XClean", d, k, 1000)] - mrr[("XClean", d, k, 1)]
+        for d, k in WORKLOAD_ORDER
+    )
+    checks.append(
+        shape_check(
+            "larger γ strictly improves some workload "
+            f"(total gain {improvement:.3f})",
+            improvement > 0,
+        )
+    )
+    emit("table5_gamma_sweep", table + "\n" + "\n".join(checks))
+    assert all("[OK ]" in c for c in checks)
+
+    setting = by_label["INEX"]
+    record = setting.workloads["RULE"][0]
+    tight = setting.xclean(gamma=10, max_errors=eps_for("RULE"))
+    benchmark.pedantic(
+        lambda: tight.suggest(record.dirty_text, 10),
+        rounds=3,
+        iterations=1,
+    )

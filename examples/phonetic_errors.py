@@ -1,0 +1,81 @@
+"""Cognitive errors: phonetic variant generation (Section VI-A).
+
+The paper's Example 1 user "is not aware of or cannot input ü" and
+types "schutze" for "schütze"/"schuetze".  Transliterations like this
+can exceed any reasonable edit-distance radius, but they *sound* the
+same — Section VI-A proposes extending var(q) with cognitive-error
+sources such as Soundex.  This example wires the phonetic variant
+source into XClean alongside FastSS.
+
+Usage::
+
+    python examples/phonetic_errors.py
+"""
+
+from repro import (
+    CompositeVariantGenerator,
+    PhoneticIndex,
+    VariantGenerator,
+    XCleanConfig,
+    XCleanSuggester,
+    XMLDocument,
+    build_corpus_index,
+    soundex,
+)
+
+BIBLIOGRAPHY = """
+<dblp>
+  <article>
+    <author>hinrich schuetze</author>
+    <title>foundations of statistical natural language processing</title>
+  </article>
+  <article>
+    <author>marie catherine smith</author>
+    <title>parsing morphologically rich languages</title>
+  </article>
+  <article>
+    <author>john smyth</author>
+    <title>probabilistic topic models survey</title>
+  </article>
+</dblp>
+"""
+
+
+def main() -> None:
+    document = XMLDocument.from_string(BIBLIOGRAPHY)
+    corpus = build_corpus_index(document)
+    print(
+        "soundex('shootze') =", soundex("shootze"),
+        "  soundex('schuetze') =", soundex("schuetze"),
+    )
+    print()
+
+    config = XCleanConfig(max_errors=1, gamma=None)
+    plain = XCleanSuggester(corpus, config=config)
+    phonetic = XCleanSuggester(
+        corpus,
+        generator=CompositeVariantGenerator(
+            [
+                VariantGenerator(corpus.vocabulary.tokens(),
+                                 max_errors=1),
+                PhoneticIndex(corpus.vocabulary.tokens(), distance=2),
+            ],
+            max_errors=2,
+        ),
+        config=XCleanConfig(max_errors=2, gamma=None),
+    )
+
+    for query in ("shootze language", "smythe topic"):
+        print(f"Query: {query!r}")
+        for name, suggester in (
+            ("edit-distance only  ", plain),
+            ("with phonetic source", phonetic),
+        ):
+            suggestions = suggester.suggest(query, k=2)
+            rendered = ", ".join(s.text for s in suggestions) or "(none)"
+            print(f"  {name}: {rendered}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

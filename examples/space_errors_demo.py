@@ -1,0 +1,56 @@
+"""Space insertion/deletion errors (Section VI-A extension).
+
+"power point" vs "powerpoint": spacing errors change the *number* of
+keywords, so plain per-keyword variant generation cannot fix them.  The
+SpaceAwareSuggester wrapper expands the query with up to τ space edits
+whose resulting tokens are vocabulary members, cleans every expansion,
+and merges the ranked lists with an exp(-β·changes) penalty.
+
+Usage::
+
+    python examples/space_errors_demo.py
+"""
+
+from repro import (
+    SpaceAwareSuggester,
+    XCleanConfig,
+    XCleanSuggester,
+    XMLDocument,
+    build_corpus_index,
+)
+
+
+def main() -> None:
+    document = XMLDocument.from_string(
+        """
+        <kb>
+          <doc><title>powerpoint slides template</title></doc>
+          <doc><title>powerpoint presentation design</title></doc>
+          <doc><title>power outage report</title></doc>
+          <doc><title>point cloud rendering</title></doc>
+          <doc><title>datamining lecture notes</title></doc>
+          <doc><title>data warehouse architecture</title></doc>
+          <doc><title>mining equipment safety</title></doc>
+        </kb>
+        """,
+        name="space-errors",
+    )
+    corpus = build_corpus_index(document)
+    base = XCleanSuggester(
+        corpus, config=XCleanConfig(max_errors=1, gamma=None)
+    )
+    space_aware = SpaceAwareSuggester(base, max_changes=1)
+
+    for query in ("power point", "datamining", "data mining"):
+        print(f"Query: {query!r}")
+        print("  plain XClean:")
+        for rank, s in enumerate(base.suggest(query, k=3), 1):
+            print(f"    {rank}. {s.text}")
+        print("  space-aware XClean:")
+        for rank, s in enumerate(space_aware.suggest(query, k=3), 1):
+            print(f"    {rank}. {s.text}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

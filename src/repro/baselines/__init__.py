@@ -1,0 +1,14 @@
+"""Comparison systems: the PY08 baseline and search-engine simulators."""
+
+from repro.baselines.dictionary import (
+    DictionaryCorrector,
+    LogBasedCorrector,
+)
+from repro.baselines.py08 import PY08Config, PY08Suggester
+
+__all__ = [
+    "DictionaryCorrector",
+    "LogBasedCorrector",
+    "PY08Config",
+    "PY08Suggester",
+]

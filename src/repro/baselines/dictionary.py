@@ -1,0 +1,120 @@
+"""Search-engine simulators SE1 / SE2 (Section VII-B substitution).
+
+The paper compares against two live web search engines queried with the
+``site:`` operator.  Those cannot be reproduced offline, so we model
+what the paper actually *uses* them for — three observed behaviours:
+
+1. they return at most one suggestion and stay silent on queries whose
+   words are all spelled correctly (near-perfect on the CLEAN sets);
+2. they correct common human misspellings very well (better on RULE
+   than on RAND), which the paper attributes to query-log knowledge;
+3. their corrections are content-independent and frequency-biased
+   (the "TiGe serum → Tigi serum" failure mode).
+
+:class:`DictionaryCorrector` (SE2) corrects each unknown word to the
+most *frequent* vocabulary token within edit distance ε — frequency
+dominating similarity reproduces behaviour 3.
+:class:`LogBasedCorrector` (SE1) additionally consults a known
+misspelling→correction map (the stand-in for a query log), reproducing
+behaviour 2.  Both are silent when every word is in the vocabulary
+(behaviour 1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.suggestion import Suggestion
+from repro.exceptions import QueryError
+from repro.fastss.generator import VariantGenerator
+from repro.index.corpus import CorpusIndex
+
+#: Weak distance penalty: frequency should usually win over closeness,
+#: which is exactly the bias the paper criticizes in log-driven systems.
+DEFAULT_SIMILARITY_WEIGHT = 1.0
+
+
+class DictionaryCorrector:
+    """SE2 stand-in: context-independent, frequency-biased correction."""
+
+    name = "SE2"
+
+    def __init__(
+        self,
+        corpus: CorpusIndex,
+        generator: VariantGenerator | None = None,
+        max_errors: int = 2,
+        similarity_weight: float = DEFAULT_SIMILARITY_WEIGHT,
+    ):
+        self.corpus = corpus
+        self.max_errors = max_errors
+        self.similarity_weight = similarity_weight
+        self.generator = generator or VariantGenerator(
+            corpus.vocabulary.tokens(), max_errors=max_errors
+        )
+
+    def suggest(self, query: str, k: int = 1) -> list[Suggestion]:
+        """At most one suggestion; empty when the query looks clean."""
+        keywords = self.corpus.tokenizer.tokenize(query)
+        if not keywords:
+            raise QueryError(f"query {query!r} has no usable keywords")
+        corrected = []
+        changed = False
+        for keyword in keywords:
+            replacement = self._correct_word(keyword)
+            corrected.append(replacement)
+            if replacement != keyword:
+                changed = True
+        if not changed:
+            return []
+        return [Suggestion(tokens=tuple(corrected), score=1.0)][:k]
+
+    def _correct_word(self, keyword: str) -> str:
+        """Identity for known words; else the best-scoring variant."""
+        if keyword in self.corpus.vocabulary:
+            return keyword
+        best_token = keyword
+        best_score = 0.0
+        for variant in self.generator.variants(keyword, self.max_errors):
+            frequency = self.corpus.vocabulary.collection_frequency(
+                variant.token
+            )
+            score = frequency * math.exp(
+                -self.similarity_weight * variant.distance
+            )
+            if score > best_score or (
+                score == best_score and variant.token < best_token
+            ):
+                best_token = variant.token
+                best_score = score
+        return best_token
+
+
+class LogBasedCorrector(DictionaryCorrector):
+    """SE1 stand-in: query-log (misspelling-map) knowledge first."""
+
+    name = "SE1"
+
+    def __init__(
+        self,
+        corpus: CorpusIndex,
+        misspelling_map: dict[str, str],
+        generator: VariantGenerator | None = None,
+        max_errors: int = 2,
+        similarity_weight: float = DEFAULT_SIMILARITY_WEIGHT,
+    ):
+        super().__init__(
+            corpus,
+            generator=generator,
+            max_errors=max_errors,
+            similarity_weight=similarity_weight,
+        )
+        self.misspelling_map = misspelling_map
+
+    def _correct_word(self, keyword: str) -> str:
+        if keyword in self.corpus.vocabulary:
+            return keyword
+        known = self.misspelling_map.get(keyword)
+        if known is not None and known in self.corpus.vocabulary:
+            return known
+        return super()._correct_word(keyword)

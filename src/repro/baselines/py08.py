@@ -1,0 +1,269 @@
+"""The PY08 baseline [Pu & Yu 2008], adapted to XML (Sections II, VII-B).
+
+PY08 cleans keyword queries over relational data by scoring each
+candidate keyword independently:
+
+    score(C)      = Σ_{w ∈ C} score_IR(w) · f(w)
+    score_IR(w)   = max { tfidf(w, t) : t ∈ DB }
+    tfidf(w, t)   = count(w, t)/|t| · log(N / df(w))
+
+The paper adapts it to XML by treating each text-bearing XML element as
+a document ``t``.  ``f(w)`` is the spelling-error factor; for a fair
+comparison we use the same exponential penalty exp(-β·ed) as XClean.
+
+The two deliberate flaws the paper analyzes live here untouched:
+
+* **Rare-token bias** — smaller df(w) means higher idf, so an obscure
+  variant outranks a frequent one (Figure 1's "health instance").
+* **No connectivity** — each keyword maximizes its own score over the
+  whole database; nothing requires the chosen variants to co-occur.
+
+Runtime profile, faithful to the paper's measurements (Table VI): PY08
+computes score_IR by a *full scan* of each variant's inverted list (no
+skipping, no early termination), and its segment handling re-scans list
+pairs to test phrase co-occurrence — the "multiple passes" that make it
+5–10× slower than XClean.
+"""
+
+from __future__ import annotations
+
+import heapq
+import logging
+import math
+from dataclasses import dataclass
+
+from repro.core.suggestion import CleaningStats, Suggestion
+from repro.exceptions import ConfigurationError, QueryError
+from repro.fastss.generator import VariantGenerator
+from repro.index.corpus import CorpusIndex
+
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class PY08Config:
+    """Tunables of the PY08 baseline.
+
+    Attributes:
+        max_errors: ε of the variant generation (same as XClean's).
+        penalty: the spelling factor f(w).  ``"similarity"`` (default)
+            is PY08's own normalized edit similarity
+            ``1 - ed/max(|q|,|w|)`` — a *weak* penalty, which is what
+            lets the tf·idf rare-token bias dominate and produce the
+            paper's Figure 1/Table III failures.  ``"exponential"``
+            borrows XClean's exp(-β·ed) for a like-for-like ablation.
+        beta: β of the exponential penalty (unused for similarity).
+        gamma: number of top keyword combinations ("segments") kept per
+            query — the γ knob of Table V's PY08 rows.
+        use_segments: verify adjacent-pair phrase co-occurrence for the
+            kept combinations (costs extra list passes; small score
+            bonus for real phrases).
+    """
+
+    max_errors: int = 2
+    penalty: str = "similarity"
+    beta: float = 5.0
+    gamma: int = 100
+    use_segments: bool = True
+
+    def __post_init__(self):
+        if self.gamma < 1:
+            raise ConfigurationError("gamma must be >= 1")
+        if self.max_errors < 0:
+            raise ConfigurationError("max_errors must be >= 0")
+        if self.penalty not in ("similarity", "exponential"):
+            raise ConfigurationError(
+                f"unknown penalty {self.penalty!r}"
+            )
+
+
+class PY08Suggester:
+    """Keyword-independent tf·idf query cleaning (the paper's baseline)."""
+
+    def __init__(
+        self,
+        corpus: CorpusIndex,
+        generator: VariantGenerator | None = None,
+        config: PY08Config | None = None,
+    ):
+        self.corpus = corpus
+        self.config = config or PY08Config()
+        self.generator = generator or VariantGenerator(
+            corpus.vocabulary.tokens(), max_errors=self.config.max_errors
+        )
+        self.last_stats = CleaningStats()
+        self._pair_cache: dict[tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def suggest(self, query: str, k: int = 10) -> list[Suggestion]:
+        """Top-k candidates by the PY08 score."""
+        keywords = self.corpus.tokenizer.tokenize(query)
+        if not keywords:
+            raise QueryError(f"query {query!r} has no usable keywords")
+        stats = CleaningStats(keywords=len(keywords))
+        self.last_stats = stats
+        # Per-query memo: real deployments cannot assume repeated pairs
+        # across queries, so Table VI timings must not amortize joins.
+        self._pair_cache = {}
+
+        # Per-keyword scored variants, descending.
+        per_keyword: list[list[tuple[float, str]]] = []
+        for keyword in keywords:
+            variants = self.generator.variants(
+                keyword, self.config.max_errors
+            )
+            scored = [
+                (
+                    self._score_ir(v.token, stats)
+                    * self._penalty(keyword, v.token, v.distance),
+                    v.token,
+                )
+                for v in variants
+            ]
+            if not scored:
+                return []
+            scored.sort(key=lambda item: (-item[0], item[1]))
+            per_keyword.append(scored)
+        stats.space_size = math.prod(len(p) for p in per_keyword)
+
+        combinations = self._top_combinations(
+            per_keyword, self.config.gamma
+        )
+        stats.candidates_evaluated = len(combinations)
+        if self.config.use_segments:
+            combinations = [
+                (
+                    score * (1.0 + self._segment_bonus(candidate, stats)),
+                    candidate,
+                )
+                for score, candidate in combinations
+            ]
+        combinations.sort(key=lambda item: (-item[0], item[1]))
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "py08 query=%r combos=%d read=%d",
+                query,
+                len(combinations),
+                stats.postings_read,
+            )
+        return [
+            Suggestion(tokens=candidate, score=score)
+            for score, candidate in combinations[:k]
+        ]
+
+    # ------------------------------------------------------------------
+    # Scoring internals
+    # ------------------------------------------------------------------
+
+    def _penalty(self, keyword: str, token: str, distance: int) -> float:
+        """The spelling factor f(w) (see :class:`PY08Config`)."""
+        if self.config.penalty == "similarity":
+            longest = max(len(keyword), len(token))
+            if longest == 0:
+                return 1.0
+            return 1.0 - distance / longest
+        return math.exp(-self.config.beta * distance)
+
+    def _score_ir(self, token: str, stats: CleaningStats) -> float:
+        """score_IR(w): max tf·idf over elements, by full list scan."""
+        postings = self.corpus.inverted.list_for(token)
+        df = len(postings)
+        if df == 0:
+            return 0.0
+        idf = math.log(
+            self.corpus.vocabulary.element_doc_count / df
+        )
+        best = 0.0
+        for dewey, _pid, tf in postings:
+            stats.postings_read += 1
+            length = self.corpus.subtree_length(dewey)
+            if length:
+                value = (tf / length) * idf
+                if value > best:
+                    best = value
+        return best
+
+    def _top_combinations(
+        self,
+        per_keyword: list[list[tuple[float, str]]],
+        limit: int,
+    ) -> list[tuple[float, tuple[str, ...]]]:
+        """Best ``limit`` combinations of per-keyword variants.
+
+        Classic lazy top-k enumeration over descending-sorted lists: the
+        frontier heap expands one index at a time, so only O(limit·l)
+        combinations are materialized even for huge spaces.
+        """
+        start = tuple(0 for _ in per_keyword)
+        start_score = sum(lst[0][0] for lst in per_keyword)
+        heap = [(-start_score, start)]
+        seen = {start}
+        results: list[tuple[float, tuple[str, ...]]] = []
+        while heap and len(results) < limit:
+            negative_score, indexes = heapq.heappop(heap)
+            candidate = tuple(
+                per_keyword[j][i][1] for j, i in enumerate(indexes)
+            )
+            results.append((-negative_score, candidate))
+            for j, i in enumerate(indexes):
+                if i + 1 < len(per_keyword[j]):
+                    successor = indexes[:j] + (i + 1,) + indexes[j + 1 :]
+                    if successor not in seen:
+                        seen.add(successor)
+                        score = -negative_score - (
+                            per_keyword[j][i][0]
+                            - per_keyword[j][i + 1][0]
+                        )
+                        heapq.heappush(heap, (-score, successor))
+        return results
+
+    #: Relative weight of the phrase-segment uplift.  Deliberately mild:
+    #: the paper observes that segmentation does *not* repair PY08's
+    #: missing-connectivity problem, so the bonus must never dominate
+    #: the keyword-independent base score.
+    SEGMENT_WEIGHT = 0.05
+
+    def _segment_bonus(
+        self, candidate: tuple[str, ...], stats: CleaningStats
+    ) -> float:
+        """Phrase-segment uplift for adjacent pairs (re-scans lists).
+
+        For every adjacent keyword pair, merge-join the two full
+        inverted lists; each element containing both words contributes
+        to the co-occurrence count.  Returns the relative uplift
+        (e.g. 0.1 = +10% on the base score).
+        """
+        bonus = 0.0
+        for left, right in zip(candidate, candidate[1:]):
+            count = self._pair_cooccurrence(left, right, stats)
+            if count:
+                bonus += self.SEGMENT_WEIGHT * math.log1p(count)
+        return bonus
+
+    def _pair_cooccurrence(
+        self, left: str, right: str, stats: CleaningStats
+    ) -> int:
+        key = (left, right) if left <= right else (right, left)
+        cached = self._pair_cache.get(key)
+        if cached is not None:
+            return cached
+        a = self.corpus.inverted.list_for(key[0])
+        b = self.corpus.inverted.list_for(key[1])
+        stats.postings_read += len(a) + len(b)
+        count = 0
+        i = j = 0
+        while i < len(a) and j < len(b):
+            if a[i][0] == b[j][0]:
+                count += 1
+                i += 1
+                j += 1
+            elif a[i][0] < b[j][0]:
+                i += 1
+            else:
+                j += 1
+        self._pair_cache[key] = count
+        return count

@@ -1,0 +1,267 @@
+"""Command-line interface: build indexes, get suggestions, run evals.
+
+Installed as the ``xclean`` console script::
+
+    xclean generate --dataset dblp --out dblp.xml
+    xclean index --xml dblp.xml --out dblp.xci [--format binary]
+    xclean suggest --index dblp.xci --query "keywrod serach" -k 5
+    xclean search --index dblp.xci --query "keyword search" --xml dblp.xml
+    xclean evaluate --dataset dblp --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.cleaner import XCleanSuggester
+from repro.core.config import XCleanConfig
+from repro.core.search import EntitySearch
+from repro.core.slca_cleaner import (
+    ELCACleanSuggester,
+    SLCACleanSuggester,
+)
+from repro.datasets.synthetic_dblp import DBLPConfig, generate_dblp
+from repro.datasets.synthetic_wiki import WikiConfig, generate_wiki
+from repro.eval.experiments import dblp_setting, wiki_setting
+from repro.eval.reporting import format_table
+from repro.eval.runner import evaluate_suggester
+from repro.exceptions import ReproError
+from repro.index.corpus import build_corpus_index
+from repro.index.storage import load_index, save_index
+from repro.index.storage_binary import (
+    load_index_binary,
+    save_index_binary,
+)
+from repro.xmltree.document import XMLDocument
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xclean",
+        description="XML keyword query cleaning (XClean, ICDE 2011)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="generate a synthetic XML dataset"
+    )
+    generate.add_argument(
+        "--dataset", choices=("dblp", "wiki"), default="dblp"
+    )
+    generate.add_argument("--out", required=True, help="output XML path")
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument(
+        "--size", type=int, default=0,
+        help="publications / articles (0 = default scale)",
+    )
+
+    index = sub.add_parser("index", help="index an XML file")
+    index.add_argument("--xml", required=True, help="input XML path")
+    index.add_argument("--out", required=True, help="output index path")
+    index.add_argument(
+        "--format",
+        choices=("text", "binary"),
+        default="text",
+        help="text is diff-able; binary is ~2x smaller",
+    )
+
+    suggest = sub.add_parser(
+        "suggest", help="suggest alternative queries"
+    )
+    suggest.add_argument("--index", required=True, help="index path")
+    suggest.add_argument("--query", required=True)
+    suggest.add_argument("-k", type=int, default=5)
+    suggest.add_argument("--beta", type=float, default=5.0)
+    suggest.add_argument("--max-errors", type=int, default=2)
+    suggest.add_argument("--gamma", type=int, default=1000)
+    suggest.add_argument(
+        "--semantics",
+        choices=("node-type", "slca", "elca"),
+        default="node-type",
+        help="entity semantics for scoring (Section IV-B2 / VI-B)",
+    )
+    suggest.add_argument(
+        "--prior",
+        choices=("uniform", "length"),
+        default="uniform",
+        help="entity prior of Eq. 8 (node-type semantics only)",
+    )
+
+    search = sub.add_parser(
+        "search", help="execute a keyword query (no spell correction)"
+    )
+    search.add_argument("--index", required=True, help="index path")
+    search.add_argument("--query", required=True)
+    search.add_argument("-k", type=int, default=5)
+    search.add_argument(
+        "--xml", default=None,
+        help="original XML file, for result snippets",
+    )
+
+    evaluate = sub.add_parser(
+        "evaluate", help="run the MRR evaluation on a synthetic dataset"
+    )
+    evaluate.add_argument(
+        "--dataset", choices=("dblp", "wiki"), default="dblp"
+    )
+    evaluate.add_argument(
+        "--scale", choices=("small", "default"), default="small"
+    )
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "dblp":
+        config = (
+            DBLPConfig(publications=args.size, seed=args.seed)
+            if args.size
+            else DBLPConfig(seed=args.seed)
+        )
+        document = generate_dblp(config).document
+    else:
+        config = (
+            WikiConfig(articles=args.size, seed=args.seed)
+            if args.size
+            else WikiConfig(seed=args.seed)
+        )
+        document = generate_wiki(config).document
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(document.serialize())
+    stats = document.stats
+    print(
+        f"wrote {args.out}: {stats.node_count} nodes, "
+        f"max depth {stats.max_depth}"
+    )
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    document = XMLDocument.from_file(args.xml)
+    corpus = build_corpus_index(document)
+    if args.format == "binary":
+        save_index_binary(corpus, args.out)
+    else:
+        save_index(corpus, args.out)
+    description = corpus.describe()
+    print(
+        f"wrote {args.out}: {description['tokens']} tokens, "
+        f"{description['postings']} postings"
+    )
+    return 0
+
+
+def _load_any_index(path: str):
+    """Load a text or binary index by sniffing the magic bytes."""
+    with open(path, "rb") as handle:
+        magic = handle.read(4)
+    if magic == b"XCIB":
+        return load_index_binary(path)
+    return load_index(path)
+
+
+def _cmd_suggest(args: argparse.Namespace) -> int:
+    corpus = _load_any_index(args.index)
+    config = XCleanConfig(
+        max_errors=args.max_errors,
+        beta=args.beta,
+        gamma=args.gamma,
+        prior=args.prior,
+    )
+    if args.semantics == "slca":
+        suggester = SLCACleanSuggester(corpus, config=config)
+    elif args.semantics == "elca":
+        suggester = ELCACleanSuggester(corpus, config=config)
+    else:
+        suggester = XCleanSuggester(corpus, config=config)
+    suggestions = suggester.suggest(args.query, args.k)
+    if not suggestions:
+        print("(no suggestions)")
+        return 0
+    rows = [
+        (rank, s.text, s.score, s.result_type or "")
+        for rank, s in enumerate(suggestions, start=1)
+    ]
+    print(format_table(("#", "suggestion", "score", "result type"), rows))
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    corpus = _load_any_index(args.index)
+    engine = EntitySearch(corpus)
+    results = engine.search(args.query, args.k)
+    if not results:
+        print("(no results)")
+        return 0
+    document = (
+        XMLDocument.from_file(args.xml) if args.xml else None
+    )
+    rows = []
+    for rank, result in enumerate(results, start=1):
+        snippet = result.render(document) if document else ""
+        rows.append(
+            (
+                rank,
+                ".".join(map(str, result.dewey)),
+                result.result_type,
+                result.score,
+                snippet,
+            )
+        )
+    print(
+        format_table(
+            ("#", "entity", "type", "score", "snippet"), rows
+        )
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    setting = (
+        dblp_setting(args.scale)
+        if args.dataset == "dblp"
+        else wiki_setting(args.scale)
+    )
+    rows = []
+    for kind, records in setting.workloads.items():
+        result = evaluate_suggester(
+            setting.xclean(),
+            records,
+            system="XClean",
+            workload=f"{setting.label}-{kind}",
+        )
+        rows.append(
+            (result.workload, result.mrr, result.precision[1],
+             result.mean_time)
+        )
+    print(
+        format_table(
+            ("workload", "MRR", "P@1", "mean time (s)"),
+            rows,
+            title=f"XClean on {setting.label} ({args.scale} scale)",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "index": _cmd_index,
+    "suggest": _cmd_suggest,
+    "search": _cmd_search,
+    "evaluate": _cmd_evaluate,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""XClean core: the paper's probabilistic query-cleaning framework.
+
+Exposes the scoring model (error model, language model, result-type
+inference), the candidate space, the naive oracle, Algorithm 1
+(:class:`XCleanSuggester`), the SLCA-semantics variant, and the
+space-error extension.
+"""
+
+from repro.core.candidates import (
+    CandidateQuery,
+    CandidateSpace,
+    KeywordVariants,
+)
+from repro.core.cleaner import XCleanSuggester
+from repro.core.config import XCleanConfig
+from repro.core.error_model import (
+    DEFAULT_BETA,
+    ErrorModel,
+    ExponentialErrorModel,
+    MaysErrorModel,
+    query_error_weight,
+)
+from repro.core.language_model import DEFAULT_MU, DirichletLanguageModel
+from repro.core.naive import NaiveCleaner
+from repro.core.pruning import Accumulator, AccumulatorPool
+from repro.core.search import EntitySearch, SearchResult
+from repro.core.result_type import (
+    DEFAULT_MIN_DEPTH,
+    DEFAULT_REDUCTION,
+    ResultTypeConfig,
+    ResultTypeFinder,
+)
+from repro.core.slca_cleaner import (
+    ELCACleanSuggester,
+    SLCACleanSuggester,
+)
+from repro.core.space_errors import (
+    SpaceAwareSuggester,
+    SpaceVariant,
+    expand_with_space_edits,
+)
+from repro.core.suggestion import CleaningStats, Suggester, Suggestion
+
+__all__ = [
+    "Accumulator",
+    "AccumulatorPool",
+    "CandidateQuery",
+    "CandidateSpace",
+    "CleaningStats",
+    "DEFAULT_BETA",
+    "DEFAULT_MIN_DEPTH",
+    "DEFAULT_MU",
+    "DEFAULT_REDUCTION",
+    "DirichletLanguageModel",
+    "ELCACleanSuggester",
+    "EntitySearch",
+    "ErrorModel",
+    "ExponentialErrorModel",
+    "KeywordVariants",
+    "MaysErrorModel",
+    "NaiveCleaner",
+    "ResultTypeConfig",
+    "ResultTypeFinder",
+    "SearchResult",
+    "SLCACleanSuggester",
+    "SpaceAwareSuggester",
+    "SpaceVariant",
+    "Suggester",
+    "Suggestion",
+    "XCleanConfig",
+    "XCleanSuggester",
+    "expand_with_space_edits",
+    "query_error_weight",
+]

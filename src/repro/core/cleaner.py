@@ -1,0 +1,299 @@
+"""The XClean algorithm — Algorithm 1 of the paper.
+
+A single pass over the merged variant lists computes the scores of all
+candidate queries simultaneously:
+
+1. *Anchor selection* (Lines 4, 5, 16): the anchor is the largest
+   current head across the per-keyword MergedLists; its Dewey code
+   truncated to the minimal depth d identifies the subtree group g to
+   process next.  The loop terminates as soon as any MergedList is
+   exhausted — a candidate query needs a variant occurrence for every
+   keyword, so no later group can contribute.
+
+2. *Skipping* (Lines 7–8): every MergedList skips to g, jumping over
+   whole subtrees that cannot contain a full candidate match.
+
+3. *Group collection* (Lines 9–11): all variant occurrences inside g
+   are drained into per-keyword hash tables.
+
+4. *Candidate enumeration and scoring* (Lines 12–15): candidates are
+   formed only from variants observed in g; each candidate's result
+   type is resolved once (cached FindResultType); entity roots of that
+   type containing every keyword are scored with the Dirichlet language
+   model and accumulated in the (optionally γ-bounded) score table.
+
+The final score of a candidate is Eq. 10:
+
+    P(C|Q,T) ∝ P(Q|C) · (1/N_C) · Σ_{r of type p_C} ∏_{w ∈ C} p(w|D(r))
+
+restricted to entities containing at least one instance of every
+keyword (Line 14) — which is what guarantees suggested queries have
+non-empty results.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from repro.core.candidates import CandidateQuery, CandidateSpace
+from repro.core.config import XCleanConfig
+from repro.core.error_model import ErrorModel, ExponentialErrorModel
+from repro.core.language_model import DirichletLanguageModel
+from repro.core.pruning import AccumulatorPool
+from repro.core.result_type import ResultTypeConfig, ResultTypeFinder
+from repro.core.suggestion import CleaningStats, Suggestion
+from repro.exceptions import QueryError
+from repro.fastss.generator import VariantGenerator
+from repro.index.corpus import CorpusIndex
+from repro.index.merged_list import MergedEntry, MergedList
+from repro.xmltree.dewey import DeweyCode
+
+
+logger = logging.getLogger(__name__)
+
+
+class XCleanSuggester:
+    """Top-k XML keyword query cleaning via Algorithm 1."""
+
+    def __init__(
+        self,
+        corpus: CorpusIndex,
+        generator: VariantGenerator | None = None,
+        error_model: ErrorModel | None = None,
+        config: XCleanConfig | None = None,
+    ):
+        self.corpus = corpus
+        self.config = config or XCleanConfig()
+        self.generator = generator or VariantGenerator(
+            corpus.vocabulary.tokens(), max_errors=self.config.max_errors
+        )
+        self.error_model = error_model or ExponentialErrorModel(
+            self.config.beta
+        )
+        self.language_model = DirichletLanguageModel(
+            corpus.vocabulary, self.config.mu
+        )
+        self.type_finder = ResultTypeFinder(
+            corpus,
+            ResultTypeConfig(
+                reduction=self.config.reduction,
+                min_depth=self.config.min_depth,
+            ),
+        )
+        self.last_stats = CleaningStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def suggest(self, query: str, k: int = 10) -> list[Suggestion]:
+        """Top-k alternative queries for ``query``, best first.
+
+        Raises:
+            QueryError: when the query has no usable keywords after
+                tokenization.
+        """
+        pool = self._run(query)
+        table = self.corpus.path_table
+        return [
+            Suggestion(
+                tokens=candidate,
+                score=score,
+                result_type=table.string_of(entry.result_type),
+            )
+            for candidate, score, entry in pool.top_k(k)
+        ]
+
+    def score_all(self, query: str) -> dict[CandidateQuery, float]:
+        """Scores of all surviving candidates (oracle-equivalence tests)."""
+        return self._run(query).final_scores()
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+
+    def _run(self, query: str) -> AccumulatorPool:
+        keywords = self.corpus.tokenizer.tokenize(query)
+        if not keywords:
+            raise QueryError(f"query {query!r} has no usable keywords")
+        space = CandidateSpace(
+            keywords, self.generator, self.error_model,
+            self.config.max_errors,
+        )
+        stats = CleaningStats(
+            keywords=len(keywords), space_size=space.space_size()
+        )
+        self.last_stats = stats
+        pool = AccumulatorPool(self.config.gamma)
+        if not space.is_viable:
+            return pool
+
+        merged = [
+            self.corpus.merged_list(space.variant_tokens(i))
+            for i in range(len(keywords))
+        ]
+        min_depth = self.config.min_depth
+
+        while True:
+            anchor = None
+            exhausted = False
+            for ml in merged:
+                head = ml.head_dewey()
+                if head is None:
+                    # Some keyword exhausted: no further group helps.
+                    exhausted = True
+                    break
+                if anchor is None or head > anchor:
+                    anchor = head
+            if exhausted or anchor is None:
+                break
+            if len(anchor) < min_depth:
+                # Occurrence too shallow to sit under any valid entity:
+                # consume it wherever it is and move on.
+                self._consume_shallow(merged, anchor)
+                continue
+            group = anchor[:min_depth]
+            occurrences = self._collect_group(merged, group, stats)
+            if occurrences is None:
+                continue
+            stats.groups_processed += 1
+            self._score_group(group, occurrences, space, pool, stats)
+
+        stats.postings_read = sum(ml.total_reads for ml in merged)
+        stats.postings_skipped = sum(ml.total_skips for ml in merged)
+        stats.accumulator_evictions = pool.evictions
+        stats.result_types_computed = self.type_finder.cached_candidates()
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "xclean query=%r space=%d groups=%d candidates=%d "
+                "read=%d skipped=%d survivors=%d",
+                query,
+                stats.space_size,
+                stats.groups_processed,
+                stats.candidates_evaluated,
+                stats.postings_read,
+                stats.postings_skipped,
+                len(pool),
+            )
+        return pool
+
+    def _consume_shallow(
+        self, merged: list[MergedList], anchor: DeweyCode
+    ) -> None:
+        """Drop a head entry that is too shallow to matter."""
+        for ml in merged:
+            if ml.head_dewey() == anchor:
+                ml.next()
+                return
+
+    def _skip_to(self, ml: MergedList, target: DeweyCode):
+        """skip_to with the configured strategy (ablation switch)."""
+        if self.config.use_skipping:
+            return ml.skip_to(target)
+        head = ml.cur_pos()
+        while head is not None and head[0] < target:
+            ml.next()
+            head = ml.cur_pos()
+        return head
+
+    def _collect_group(
+        self,
+        merged: list[MergedList],
+        group: DeweyCode,
+        stats: CleaningStats,
+    ) -> list[dict[str, list[MergedEntry]]] | None:
+        """Drain all occurrences under ``group`` (Lines 7–11).
+
+        Returns ``None`` when some keyword has no occurrence in the
+        group (no candidate can be formed there); the entries are
+        consumed either way, exactly as in the paper.
+        """
+        occurrences: list[dict[str, list[MergedEntry]]] = []
+        missing = False
+        for ml in merged:
+            by_token: dict[str, list[MergedEntry]] = {}
+            self._skip_to(ml, group)
+            for entry in ml.pop_subtree(group):
+                by_token.setdefault(entry[3], []).append(entry)
+            if not by_token:
+                missing = True
+            occurrences.append(by_token)
+        return None if missing else occurrences
+
+    def _score_group(
+        self,
+        group: DeweyCode,
+        occurrences: list[dict[str, list[MergedEntry]]],
+        space: CandidateSpace,
+        pool: AccumulatorPool,
+        stats: CleaningStats,
+    ) -> None:
+        """Enumerate and score the group's candidates (Lines 12–15)."""
+        table = self.corpus.path_table
+        entity_cache: dict[
+            tuple[int, str, int], dict[DeweyCode, int]
+        ] = {}
+
+        def entity_counts(
+            position: int, token: str, pid: int, depth: int
+        ) -> dict[DeweyCode, int]:
+            key = (position, token, pid)
+            cached = entity_cache.get(key)
+            if cached is not None:
+                return cached
+            counts: dict[DeweyCode, int] = {}
+            for dewey, path_id, tf, _token in occurrences[position][token]:
+                if len(dewey) < depth:
+                    continue
+                if table.prefix_id(path_id, depth) != pid:
+                    continue
+                root = dewey[:depth]
+                counts[root] = counts.get(root, 0) + tf
+            entity_cache[key] = counts
+            return counts
+
+        present = [list(by_token) for by_token in occurrences]
+        for candidate in space.enumerate_present(present):
+            stats.candidates_evaluated += 1
+            pid = self.type_finder.find(candidate)
+            if pid is None:
+                continue
+            depth = table.depth_of(pid)
+            per_keyword = [
+                entity_counts(position, token, pid, depth)
+                for position, token in enumerate(candidate)
+            ]
+            if any(not counts for counts in per_keyword):
+                continue
+            entities = set(min(per_keyword, key=len))
+            for counts in per_keyword:
+                entities &= counts.keys()
+            if not entities:
+                continue
+            length_prior = self.config.prior == "length"
+            mass = 0.0
+            for root in entities:
+                stats.entities_scored += 1
+                length = self.corpus.subtree_length(root)
+                product = 1.0
+                for position, token in enumerate(candidate):
+                    product *= self.language_model.probability(
+                        token, per_keyword[position][root], length
+                    )
+                # Under the uniform prior every entity weighs 1 (and
+                # the normalizer is N); under the length prior weight
+                # is |D(r)| with normalizer W_p = Σ |D(r)| (Eq. 8).
+                mass += (length if length_prior else 1.0) * product
+            if length_prior:
+                normalizer = self.corpus.path_token_totals().get(
+                    pid, 0.0
+                )
+            else:
+                normalizer = float(self.corpus.entity_count(pid))
+            pool.add(
+                candidate,
+                mass,
+                space.error_weight(candidate),
+                normalizer,
+                pid,
+            )

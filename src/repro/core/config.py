@@ -1,0 +1,51 @@
+"""Configuration shared by the XClean-family suggesters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.error_model import DEFAULT_BETA
+from repro.core.language_model import DEFAULT_MU
+from repro.core.result_type import DEFAULT_MIN_DEPTH, DEFAULT_REDUCTION
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class XCleanConfig:
+    """All tunables of the XClean framework in one value object.
+
+    Attributes:
+        max_errors: ε — edit-distance radius of var_ε(q) (Section IV-A).
+        beta: β — error penalty of the exponential model (Eq. 5);
+            the paper's best setting is 5 (Table IV).
+        mu: μ — Dirichlet smoothing parameter (Eq. 6).
+        reduction: r — depth reduction factor of Eq. 7.
+        min_depth: d — minimal depth threshold (Section V-B).
+        gamma: γ — in-memory accumulator budget (Section V-D);
+            ``None`` disables pruning.
+        use_skipping: enable skip_to in Algorithm 1; disabling it reads
+            every posting linearly (ablation: same output, more I/O).
+        prior: the entity prior P(r_j|T) of Eq. 8 — ``"uniform"``
+            (the paper's 1/N) or ``"length"`` (∝ |D(r)|: longer
+            entities are a priori likelier targets; the generalization
+            the paper notes is "easily" available).
+    """
+
+    max_errors: int = 2
+    beta: float = DEFAULT_BETA
+    mu: float = DEFAULT_MU
+    reduction: float = DEFAULT_REDUCTION
+    min_depth: int = DEFAULT_MIN_DEPTH
+    gamma: int | None = 1000
+    use_skipping: bool = True
+    prior: str = "uniform"
+
+    def __post_init__(self):
+        if self.max_errors < 0:
+            raise ConfigurationError("max_errors must be >= 0")
+        if self.gamma is not None and self.gamma < 1:
+            raise ConfigurationError("gamma must be >= 1 or None")
+        if self.min_depth < 1:
+            raise ConfigurationError("min_depth must be >= 1")
+        if self.prior not in ("uniform", "length"):
+            raise ConfigurationError(f"unknown prior {self.prior!r}")

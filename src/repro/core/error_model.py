@@ -1,0 +1,122 @@
+"""Error models: P(q|w), the likelihood of typing q when w was intended.
+
+Section IV-B1 of the paper.  Two models are provided behind a common
+interface so the framework stays pluggable (the paper stresses it can
+"accommodate different error models"):
+
+* :class:`ExponentialErrorModel` — the paper's model (Eq. 4/5):
+  ``P(q|w) ∝ exp(-β · ed(q, w))``, normalized over the variant set.
+  β is the error penalty; the paper finds β = 5 best and uses it for all
+  reported results.
+
+* :class:`MaysErrorModel` — the classic single-error model of Mays et
+  al. (Eq. 3): probability α for q = w, with the remaining mass split
+  equally among the other variants.
+
+Normalizing over var_ε(q) (i.e. computing P(w|q) rather than P(q|w)) is
+deliberate: per keyword, the normalizer z is a constant shared by every
+candidate query, so the top-k ranking of Definition 1 is unchanged,
+while scores stay interpretable as probabilities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.fastss.index import Variant
+
+#: β value the paper found best on almost every query set (Table IV).
+DEFAULT_BETA = 5.0
+
+
+class ErrorModel(Protocol):
+    """Maps a keyword's variant set to per-variant error probabilities."""
+
+    def variant_weights(
+        self, keyword: str, variants: Sequence[Variant]
+    ) -> dict[str, float]:
+        """Probability weight of each variant token for this keyword.
+
+        Weights are normalized over ``variants``; an empty dict is
+        returned for an empty variant set.
+        """
+        ...  # pragma: no cover - protocol
+
+
+class ExponentialErrorModel:
+    """The paper's exponential edit-distance penalty (Eq. 4/5)."""
+
+    def __init__(self, beta: float = DEFAULT_BETA):
+        if beta < 0:
+            raise ConfigurationError("beta must be >= 0")
+        self.beta = beta
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ExponentialErrorModel(beta={self.beta})"
+
+    def variant_weights(
+        self, keyword: str, variants: Sequence[Variant]
+    ) -> dict[str, float]:
+        if not variants:
+            return {}
+        raw = {
+            v.token: math.exp(-self.beta * v.distance) for v in variants
+        }
+        z = sum(raw.values())
+        return {token: weight / z for token, weight in raw.items()}
+
+
+class MaysErrorModel:
+    """The α-model of Mays et al. [8] (Eq. 3), generalized to ε >= 1.
+
+    If the keyword itself is among the variants it receives probability
+    α; the remaining mass (or all of it, for an out-of-vocabulary
+    keyword) is distributed uniformly over the other variants.
+    """
+
+    def __init__(self, alpha: float = 0.9):
+        if not 0.0 < alpha < 1.0:
+            raise ConfigurationError("alpha must be in (0, 1)")
+        self.alpha = alpha
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MaysErrorModel(alpha={self.alpha})"
+
+    def variant_weights(
+        self, keyword: str, variants: Sequence[Variant]
+    ) -> dict[str, float]:
+        if not variants:
+            return {}
+        others = [v.token for v in variants if v.token != keyword]
+        has_self = len(others) != len(variants)
+        weights: dict[str, float] = {}
+        if has_self:
+            if others:
+                weights[keyword] = self.alpha
+                share = (1.0 - self.alpha) / len(others)
+            else:
+                weights[keyword] = 1.0
+                share = 0.0
+        else:
+            share = 1.0 / len(others)
+        for token in others:
+            weights[token] = share
+        return weights
+
+
+def query_error_weight(
+    per_keyword_weights: Sequence[dict[str, float]],
+    candidate: Sequence[str],
+) -> float:
+    """P(Q|C) = ∏_j P(q_j | C[j]) under the independence assumption (Eq. 5).
+
+    ``per_keyword_weights[j]`` must contain ``candidate[j]``; a missing
+    entry means the candidate uses a token outside var_ε(q_j), which is
+    a caller bug — we surface it as KeyError rather than guessing 0.
+    """
+    weight = 1.0
+    for j, token in enumerate(candidate):
+        weight *= per_keyword_weights[j][token]
+    return weight

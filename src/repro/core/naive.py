@@ -1,0 +1,147 @@
+"""The naive enumerate-and-score cleaner (Section V's strawman).
+
+Scores every candidate query in the full Cartesian space by scanning
+each variant's complete inverted list, with no grouping, skipping, or
+pruning.  It implements the *model* of Section IV directly, which makes
+it the correctness oracle: Algorithm 1 with unlimited accumulators must
+reproduce these scores exactly (up to float associativity), and the
+efficiency benchmarks use it to show what the paper's optimizations buy.
+"""
+
+from __future__ import annotations
+
+from repro.core.candidates import CandidateQuery, CandidateSpace
+from repro.core.config import XCleanConfig
+from repro.core.error_model import ErrorModel, ExponentialErrorModel
+from repro.core.language_model import DirichletLanguageModel
+from repro.core.result_type import ResultTypeConfig, ResultTypeFinder
+from repro.core.suggestion import CleaningStats, Suggestion
+from repro.exceptions import QueryError
+from repro.fastss.generator import VariantGenerator
+from repro.index.corpus import CorpusIndex
+from repro.xmltree.dewey import DeweyCode
+
+
+class NaiveCleaner:
+    """Reference implementation of the XClean scoring model."""
+
+    def __init__(
+        self,
+        corpus: CorpusIndex,
+        generator: VariantGenerator | None = None,
+        error_model: ErrorModel | None = None,
+        config: XCleanConfig | None = None,
+    ):
+        self.corpus = corpus
+        self.config = config or XCleanConfig()
+        self.generator = generator or VariantGenerator(
+            corpus.vocabulary.tokens(), max_errors=self.config.max_errors
+        )
+        self.error_model = error_model or ExponentialErrorModel(
+            self.config.beta
+        )
+        self.language_model = DirichletLanguageModel(
+            corpus.vocabulary, self.config.mu
+        )
+        self.type_finder = ResultTypeFinder(
+            corpus,
+            ResultTypeConfig(
+                reduction=self.config.reduction,
+                min_depth=self.config.min_depth,
+            ),
+        )
+        self.last_stats = CleaningStats()
+
+    def suggest(self, query: str, k: int = 10) -> list[Suggestion]:
+        """Top-k suggestions by exhaustive evaluation."""
+        scores = self.score_all(query)
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        table = self.corpus.path_table
+        return [
+            Suggestion(
+                tokens=candidate,
+                score=score,
+                result_type=table.string_of(
+                    self.type_finder.find(candidate)  # type: ignore[arg-type]
+                ),
+            )
+            for candidate, score in ranked[:k]
+        ]
+
+    def score_all(self, query: str) -> dict[CandidateQuery, float]:
+        """P(C|Q,T) (up to κ) for every candidate with non-empty results."""
+        keywords = self.corpus.tokenizer.tokenize(query)
+        if not keywords:
+            raise QueryError(f"query {query!r} has no usable keywords")
+        space = CandidateSpace(
+            keywords, self.generator, self.error_model,
+            self.config.max_errors,
+        )
+        stats = CleaningStats(
+            keywords=len(keywords), space_size=space.space_size()
+        )
+        self.last_stats = stats
+        if not space.is_viable:
+            return {}
+        scores: dict[CandidateQuery, float] = {}
+        for candidate in space.enumerate_all():
+            stats.candidates_evaluated += 1
+            score = self._score_candidate(candidate, space, stats)
+            if score is not None:
+                scores[candidate] = score
+        return scores
+
+    def _score_candidate(
+        self,
+        candidate: CandidateQuery,
+        space: CandidateSpace,
+        stats: CleaningStats,
+    ) -> float | None:
+        """Eq. 10 for one candidate; None when it has no valid entity."""
+        pid = self.type_finder.find(candidate)
+        if pid is None:
+            return None
+        depth = self.corpus.path_table.depth_of(pid)
+        length_prior = self.config.prior == "length"
+        if length_prior:
+            normalizer = self.corpus.path_token_totals().get(pid, 0.0)
+        else:
+            normalizer = float(self.corpus.entity_count(pid))
+        per_keyword = [
+            self._entity_counts(token, pid, depth, stats)
+            for token in candidate
+        ]
+        if any(not counts for counts in per_keyword):
+            return None
+        entities = set(min(per_keyword, key=len))
+        for counts in per_keyword:
+            entities &= counts.keys()
+        if not entities or not normalizer:
+            return None
+        mass = 0.0
+        for root in entities:
+            stats.entities_scored += 1
+            length = self.corpus.subtree_length(root)
+            product = 1.0
+            for position, token in enumerate(candidate):
+                product *= self.language_model.probability(
+                    token, per_keyword[position][root], length
+                )
+            mass += (length if length_prior else 1.0) * product
+        return space.error_weight(candidate) * mass / normalizer
+
+    def _entity_counts(
+        self, token: str, pid: int, depth: int, stats: CleaningStats
+    ) -> dict[DeweyCode, int]:
+        """count(w, D(r)) per entity root r of type pid, from postings."""
+        table = self.corpus.path_table
+        counts: dict[DeweyCode, int] = {}
+        for dewey, path_id, tf in self.corpus.inverted.list_for(token):
+            stats.postings_read += 1
+            if len(dewey) < depth:
+                continue
+            if table.prefix_id(path_id, depth) != pid:
+                continue
+            root = dewey[:depth]
+            counts[root] = counts.get(root, 0) + tf
+        return counts

@@ -1,0 +1,187 @@
+"""Probabilistic candidate pruning: γ-bounded accumulators (Section V-D).
+
+Algorithm 1 accumulates per-candidate score mass in a hash table S.  On
+large datasets the number of *effective* candidates explodes, so the
+paper caps the table at γ in-memory accumulators.  When a new candidate
+arrives and the table is full, the victim is the candidate whose
+*estimated final score* — the sample-mean argument backed by Hoeffding's
+inequality — is lowest:
+
+    estimate(C) = P(Q|C) · (mass accumulated so far) / N_C
+
+An evicted candidate loses its accumulated mass; if it reappears later
+it restarts from zero.  This is exactly why suggestion quality degrades
+for small γ and saturates near γ = 1000 (Table V).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.candidates import CandidateQuery
+from repro.exceptions import ConfigurationError
+
+
+def hoeffding_confidence(samples: int, epsilon: float) -> float:
+    """Hoeffding's bound as used in Section V-D.
+
+    Probability that the sample mean of ``samples`` bounded-in-[0,1]
+    observations lies within ``epsilon`` of the true mean:
+
+        P(|V̂ - V| <= ε) >= 1 - 2·exp(-2·n·ε²)
+
+    This justifies using a candidate's partially accumulated mass as an
+    estimate of its final score when choosing eviction victims.
+    Clamped to [0, 1].
+    """
+    if samples < 0:
+        raise ConfigurationError("samples must be >= 0")
+    if epsilon < 0:
+        raise ConfigurationError("epsilon must be >= 0")
+    bound = 1.0 - 2.0 * math.exp(-2.0 * samples * epsilon * epsilon)
+    return max(0.0, min(1.0, bound))
+
+
+def samples_for_confidence(confidence: float, epsilon: float) -> int:
+    """Smallest n with Hoeffding confidence >= ``confidence``.
+
+    Inverts :func:`hoeffding_confidence`; useful when tuning how much
+    mass to accumulate before trusting the pruning estimate.
+    """
+    if not 0.0 <= confidence < 1.0:
+        raise ConfigurationError("confidence must be in [0, 1)")
+    if epsilon <= 0:
+        raise ConfigurationError("epsilon must be > 0")
+    needed = math.log(2.0 / (1.0 - confidence)) / (
+        2.0 * epsilon * epsilon
+    )
+    return max(0, math.ceil(needed))
+
+
+@dataclass
+class Accumulator:
+    """Per-candidate running state in the score table S.
+
+    ``normalizer`` generalizes Eq. 8's N: it is N (the entity count)
+    under the uniform prior, or the total prior weight W_p of the
+    candidate's result type under a non-uniform prior.
+    """
+
+    mass: float
+    error_weight: float
+    normalizer: float
+    result_type: int
+
+    def estimate(self) -> float:
+        """Estimated final score from the mass observed so far."""
+        if self.normalizer == 0:
+            return 0.0
+        return self.error_weight * self.mass / self.normalizer
+
+
+class AccumulatorPool:
+    """The bounded score table S of Algorithm 1 + Section V-D pruning.
+
+    ``capacity=None`` disables pruning (exact evaluation); tests use
+    this to check that the pruned algorithm with γ = ∞ reproduces the
+    naive scorer bit-for-bit.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ConfigurationError("capacity must be >= 1 or None")
+        self.capacity = capacity
+        self.evictions = 0
+        self._table: dict[CandidateQuery, Accumulator] = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, candidate: CandidateQuery) -> bool:
+        return candidate in self._table
+
+    def add(
+        self,
+        candidate: CandidateQuery,
+        mass: float,
+        error_weight: float,
+        normalizer: float,
+        result_type: int,
+    ) -> None:
+        """Add entity mass for a candidate, evicting a victim if full.
+
+        ``normalizer`` is the candidate-constant denominator of Eq. 8
+        (N_C under the uniform prior, W_p under a weighted prior); it
+        is stored on first touch for estimate/finalize use.
+        """
+        entry = self._table.get(candidate)
+        if entry is not None:
+            entry.mass += mass
+            return
+        if (
+            self.capacity is not None
+            and len(self._table) >= self.capacity
+        ):
+            self._evict_lowest_estimate(
+                incoming_estimate=(
+                    error_weight * mass / normalizer
+                    if normalizer
+                    else 0.0
+                )
+            )
+            if (
+                self.capacity is not None
+                and len(self._table) >= self.capacity
+            ):
+                # The incoming candidate itself was the weakest; drop it.
+                return
+        self._table[candidate] = Accumulator(
+            mass=mass,
+            error_weight=error_weight,
+            normalizer=normalizer,
+            result_type=result_type,
+        )
+
+    def _evict_lowest_estimate(self, incoming_estimate: float) -> None:
+        """Remove the weakest current entry if weaker than the newcomer.
+
+        Linear scan: γ is at most a few thousand in every configuration
+        the paper reports, and evictions only happen when the table is
+        saturated.
+        """
+        victim: CandidateQuery | None = None
+        victim_estimate = float("inf")
+        for candidate, entry in self._table.items():
+            estimate = entry.estimate()
+            if estimate < victim_estimate:
+                victim = candidate
+                victim_estimate = estimate
+        if victim is not None and victim_estimate <= incoming_estimate:
+            del self._table[victim]
+            self.evictions += 1
+
+    def final_scores(self) -> dict[CandidateQuery, float]:
+        """P(C|Q,T) (up to the shared κ) for every surviving candidate.
+
+        Final score = P(Q|C) · (1/N_C) · Σ_r ∏_w p(w|D(r))  (Eq. 10).
+        """
+        return {
+            candidate: entry.estimate()
+            for candidate, entry in self._table.items()
+        }
+
+    def entry(self, candidate: CandidateQuery) -> Accumulator | None:
+        """The accumulator of a candidate (inspection/testing)."""
+        return self._table.get(candidate)
+
+    def top_k(
+        self, k: int
+    ) -> list[tuple[CandidateQuery, float, Accumulator]]:
+        """The k best candidates by final score, ties lexicographic."""
+        scored = [
+            (candidate, entry.estimate(), entry)
+            for candidate, entry in self._table.items()
+        ]
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return scored[:k]

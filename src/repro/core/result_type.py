@@ -1,0 +1,119 @@
+"""Result-type inference: which label path defines a candidate's entities.
+
+Section IV-B2 adopts XReal's *specific node type* semantics: for each
+candidate query C the most probable result node type p_C is chosen by
+
+    U(C, p) = log(1 + ∏_{w ∈ C} f_w^p) · r^{depth(p)}         (Eq. 7)
+
+— users like popular node types containing *all* keywords, but not types
+so deep they carry no information beyond the keywords themselves
+(the r^depth factor, r < 1, penalizes depth).
+
+Section V-B adds the *minimal depth threshold* d: types shallower than d
+are never considered (everything is connected at the root, which is not
+a meaningful connection), and — in Algorithm 1 — result-type computation
+for a candidate is delayed until some subtree at depth >= d actually
+contains all its keywords.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.index.corpus import CorpusIndex
+
+#: The paper's depth reduction factor in the worked example (Example 3).
+DEFAULT_REDUCTION = 0.8
+
+#: "d = 2 is usually enough" (Section V-B).
+DEFAULT_MIN_DEPTH = 2
+
+
+@dataclass(frozen=True)
+class ResultTypeConfig:
+    """Knobs of the result-type inference (Eq. 7 / Section V-B)."""
+
+    reduction: float = DEFAULT_REDUCTION
+    min_depth: int = DEFAULT_MIN_DEPTH
+
+    def __post_init__(self):
+        if not 0.0 < self.reduction <= 1.0:
+            raise ConfigurationError("reduction must be in (0, 1]")
+        if self.min_depth < 1:
+            raise ConfigurationError("min_depth must be >= 1")
+
+
+class ResultTypeFinder:
+    """FindResultType(C) of Section V-B, with per-candidate caching."""
+
+    def __init__(
+        self, corpus: CorpusIndex, config: ResultTypeConfig | None = None
+    ):
+        self.corpus = corpus
+        self.config = config or ResultTypeConfig()
+        self._cache: dict[tuple[str, ...], int | None] = {}
+
+    def utility(self, candidate: Sequence[str], path_id: int) -> float:
+        """U(C, p) of Eq. 7; 0 when some keyword never occurs under p."""
+        product = 1
+        for token in candidate:
+            f = self.corpus.path_index.f(token, path_id)
+            if f == 0:
+                return 0.0
+            product *= f
+        depth = self.corpus.path_table.depth_of(path_id)
+        return math.log1p(product) * (self.config.reduction ** depth)
+
+    def find(self, candidate: Sequence[str]) -> int | None:
+        """Best result type p_C, or ``None`` when no type contains all
+        keywords at depth >= min_depth (such candidates have no valid
+        entities and are dropped).
+
+        Ties break on the lexicographically smallest path string so the
+        choice — and everything downstream — is deterministic.
+        """
+        key = tuple(candidate)
+        if key in self._cache:
+            return self._cache[key]
+        best = self._compute(key)
+        self._cache[key] = best
+        return best
+
+    def _compute(self, candidate: tuple[str, ...]) -> int | None:
+        # Intersect the path sets, starting from the keyword with the
+        # fewest distinct paths.
+        count_maps = [
+            self.corpus.path_index.counts_for(token) for token in candidate
+        ]
+        if not count_maps or any(not m for m in count_maps):
+            return None
+        count_maps.sort(key=len)
+        table = self.corpus.path_table
+        min_depth = self.config.min_depth
+        shared = [
+            pid
+            for pid in count_maps[0]
+            if table.depth_of(pid) >= min_depth
+            and all(pid in m for m in count_maps[1:])
+        ]
+        if not shared:
+            return None
+        best_pid: int | None = None
+        best_score = -1.0
+        best_path = ""
+        for pid in shared:
+            score = self.utility(candidate, pid)
+            path = table.string_of(pid)
+            better = score > best_score or (
+                score == best_score and path < best_path
+            )
+            if best_pid is None or better:
+                best_pid, best_score, best_path = pid, score, path
+        return best_pid
+
+    def cached_candidates(self) -> int:
+        """Number of candidates whose result type has been computed."""
+        return len(self._cache)

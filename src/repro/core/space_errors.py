@@ -1,0 +1,141 @@
+"""Space insertion/deletion errors (Section VI-A).
+
+A second class of typographical errors changes the *number* of keywords:
+"power point" for "powerpoint" (extra space) or "datamining" for "data
+mining" (missing space).  The paper's extension: enumerate all keyword
+sequences reachable with at most τ space changes, keep only those whose
+new tokens are in the vocabulary, and expand the candidate space with
+them.
+
+:func:`expand_with_space_edits` produces the alternative keyword
+sequences with their change counts;
+:class:`SpaceAwareSuggester` wraps any base suggester, runs it on every
+valid sequence, down-weights by ``exp(-β · changes)`` (treating a space
+change like one edit in the paper's exponential error model), and
+merges the ranked lists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.error_model import DEFAULT_BETA
+from repro.core.suggestion import Suggestion
+from repro.exceptions import QueryError
+from repro.index.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class SpaceVariant:
+    """One alternative keyword sequence with its space-change count."""
+
+    keywords: tuple[str, ...]
+    changes: int
+
+
+def expand_with_space_edits(
+    keywords: Sequence[str],
+    vocabulary: Vocabulary,
+    max_changes: int = 1,
+) -> list[SpaceVariant]:
+    """All keyword sequences within ``max_changes`` space edits.
+
+    Space *deletion* merges two adjacent keywords; space *insertion*
+    splits one keyword in two.  New tokens must be vocabulary members —
+    invalid results are discarded, which keeps the expansion small in
+    practice (Section VI-A).  The original sequence is always included
+    with ``changes=0``; results are deduplicated keeping the smallest
+    change count and ordered by (changes, keywords).
+    """
+    if max_changes < 0:
+        raise QueryError("max_changes must be >= 0")
+    best: dict[tuple[str, ...], int] = {tuple(keywords): 0}
+    frontier = [tuple(keywords)]
+    for round_number in range(1, max_changes + 1):
+        next_frontier: list[tuple[str, ...]] = []
+        for sequence in frontier:
+            for variant in _one_space_edit(sequence, vocabulary):
+                known = best.get(variant)
+                if known is None or known > round_number:
+                    best[variant] = round_number
+                    next_frontier.append(variant)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    variants = [
+        SpaceVariant(keywords=seq, changes=count)
+        for seq, count in best.items()
+    ]
+    variants.sort(key=lambda v: (v.changes, v.keywords))
+    return variants
+
+
+def _one_space_edit(
+    sequence: tuple[str, ...], vocabulary: Vocabulary
+) -> list[tuple[str, ...]]:
+    """Sequences one valid space change away from ``sequence``."""
+    results: list[tuple[str, ...]] = []
+    # Space deletion: merge adjacent keywords.
+    for i in range(len(sequence) - 1):
+        merged = sequence[i] + sequence[i + 1]
+        if merged in vocabulary:
+            results.append(sequence[:i] + (merged,) + sequence[i + 2 :])
+    # Space insertion: split one keyword into two vocabulary tokens.
+    for i, keyword in enumerate(sequence):
+        for cut in range(1, len(keyword)):
+            left, right = keyword[:cut], keyword[cut:]
+            if left in vocabulary and right in vocabulary:
+                results.append(
+                    sequence[:i] + (left, right) + sequence[i + 1 :]
+                )
+    return results
+
+
+class SpaceAwareSuggester:
+    """Wraps a suggester with space-error expansion.
+
+    The wrapped suggester must expose ``suggest(query, k)`` and a
+    ``corpus`` attribute (for tokenizer and vocabulary access) — both
+    :class:`~repro.core.cleaner.XCleanSuggester` and
+    :class:`~repro.core.naive.NaiveCleaner` qualify.
+    """
+
+    def __init__(
+        self,
+        base,
+        max_changes: int = 1,
+        beta: float = DEFAULT_BETA,
+    ):
+        self.base = base
+        self.max_changes = max_changes
+        self.beta = beta
+
+    def suggest(self, query: str, k: int = 10) -> list[Suggestion]:
+        """Top-k suggestions over the space-expanded candidate space."""
+        corpus = self.base.corpus
+        keywords = corpus.tokenizer.tokenize(query)
+        if not keywords:
+            raise QueryError(f"query {query!r} has no usable keywords")
+        variants = expand_with_space_edits(
+            keywords, corpus.vocabulary, self.max_changes
+        )
+        merged: dict[tuple[str, ...], Suggestion] = {}
+        for variant in variants:
+            penalty = math.exp(-self.beta * variant.changes)
+            for suggestion in self.base.suggest(
+                " ".join(variant.keywords), k
+            ):
+                score = suggestion.score * penalty
+                existing = merged.get(suggestion.tokens)
+                if existing is None or existing.score < score:
+                    merged[suggestion.tokens] = Suggestion(
+                        tokens=suggestion.tokens,
+                        score=score,
+                        result_type=suggestion.result_type,
+                    )
+        ranked = sorted(
+            merged.values(), key=lambda s: (-s.score, s.tokens)
+        )
+        return ranked[:k]

@@ -1,0 +1,60 @@
+"""Public result types shared by all suggesters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One suggested alternative query.
+
+    Attributes:
+        tokens: the candidate query C as a token tuple.
+        score: the suggester's score (for XClean: P(C|Q,T) up to the
+            query-constant κ of Eq. 2); comparable only within one
+            suggester's output for one query.
+        result_type: the inferred result node type p_C as a path string
+            (XClean-family suggesters only).
+    """
+
+    tokens: tuple[str, ...]
+    score: float
+    result_type: str | None = None
+
+    @property
+    def text(self) -> str:
+        """The suggestion as a plain query string."""
+        return " ".join(self.tokens)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.text
+
+
+class Suggester(Protocol):
+    """Anything that can clean a keyword query."""
+
+    def suggest(self, query: str, k: int = 10) -> list[Suggestion]:
+        """Top-k alternative queries for ``query``, best first."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class CleaningStats:
+    """Work counters of one ``suggest`` call (benchmarks/ablations).
+
+    All counters are cumulative over the single query evaluation that
+    produced them.
+    """
+
+    keywords: int = 0
+    space_size: int = 0
+    groups_processed: int = 0
+    candidates_evaluated: int = 0
+    entities_scored: int = 0
+    postings_read: int = 0
+    postings_skipped: int = 0
+    accumulator_evictions: int = 0
+    result_types_computed: int = 0
+    extra: dict[str, float] = field(default_factory=dict)

@@ -1,0 +1,67 @@
+"""Synthetic datasets and query workloads (Section VII-A substitutes)."""
+
+from repro.datasets.misspellings import (
+    COMMON_MISSPELLINGS,
+    reverse_map,
+    rule_misspell,
+)
+from repro.datasets.queries import (
+    MIN_PERTURBED_LENGTH,
+    PERTURBATION_KINDS,
+    QueryRecord,
+    build_query_workloads,
+    rand_perturb_query,
+    rand_perturb_word,
+    rule_perturb_query,
+    rule_perturb_word,
+    sample_clean_queries,
+)
+from repro.datasets.sampling import ZipfSampler
+from repro.datasets.synthetic_dblp import (
+    DBLPConfig,
+    DBLPCorpus,
+    generate_dblp,
+)
+from repro.datasets.synthetic_wiki import (
+    WikiConfig,
+    WikiCorpus,
+    generate_wiki,
+)
+from repro.datasets.words import (
+    COMMON_WORDS,
+    CS_TERMS,
+    FIRST_NAMES,
+    LAST_NAMES,
+    VENUES,
+    WIKI_TOPICS,
+    synthesize_words,
+)
+
+__all__ = [
+    "COMMON_MISSPELLINGS",
+    "COMMON_WORDS",
+    "CS_TERMS",
+    "DBLPConfig",
+    "DBLPCorpus",
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "MIN_PERTURBED_LENGTH",
+    "PERTURBATION_KINDS",
+    "QueryRecord",
+    "VENUES",
+    "WIKI_TOPICS",
+    "WikiConfig",
+    "WikiCorpus",
+    "ZipfSampler",
+    "build_query_workloads",
+    "generate_dblp",
+    "generate_wiki",
+    "rand_perturb_query",
+    "rand_perturb_word",
+    "reverse_map",
+    "rule_misspell",
+    "rule_perturb_query",
+    "rule_perturb_word",
+    "sample_clean_queries",
+    "synthesize_words",
+]

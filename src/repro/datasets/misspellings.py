@@ -1,0 +1,326 @@
+"""Common human misspellings for the RULE perturbation (Section VII-A).
+
+The paper perturbs queries with "the list of common misspellings
+occurring at the Wikipedia site … also used by the spell checker
+Aspell".  :data:`COMMON_MISSPELLINGS` embeds a representative subset of
+that public list (misspelling → correction); note several entries are
+*far* from their correction in edit distance, which is exactly why the
+paper's RULE query sets need ε = 2 variant generation and run slower
+(Table VI).
+
+For words not covered by the list, :func:`rule_misspell` applies the
+same classes of errors humans make — doubled letters, dropped doubled
+letters, transposed neighbours, ei/ie confusion, vowel substitution —
+so every query token can be perturbed.
+"""
+
+from __future__ import annotations
+
+import random
+
+COMMON_MISSPELLINGS: dict[str, str] = {
+    # A representative subset of the Wikipedia common-misspellings list.
+    "abberation": "aberration",
+    "abilty": "ability",
+    "abondoned": "abandoned",
+    "accademic": "academic",
+    "accesible": "accessible",
+    "accomodate": "accommodate",
+    "accross": "across",
+    "acheive": "achieve",
+    "acknowldegement": "acknowledgement",
+    "acommodate": "accommodate",
+    "acquaintence": "acquaintance",
+    "adquire": "acquire",
+    "adres": "address",
+    "agression": "aggression",
+    "alchohol": "alcohol",
+    "alege": "allege",
+    "algoritm": "algorithm",
+    "alot": "allot",
+    "amatuer": "amateur",
+    "amoung": "among",
+    "anual": "annual",
+    "apparant": "apparent",
+    "appearence": "appearance",
+    "arbitary": "arbitrary",
+    "archetecture": "architecture",
+    "arguement": "argument",
+    "assasination": "assassination",
+    "atheltic": "athletic",
+    "attendence": "attendance",
+    "audiance": "audience",
+    "availble": "available",
+    "basicly": "basically",
+    "begining": "beginning",
+    "beleive": "believe",
+    "belive": "believe",
+    "benificial": "beneficial",
+    "betwen": "between",
+    "bizzare": "bizarre",
+    "boundry": "boundary",
+    "brillant": "brilliant",
+    "buisness": "business",
+    "calender": "calendar",
+    "camoflage": "camouflage",
+    "carribean": "caribbean",
+    "catagory": "category",
+    "cemetary": "cemetery",
+    "changable": "changeable",
+    "charachter": "character",
+    "childen": "children",
+    "cirtain": "certain",
+    "comittee": "committee",
+    "commerical": "commercial",
+    "commitee": "committee",
+    "comparision": "comparison",
+    "compatability": "compatibility",
+    "completly": "completely",
+    "concious": "conscious",
+    "condidtion": "condition",
+    "conection": "connection",
+    "consciencious": "conscientious",
+    "consistant": "consistent",
+    "contempory": "contemporary",
+    "continous": "continuous",
+    "controled": "controlled",
+    "convienient": "convenient",
+    "critisism": "criticism",
+    "definately": "definitely",
+    "desparate": "desperate",
+    "diffrent": "different",
+    "dilemna": "dilemma",
+    "disapear": "disappear",
+    "disipline": "discipline",
+    "docment": "document",
+    "dosent": "doesnt",
+    "ecomomic": "economic",
+    "eigth": "eight",
+    "embarras": "embarrass",
+    "enviroment": "environment",
+    "equiped": "equipped",
+    "excellant": "excellent",
+    "exerpt": "excerpt",
+    "existance": "existence",
+    "experiance": "experience",
+    "familar": "familiar",
+    "feild": "field",
+    "finaly": "finally",
+    "foriegn": "foreign",
+    "fourty": "forty",
+    "freind": "friend",
+    "fundemental": "fundamental",
+    "goverment": "government",
+    "gaurd": "guard",
+    "garantee": "guarantee",
+    "geat": "great",
+    "gerat": "great",
+    "harrass": "harass",
+    "heigth": "height",
+    "heirarchy": "hierarchy",
+    "hieght": "height",
+    "higway": "highway",
+    "humerous": "humorous",
+    "hystory": "history",
+    "immediatly": "immediately",
+    "independant": "independent",
+    "infomation": "information",
+    "innoculate": "inoculate",
+    "inteligence": "intelligence",
+    "intrest": "interest",
+    "intergrated": "integrated",
+    "knowlege": "knowledge",
+    "labratory": "laboratory",
+    "langauge": "language",
+    "liason": "liaison",
+    "libary": "library",
+    "lisence": "license",
+    "litrature": "literature",
+    "maintainance": "maintenance",
+    "managment": "management",
+    "manuever": "maneuver",
+    "medcine": "medicine",
+    "milennium": "millennium",
+    "miniture": "miniature",
+    "mischievious": "mischievous",
+    "mispell": "misspell",
+    "mountian": "mountain",
+    "neccessary": "necessary",
+    "neice": "niece",
+    "nieghbor": "neighbor",
+    "noticable": "noticeable",
+    "occassion": "occasion",
+    "occurence": "occurrence",
+    "offical": "official",
+    "oppurtunity": "opportunity",
+    "orignal": "original",
+    "paralel": "parallel",
+    "parliment": "parliament",
+    "particurly": "particularly",
+    "peice": "piece",
+    "percieve": "perceive",
+    "performence": "performance",
+    "perminent": "permanent",
+    "persistant": "persistent",
+    "personel": "personnel",
+    "posession": "possession",
+    "potatos": "potatoes",
+    "practicle": "practical",
+    "preceed": "precede",
+    "prefered": "preferred",
+    "presance": "presence",
+    "privelege": "privilege",
+    "probaly": "probably",
+    "proffesor": "professor",
+    "promiss": "promise",
+    "pronounciation": "pronunciation",
+    "prufe": "proof",
+    "psycology": "psychology",
+    "publically": "publicly",
+    "quantitiy": "quantity",
+    "questionaire": "questionnaire",
+    "recieve": "receive",
+    "recomend": "recommend",
+    "refered": "referred",
+    "rela": "real",
+    "relevent": "relevant",
+    "religous": "religious",
+    "repitition": "repetition",
+    "resistence": "resistance",
+    "responce": "response",
+    "restarant": "restaurant",
+    "rythm": "rhythm",
+    "saftey": "safety",
+    "sandwitch": "sandwich",
+    "scedule": "schedule",
+    "seach": "search",
+    "seperate": "separate",
+    "sieze": "seize",
+    "similiar": "similar",
+    "sincerly": "sincerely",
+    "speach": "speech",
+    "stategy": "strategy",
+    "stregth": "strength",
+    "succesful": "successful",
+    "supercede": "supersede",
+    "suprise": "surprise",
+    "tecnology": "technology",
+    "temperture": "temperature",
+    "tendancy": "tendency",
+    "therefor": "therefore",
+    "threshhold": "threshold",
+    "tommorow": "tomorrow",
+    "tounge": "tongue",
+    "transfered": "transferred",
+    "truely": "truly",
+    "twelth": "twelfth",
+    "tyrany": "tyranny",
+    "underate": "underrate",
+    "untill": "until",
+    "unuseual": "unusual",
+    "vaccuum": "vacuum",
+    "vegatarian": "vegetarian",
+    "vehical": "vehicle",
+    "verfication": "verification",
+    "visable": "visible",
+    "volcanoe": "volcano",
+    "wether": "whether",
+    "wich": "which",
+    "wierd": "weird",
+    "wonderfull": "wonderful",
+    "writting": "writing",
+    "yeild": "yield",
+}
+
+
+def reverse_map() -> dict[str, list[str]]:
+    """correction → [misspellings] (for perturbing clean queries)."""
+    reverse: dict[str, list[str]] = {}
+    for wrong, right in COMMON_MISSPELLINGS.items():
+        reverse.setdefault(right, []).append(wrong)
+    for misspellings in reverse.values():
+        misspellings.sort()
+    return reverse
+
+
+_VOWELS = "aeiou"
+
+
+def rule_misspell(word: str, rng: random.Random) -> str:
+    """One human-style misspelling of ``word`` (rule-based fallback).
+
+    Applies a randomly chosen rule from the error classes the Wikipedia
+    list exhibits.  The result may coincidentally be a real word; the
+    caller (the RULE workload generator) re-rolls when the result is
+    still in the corpus vocabulary.
+    """
+    rules = [
+        _double_letter,
+        _drop_double,
+        _transpose,
+        _swap_ei,
+        _vowel_substitution,
+        _drop_letter,
+    ]
+    order = list(rules)
+    rng.shuffle(order)
+    for rule in order:
+        result = rule(word, rng)
+        if result is not None and result != word:
+            return result
+    return word + word[-1]  # last resort: trailing double letter
+
+
+def _double_letter(word: str, rng: random.Random) -> str | None:
+    position = rng.randrange(len(word))
+    return word[: position + 1] + word[position] + word[position + 1 :]
+
+
+def _drop_double(word: str, rng: random.Random) -> str | None:
+    doubles = [
+        i for i in range(len(word) - 1) if word[i] == word[i + 1]
+    ]
+    if not doubles:
+        return None
+    position = rng.choice(doubles)
+    return word[:position] + word[position + 1 :]
+
+
+def _transpose(word: str, rng: random.Random) -> str | None:
+    if len(word) < 4:
+        return None
+    position = rng.randrange(1, len(word) - 1)
+    if word[position] == word[position + 1]:
+        return None
+    return (
+        word[:position]
+        + word[position + 1]
+        + word[position]
+        + word[position + 2 :]
+    )
+
+
+def _swap_ei(word: str, rng: random.Random) -> str | None:
+    if "ei" in word:
+        return word.replace("ei", "ie", 1)
+    if "ie" in word:
+        return word.replace("ie", "ei", 1)
+    return None
+
+
+def _vowel_substitution(word: str, rng: random.Random) -> str | None:
+    positions = [i for i, ch in enumerate(word) if ch in _VOWELS]
+    if not positions:
+        return None
+    position = rng.choice(positions)
+    replacement = rng.choice(
+        [v for v in _VOWELS if v != word[position]]
+    )
+    return word[:position] + replacement + word[position + 1 :]
+
+
+def _drop_letter(word: str, rng: random.Random) -> str | None:
+    if len(word) < 5:
+        return None
+    position = rng.randrange(1, len(word) - 1)
+    return word[:position] + word[position + 1 :]

@@ -1,0 +1,63 @@
+"""Deterministic sampling helpers for the synthetic generators.
+
+Real text is Zipf-distributed; the generators use :class:`ZipfSampler`
+so that token frequencies in the synthetic corpora follow
+``P(rank) ∝ 1/rank^s``, which is what makes background-model and idf
+statistics behave like they do on the paper's real datasets.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class ZipfSampler:
+    """Samples items with Zipfian rank weights, deterministically."""
+
+    def __init__(self, items: Sequence[T], exponent: float = 1.0):
+        if not items:
+            raise ValueError("cannot sample from an empty pool")
+        if exponent < 0:
+            raise ValueError("exponent must be >= 0")
+        self.items = list(items)
+        self.exponent = exponent
+        cumulative: list[float] = []
+        total = 0.0
+        for rank in range(1, len(self.items) + 1):
+            total += 1.0 / (rank**exponent)
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self._total = total
+
+    def sample(self, rng: random.Random) -> T:
+        """One draw; item at rank r has probability ∝ 1/r^exponent."""
+        point = rng.random() * self._total
+        index = bisect.bisect_left(self._cumulative, point)
+        if index >= len(self.items):
+            index = len(self.items) - 1
+        return self.items[index]
+
+    def sample_many(self, rng: random.Random, count: int) -> list[T]:
+        """``count`` independent draws."""
+        return [self.sample(rng) for _ in range(count)]
+
+    def sample_distinct(
+        self, rng: random.Random, count: int, max_attempts: int = 1000
+    ) -> list[T]:
+        """Up to ``count`` distinct draws (fewer if the pool is small)."""
+        count = min(count, len(self.items))
+        chosen: list[T] = []
+        seen: set[int] = set()
+        attempts = 0
+        while len(chosen) < count and attempts < max_attempts:
+            attempts += 1
+            item = self.sample(rng)
+            marker = id(item) if not isinstance(item, str) else hash(item)
+            if marker not in seen:
+                seen.add(marker)
+                chosen.append(item)
+        return chosen

@@ -1,0 +1,416 @@
+"""Embedded word pools for the synthetic corpora.
+
+The paper's datasets (DBLP, INEX Wikipedia) are unavailable offline, so
+the generators in this package synthesize XML with the same *shape*.
+The token distributions come from these pools:
+
+* :data:`COMMON_WORDS` — everyday English content words;
+* :data:`CS_TERMS` — database/CS vocabulary for DBLP-like titles;
+* :data:`FIRST_NAMES` / :data:`LAST_NAMES` — author names;
+* :data:`VENUES` — conference/journal tokens;
+* :data:`WIKI_TOPICS` — encyclopedia subject nouns;
+* :func:`synthesize_words` — deterministic pseudo-words to scale the
+  vocabulary up (INEX's vocabulary is ~6× DBLP's; pseudo-words let the
+  generators reproduce that ratio without shipping a dictionary).
+
+All pools contain only tokens the default tokenizer accepts (lowercase,
+length >= 3, no digits-only, no stop words).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.index.tokenizer import DEFAULT_STOPWORDS
+
+
+def _pool(text: str) -> tuple[str, ...]:
+    """Split, deduplicate, and freeze a whitespace-separated pool.
+
+    Stop words and too-short tokens are dropped so that every pool
+    member survives the default tokenizer unchanged.
+    """
+    seen: dict[str, None] = {}
+    for word in text.split():
+        if len(word) < 3 or word in DEFAULT_STOPWORDS:
+            continue
+        seen.setdefault(word)
+    return tuple(seen)
+
+
+COMMON_WORDS = _pool(
+    """
+    ability account action active actual address advance advantage
+    adventure afternoon agreement airport amount analysis ancient angle
+    animal answer apple approach architect area argument arrival article
+    artist aspect assembly atmosphere attempt attention audience author
+    autumn average balance barrier basin battle beach bearing beauty
+    bedroom believe benefit bicycle billion biology birthday bitter
+    blanket border bottle bottom boundary branch breakfast bridge brief
+    bright broad brother budget building business button cabinet camera
+    campaign candle capital captain carbon career careful carriage
+    castle category cattle causes ceiling center central century
+    ceremony chain chamber chance change channel chapter character
+    charge charity chicken chief childhood choice church circle citizen
+    claim classic climate clothing cloud coast coffee collection college
+    colony column comfort command comment commerce committee common
+    community company compare complete complex concept concert
+    conclusion condition conduct conference confidence conflict congress
+    connection consider constant contact content contest context
+    continent contract contrast control convention copper corner
+    correct cottage cotton council country courage course cousin
+    cover creature credit cricket crisis critic crops crowd crown
+    culture current curtain custom damage danger daughter debate decade
+    decision defense degree delivery demand department deposit desert
+    design desire detail device dialect diamond dinner direction
+    discovery disease distance district division doctor document dollar
+    domain double dozen dragon drama drawing dream drink driver
+    duty eagle early earth east economy edge education effect effort
+    eight election electric element elephant emotion empire energy
+    engine entrance equal escape estate evening event evidence exact
+    example exchange exercise expert express extent fabric factor
+    factory familiar family famous farmer fashion father feature
+    festival fiction field fifty fight figure final finance finger
+    fishing flight flower forest formal fortune forward foundation
+    fountain fourth fraction freedom fresh friend front fruit function
+    future garden gather general gentle glass globe golden
+    government grain grand grant great green ground group growth guard
+    guest guide habit handle happen harbor hardly harvest health heart
+    heavy height hidden high hill history holiday hollow honest honor
+    horizon horse hospital hotel hour house human hundred hunger
+    hunting husband ice idea image impact import income increase
+    indeed industry initial injury inner insect inside instance
+    institute insurance intention interest interior internal island
+    issue italian journal journey judge judgment junction jungle
+    justice kettle keyboard kingdom kitchen knight knowledge labor
+    ladder lake language large laughter launch leader league leather
+    lecture legal legend length lesson letter level liberty library
+    light limit liquid listen literature little living local
+    location lonely longer lounge lower loyal lucky luggage lumber
+    machine magazine magic main major manner marble margin marine
+    market marriage master material matter meadow meaning measure
+    medal medical medicine meeting member memory mental message metal
+    meter method middle might military million mineral minister minor
+    minute mirror mission mister mixture model modern moment money
+    monkey month monument moral morning mother motion motor mountain
+    mouth movement muscle museum music mystery narrow nation native
+    nature nearby nearly needle neighbor nephew nerve network news
+    night noble normal north notable notice notion novel number
+    object observe obtain occasion ocean offer office officer often
+    olive opening opera opinion orange orchard order ordinary organ
+    origin outcome output outside oxygen package palace paper parade
+    parent parish particle partner party passage passenger passion
+    pattern payment peace pencil people pepper percent perfect
+    performance period person phrase physical piano picture pilot
+    pioneer pitch place plain planet plant plastic plate platform
+    pleasure plenty pocket poem poet point poison policy polish
+    politics pollution popular population portion position positive
+    possible poverty powder power practice prayer precious premise
+    presence present pressure price pride priest primary prince
+    princess principle printing prison private prize problem process
+    produce product profession professor profile profit program
+    progress project promise proof proper property proposal prospect
+    protection protein proud province public purchase purple purpose
+    quality quarter queen question quick quiet rabbit radio railway
+    rainbow random range rapid rather ratio reach reaction reader
+    reality reason recent record reform refuge region register regular
+    relation release relief religion remark remote rental repair
+    report republic request rescue research reserve resident resource
+    respect response result return revenue review reward rhythm rice
+    rich ridge right river road rock role roman roof room root
+    rough round route royal rubber rural sacred saddle safety sailor
+    salad salary salt sample sand scale scene schedule scheme scholar
+    school science scope score screen script sculpture search season
+    second secret section sector security seed senate senior sense
+    sentence series serious servant service session settle seven
+    shadow shallow shape share sharp sheep sheet shelf shell shelter
+    shield shift shine ship shirt shock shoe shop shore short shoulder
+    shower side sight signal silence silent silk silver similar simple
+    singer single sister skill skin sky sleep slight slope small
+    smart smile smoke smooth social society soil soldier solid
+    solution someone south space speaker special species speech speed
+    spelling spend spirit splendid sport spread spring square stable
+    stadium staff stage stair stamp standard station statue status
+    steam steel stem step stick still stock stomach stone storage
+    store storm story straight strange stream street strength stretch
+    strike string strong structure student studio study subject
+    substance suburb success sudden sugar summer sunday sunset supper
+    supply support surface surgeon surprise survey sweet swing symbol
+    system table talent target task taste teacher team temple tennis
+    term terrace territory textile theater theme theory thing thirty
+    thousand thread throat throne thunder ticket tiger timber tissue
+    title tobacco today tomorrow tongue tonight tool tooth topic total
+    touch tourist tower town trade tradition traffic train transfer
+    transport travel treasure treaty trial tribe trick trouble truck
+    trust truth tunnel turtle twelve twenty type uncle uniform union
+    unique unit universe update upper urban useful usual valley value
+    variety vehicle venture version vessel victory village violin
+    virtue vision visit visitor voice volume voyage wagon waiter
+    wander warm warning water wave wealth weapon weather wedding week
+    weight welcome west wheat wheel while white wide wild will window
+    winter wisdom wise wish woman wonder wood wool word work world
+    worry worth wound writer yard year yellow young youth
+    """
+)
+
+CS_TERMS = _pool(
+    """
+    abstraction access adaptive aggregation algebra algorithm
+    allocation analytics annotation anomaly approximate architecture
+    archive array assertion asynchronous atomic attribute
+    authentication automata automation availability bandwidth batch
+    bayesian benchmark binary bitmap boolean broadcast browser buffer
+    cache calculus cardinality certificate checkpoint classification
+    classifier client cluster clustering codebase collision
+    compilation compiler completeness complexity component compression
+    computation computing concurrency concurrent configuration
+    consensus consistency constraint container convergence correctness
+    coverage crawler cryptography cursor database dataflow datalog
+    dataset debugging decomposition deduction deep deletion dependency
+    deployment descriptor deterministic diagnosis dictionary
+    dimension directory discovery disjoint distributed distribution
+    encoding encryption engine entity entropy enumeration
+    equivalence estimation evaluation execution expansion experiment
+    expression extraction failure fault feature federated feedback
+    filter filtering firmware formal fragment framework frequency
+    functional garbage gateway generation generator generic gradient
+    grammar granularity graph graphics hardware hashing heuristic
+    hierarchy histogram identifier implementation index indexing
+    inference information inheritance insertion instruction integer
+    integration integrity interactive interface interpreter interval
+    invariant inverted isolation iteration iterator join kernel
+    keyword labeling lattice layout learning lexical lineage linear
+    linkage locality locking logic lookup machine maintenance mapping
+    matching matrix membership memory merge metadata middleware
+    migration mining mobile modeling modular module monitor
+    monitoring multicast multimedia namespace navigation nested
+    neural node normalization notation object obfuscation ontology
+    operator optimization optimizer ordering overhead overlay packet
+    padding pagination parallel parameter parsing partition
+    partitioning pattern performance permission persistence pipeline
+    pivot pointer polynomial portability precision predicate
+    prediction prefetch prefix preprocessing privacy probabilistic
+    probability procedure processing processor profiling programming
+    projection propagation protocol prototype provenance proximity
+    pruning quadratic quantifier query queue ranking recall
+    recognition recovery recursion recursive redundancy refinement
+    regression relational relevance reliability rendering replication
+    repository representation resolution retrieval robust routing
+    runtime sampling scalability scalable scanner scheduler schema
+    scripting segment segmentation selection selectivity semantic
+    semantics sensor sequence serialization server session sharding
+    signature simulation skyline software sorting sparse
+    specification spectrum spelling stack statistics storage
+    streaming subgraph subquery subsequence subtree suffix suggestion
+    summarization supervised synchronization syntax synthesis
+    template temporal tensor terabyte testing threading threshold
+    throughput token tokenization topology tracing tracking
+    training transaction transducer transformation traversal
+    tree trie trigger tuning tuple twig unification unsupervised
+    validation variance vector verification versioning
+    virtualization visualization vocabulary warehouse wavelet
+    web wildcard workflow workload wrapper xml xpath xquery
+    """
+)
+
+FIRST_NAMES = _pool(
+    """
+    adam albert alice amanda andre andrew angela anna anthony antonio
+    barbara benjamin bernard brian bruce carlos carmen carol carolyn
+    catherine charles chen christian christine claire claudia daniel
+    david deborah dennis diana diego dmitri donald dorothy edward
+    elena elizabeth emily emma eric ernest eugene felix fernando
+    frances francis frank gabriel george gerald gloria gordon grace
+    gregory guillermo hannah harold harry hector helen henry hiroshi
+    howard irene isaac isabel ivan jack jacob james jane janet jason
+    jean jeffrey jennifer jerome joan johan john jonathan jorge jose
+    joseph joshua juan judith julia julian karen katherine keith
+    kenneth kevin kumar larry laura lawrence leonard linda lisa louis
+    lucas manuel margaret maria marie mario mark martin mary matthew
+    maurice michael michel miguel ming nancy nathan nicholas nicolas
+    norman oliver oscar pablo pamela patricia patrick paul pedro peter
+    philip pierre rachel ralph raymond rebecca ricardo richard robert
+    roberto roger ronald rosa russell ruth ryan samuel sandra sarah
+    scott sergei sharon simon stanley stephen steven susan takeshi
+    teresa thomas timothy victor victoria vincent virginia walter
+    wang wayne wei william xavier yuki yusuf zhang
+    """
+)
+
+LAST_NAMES = _pool(
+    """
+    abadi adams aggarwal agrawal ahmed allen anderson andersson
+    armstrong arnold bailey baker baldwin barnes bauer becker bell
+    bennett berger bernstein black blake boyd bradley brooks brown
+    bruno bryant burke burns butler campbell carey carlson carter
+    chang chapman chaudhuri chavez chen cheng clark cohen cole
+    collins cooper cruz cunningham curtis davidson davis dean dewitt
+    diaz dixon dominguez douglas doyle duncan edwards elliott ellis
+    evans ferguson fernandez fischer fisher fleming fletcher flores
+    foster fowler franklin fraser freeman fuentes fujita garcia
+    gardner garrett gibson gilbert glass gonzalez goodman gordon
+    graham grant gray green greene griffin gross gupta gustafsson
+    haas hall hamilton hansen hanson harper harris harrison hart
+    hayes henderson hernandez hicks hoffman holland holmes howard
+    hughes hunt hunter ibrahim ingram ivanov jackson jacobs jacobsen
+    jain james jensen johansson johnson jones jordan kaplan kaufman
+    keller kelly kennedy khan kim klein knight kowalski kramer
+    krishnan kumar lambert lane larsen larson lawrence lawson lee
+    lehman leonard levine lewis lindgren little liu lloyd logan
+    lopez lowe lucas lynch madsen malik mann manning marsh marshall
+    martin martinez mason matsumoto maxwell mccarthy mcdonald meyer
+    miller mills mitchell mohan montgomery moore morales moreno
+    morgan morris morrison mueller murphy murray myers nakamura
+    naughton nelson newman newton nguyen nichols nielsen nilsson
+    novak obrien olson ortiz osborne owen palmer papadimitriou park
+    parker patel patterson payne pearson pedersen perez perkins
+    perry person peters peterson phillips pierce porter powell
+    price quinn ramirez ramakrishnan randall reed reeves reyes
+    reynolds rice richards richardson riley rivera roberts robertson
+    robinson rodriguez rogers romano rose ross rossi roth rousseau
+    rowe russell ryan salazar sanchez sanders santos sato schmidt
+    schneider schulz schwartz scott sharma shaw shen silva simmons
+    simon simpson singh sloan smith snyder soto spencer stein
+    stevens stewart stone stoica suzuki svensson tanaka taylor
+    thomas thompson torres tran tucker turner ullman underwood
+    vance vargas vasquez vogel wagner walker wallace walsh wang
+    ward warren watanabe watson weaver webb weber welch wells west
+    wheeler white widom wilson wolf wong wood woods wright yamamoto
+    yang young zhang zhao zhou zimmermann
+    """
+)
+
+VENUES = _pool(
+    """
+    icde vldb sigmod kdd sigir cikm edbt icdt pods wsdm www
+    neurips icml aaai ijcai acl emnlp naacl cvpr iccv eccv
+    sosp osdi nsdi atc eurosys fast hotos podc disc spaa
+    stoc focs soda icalp esa isaac wads swat
+    """
+)
+
+WIKI_TOPICS = _pool(
+    """
+    agriculture airline albania algeria alphabet aluminium amazon
+    amphitheater anatomy andes antarctica apollo aqueduct arabia
+    archaeology archipelago arctic argentina aristotle arithmetic
+    armada asteroid astronomy atlantic atlas australia austria
+    avalanche aviation babylon bacteria balkans ballet baltic bamboo
+    baroque basalt basketball bavaria beethoven belgium bengal berlin
+    bermuda bicycle biodiversity biography biosphere bohemia bolivia
+    botany brazil brewery britain bronze brussels buddhism bulgaria
+    byzantine cairo calcium calendar california cambridge camel
+    canada canal caribbean carnival carpathian cartography cathedral
+    catholic caucasus cavalry celtic ceramic cereal chemistry chile
+    china chlorine cholera christianity chromosome cinema citadel
+    civilization climate colombia colonial columbus comet commerce
+    communism compass composer confederation congo conifer
+    constellation constitution continental copenhagen coral cordillera
+    cossack cretaceous crimea croatia crusade crystal cuba cyclone
+    cyprus czech danube darwin delta democracy denmark dialect
+    dinosaur diplomacy dolphin dynasty earthquake eclipse ecology
+    ecuador egypt einstein electron elevation emperor encyclopedia
+    england epidemic equator erosion estonia ethiopia etymology
+    eucalyptus europe evolution excavation expedition explorer famine
+    fauna federation fiji finland fjord flanders flora florence
+    folklore football fortress fossil france frankfurt frontier
+    galaxy galileo ganges gazette genetics geneva genome geography
+    geology geometry georgia germany geyser glacier gospel gothic
+    granite gravity greece greenland grenada guatemala guinea gulf
+    hamburg hanover hawaii hebrew helsinki hemisphere heritage
+    himalaya hinduism holland hungary hurricane hydrogen iberia
+    iceland immigration incas india indonesia infantry inscription
+    iran iraq ireland irrigation islam israel istanbul italy jamaica
+    japan jerusalem judaism jupiter jurassic kenya kingdom korea
+    kremlin lagoon latin latitude latvia lebanon legislature
+    leningrad lexicon liberia lighthouse limestone lithuania
+    liverpool locomotive london longitude lutheran luxembourg
+    macedonia madagascar madrid magnesium malaria malaysia mammal
+    manchester mandarin manifesto manuscript maritime mars marsupial
+    mathematics mediterranean melbourne meridian mesopotamia meteor
+    mexico microscope migration milan minerals mongolia monsoon
+    montreal morocco moscow mosque mozart munich municipality
+    napoleon nebula netherlands neutron newton nigeria nitrogen
+    nomad nordic norway nucleus oasis observatory oceania
+    octopus olympic omaha ontario opera orbit orchestra oregon
+    ottoman oxford pacific pakistan panama pangaea papyrus paraguay
+    parliament parthenon pasture patagonia pendulum peninsula persia
+    peru pharaoh philippines philosophy phoenicia photosynthesis
+    physics pilgrim plateau platinum plato pluto poland polymer
+    polynesia pompeii portugal potassium prague prairie precipitation
+    prehistoric propaganda prussia pyramid quebec radiation
+    rainforest reformation refugee renaissance reptile reservoir
+    revolution rhine romania rome rotterdam russia sahara
+    salamander samurai sanctuary sanskrit sardinia satellite saturn
+    saxony scandinavia scotland sculpture senegal serbia shanghai
+    siberia sicily singapore slavic slovakia slovenia sodium
+    somalia sonata spain sparta spectrum sphinx spice squadron
+    stockholm strait stratosphere sudan sumatra sweden switzerland
+    sydney symphony syria taiwan tanzania tectonic telescope
+    temperate thailand thames tibet tornado toronto treaty
+    trinidad tropics tsunami tundra tunisia turkey typhoon ukraine
+    uranium uruguay vatican venezuela venice vertebrate vienna
+    vietnam viking volcano wales warsaw waterfall waterloo
+    westminster wilderness wildlife yugoslavia zealand zimbabwe
+    zoology zurich
+    """
+)
+
+#: Syllables used by :func:`synthesize_words`; chosen to produce
+#: pronounceable, realistically distributed pseudo-words.
+_ONSETS = (
+    "b c d f g h j k l m n p r s t v w z br cl cr dr fl fr gl gr pl pr "
+    "sc sl sm sn sp st tr th sh ch"
+).split()
+_NUCLEI = "a e i o u ai ea ee ia io oa ou".split()
+_CODAS = (
+    " b d g k l m n p r s t x z ck ld lk nd ng nk nt rd rk rn rt st"
+).split() + [""]
+
+
+#: Inflection suffixes used by :func:`inflect`.
+_INFLECTION_SUFFIXES = ("s", "es", "ed", "ing", "er")
+
+
+def inflect(word: str, rng: random.Random) -> str:
+    """A morphological variant of ``word`` (plural, past, gerund, agent).
+
+    Real corpora are full of inflected forms ("cluster, clusters,
+    clustering, clustered"), each rarer than its stem.  These
+    rare-but-close tokens are precisely what triggers PY08's rare-token
+    bias (Section II) and what blows up the candidate space on the
+    paper's real datasets — the synthetic corpora must have them too.
+    """
+    suffix = rng.choice(_INFLECTION_SUFFIXES)
+    if word.endswith("e"):
+        if suffix == "ing":
+            return word[:-1] + suffix
+        if suffix in ("es", "ed", "er"):
+            return word + suffix[1:]
+    return word + suffix
+
+
+def synthesize_words(
+    count: int, seed: int = 0, min_syllables: int = 2, max_syllables: int = 4
+) -> list[str]:
+    """Deterministically generate ``count`` distinct pseudo-words.
+
+    Used to scale a corpus vocabulary beyond the curated pools (the
+    INEX substitute needs a much larger vocabulary than DBLP's to
+    reproduce the paper's variant-set and timing behaviour).
+    """
+    rng = random.Random(seed)
+    words: list[str] = []
+    seen: set[str] = set()
+    while len(words) < count:
+        syllables = rng.randint(min_syllables, max_syllables)
+        parts = []
+        for _ in range(syllables):
+            parts.append(rng.choice(_ONSETS))
+            parts.append(rng.choice(_NUCLEI))
+        parts.append(rng.choice(_CODAS).strip())
+        word = "".join(parts)
+        if len(word) >= 3 and word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words

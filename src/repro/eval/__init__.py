@@ -1,0 +1,65 @@
+"""Evaluation harness: metrics, runner, reporting, standard settings."""
+
+from repro.eval.analysis import (
+    ConfidenceInterval,
+    FailureBreakdown,
+    PairedComparison,
+    bootstrap_mrr_ci,
+    categorize_failures,
+    mrr_difference_ci,
+    paired_comparison,
+    sign_test_p_value,
+)
+from repro.eval.experiments import (
+    EVAL_MAX_ERRORS,
+    DatasetSetting,
+    all_settings,
+    dblp_setting,
+    wiki_setting,
+    workload_label,
+)
+from repro.eval.metrics import (
+    hit_at,
+    mean_reciprocal_rank,
+    precision_at,
+    reciprocal_rank,
+)
+from repro.eval.reporting import (
+    format_curve,
+    format_table,
+    shape_check,
+)
+from repro.eval.runner import (
+    DEFAULT_PRECISION_LEVELS,
+    EvalResult,
+    QueryOutcome,
+    evaluate_suggester,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "DEFAULT_PRECISION_LEVELS",
+    "FailureBreakdown",
+    "PairedComparison",
+    "bootstrap_mrr_ci",
+    "categorize_failures",
+    "mrr_difference_ci",
+    "paired_comparison",
+    "sign_test_p_value",
+    "DatasetSetting",
+    "EVAL_MAX_ERRORS",
+    "EvalResult",
+    "QueryOutcome",
+    "all_settings",
+    "dblp_setting",
+    "evaluate_suggester",
+    "format_curve",
+    "format_table",
+    "hit_at",
+    "mean_reciprocal_rank",
+    "precision_at",
+    "reciprocal_rank",
+    "shape_check",
+    "wiki_setting",
+    "workload_label",
+]

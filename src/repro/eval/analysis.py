@@ -1,0 +1,216 @@
+"""Statistical analysis of evaluation results.
+
+The paper reports point estimates; with 40–285 queries per workload the
+differences it draws conclusions from deserve uncertainty estimates.
+This module provides the standard IR-evaluation tooling:
+
+* :func:`bootstrap_mrr_ci` — seeded bootstrap confidence interval for a
+  workload's MRR;
+* :func:`paired_comparison` — per-query win/tie/loss between two
+  systems on the same workload, with a two-sided sign-test p-value;
+* :func:`categorize_failures` — why a query was missed: the suggester
+  stayed silent, ranked the truth too low, or never produced it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.eval.runner import EvalResult
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A bootstrap interval around a point estimate."""
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"{self.point:.3f} "
+            f"[{self.low:.3f}, {self.high:.3f}]@{self.confidence:.0%}"
+        )
+
+
+def bootstrap_mrr_ci(
+    result: EvalResult,
+    confidence: float = 0.95,
+    iterations: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap CI for the MRR of one evaluation.
+
+    Resamples the per-query reciprocal ranks with replacement; fully
+    deterministic under ``seed``.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    ranks = [outcome.rr for outcome in result.outcomes]
+    if not ranks:
+        return ConfidenceInterval(0.0, 0.0, 0.0, confidence)
+    rng = random.Random(seed)
+    n = len(ranks)
+    means = sorted(
+        sum(rng.choice(ranks) for _ in range(n)) / n
+        for _ in range(iterations)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    low_index = max(0, math.floor(alpha * iterations))
+    high_index = min(
+        iterations - 1, math.ceil((1.0 - alpha) * iterations) - 1
+    )
+    return ConfidenceInterval(
+        point=result.mrr,
+        low=means[low_index],
+        high=means[high_index],
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Per-query head-to-head between two systems."""
+
+    wins: int
+    ties: int
+    losses: int
+    p_value: float
+
+    @property
+    def decided(self) -> int:
+        return self.wins + self.losses
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"W{self.wins}/T{self.ties}/L{self.losses} "
+            f"(sign test p={self.p_value:.3g})"
+        )
+
+
+def paired_comparison(
+    first: EvalResult, second: EvalResult
+) -> PairedComparison:
+    """Win/tie/loss of ``first`` vs ``second`` with a sign test.
+
+    Both results must come from the same workload in the same order
+    (checked via the dirty queries).  The two-sided sign test treats
+    each decided query as a fair coin under the null hypothesis.
+    """
+    if len(first.outcomes) != len(second.outcomes):
+        raise ValueError("results cover different workloads")
+    wins = ties = losses = 0
+    for a, b in zip(first.outcomes, second.outcomes):
+        if a.record.dirty != b.record.dirty:
+            raise ValueError("results are not aligned per query")
+        if a.rr > b.rr:
+            wins += 1
+        elif a.rr < b.rr:
+            losses += 1
+        else:
+            ties += 1
+    return PairedComparison(
+        wins=wins,
+        ties=ties,
+        losses=losses,
+        p_value=sign_test_p_value(wins, losses),
+    )
+
+
+def sign_test_p_value(wins: int, losses: int) -> float:
+    """Two-sided exact sign test over the decided queries.
+
+    P(X <= min(w,l) or X >= max(w,l)) for X ~ Binomial(w+l, 0.5);
+    returns 1.0 when nothing was decided.
+    """
+    decided = wins + losses
+    if decided == 0:
+        return 1.0
+    extreme = min(wins, losses)
+    tail = sum(
+        math.comb(decided, i) for i in range(0, extreme + 1)
+    ) / (2.0**decided)
+    return min(1.0, 2.0 * tail)
+
+
+@dataclass(frozen=True)
+class FailureBreakdown:
+    """Where a system's misses come from (Table III-style analysis)."""
+
+    total: int
+    correct_at_1: int
+    ranked_low: int
+    absent: int
+    silent: int
+
+    def as_rows(self) -> list[tuple[str, int]]:
+        return [
+            ("correct at rank 1", self.correct_at_1),
+            ("truth ranked below 1", self.ranked_low),
+            ("truth absent from top-k", self.absent),
+            ("no suggestions at all", self.silent),
+        ]
+
+
+def categorize_failures(result: EvalResult) -> FailureBreakdown:
+    """Classify every query outcome of an evaluation."""
+    correct = low = absent = silent = 0
+    for outcome in result.outcomes:
+        if outcome.rr == 1.0 and outcome.suggestions:
+            correct += 1
+        elif not outcome.suggestions:
+            if outcome.rr == 1.0:
+                correct += 1  # silent-and-clean counts as correct
+            else:
+                silent += 1
+        elif outcome.rr > 0.0:
+            low += 1
+        else:
+            absent += 1
+    return FailureBreakdown(
+        total=len(result.outcomes),
+        correct_at_1=correct,
+        ranked_low=low,
+        absent=absent,
+        silent=silent,
+    )
+
+
+def mrr_difference_ci(
+    first: EvalResult,
+    second: EvalResult,
+    confidence: float = 0.95,
+    iterations: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Bootstrap CI for MRR(first) − MRR(second), paired per query."""
+    if len(first.outcomes) != len(second.outcomes):
+        raise ValueError("results cover different workloads")
+    deltas = [
+        a.rr - b.rr
+        for a, b in zip(first.outcomes, second.outcomes)
+    ]
+    if not deltas:
+        return ConfidenceInterval(0.0, 0.0, 0.0, confidence)
+    rng = random.Random(seed)
+    n = len(deltas)
+    means = sorted(
+        sum(rng.choice(deltas) for _ in range(n)) / n
+        for _ in range(iterations)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    low_index = max(0, math.floor(alpha * iterations))
+    high_index = min(
+        iterations - 1, math.ceil((1.0 - alpha) * iterations) - 1
+    )
+    return ConfidenceInterval(
+        point=first.mrr - second.mrr,
+        low=means[low_index],
+        high=means[high_index],
+        confidence=confidence,
+    )

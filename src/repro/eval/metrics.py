@@ -1,0 +1,67 @@
+"""Evaluation metrics: MRR and precision@N (Section VII-B).
+
+Conventions, matching how the paper treats the search engines:
+
+* A suggester may return *no* suggestions, asserting the query is fine
+  as typed.  That verdict is correct exactly when the dirty query
+  itself is in the golden set (the CLEAN workloads) — it then counts as
+  a rank-1 answer; otherwise it scores 0.
+* The golden set may contain several acceptable answers (the paper
+  unions two assessors' choices); the best-ranked hit counts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.suggestion import Suggestion
+from repro.datasets.queries import QueryRecord
+
+
+def reciprocal_rank(
+    suggestions: Sequence[Suggestion], record: QueryRecord
+) -> float:
+    """1/rank of the first golden answer (0 when absent).
+
+    An empty suggestion list is the suggester saying "the query is
+    clean"; it scores 1 iff the dirty query is itself golden.
+    """
+    golden = set(record.golden)
+    if not suggestions:
+        return 1.0 if record.dirty in golden else 0.0
+    for rank, suggestion in enumerate(suggestions, start=1):
+        if suggestion.tokens in golden:
+            return 1.0 / rank
+    return 0.0
+
+
+def mean_reciprocal_rank(values: Sequence[float]) -> float:
+    """Mean of per-query reciprocal ranks; 0 for an empty input."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def hit_at(
+    suggestions: Sequence[Suggestion], record: QueryRecord, n: int
+) -> bool:
+    """Whether a golden answer appears in the top n suggestions."""
+    golden = set(record.golden)
+    if not suggestions:
+        return record.dirty in golden
+    return any(s.tokens in golden for s in suggestions[:n])
+
+
+def precision_at(
+    all_suggestions: Sequence[Sequence[Suggestion]],
+    records: Sequence[QueryRecord],
+    n: int,
+) -> float:
+    """Fraction of queries whose top-n suggestions contain the truth."""
+    if not records:
+        return 0.0
+    hits = sum(
+        hit_at(suggestions, record, n)
+        for suggestions, record in zip(all_suggestions, records)
+    )
+    return hits / len(records)

@@ -1,0 +1,97 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+The benchmark harness prints every regenerated artifact with these
+helpers so the output can be compared side by side with the paper
+(EXPERIMENTS.md records that comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are shown with 3 decimals; everything else via str().
+    """
+    rendered_rows = [
+        [_render_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(h).ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _render_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_curve(
+    xs: Sequence[int],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Render precision@N curves as rows of values plus a sparkline.
+
+    A numeric table is more comparable than ASCII art, but the bar
+    gives the "flat vs climbing" shape of Figure 4 at a glance.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    header = "system".ljust(12) + "".join(
+        f"@{x}".rjust(8) for x in xs
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, values in series.items():
+        row = name.ljust(12) + "".join(
+            f"{v:8.3f}" for v in values
+        )
+        bar = _sparkline(values, width=min(width, 4 * len(values)))
+        lines.append(f"{row}   {bar}")
+    return "\n".join(lines)
+
+
+_SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: Sequence[float], width: int = 40) -> str:
+    if not values:
+        return ""
+    chars = []
+    for value in values:
+        clipped = min(max(value, 0.0), 1.0)
+        chars.append(_SPARK_CHARS[round(clipped * (len(_SPARK_CHARS) - 1))])
+    return "".join(chars)
+
+
+def shape_check(description: str, holds: bool) -> str:
+    """One line of the benchmark's shape verdict output."""
+    marker = "OK " if holds else "MISS"
+    return f"  [{marker}] {description}"

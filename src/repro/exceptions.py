@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro (XClean) library.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything coming out of this package with a single
+``except`` clause while still being able to discriminate failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class XMLParseError(ReproError):
+    """Raised when :mod:`repro.xmltree.parser` encounters malformed input.
+
+    Attributes:
+        position: character offset in the input where the error was
+            detected (``-1`` when unknown).
+    """
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class DeweyError(ReproError):
+    """Raised for malformed Dewey code strings or invalid operations."""
+
+
+class IndexError_(ReproError):
+    """Raised for inconsistent or malformed index structures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`; exported as ``IndexCorruptionError`` from the
+    package root.
+    """
+
+
+# Friendlier public alias; the underscore name is kept for backwards
+# compatibility within the package.
+IndexCorruptionError = IndexError_
+
+
+class StorageError(ReproError):
+    """Raised when persisting or loading an index fails."""
+
+
+class QueryError(ReproError):
+    """Raised for invalid user queries (e.g. empty after tokenization)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with invalid parameters."""

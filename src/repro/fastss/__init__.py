@@ -1,0 +1,41 @@
+"""FastSS substrate: edit distance and ε-variant generation (Section V-A)."""
+
+from repro.fastss.edit_distance import (
+    bounded_edit_distance,
+    edit_distance,
+    within_distance,
+)
+from repro.fastss.generator import VariantGenerator
+from repro.fastss.index import (
+    BruteForceVariants,
+    FastSSIndex,
+    PartitionedFastSSIndex,
+    Variant,
+    VariantIndex,
+)
+from repro.fastss.phonetic import (
+    CompositeVariantGenerator,
+    PhoneticIndex,
+    soundex,
+)
+from repro.fastss.neighborhood import (
+    deletion_neighborhood,
+    neighborhood_size_bound,
+)
+
+__all__ = [
+    "BruteForceVariants",
+    "CompositeVariantGenerator",
+    "FastSSIndex",
+    "PartitionedFastSSIndex",
+    "PhoneticIndex",
+    "Variant",
+    "VariantGenerator",
+    "VariantIndex",
+    "bounded_edit_distance",
+    "deletion_neighborhood",
+    "edit_distance",
+    "neighborhood_size_bound",
+    "soundex",
+    "within_distance",
+]

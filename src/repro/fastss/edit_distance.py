@@ -1,0 +1,96 @@
+"""Edit distance (Levenshtein) computations.
+
+The paper's error model is built on the minimum number of insertions,
+deletions and substitutions transforming one token into another
+(Section III).  Two implementations are provided:
+
+* :func:`edit_distance` — the classic O(|s|·|t|) two-row DP;
+* :func:`bounded_edit_distance` — a banded DP that only fills the
+  diagonal band of width 2k+1 and exits early, O(k·min(|s|,|t|)); this
+  is the verifier behind FastSS candidate filtering, where k is the
+  small error threshold ε (1 or 2 in the paper's experiments).
+"""
+
+from __future__ import annotations
+
+
+def edit_distance(s: str, t: str) -> int:
+    """Exact Levenshtein distance between ``s`` and ``t``."""
+    if s == t:
+        return 0
+    if not s:
+        return len(t)
+    if not t:
+        return len(s)
+    if len(s) < len(t):
+        s, t = t, s
+    previous = list(range(len(t) + 1))
+    for i, cs in enumerate(s, start=1):
+        current = [i]
+        for j, ct in enumerate(t, start=1):
+            cost = 0 if cs == ct else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # delete from s
+                    current[j - 1] + 1,  # insert into s
+                    previous[j - 1] + cost,  # substitute / match
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def bounded_edit_distance(s: str, t: str, limit: int) -> int | None:
+    """Levenshtein distance if it is <= ``limit``, else ``None``.
+
+    Fills only the band of cells within ``limit`` of the diagonal and
+    abandons the computation as soon as every cell in a row exceeds the
+    limit.
+    """
+    if limit < 0:
+        return None
+    n, m = len(s), len(t)
+    if abs(n - m) > limit:
+        return None
+    if s == t:
+        return 0
+    if limit == 0:
+        return None
+    if n < m:
+        s, t, n, m = t, s, m, n
+    if m == 0:
+        # abs(n - m) <= limit already holds, so n edits suffice.
+        return n
+
+    infinity = limit + 1
+    previous = [j if j <= limit else infinity for j in range(m + 1)]
+    for i in range(1, n + 1):
+        lo = max(1, i - limit)
+        hi = min(m, i + limit)
+        current = [infinity] * (m + 1)
+        if lo == 1:
+            current[0] = i if i <= limit else infinity
+        cs = s[i - 1]
+        best = infinity
+        for j in range(lo, hi + 1):
+            cost = 0 if cs == t[j - 1] else 1
+            value = min(
+                previous[j] + 1,
+                current[j - 1] + 1,
+                previous[j - 1] + cost,
+            )
+            if value > infinity:
+                value = infinity
+            current[j] = value
+            if value < best:
+                best = value
+        if best >= infinity:
+            return None
+        previous = current
+    result = previous[m]
+    return result if result <= limit else None
+
+
+def within_distance(s: str, t: str, limit: int) -> bool:
+    """True iff ``ed(s, t) <= limit``."""
+    return bounded_edit_distance(s, t, limit) is not None

@@ -1,0 +1,86 @@
+"""Variant generation service used by the query cleaners.
+
+Wraps a FastSS index over a corpus vocabulary and exposes ``var_ε(q)``
+with per-query-keyword memoization — Algorithm 1 Line 2
+(``makeVariants``) asks for the same keyword's variants repeatedly
+across experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.fastss.index import (
+    FastSSIndex,
+    PartitionedFastSSIndex,
+    Variant,
+    VariantIndex,
+)
+
+
+class VariantGenerator:
+    """Produces var_ε(q) for query keywords over a fixed vocabulary."""
+
+    def __init__(
+        self,
+        tokens: Iterable[str],
+        max_errors: int = 2,
+        partitioned: bool = True,
+        partition_threshold: int = 9,
+        _shared_index: VariantIndex | None = None,
+    ):
+        self.max_errors = max_errors
+        self._index: VariantIndex
+        if _shared_index is not None:
+            self._index = _shared_index
+        elif partitioned:
+            self._index = PartitionedFastSSIndex(
+                tokens,
+                max_errors=max_errors,
+                partition_threshold=partition_threshold,
+            )
+        else:
+            self._index = FastSSIndex(tokens, max_errors=max_errors)
+        self._cache: dict[tuple[str, int], tuple[Variant, ...]] = {}
+
+    def fresh_cache(self) -> "VariantGenerator":
+        """A new generator sharing this one's index, with an empty cache.
+
+        Used when several systems are *timed* against the same corpus:
+        each gets its own memo so no system free-rides on probes another
+        system already paid for, while the expensive FastSS index build
+        is still shared.
+        """
+        return VariantGenerator(
+            (), max_errors=self.max_errors, _shared_index=self._index
+        )
+
+    def variants(
+        self, keyword: str, max_errors: int | None = None
+    ) -> tuple[Variant, ...]:
+        """var_ε(q): vocabulary tokens within ``max_errors`` of ``keyword``.
+
+        Results are cached; the returned tuple is shared, do not mutate.
+        """
+        eps = self.max_errors if max_errors is None else max_errors
+        key = (keyword, eps)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = tuple(self._index.variants(keyword, eps))
+            self._cache[key] = cached
+        return cached
+
+    def variant_tokens(
+        self, keyword: str, max_errors: int | None = None
+    ) -> list[str]:
+        """Just the token strings of var_ε(q), sorted by (distance, token)."""
+        return [v.token for v in self.variants(keyword, max_errors)]
+
+    def distance_of(
+        self, keyword: str, token: str, max_errors: int | None = None
+    ) -> int | None:
+        """Edit distance keyword→token if token ∈ var_ε(keyword)."""
+        for variant in self.variants(keyword, max_errors):
+            if variant.token == token:
+                return variant.distance
+        return None

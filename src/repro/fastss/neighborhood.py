@@ -1,0 +1,53 @@
+"""Deletion neighborhoods (the FastSS signature scheme).
+
+The ε-deletion neighborhood of a word is the set of strings obtainable by
+deleting at most ε characters (Section V-A).  The FastSS property used
+for candidate generation:
+
+    ed(s, t) <= ε  ⇒  neighborhood(s, ε) ∩ neighborhood(t, ε) ≠ ∅
+
+The implication is one-directional — probing the index yields a
+*superset* of the true ε-variants, which is why every candidate is
+verified with :func:`~repro.fastss.edit_distance.bounded_edit_distance`.
+"""
+
+from __future__ import annotations
+
+
+def deletion_neighborhood(word: str, max_deletions: int) -> frozenset[str]:
+    """All strings reachable from ``word`` by <= ``max_deletions`` deletions.
+
+    Includes ``word`` itself (zero deletions).  The size is bounded by
+    ``C(len(word), max_deletions)`` distinct strings per level, which is
+    why FastSS partitions long tokens instead of raising ε.
+    """
+    if max_deletions < 0:
+        raise ValueError("max_deletions must be >= 0")
+    result: set[str] = {word}
+    frontier: set[str] = {word}
+    for _ in range(max_deletions):
+        next_frontier: set[str] = set()
+        for candidate in frontier:
+            for i in range(len(candidate)):
+                shorter = candidate[:i] + candidate[i + 1 :]
+                if shorter not in result:
+                    next_frontier.add(shorter)
+        if not next_frontier:
+            break
+        result |= next_frontier
+        frontier = next_frontier
+    return frozenset(result)
+
+
+def neighborhood_size_bound(length: int, max_deletions: int) -> int:
+    """Upper bound on the ε-deletion neighborhood size of a length-l word.
+
+    Sum over k <= ε of C(l, k).  Used by the partitioned index to decide
+    when the full neighborhood would be too expensive.
+    """
+    total = 0
+    term = 1
+    for k in range(max_deletions + 1):
+        total += term
+        term = term * (length - k) // (k + 1) if length > k else 0
+    return total

@@ -1,0 +1,154 @@
+"""Phonetic (cognitive-error) variant generation — Section VI-A.
+
+Besides typographical errors, the paper notes the framework "can be
+easily extended to include cognitive errors by properly defining the
+variant set var(q) and the probability P(q|w) (e.g., soundex, …)".
+This module provides that extension:
+
+* :func:`soundex` — the classic American Soundex code;
+* :class:`PhoneticIndex` — vocabulary bucketed by Soundex code;
+  ``variants(q)`` returns the tokens that *sound like* q, each carrying
+  a configurable pseudo edit distance so the standard exponential
+  error model prices them without modification;
+* :class:`CompositeVariantGenerator` — merges any number of variant
+  sources (edit-distance FastSS + phonetic, typically), keeping the
+  minimum distance per token.
+
+Example 1's "schuetze" / "schutze" confusion is the motivating case: a
+user who cannot type "ü" produces a token far from the indexed form in
+edit distance but identical in Soundex.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.fastss.index import Variant
+
+#: Soundex digit classes (h, w are ignored; vowels separate groups).
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    "l": "4",
+    **dict.fromkeys("mn", "5"),
+    "r": "6",
+}
+
+#: Pseudo edit distance assigned to a phonetic match.  Two keeps
+#: phonetic variants below distance-1 typo fixes but above-or-equal to
+#: distance-2 ones under the exponential error model.
+DEFAULT_PHONETIC_DISTANCE = 2
+
+
+def soundex(word: str) -> str:
+    """American Soundex code of ``word`` (e.g. "robert" → "R163").
+
+    Non-alphabetic characters are ignored; an empty or non-alphabetic
+    input yields ``"0000"``.
+    """
+    letters = [ch for ch in word.lower() if ch.isalpha()]
+    if not letters:
+        return "0000"
+    first = letters[0]
+    digits = []
+    previous = _SOUNDEX_CODES.get(first, "")
+    for ch in letters[1:]:
+        code = _SOUNDEX_CODES.get(ch, "")
+        if ch in "hw":
+            # h/w are transparent: they do not reset the run.
+            continue
+        if code and code != previous:
+            digits.append(code)
+        previous = code
+    return (first.upper() + "".join(digits) + "000")[:4]
+
+
+class PhoneticIndex:
+    """Vocabulary tokens bucketed by Soundex code."""
+
+    def __init__(
+        self,
+        tokens: Iterable[str],
+        distance: int = DEFAULT_PHONETIC_DISTANCE,
+    ):
+        if distance < 0:
+            raise ConfigurationError("distance must be >= 0")
+        self.max_errors = distance
+        self.distance = distance
+        self._buckets: dict[str, list[str]] = {}
+        seen: set[str] = set()
+        for token in tokens:
+            if token in seen:
+                continue
+            seen.add(token)
+            self._buckets.setdefault(soundex(token), []).append(token)
+
+    def variants(
+        self, query: str, max_errors: int | None = None
+    ) -> list[Variant]:
+        """Tokens sharing ``query``'s Soundex code.
+
+        ``max_errors`` below the configured phonetic distance disables
+        phonetic matching (the caller asked for a tighter radius than
+        a phonetic confusion costs).
+        """
+        eps = self.distance if max_errors is None else max_errors
+        if eps < self.distance:
+            return []
+        bucket = self._buckets.get(soundex(query), [])
+        found = [
+            Variant(0 if token == query else self.distance, token)
+            for token in bucket
+        ]
+        found.sort()
+        return found
+
+
+class CompositeVariantGenerator:
+    """Union of several variant sources, minimum distance per token.
+
+    Sources must expose ``variants(keyword, max_errors) -> Sequence``
+    of :class:`Variant` — both :class:`~repro.fastss.generator.
+    VariantGenerator` and :class:`PhoneticIndex` qualify.  The result
+    order matches the other generators: (distance, token).
+    """
+
+    def __init__(self, sources: Sequence, max_errors: int = 2):
+        if not sources:
+            raise ConfigurationError("at least one source required")
+        self.sources = list(sources)
+        self.max_errors = max_errors
+        self._cache: dict[tuple[str, int], tuple[Variant, ...]] = {}
+
+    def variants(
+        self, keyword: str, max_errors: int | None = None
+    ) -> tuple[Variant, ...]:
+        eps = self.max_errors if max_errors is None else max_errors
+        key = (keyword, eps)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        best: dict[str, int] = {}
+        for source in self.sources:
+            # Never ask a source for a wider radius than it supports.
+            capped = min(eps, getattr(source, "max_errors", eps))
+            for variant in source.variants(keyword, capped):
+                known = best.get(variant.token)
+                if known is None or variant.distance < known:
+                    best[variant.token] = variant.distance
+        merged = tuple(
+            sorted(
+                Variant(distance, token)
+                for token, distance in best.items()
+            )
+        )
+        self._cache[key] = merged
+        return merged
+
+    def variant_tokens(
+        self, keyword: str, max_errors: int | None = None
+    ) -> list[str]:
+        """Token strings only, sorted by (distance, token)."""
+        return [v.token for v in self.variants(keyword, max_errors)]

@@ -1,0 +1,59 @@
+"""Indexing substrate: tokenizer, vocabulary, inverted lists, path index.
+
+Implements the data structures of Sections V-B and V-C of the paper: the
+Dewey-coded inverted index, the MergedList abstraction, and the path
+index that feeds result-type inference.
+"""
+
+from repro.index.corpus import CorpusIndex, build_corpus_index
+from repro.index.inverted import (
+    InvertedIndex,
+    InvertedList,
+    ListCursor,
+    Posting,
+)
+from repro.index.merged_list import MergedEntry, MergedList
+from repro.index.path_index import (
+    PathIndex,
+    build_path_index,
+    path_counts_from_postings,
+)
+from repro.index.storage import dumps, load_index, loads, save_index
+from repro.index.storage_binary import (
+    dumps_binary,
+    load_index_binary,
+    loads_binary,
+    save_index_binary,
+)
+from repro.index.tokenizer import (
+    DEFAULT_STOPWORDS,
+    Tokenizer,
+    TokenizerConfig,
+)
+from repro.index.vocabulary import Vocabulary
+
+__all__ = [
+    "CorpusIndex",
+    "DEFAULT_STOPWORDS",
+    "InvertedIndex",
+    "InvertedList",
+    "ListCursor",
+    "MergedEntry",
+    "MergedList",
+    "PathIndex",
+    "Posting",
+    "Tokenizer",
+    "TokenizerConfig",
+    "Vocabulary",
+    "build_corpus_index",
+    "build_path_index",
+    "dumps",
+    "dumps_binary",
+    "load_index",
+    "load_index_binary",
+    "loads",
+    "loads_binary",
+    "path_counts_from_postings",
+    "save_index",
+    "save_index_binary",
+]

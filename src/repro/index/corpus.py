@@ -1,0 +1,167 @@
+"""The corpus index: everything XClean needs at query time, in one object.
+
+Built from an :class:`~repro.xmltree.document.XMLDocument` in a single
+document-order pass, the :class:`CorpusIndex` bundles:
+
+* the interned :class:`PathTable` of label paths;
+* the Dewey-coded :class:`InvertedIndex` (Section V-C);
+* the :class:`PathIndex` with the f_w^p counts (Section V-B);
+* the :class:`Vocabulary` with background-model and PY08 statistics;
+* subtree token counts ``|D(r)|`` for every node whose subtree contains
+  at least one token (the virtual-document lengths of Eq. 6);
+* per-path node counts (the normalizer N of Eq. 8).
+
+The index is self-contained: suggesters never touch the original tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.index.inverted import InvertedIndex, InvertedList
+from repro.index.merged_list import MergedList
+from repro.index.path_index import PathIndex, path_counts_from_postings
+from repro.index.tokenizer import Tokenizer
+from repro.index.vocabulary import Vocabulary
+from repro.xmltree.dewey import DeweyCode
+from repro.xmltree.document import XMLDocument
+from repro.xmltree.labelpath import PathTable
+
+
+@dataclass
+class CorpusIndex:
+    """All index structures for one corpus (see module docstring)."""
+
+    name: str
+    path_table: PathTable
+    inverted: InvertedIndex
+    path_index: PathIndex
+    vocabulary: Vocabulary
+    subtree_token_counts: dict[DeweyCode, int]
+    path_node_counts: dict[int, int]
+    tokenizer: Tokenizer = field(default_factory=Tokenizer)
+
+    # ------------------------------------------------------------------
+    # Query-time accessors
+    # ------------------------------------------------------------------
+
+    def subtree_length(self, dewey: DeweyCode) -> int:
+        """|D(r)| — token count of the virtual document rooted at r."""
+        return self.subtree_token_counts.get(dewey, 0)
+
+    def entity_count(self, path_id: int) -> int:
+        """N — number of nodes of the given type in the document."""
+        return self.path_node_counts.get(path_id, 0)
+
+    def merged_list(self, tokens: Iterable[str]) -> MergedList:
+        """MergedList over the inverted lists of the given variants."""
+        lists = []
+        for token in tokens:
+            found = self.inverted.get(token)
+            if found is not None:
+                lists.append(found)
+        return MergedList(lists)
+
+    def path_token_totals(self) -> dict[int, float]:
+        """Σ |D(r)| over the nodes r of each label path.
+
+        The normalizer W_p of Eq. 8 under the *length* entity prior
+        (P(r|T) ∝ |D(r)|): longer entities are a priori more likely
+        search targets.  Derived lazily from the postings in one pass
+        and cached — no extra persisted state.
+        """
+        cached = getattr(self, "_path_token_totals", None)
+        if cached is not None:
+            return cached
+        # Leaf lengths: total tokens per text-bearing node.
+        leaf_lengths: dict[DeweyCode, int] = {}
+        leaf_paths: dict[DeweyCode, int] = {}
+        for token in self.inverted.tokens():
+            for dewey, path_id, tf in self.inverted.list_for(token):
+                leaf_lengths[dewey] = leaf_lengths.get(dewey, 0) + tf
+                leaf_paths[dewey] = path_id
+        totals: dict[int, float] = {}
+        table = self.path_table
+        for dewey, length in leaf_lengths.items():
+            path_id = leaf_paths[dewey]
+            for depth in range(1, len(dewey) + 1):
+                ancestor = table.prefix_id(path_id, depth)
+                totals[ancestor] = totals.get(ancestor, 0.0) + length
+        self._path_token_totals = totals
+        return totals
+
+    def max_path_depth(self) -> int:
+        """Deepest label path in the corpus."""
+        deepest = 0
+        for labels in self.path_table:
+            if len(labels) > deepest:
+                deepest = len(labels)
+        return deepest
+
+    def describe(self) -> dict[str, int]:
+        """Summary counters (used in logs and benchmark headers)."""
+        return {
+            "tokens": len(self.vocabulary),
+            "postings": self.inverted.total_postings(),
+            "paths": len(self.path_table),
+            "total_occurrences": self.vocabulary.total_tokens,
+        }
+
+
+def build_corpus_index(
+    document: XMLDocument, tokenizer: Tokenizer | None = None
+) -> CorpusIndex:
+    """Index an XML document in one document-order pass.
+
+    Tokenization follows the supplied tokenizer (default: the paper's
+    conventions — lowercase, no stop words, no numbers, length >= 3).
+    """
+    tokenizer = tokenizer or Tokenizer()
+    path_table = PathTable()
+    vocabulary = Vocabulary()
+    postings_by_token: dict[str, list[tuple[DeweyCode, int, int]]] = {}
+    subtree_counts: dict[DeweyCode, int] = {}
+    path_node_counts: dict[int, int] = {}
+
+    for node, path in document.iter_with_paths():
+        path_id = path_table.intern(path)
+        path_node_counts[path_id] = path_node_counts.get(path_id, 0) + 1
+        if not node.text:
+            continue
+        counts: dict[str, int] = {}
+        for token in tokenizer.iter_tokens(node.text):
+            counts[token] = counts.get(token, 0) + 1
+        if not counts:
+            continue
+        dewey = node.dewey
+        assert dewey is not None
+        for token, tf in counts.items():
+            postings_by_token.setdefault(token, []).append(
+                (dewey, path_id, tf)
+            )
+            vocabulary.add_occurrence(token, tf)
+        vocabulary.register_element_doc(counts)
+        length = sum(counts.values())
+        for depth in range(1, len(dewey) + 1):
+            prefix = dewey[:depth]
+            subtree_counts[prefix] = subtree_counts.get(prefix, 0) + length
+
+    inverted = InvertedIndex()
+    path_index = PathIndex()
+    for token, postings in postings_by_token.items():
+        inverted.add_list(InvertedList(token, postings))
+        path_index.set_counts(
+            token, path_counts_from_postings(postings, path_table)
+        )
+
+    return CorpusIndex(
+        name=document.name,
+        path_table=path_table,
+        inverted=inverted,
+        path_index=path_index,
+        vocabulary=vocabulary,
+        subtree_token_counts=subtree_counts,
+        path_node_counts=path_node_counts,
+        tokenizer=tokenizer,
+    )

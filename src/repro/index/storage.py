@@ -1,0 +1,186 @@
+"""Persistence of :class:`~repro.index.corpus.CorpusIndex` objects.
+
+A versioned, line-oriented text format.  Deliberately simple: tokens are
+whitespace-free by construction, XML labels never contain ``/``, Dewey
+codes serialize as dotted integers — so every record fits on one
+space-separated line, is diff-able, and loads without a binary codec.
+
+The path index (f_w^p) is *not* stored: it is derivable from postings in
+one linear pass, and rebuilding is faster than parsing it back in.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO
+
+from repro.exceptions import StorageError
+from repro.index.corpus import CorpusIndex
+from repro.index.inverted import InvertedIndex, InvertedList
+from repro.index.path_index import PathIndex, path_counts_from_postings
+from repro.index.tokenizer import Tokenizer
+from repro.index.vocabulary import Vocabulary
+from repro.xmltree import dewey as dewey_mod
+from repro.xmltree.labelpath import PathTable, format_path, parse_path
+
+MAGIC = "XCLEANIDX"
+VERSION = 1
+
+
+def save_index(index: CorpusIndex, path: str) -> None:
+    """Write ``index`` to ``path`` (overwriting)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        write_index(index, handle)
+
+
+def load_index(path: str) -> CorpusIndex:
+    """Load an index previously written by :func:`save_index`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return read_index(handle)
+
+
+def dumps(index: CorpusIndex) -> str:
+    """Serialize to a string (round-trip tests)."""
+    buffer = io.StringIO()
+    write_index(index, buffer)
+    return buffer.getvalue()
+
+
+def loads(text: str) -> CorpusIndex:
+    """Deserialize from a string produced by :func:`dumps`."""
+    return read_index(io.StringIO(text))
+
+
+def write_index(index: CorpusIndex, out: TextIO) -> None:
+    """Serialize ``index`` to a text stream."""
+    out.write(f"{MAGIC} {VERSION}\n")
+    out.write(f"NAME {index.name}\n")
+
+    paths = list(index.path_table)
+    out.write(f"PATHS {len(paths)}\n")
+    for labels in paths:
+        out.write(format_path(labels) + "\n")
+
+    out.write(f"PATHNODES {len(index.path_node_counts)}\n")
+    for pid in sorted(index.path_node_counts):
+        out.write(f"{pid} {index.path_node_counts[pid]}\n")
+
+    out.write(f"SUBTREE {len(index.subtree_token_counts)}\n")
+    for code in sorted(index.subtree_token_counts):
+        count = index.subtree_token_counts[code]
+        out.write(f"{dewey_mod.format_code(code)} {count}\n")
+
+    vocab_rows = list(index.vocabulary.export_rows())
+    out.write(
+        f"VOCAB {len(vocab_rows)} {index.vocabulary.element_doc_count}\n"
+    )
+    for token, cf, df, max_rel in vocab_rows:
+        out.write(f"{token} {cf} {df} {max_rel!r}\n")
+
+    tokens = sorted(index.inverted.tokens())
+    out.write(f"LISTS {len(tokens)}\n")
+    for token in tokens:
+        postings = index.inverted.list_for(token)
+        out.write(f"TOKEN {token} {len(postings)}\n")
+        for code, pid, tf in postings:
+            out.write(f"{dewey_mod.format_code(code)} {pid} {tf}\n")
+    out.write("END\n")
+
+
+def _expect_header(line: str, keyword: str) -> list[str]:
+    parts = line.split()
+    if not parts or parts[0] != keyword:
+        raise StorageError(f"expected {keyword} section, got {line!r}")
+    return parts[1:]
+
+
+def read_index(source: TextIO) -> CorpusIndex:
+    """Parse an index from a text stream.
+
+    Raises:
+        StorageError: on any structural problem (wrong magic, truncated
+            sections, malformed records).
+    """
+    try:
+        return _read_index(source)
+    except StorageError:
+        raise
+    except (ValueError, IndexError) as exc:
+        raise StorageError(f"malformed index file: {exc}") from exc
+
+
+def _read_index(source: TextIO) -> CorpusIndex:
+    def next_line() -> str:
+        line = source.readline()
+        if not line:
+            raise StorageError("unexpected end of index file")
+        return line.rstrip("\n")
+
+    header = next_line().split()
+    if len(header) != 2 or header[0] != MAGIC:
+        raise StorageError("not an XClean index file")
+    if int(header[1]) != VERSION:
+        raise StorageError(f"unsupported index version {header[1]}")
+
+    name_parts = next_line().split(maxsplit=1)
+    if name_parts[0] != "NAME":
+        raise StorageError("missing NAME record")
+    name = name_parts[1] if len(name_parts) > 1 else "index"
+
+    (path_count,) = _expect_header(next_line(), "PATHS")
+    path_table = PathTable()
+    for _ in range(int(path_count)):
+        pid = path_table.intern(parse_path(next_line()))
+        del pid  # ids are dense and assigned in file order
+
+    (node_count,) = _expect_header(next_line(), "PATHNODES")
+    path_node_counts: dict[int, int] = {}
+    for _ in range(int(node_count)):
+        pid_text, count_text = next_line().split()
+        path_node_counts[int(pid_text)] = int(count_text)
+
+    (subtree_count,) = _expect_header(next_line(), "SUBTREE")
+    subtree_counts: dict[tuple[int, ...], int] = {}
+    for _ in range(int(subtree_count)):
+        code_text, count_text = next_line().split()
+        subtree_counts[dewey_mod.parse(code_text)] = int(count_text)
+
+    vocab_header = _expect_header(next_line(), "VOCAB")
+    vocab_rows = []
+    for _ in range(int(vocab_header[0])):
+        token, cf, df, max_rel = next_line().split()
+        vocab_rows.append((token, int(cf), int(df), float(max_rel)))
+    vocabulary = Vocabulary.from_rows(vocab_rows, int(vocab_header[1]))
+
+    (list_count,) = _expect_header(next_line(), "LISTS")
+    inverted = InvertedIndex()
+    path_index = PathIndex()
+    for _ in range(int(list_count)):
+        token_header = next_line().split()
+        if token_header[0] != "TOKEN" or len(token_header) != 3:
+            raise StorageError(f"malformed TOKEN record: {token_header}")
+        token = token_header[1]
+        postings = []
+        for _ in range(int(token_header[2])):
+            code_text, pid_text, tf_text = next_line().split()
+            postings.append(
+                (dewey_mod.parse(code_text), int(pid_text), int(tf_text))
+            )
+        inverted.add_list(InvertedList(token, postings))
+        path_index.set_counts(
+            token, path_counts_from_postings(postings, path_table)
+        )
+
+    if next_line() != "END":
+        raise StorageError("missing END record")
+
+    return CorpusIndex(
+        name=name,
+        path_table=path_table,
+        inverted=inverted,
+        path_index=path_index,
+        vocabulary=vocabulary,
+        subtree_token_counts=subtree_counts,
+        path_node_counts=path_node_counts,
+        tokenizer=Tokenizer(),
+    )

@@ -1,0 +1,90 @@
+"""Tokenization of XML text content and keyword queries.
+
+Section VII-A of the paper: text is split on whitespace and punctuation;
+stop words, pure numbers, and short tokens (fewer than three characters)
+are not indexed.  The same tokenizer must be used for documents and for
+queries, otherwise query keywords would never match the vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: A small English stop word list.  The paper does not publish its list;
+#: this is the classic Van Rijsbergen-style core, which is what matters:
+#: extremely frequent glue words must not become query keywords.
+DEFAULT_STOPWORDS = frozenset(
+    """
+    a about above after again all am an and any are as at be because been
+    before being below between both but by could did do does doing down
+    during each few for from further had has have having he her here hers
+    him his how i if in into is it its itself just me more most my no nor
+    not of off on once only or other our ours out over own same she so
+    some such than that the their theirs them then there these they this
+    those through to too under until up very was we were what when where
+    which while who whom why will with you your yours
+    """.split()
+)
+
+
+@dataclass(frozen=True)
+class TokenizerConfig:
+    """Configuration knobs for :class:`Tokenizer`.
+
+    Attributes:
+        min_length: tokens shorter than this are dropped (paper: 3).
+        lowercase: case-fold tokens before use.
+        drop_numbers: drop tokens consisting solely of digits.
+        stopwords: tokens dropped regardless of length.
+    """
+
+    min_length: int = 3
+    lowercase: bool = True
+    drop_numbers: bool = True
+    stopwords: frozenset[str] = field(default=DEFAULT_STOPWORDS)
+
+
+class Tokenizer:
+    """Splits text into index/query tokens per the paper's conventions."""
+
+    def __init__(self, config: TokenizerConfig | None = None):
+        self.config = config or TokenizerConfig()
+
+    def iter_tokens(self, text: str) -> Iterator[str]:
+        """Yield accepted tokens from ``text`` in order of appearance."""
+        config = self.config
+        for raw in _split_words(text):
+            token = raw.lower() if config.lowercase else raw
+            if len(token) < config.min_length:
+                continue
+            if config.drop_numbers and token.isdigit():
+                continue
+            if token in config.stopwords:
+                continue
+            yield token
+
+    def tokenize(self, text: str) -> list[str]:
+        """All accepted tokens from ``text`` as a list."""
+        return list(self.iter_tokens(text))
+
+    def accepts(self, token: str) -> bool:
+        """Whether a single, already-split token would be kept."""
+        return self.tokenize(token) == [
+            token.lower() if self.config.lowercase else token
+        ]
+
+
+def _split_words(text: str) -> Iterator[str]:
+    """Split on any non-alphanumeric character (whitespace, punctuation)."""
+    start = -1
+    for i, ch in enumerate(text):
+        if ch.isalnum():
+            if start < 0:
+                start = i
+        else:
+            if start >= 0:
+                yield text[start:i]
+                start = -1
+    if start >= 0:
+        yield text[start:]

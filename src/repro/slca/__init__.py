@@ -1,0 +1,13 @@
+"""SLCA/ELCA substrate: LCA-based result semantics computations."""
+
+from repro.slca.elca import containing_ancestors, elca, elca_brute_force
+from repro.slca.multiway import remove_ancestors, slca, slca_brute_force
+
+__all__ = [
+    "containing_ancestors",
+    "elca",
+    "elca_brute_force",
+    "remove_ancestors",
+    "slca",
+    "slca_brute_force",
+]

@@ -1,0 +1,129 @@
+"""Exclusive Lowest Common Ancestors (ELCA, XRANK semantics).
+
+The paper's framework "is general enough to accommodate other
+semantics"; besides the SLCA variant of Section VI-B the XML keyword
+search literature's other standard result definition is the ELCA
+[Guo et al., XRANK]: a node v is an ELCA if its subtree contains at
+least one occurrence of *every* keyword even after excluding the
+occurrences located under descendants of v that themselves contain all
+keywords.  Every SLCA is an ELCA; ELCAs additionally include ancestors
+that have their own exclusive witnesses.
+
+Computation here uses the classic characterization:
+
+* the *CA set* (nodes containing all keywords) is exactly the set of
+  ancestors-or-self of the SLCA nodes;
+* arrange the CA set as a tree (by ancestorship); v is an ELCA iff for
+  every keyword, v's occurrence count strictly exceeds the sum over
+  v's CA-children — i.e. some occurrence survives the exclusion.
+
+A brute-force implementation straight from the definition backs the
+property tests.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence
+
+from repro.slca.multiway import slca
+from repro.xmltree.dewey import DeweyCode, is_ancestor
+
+
+def _subtree_count(
+    sorted_codes: Sequence[DeweyCode], root: DeweyCode
+) -> int:
+    """Occurrences with Dewey codes inside ``root``'s subtree."""
+    low = bisect_left(sorted_codes, root)
+    upper_bound = root[:-1] + (root[-1] + 1,)
+    high = bisect_left(sorted_codes, upper_bound)
+    return high - low
+
+
+def containing_ancestors(
+    slca_nodes: Sequence[DeweyCode],
+) -> list[DeweyCode]:
+    """The CA set: every ancestor-or-self of an SLCA, document order."""
+    seen: set[DeweyCode] = set()
+    for node in slca_nodes:
+        for depth in range(1, len(node) + 1):
+            seen.add(node[:depth])
+    return sorted(seen)
+
+
+def elca(lists: Sequence[Sequence[DeweyCode]]) -> list[DeweyCode]:
+    """ELCA nodes of the given occurrence lists (document order).
+
+    Input lists must be sorted in document order.
+    """
+    if not lists or any(not lst for lst in lists):
+        return []
+    smallest = slca(lists)
+    if not smallest:
+        return []
+    ca_nodes = containing_ancestors(smallest)
+
+    # CA-children: the maximal CA-descendants of each CA node.  A stack
+    # sweep over document order links each node to its nearest CA
+    # ancestor.
+    children: dict[DeweyCode, list[DeweyCode]] = {c: [] for c in ca_nodes}
+    stack: list[DeweyCode] = []
+    for node in ca_nodes:
+        while stack and not is_ancestor(stack[-1], node):
+            stack.pop()
+        if stack:
+            children[stack[-1]].append(node)
+        stack.append(node)
+
+    result = []
+    for node in ca_nodes:
+        if all(
+            _subtree_count(lst, node)
+            > sum(_subtree_count(lst, child) for child in children[node])
+            for lst in lists
+        ):
+            result.append(node)
+    return result
+
+
+def elca_brute_force(
+    lists: Sequence[Sequence[DeweyCode]],
+) -> list[DeweyCode]:
+    """Reference ELCA straight from the XRANK definition."""
+    if not lists or any(not lst for lst in lists):
+        return []
+    # CA set by direct containment test.
+    candidates: set[DeweyCode] = set()
+    for lst in lists:
+        for code in lst:
+            for depth in range(1, len(code) + 1):
+                candidates.add(code[:depth])
+    ca = sorted(
+        c
+        for c in candidates
+        if all(_subtree_count(sorted(lst), c) > 0 for lst in lists)
+    )
+    ca_set = set(ca)
+
+    result = []
+    for node in ca:
+        is_exclusive = True
+        for lst in lists:
+            survivors = 0
+            for code in lst:
+                if code[: len(node)] != node:
+                    continue
+                # Excluded if some CA node sits strictly between node
+                # and the occurrence (or is the occurrence itself).
+                excluded = any(
+                    code[:depth] in ca_set
+                    for depth in range(len(node) + 1, len(code) + 1)
+                )
+                if not excluded:
+                    survivors += 1
+            if survivors == 0:
+                is_exclusive = False
+                break
+        if is_exclusive:
+            result.append(node)
+    return result

@@ -1,0 +1,115 @@
+"""Multi-way SLCA computation over Dewey-coded node lists.
+
+The Smallest Lowest Common Ancestor (SLCA) semantics [Xu &
+Papakonstantinou] defines the results of a keyword query as the nodes
+whose subtrees contain at least one instance of *every* keyword and none
+of whose proper descendants do.  Section VI-B of the paper scores
+candidate queries by treating their SLCA nodes as entity roots.
+
+The implementation follows the Indexed Lookup Eager idea: for every
+occurrence ``u`` in the smallest list, the deepest node containing ``u``
+plus one element of another list L is ``lca(u, m)`` where ``m`` is the
+match of ``u`` in L — the deeper of pred(u, L) and succ(u, L) by LCA
+depth.  Folding over all lists yields the deepest common container of
+``u``; removing ancestors from the candidate set yields the SLCAs.
+
+A brute-force reference (:func:`slca_brute_force`) backs the property
+tests.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence
+
+from repro.xmltree.dewey import DeweyCode, common_prefix, is_ancestor
+
+
+def _closest_lca(u: DeweyCode, sorted_list: Sequence[DeweyCode]) -> DeweyCode:
+    """Deepest LCA of ``u`` with any element of ``sorted_list``.
+
+    The deepest LCA is achieved by one of the two document-order
+    neighbours of ``u`` in the list (standard SLCA lemma).
+    """
+    position = bisect_left(sorted_list, u)
+    best: DeweyCode = ()
+    if position < len(sorted_list):
+        candidate = common_prefix(u, sorted_list[position])
+        if len(candidate) > len(best):
+            best = candidate
+    if position > 0:
+        candidate = common_prefix(u, sorted_list[position - 1])
+        if len(candidate) > len(best):
+            best = candidate
+    return best
+
+
+def slca(lists: Sequence[Sequence[DeweyCode]]) -> list[DeweyCode]:
+    """SLCA nodes of the given occurrence lists (document order).
+
+    Every input list must be sorted in document order and non-empty for
+    a non-empty result; with a single list the nodes themselves are the
+    SLCAs (after removing ancestors of other list members).
+    """
+    if not lists or any(not lst for lst in lists):
+        return []
+    # Iterate the smallest list; fold matches against the rest.
+    anchor_index = min(range(len(lists)), key=lambda i: len(lists[i]))
+    others = [lists[i] for i in range(len(lists)) if i != anchor_index]
+    candidates: set[DeweyCode] = set()
+    for u in lists[anchor_index]:
+        container: DeweyCode = u
+        for other in others:
+            match = _closest_lca(u, other)
+            if len(match) < len(container):
+                container = match
+            if not container:
+                break
+        if container:
+            candidates.add(container)
+    return remove_ancestors(sorted(candidates))
+
+
+def remove_ancestors(sorted_codes: Sequence[DeweyCode]) -> list[DeweyCode]:
+    """Keep only codes that are not proper ancestors of a later code.
+
+    Input must be sorted in document order (ancestors precede their
+    descendants, so a single backward check per element suffices).
+    """
+    result: list[DeweyCode] = []
+    for code in sorted_codes:
+        while result and is_ancestor(result[-1], code):
+            result.pop()
+        if result and result[-1] == code:
+            continue
+        result.append(code)
+    return result
+
+
+def slca_brute_force(
+    lists: Sequence[Sequence[DeweyCode]],
+) -> list[DeweyCode]:
+    """Reference SLCA: test every ancestor of every occurrence.
+
+    Exponential-free but quadratic; only suitable for tests.
+    """
+    if not lists or any(not lst for lst in lists):
+        return []
+    # Candidate containers: every ancestor-or-self of every occurrence.
+    candidates: set[DeweyCode] = set()
+    for lst in lists:
+        for code in lst:
+            for depth in range(1, len(code) + 1):
+                candidates.add(code[:depth])
+
+    def contains_all(container: DeweyCode) -> bool:
+        # The first element >= container in document order is inside
+        # container's subtree iff container has any occurrence below it.
+        for lst in lists:
+            lo = bisect_left(lst, container)
+            if lo >= len(lst) or lst[lo][: len(container)] != container:
+                return False
+        return True
+
+    containing = sorted(c for c in candidates if contains_all(c))
+    return remove_ancestors(containing)

@@ -1,0 +1,56 @@
+"""XML tree substrate: Dewey codes, label paths, nodes, parser, documents.
+
+This package implements the data model of Section III of the paper:
+rooted, node-labeled, ordered trees with Dewey-encoded positions and
+label-path node types.
+"""
+
+from repro.xmltree.builder import build_node, build_tree, paper_example_tree
+from repro.xmltree.dewey import (
+    DeweyCode,
+    common_prefix,
+    compare_document_order,
+    depth,
+    format_code,
+    is_ancestor,
+    is_ancestor_or_self,
+    lca,
+    parent,
+    parse,
+    truncate,
+)
+from repro.xmltree.document import DocumentStats, XMLDocument
+from repro.xmltree.labelpath import (
+    LabelPath,
+    PathTable,
+    format_path,
+    parse_path,
+)
+from repro.xmltree.node import XMLNode
+from repro.xmltree.parser import parse_document, serialize
+
+__all__ = [
+    "DeweyCode",
+    "DocumentStats",
+    "LabelPath",
+    "PathTable",
+    "XMLDocument",
+    "XMLNode",
+    "build_node",
+    "build_tree",
+    "common_prefix",
+    "compare_document_order",
+    "depth",
+    "format_code",
+    "format_path",
+    "is_ancestor",
+    "is_ancestor_or_self",
+    "lca",
+    "paper_example_tree",
+    "parent",
+    "parse",
+    "parse_document",
+    "parse_path",
+    "serialize",
+    "truncate",
+]

@@ -1,0 +1,108 @@
+"""Programmatic construction of XML trees.
+
+Used by tests, examples, and the synthetic dataset generators.  Trees are
+described with nested tuples/lists, which keeps fixtures readable::
+
+    tree = build_tree(
+        ("dblp", [
+            ("article", [
+                ("title", "efficient tree pattern matching"),
+                ("author", "jane doe"),
+            ]),
+        ])
+    )
+
+A spec node is either ``(label, text)``, ``(label, [children...])`` or
+``(label, text, [children...])``.  Bare strings are not allowed at the
+top level; text always lives inside a labeled node, matching the model in
+Section III where only leaves carry content.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.xmltree.dewey import DeweyCode
+from repro.xmltree.node import XMLNode
+
+NodeSpec = Union[
+    tuple[str],
+    tuple[str, str],
+    tuple[str, Sequence["NodeSpec"]],
+    tuple[str, str, Sequence["NodeSpec"]],
+]
+
+
+def build_node(spec: NodeSpec) -> XMLNode:
+    """Build a detached subtree (no Dewey codes) from a nested spec."""
+    if not isinstance(spec, (tuple, list)) or not spec:
+        raise ValueError(f"invalid node spec: {spec!r}")
+    label = spec[0]
+    if not isinstance(label, str) or not label:
+        raise ValueError(f"node label must be a non-empty string: {spec!r}")
+    node = XMLNode(label)
+    rest = spec[1:]
+    for part in rest:
+        if isinstance(part, str):
+            if node.text:
+                raise ValueError(f"multiple text parts in spec for {label!r}")
+            node.text = part
+        elif isinstance(part, (list, tuple)) and (
+            not part or isinstance(part[0], (list, tuple))
+        ):
+            # A sequence of child specs.
+            for child_spec in part:
+                node.add_child(build_node(child_spec))
+        elif isinstance(part, (list, tuple)):
+            # A single child spec passed without wrapping.
+            node.add_child(build_node(part))
+        else:
+            raise ValueError(f"invalid spec part {part!r} under {label!r}")
+    return node
+
+
+def build_tree(spec: NodeSpec, root_code: DeweyCode = (1,)) -> XMLNode:
+    """Build a subtree from a spec and assign Dewey codes."""
+    root = build_node(spec)
+    root.assign_deweys(root_code)
+    return root
+
+
+def paper_example_tree() -> XMLNode:
+    """The running-example tree of the paper (Figure 2, Examples 2–5).
+
+    The figure itself is not reproducible from the text, so this fixture
+    reconstructs a tree consistent with *every* count and Dewey code the
+    examples assert:
+
+    * Example 3's counts for candidate "trie icde":
+      ``f_trie^{/a/c} = 2``, ``f_trie^{/a/c/x} = 3``,
+      ``f_trie^{/a/d} = f_trie^{/a/d/x} = 2``,
+      ``f_icde^{/a/c} = f_icde^{/a/c/x} = 1``,
+      ``f_icde^{/a/d} = f_icde^{/a/d/x} = 2``;
+    * Example 5's trace: the first anchor is 1.2.3.1; after
+      ``skip_to(1.2)`` the lists of tree/trees/trie point at
+      1.2.2.1 / nil / 1.2.1.1 (so ``trees`` occurs only under 1.1);
+      the second anchor is 1.3.2.1; the tokens under 1.2 are
+      trie, tree, icde and under 1.3 are icdt, trie, icde;
+    * Example 4: the entities of "trie icde" (type /a/d) are 1.3, 1.4.
+
+    Layout (each ``x`` holds its PCDATA as a text child):
+    1.1 = b(trees), 1.2 = c(trie, tree, icde), 1.3 = d(icdt, trie, icde),
+    1.4 = d(trie, icde), 1.5 = c(trie, trie).
+    """
+
+    def x(word: str) -> NodeSpec:
+        return ("x", [("t", word)])
+
+    spec = (
+        "a",
+        [
+            ("b", [x("trees")]),
+            ("c", [x("trie"), x("tree"), x("icde")]),
+            ("d", [x("icdt"), x("trie"), x("icde")]),
+            ("d", [x("trie"), x("icde")]),
+            ("c", [x("trie"), x("trie")]),
+        ],
+    )
+    return build_tree(spec)

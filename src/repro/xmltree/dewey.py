@@ -1,0 +1,141 @@
+"""Dewey codes for XML tree nodes.
+
+A Dewey code identifies a node by the concatenation of sibling ordinals on
+the path from the root (Section III of the paper).  We represent codes as
+plain ``tuple[int, ...]`` values: tuples are hashable, compact, and their
+built-in lexicographic comparison coincides with XML *document order*
+(``x ≺ y``), because an ancestor's code is a proper prefix of its
+descendants' codes and prefixes sort first.
+
+Two partial orders from the paper are supported:
+
+* ``x ≺ y`` — document order; use plain tuple comparison or
+  :func:`compare_document_order`.
+* ``x ≺_AD y`` — ancestor/descendant; use :func:`is_ancestor`.
+
+Both are O(d) in the tree depth, matching the paper's complexity claims.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import DeweyError
+
+DeweyCode = tuple[int, ...]
+
+#: Separator used in the textual form ("1.2.3"), as in the paper.
+SEPARATOR = "."
+
+
+def parse(text: str) -> DeweyCode:
+    """Parse a textual Dewey code such as ``"1.2.3"`` into a tuple.
+
+    Raises:
+        DeweyError: if the string is empty or contains non-positive or
+            non-numeric components.
+    """
+    if not text:
+        raise DeweyError("empty Dewey code")
+    parts = text.split(SEPARATOR)
+    code = []
+    for part in parts:
+        if not part.isdigit():
+            raise DeweyError(f"invalid Dewey component {part!r} in {text!r}")
+        value = int(part)
+        if value <= 0:
+            raise DeweyError(f"Dewey components must be >= 1, got {value}")
+        code.append(value)
+    return tuple(code)
+
+
+def format_code(code: DeweyCode) -> str:
+    """Render a Dewey tuple in the paper's dotted notation."""
+    if not code:
+        raise DeweyError("cannot format an empty Dewey code")
+    return SEPARATOR.join(str(c) for c in code)
+
+
+def depth(code: DeweyCode) -> int:
+    """Depth of the node; the root (code ``(1,)``) has depth 1."""
+    return len(code)
+
+
+def is_ancestor(ancestor: DeweyCode, descendant: DeweyCode) -> bool:
+    """True iff ``ancestor ≺_AD descendant`` (proper ancestor)."""
+    return (
+        len(ancestor) < len(descendant)
+        and descendant[: len(ancestor)] == ancestor
+    )
+
+
+def is_ancestor_or_self(ancestor: DeweyCode, descendant: DeweyCode) -> bool:
+    """True iff ``ancestor`` is ``descendant`` or a proper ancestor of it."""
+    return (
+        len(ancestor) <= len(descendant)
+        and descendant[: len(ancestor)] == ancestor
+    )
+
+
+def compare_document_order(left: DeweyCode, right: DeweyCode) -> int:
+    """Three-way comparison in document order (-1, 0, or 1).
+
+    Document order on Dewey codes is exactly lexicographic tuple order;
+    this helper exists for call sites that want an explicit three-way
+    result rather than chained ``<`` checks.
+    """
+    if left == right:
+        return 0
+    return -1 if left < right else 1
+
+
+def truncate(code: DeweyCode, to_depth: int) -> DeweyCode:
+    """Prefix of ``code`` at depth ``to_depth`` (Algorithm 1, Line 7).
+
+    Raises:
+        DeweyError: if ``to_depth`` is not in ``[1, len(code)]``.
+    """
+    if to_depth < 1 or to_depth > len(code):
+        raise DeweyError(
+            f"cannot truncate depth-{len(code)} code to depth {to_depth}"
+        )
+    return code[:to_depth]
+
+
+def parent(code: DeweyCode) -> DeweyCode:
+    """Dewey code of the parent node.
+
+    Raises:
+        DeweyError: when called on the root.
+    """
+    if len(code) <= 1:
+        raise DeweyError("the root node has no parent")
+    return code[:-1]
+
+
+def common_prefix(left: DeweyCode, right: DeweyCode) -> DeweyCode:
+    """Longest common prefix of two codes — the Dewey code of their LCA."""
+    limit = min(len(left), len(right))
+    i = 0
+    while i < limit and left[i] == right[i]:
+        i += 1
+    return left[:i]
+
+
+def lca(codes: Iterable[DeweyCode]) -> DeweyCode:
+    """Lowest common ancestor of a non-empty collection of codes.
+
+    Raises:
+        DeweyError: if the collection is empty or the codes do not share
+            a root component (i.e. they come from different trees).
+    """
+    iterator = iter(codes)
+    try:
+        result = next(iterator)
+    except StopIteration:
+        raise DeweyError("lca() of an empty collection") from None
+    for code in iterator:
+        result = common_prefix(result, code)
+        if not result:
+            raise DeweyError("codes do not share a common root")
+    return result

@@ -1,0 +1,167 @@
+"""The XML document abstraction used by the indexing and query layers.
+
+An :class:`XMLDocument` wraps a Dewey-coded tree.  For a *collection* of
+XML documents we add a virtual root that connects the individual roots
+(Section III), which is how the paper turns the 600k INEX files into a
+single tree.
+
+The class also computes the corpus statistics reported in Table I of the
+paper (serialized size, node count, maximum and average depth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.xmltree import parser as xml_parser
+from repro.xmltree.dewey import DeweyCode
+from repro.xmltree.labelpath import LabelPath, PathTable
+from repro.xmltree.node import XMLNode
+
+#: Label of the virtual root added above document collections.
+VIRTUAL_ROOT_LABEL = "collection"
+
+
+@dataclass(frozen=True)
+class DocumentStats:
+    """Corpus statistics in the shape of the paper's Table I."""
+
+    size_bytes: int
+    node_count: int
+    max_depth: int
+    avg_depth: float
+    distinct_paths: int
+    token_nodes: int
+
+    def as_row(self) -> dict[str, object]:
+        """Render as a Table I row (sizes in MB, like the paper)."""
+        return {
+            "size (MB)": round(self.size_bytes / (1024 * 1024), 3),
+            "#node": self.node_count,
+            "max depth": self.max_depth,
+            "avg depth": round(self.avg_depth, 2),
+        }
+
+
+class XMLDocument:
+    """A single rooted XML tree with assigned Dewey codes.
+
+    Construction freezes the tree: Dewey codes are assigned once, and the
+    node-by-Dewey lookup relies on child ordinals staying stable.
+    """
+
+    def __init__(self, root: XMLNode, name: str = "document"):
+        self.root = root
+        self.name = name
+        if root.dewey is None:
+            root.assign_deweys((1,))
+        self._stats: DocumentStats | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_string(cls, text: str, name: str = "document") -> XMLDocument:
+        """Parse a single XML document from a string."""
+        return cls(xml_parser.parse_document(text), name=name)
+
+    @classmethod
+    def from_file(cls, path: str, name: str | None = None) -> XMLDocument:
+        """Parse a single XML document from a file path."""
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        return cls.from_string(text, name=name or path)
+
+    @classmethod
+    def from_trees(
+        cls, roots: Iterable[XMLNode], name: str = "collection"
+    ) -> XMLDocument:
+        """Join several trees under a virtual root (Section III)."""
+        virtual = XMLNode(VIRTUAL_ROOT_LABEL)
+        for root in roots:
+            virtual.add_child(root)
+        return cls(virtual, name=name)
+
+    @classmethod
+    def from_strings(
+        cls, texts: Iterable[str], name: str = "collection"
+    ) -> XMLDocument:
+        """Parse several XML documents and join them under a virtual root."""
+        return cls.from_trees(
+            (xml_parser.parse_document(t) for t in texts), name=name
+        )
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+
+    def node_at(self, dewey: DeweyCode) -> XMLNode | None:
+        """Node with the given Dewey code, or ``None`` if absent."""
+        return self.root.find(dewey)
+
+    def iter_nodes(self) -> Iterator[XMLNode]:
+        """All nodes in document order."""
+        return self.root.iter_subtree()
+
+    def iter_with_paths(self) -> Iterator[tuple[XMLNode, LabelPath]]:
+        """All ``(node, label_path)`` pairs in document order."""
+        return self.root.iter_with_paths()
+
+    def subtree_text(self, dewey: DeweyCode) -> str:
+        """Virtual document D(r) for the entity rooted at ``dewey``."""
+        node = self.node_at(dewey)
+        if node is None:
+            return ""
+        return node.subtree_text()
+
+    def build_path_table(self) -> PathTable:
+        """Intern every label path occurring in the document."""
+        table = PathTable()
+        for _node, path in self.iter_with_paths():
+            table.intern(path)
+        return table
+
+    # ------------------------------------------------------------------
+    # Statistics (Table I)
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> DocumentStats:
+        """Corpus statistics; computed once and cached."""
+        if self._stats is None:
+            self._stats = self._compute_stats()
+        return self._stats
+
+    def _compute_stats(self) -> DocumentStats:
+        node_count = 0
+        depth_sum = 0
+        max_depth = 0
+        token_nodes = 0
+        size_bytes = 0
+        paths: set[LabelPath] = set()
+        for node, path in self.iter_with_paths():
+            node_count += 1
+            d = len(path)
+            depth_sum += d
+            if d > max_depth:
+                max_depth = d
+            paths.add(path)
+            # Size estimate: tags plus text, close to serialized length.
+            size_bytes += 2 * len(node.label) + 5 + len(node.text)
+            if node.text:
+                token_nodes += 1
+        avg_depth = depth_sum / node_count if node_count else 0.0
+        return DocumentStats(
+            size_bytes=size_bytes,
+            node_count=node_count,
+            max_depth=max_depth,
+            avg_depth=avg_depth,
+            distinct_paths=len(paths),
+            token_nodes=token_nodes,
+        )
+
+    def serialize(self) -> str:
+        """Full XML serialization of the document."""
+        return xml_parser.serialize(self.root)

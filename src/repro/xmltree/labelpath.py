@@ -1,0 +1,126 @@
+"""Label paths ("node types") and their interning table.
+
+The label path of a node is the concatenation of element labels on the
+path from the root (Section III).  Two nodes with the same label path are
+considered the same *type* — e.g. every ``/dblp/article/title`` node.
+
+Label paths appear in every inverted-list posting, so we intern them: a
+:class:`PathTable` maps each distinct path to a small integer id, and all
+hot-path structures store the id.  The table also answers the two
+questions the XClean algorithm asks constantly:
+
+* ``depth_of(pid)`` — for the depth penalty ``r^depth(p)`` in Eq. 7 and
+  the minimal-depth threshold ``d``;
+* ``prefix_id(pid, depth)`` — the id of a path's ancestor path, used when
+  mapping a token occurrence to the candidate entity roots above it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+LabelPath = tuple[str, ...]
+
+#: Separator for the textual form ("/dblp/article/title").
+PATH_SEPARATOR = "/"
+
+
+def format_path(labels: LabelPath) -> str:
+    """Render a label tuple as an XPath-like string."""
+    return PATH_SEPARATOR + PATH_SEPARATOR.join(labels)
+
+
+def parse_path(text: str) -> LabelPath:
+    """Parse ``"/a/b/c"`` (leading slash optional) into a label tuple."""
+    stripped = text.strip()
+    if stripped.startswith(PATH_SEPARATOR):
+        stripped = stripped[1:]
+    if not stripped:
+        return ()
+    return tuple(stripped.split(PATH_SEPARATOR))
+
+
+class PathTable:
+    """Bidirectional interning table for label paths.
+
+    Ids are dense and assigned in first-seen order, which keeps them
+    stable for a deterministically built index.  Prefix lookups are
+    memoized because XClean resolves the same (path, depth) pairs for
+    every occurrence in a subtree.
+    """
+
+    def __init__(self):
+        self._path_to_id: dict[LabelPath, int] = {}
+        self._id_to_path: list[LabelPath] = []
+        self._prefix_cache: dict[tuple[int, int], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._id_to_path)
+
+    def __contains__(self, labels: LabelPath) -> bool:
+        return labels in self._path_to_id
+
+    def __iter__(self) -> Iterator[LabelPath]:
+        return iter(self._id_to_path)
+
+    def intern(self, labels: LabelPath) -> int:
+        """Return the id for ``labels``, assigning a fresh one if new."""
+        pid = self._path_to_id.get(labels)
+        if pid is None:
+            pid = len(self._id_to_path)
+            self._path_to_id[labels] = pid
+            self._id_to_path.append(labels)
+        return pid
+
+    def id_of(self, labels: LabelPath) -> int:
+        """Id of an already-interned path.
+
+        Raises:
+            KeyError: if the path has never been interned.
+        """
+        return self._path_to_id[labels]
+
+    def get_id(self, labels: LabelPath) -> int | None:
+        """Id of a path, or ``None`` when it has never been interned."""
+        return self._path_to_id.get(labels)
+
+    def labels_of(self, pid: int) -> LabelPath:
+        """Label tuple for an id."""
+        return self._id_to_path[pid]
+
+    def string_of(self, pid: int) -> str:
+        """Textual form ("/a/b/c") for an id."""
+        return format_path(self._id_to_path[pid])
+
+    def depth_of(self, pid: int) -> int:
+        """Depth (number of labels) of the path with this id."""
+        return len(self._id_to_path[pid])
+
+    def prefix_id(self, pid: int, to_depth: int) -> int:
+        """Id of the depth-``to_depth`` prefix of path ``pid``.
+
+        The prefix path is interned on demand: an ancestor path always
+        corresponds to a real node (the ancestor exists in the tree) but
+        may not have been registered yet if indexing visited leaves only.
+        """
+        labels = self._id_to_path[pid]
+        if to_depth == len(labels):
+            return pid
+        if to_depth < 1 or to_depth > len(labels):
+            raise ValueError(
+                f"prefix depth {to_depth} out of range for {labels}"
+            )
+        key = (pid, to_depth)
+        cached = self._prefix_cache.get(key)
+        if cached is None:
+            cached = self.intern(labels[:to_depth])
+            self._prefix_cache[key] = cached
+        return cached
+
+    def ids_at_least_depth(self, min_depth: int) -> list[int]:
+        """All interned ids whose depth is >= ``min_depth``."""
+        return [
+            pid
+            for pid, labels in enumerate(self._id_to_path)
+            if len(labels) >= min_depth
+        ]

@@ -1,0 +1,118 @@
+"""The XML tree node model.
+
+Following Section III of the paper we model an XML document as a rooted,
+node-labeled, ordered tree.  Attribute nodes and PCDATA are treated as
+element nodes; only leaf nodes carry text content.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.xmltree.dewey import DeweyCode
+from repro.xmltree.labelpath import LabelPath
+
+
+class XMLNode:
+    """A node of the XML tree.
+
+    Attributes:
+        label: the element name (attributes are modeled as elements whose
+            label is the attribute name prefixed with ``@``).
+        dewey: the node's Dewey code; assigned when the tree is frozen by
+            a builder/parser, ``None`` for detached nodes.
+        children: ordered list of child nodes.
+        text: text content. Only leaves are expected to carry text (the
+            indexing layer enforces this view); mixed content is pushed
+            down into synthetic ``#text`` children by the parser.
+    """
+
+    __slots__ = ("label", "dewey", "children", "text")
+
+    def __init__(self, label: str, text: str = ""):
+        self.label = label
+        self.dewey: DeweyCode | None = None
+        self.children: list[XMLNode] = []
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        where = ".".join(map(str, self.dewey)) if self.dewey else "?"
+        return f"XMLNode({self.label!r} @ {where}, {len(self.children)} kids)"
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no element children."""
+        return not self.children
+
+    def add_child(self, child: XMLNode) -> XMLNode:
+        """Append ``child`` and return it (builder convenience)."""
+        self.children.append(child)
+        return child
+
+    def assign_deweys(self, root_code: DeweyCode = (1,)) -> None:
+        """Assign Dewey codes to this subtree, rooted at ``root_code``.
+
+        Children are numbered from 1 in document order, as in the paper's
+        running example (Figure 2).
+        """
+        self.dewey = root_code
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            base = node.dewey
+            assert base is not None
+            for i, child in enumerate(node.children, start=1):
+                child.dewey = base + (i,)
+                stack.append(child)
+
+    def iter_subtree(self) -> Iterator[XMLNode]:
+        """Yield this node and all descendants in document order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            # Reversed so the leftmost child is processed first.
+            stack.extend(reversed(node.children))
+
+    def iter_with_paths(
+        self, prefix: LabelPath = ()
+    ) -> Iterator[tuple[XMLNode, LabelPath]]:
+        """Yield ``(node, label_path)`` pairs in document order.
+
+        ``prefix`` is the label path of this node's parent; the root of
+        the walk therefore gets ``prefix + (self.label,)``.
+        """
+        stack: list[tuple[XMLNode, LabelPath]] = [
+            (self, prefix + (self.label,))
+        ]
+        while stack:
+            node, path = stack.pop()
+            yield node, path
+            for child in reversed(node.children):
+                stack.append((child, path + (child.label,)))
+
+    def find(self, dewey: DeweyCode) -> XMLNode | None:
+        """Locate a descendant (or self) by Dewey code.
+
+        The node's own code must be a prefix of ``dewey``.  Runs in
+        O(depth) by following child ordinals.
+        """
+        own = self.dewey
+        if own is None or dewey[: len(own)] != own:
+            return None
+        node = self
+        for ordinal in dewey[len(own):]:
+            index = ordinal - 1
+            if index < 0 or index >= len(node.children):
+                return None
+            node = node.children[index]
+        return node
+
+    def subtree_text(self) -> str:
+        """Concatenated text of all leaves in the subtree, in order.
+
+        This realizes the paper's *virtual document* D(r) for an entity
+        rooted at this node (Section IV-B2).
+        """
+        parts = [n.text for n in self.iter_subtree() if n.text]
+        return " ".join(parts)

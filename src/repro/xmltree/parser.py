@@ -1,0 +1,359 @@
+"""A small, dependency-free XML parser.
+
+The reproduction builds every substrate itself (per the project charter),
+so rather than relying on ``xml.etree`` we parse the XML subset needed by
+the paper's data model with a hand-rolled scanner:
+
+* elements with attributes, self-closing tags;
+* character data, CDATA sections, the five predefined entities plus
+  numeric character references;
+* comments, processing instructions and a DOCTYPE prologue (all skipped).
+
+Mapping to the tree model of Section III:
+
+* attributes become child element nodes labeled ``@name`` holding the
+  attribute value as text, placed before element children;
+* mixed content is normalized: when an element has both text and child
+  elements, each text run is wrapped in a ``#text`` child at its document
+  position, so that text always lives at leaves.
+
+The parser is strict about well-formedness (mismatched tags raise
+:class:`~repro.exceptions.XMLParseError`) but deliberately does not
+implement namespaces, DTD validation or external entities.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import XMLParseError
+from repro.xmltree.node import XMLNode
+
+_PREDEFINED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+#: ISO-Latin character entities used heavily by the real DBLP XML
+#: (author names: &uuml;, &eacute;, …).  Passed as the default
+#: ``extra_entities`` by :func:`parse_document` so the parser accepts
+#: dblp.xml out of the box; callers can extend or override the table.
+LATIN_ENTITIES = {
+    "aacute": "á", "agrave": "à", "acirc": "â", "auml": "ä",
+    "aring": "å", "atilde": "ã", "aelig": "æ",
+    "ccedil": "ç",
+    "eacute": "é", "egrave": "è", "ecirc": "ê", "euml": "ë",
+    "iacute": "í", "igrave": "ì", "icirc": "î", "iuml": "ï",
+    "ntilde": "ñ",
+    "oacute": "ó", "ograve": "ò", "ocirc": "ô", "ouml": "ö",
+    "otilde": "õ", "oslash": "ø",
+    "uacute": "ú", "ugrave": "ù", "ucirc": "û", "uuml": "ü",
+    "yacute": "ý", "yuml": "ÿ",
+    "szlig": "ß", "thorn": "þ", "eth": "ð",
+    "Aacute": "Á", "Agrave": "À", "Acirc": "Â", "Auml": "Ä",
+    "Aring": "Å", "Atilde": "Ã", "AElig": "Æ",
+    "Ccedil": "Ç",
+    "Eacute": "É", "Egrave": "È", "Ecirc": "Ê", "Euml": "Ë",
+    "Iacute": "Í", "Igrave": "Ì", "Icirc": "Î", "Iuml": "Ï",
+    "Ntilde": "Ñ",
+    "Oacute": "Ó", "Ograve": "Ò", "Ocirc": "Ô", "Ouml": "Ö",
+    "Otilde": "Õ", "Oslash": "Ø",
+    "Uacute": "Ú", "Ugrave": "Ù", "Ucirc": "Û", "Uuml": "Ü",
+    "Yacute": "Ý",
+    "THORN": "Þ", "ETH": "Ð",
+    "nbsp": " ", "times": "×", "micro": "µ", "reg": "®",
+}
+
+#: Label used for wrapped text runs in mixed content.
+TEXT_LABEL = "#text"
+
+#: Prefix used for attribute nodes.
+ATTRIBUTE_PREFIX = "@"
+
+
+def decode_entities(
+    text: str, extra_entities: dict[str, str] | None = None
+) -> str:
+    """Replace entities and character references in ``text``.
+
+    ``extra_entities`` extends the five predefined XML entities;
+    defaults to :data:`LATIN_ENTITIES` (what DBLP-style documents
+    need).  Pass ``{}`` for strict XML-only decoding.
+    """
+    if "&" not in text:
+        return text
+    extras = LATIN_ENTITIES if extra_entities is None else extra_entities
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = text.find(";", i + 1)
+        if end == -1:
+            raise XMLParseError("unterminated entity reference", i)
+        name = text[i + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            try:
+                out.append(chr(int(name[2:], 16)))
+            except ValueError:
+                raise XMLParseError(f"bad character reference &{name};", i)
+        elif name.startswith("#"):
+            try:
+                out.append(chr(int(name[1:])))
+            except ValueError:
+                raise XMLParseError(f"bad character reference &{name};", i)
+        elif name in _PREDEFINED_ENTITIES:
+            out.append(_PREDEFINED_ENTITIES[name])
+        elif name in extras:
+            out.append(extras[name])
+        else:
+            raise XMLParseError(f"unknown entity &{name};", i)
+        i = end + 1
+    return "".join(out)
+
+
+def encode_text(text: str) -> str:
+    """Escape ``&``, ``<`` and ``>`` for serialization."""
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+class _Scanner:
+    """Cursor over the raw document with primitive scanning operations."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> XMLParseError:
+        return XMLParseError(message, self.pos)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, count: int = 1) -> str:
+        return self.text[self.pos : self.pos + count]
+
+    def skip_whitespace(self) -> None:
+        text = self.text
+        n = len(text)
+        while self.pos < n and text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def scan_until(self, literal: str) -> str:
+        end = self.text.find(literal, self.pos)
+        if end == -1:
+            raise self.error(f"unterminated construct, expected {literal!r}")
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(literal)
+        return chunk
+
+    def scan_name(self) -> str:
+        start = self.pos
+        text = self.text
+        n = len(text)
+        while self.pos < n and (
+            text[self.pos].isalnum() or text[self.pos] in "_-.:"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a name")
+        return text[start : self.pos]
+
+
+def _parse_attributes(scanner: _Scanner) -> list[tuple[str, str]]:
+    """Parse ``name="value"`` pairs up to (but excluding) ``>`` / ``/>``."""
+    attributes: list[tuple[str, str]] = []
+    while True:
+        scanner.skip_whitespace()
+        nxt = scanner.peek()
+        if nxt in (">", "/") or nxt == "?" or scanner.at_end():
+            return attributes
+        name = scanner.scan_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise scanner.error(f"attribute {name!r} value must be quoted")
+        scanner.pos += 1
+        value = scanner.scan_until(quote)
+        attributes.append((name, decode_entities(value)))
+
+
+def _skip_prolog(scanner: _Scanner) -> None:
+    """Skip the XML declaration, DOCTYPE, comments and PIs before the root."""
+    while True:
+        scanner.skip_whitespace()
+        if scanner.peek(4) == "<!--":
+            scanner.pos += 4
+            scanner.scan_until("-->")
+        elif scanner.peek(2) == "<?":
+            scanner.pos += 2
+            scanner.scan_until("?>")
+        elif scanner.peek(9).upper() == "<!DOCTYPE":
+            scanner.pos += 9
+            # A DOCTYPE may contain a bracketed internal subset.
+            depth = 1
+            while depth:
+                ch = scanner.peek()
+                if scanner.at_end():
+                    raise scanner.error("unterminated DOCTYPE")
+                if ch == "<":
+                    depth += 1
+                elif ch == ">":
+                    depth -= 1
+                scanner.pos += 1
+        else:
+            return
+
+
+def parse_document(text: str) -> XMLNode:
+    """Parse a complete XML document and return its root node.
+
+    Dewey codes are *not* assigned; callers (usually
+    :class:`repro.xmltree.document.XMLDocument`) decide the root code,
+    since a collection may hang several documents under a virtual root.
+
+    Raises:
+        XMLParseError: on malformed input or trailing non-whitespace
+            content after the root element.
+    """
+    scanner = _Scanner(text)
+    _skip_prolog(scanner)
+    if scanner.peek() != "<":
+        raise scanner.error("expected root element")
+    root = _parse_element(scanner)
+    # Only comments/PIs/whitespace may follow the root.
+    while not scanner.at_end():
+        scanner.skip_whitespace()
+        if scanner.at_end():
+            break
+        if scanner.peek(4) == "<!--":
+            scanner.pos += 4
+            scanner.scan_until("-->")
+        elif scanner.peek(2) == "<?":
+            scanner.pos += 2
+            scanner.scan_until("?>")
+        else:
+            raise scanner.error("content after document root")
+    return root
+
+
+def _parse_element(scanner: _Scanner) -> XMLNode:
+    """Parse one element starting at ``<name``; returns the subtree."""
+    scanner.expect("<")
+    name = scanner.scan_name()
+    node = XMLNode(name)
+    for attr_name, attr_value in _parse_attributes(scanner):
+        node.add_child(XMLNode(ATTRIBUTE_PREFIX + attr_name, attr_value))
+    scanner.skip_whitespace()
+    if scanner.peek(2) == "/>":
+        scanner.pos += 2
+        return node
+    scanner.expect(">")
+
+    text_runs: list[str] = []
+    had_elements = bool(node.children)
+    while True:
+        if scanner.at_end():
+            raise scanner.error(f"unterminated element <{name}>")
+        if scanner.peek() == "<":
+            two = scanner.peek(2)
+            if two == "</":
+                scanner.pos += 2
+                closing = scanner.scan_name()
+                if closing != name:
+                    raise scanner.error(
+                        f"mismatched closing tag </{closing}> for <{name}>"
+                    )
+                scanner.skip_whitespace()
+                scanner.expect(">")
+                break
+            if scanner.peek(4) == "<!--":
+                scanner.pos += 4
+                scanner.scan_until("-->")
+                continue
+            if scanner.peek(9) == "<![CDATA[":
+                scanner.pos += 9
+                run = scanner.scan_until("]]>")
+                if run.strip():
+                    _append_text(node, run, had_elements, text_runs)
+                continue
+            if two == "<?":
+                scanner.pos += 2
+                scanner.scan_until("?>")
+                continue
+            # Child element: any pending pure-text state becomes mixed.
+            if text_runs and not had_elements:
+                # Promote earlier text runs into #text children to keep
+                # document order correct.
+                for run in text_runs:
+                    if run.strip():
+                        node.add_child(XMLNode(TEXT_LABEL, run.strip()))
+                text_runs.clear()
+            had_elements = True
+            node.add_child(_parse_element(scanner))
+        else:
+            raw = scanner.scan_until("<")
+            scanner.pos -= 1  # leave '<' for the next iteration
+            run = decode_entities(raw)
+            if run.strip():
+                _append_text(node, run, had_elements, text_runs)
+
+    if text_runs:
+        # Element had only text content (no element children).
+        node.text = " ".join(run.strip() for run in text_runs if run.strip())
+    return node
+
+
+def _append_text(
+    node: XMLNode, run: str, had_elements: bool, text_runs: list[str]
+) -> None:
+    """Record a text run, wrapping immediately when content is mixed."""
+    if had_elements:
+        node.add_child(XMLNode(TEXT_LABEL, run.strip()))
+    else:
+        text_runs.append(run)
+
+
+def serialize(node: XMLNode, indent: int = 0) -> str:
+    """Serialize a subtree back to XML (round-trip / size estimation).
+
+    ``#text`` children are emitted as bare character data and ``@attr``
+    children as attributes, inverting the parse-time mapping.
+    """
+    pad = "  " * indent
+    attributes = [
+        c for c in node.children if c.label.startswith(ATTRIBUTE_PREFIX)
+    ]
+    others = [
+        c for c in node.children if not c.label.startswith(ATTRIBUTE_PREFIX)
+    ]
+    attr_text = "".join(
+        f' {c.label[1:]}="{encode_text(c.text)}"' for c in attributes
+    )
+    if not others and not node.text:
+        return f"{pad}<{node.label}{attr_text}/>"
+    if not others:
+        body = encode_text(node.text)
+        return f"{pad}<{node.label}{attr_text}>{body}</{node.label}>"
+    lines = [f"{pad}<{node.label}{attr_text}>"]
+    if node.text:
+        lines.append(f"{pad}  {encode_text(node.text)}")
+    for child in others:
+        if child.label == TEXT_LABEL:
+            lines.append(f"{pad}  {encode_text(child.text)}")
+        else:
+            lines.append(serialize(child, indent + 1))
+    lines.append(f"{pad}</{node.label}>")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Tests for the SE1/SE2 search-engine simulators."""
+
+import pytest
+
+from repro.baselines.dictionary import (
+    DictionaryCorrector,
+    LogBasedCorrector,
+)
+from repro.exceptions import QueryError
+from repro.index.corpus import build_corpus_index
+from repro.xmltree.builder import build_tree
+from repro.xmltree.document import XMLDocument
+
+
+@pytest.fixture
+def corpus():
+    # 'serum' corpus: tigi frequent, tige rare (the paper's example of
+    # log-frequency bias correcting a *correct* rare word).
+    records = [("item", [("text", "tigi serum shampoo")])] * 6
+    records += [("item", [("text", "tige serum immunology")])]
+    records += [("item", [("text", "great barrier reef")])] * 3
+    return build_corpus_index(XMLDocument(build_tree(("db", records))))
+
+
+class TestSilenceOnCleanQueries:
+    def test_known_words_no_suggestion(self, corpus):
+        se = DictionaryCorrector(corpus)
+        assert se.suggest("great barrier reef") == []
+
+    def test_rare_but_correct_word_untouched(self, corpus):
+        # In-vocabulary words are never "corrected", even rare ones.
+        se = DictionaryCorrector(corpus)
+        assert se.suggest("tige serum") == []
+
+
+class TestFrequencyBias:
+    def test_corrects_to_most_frequent(self, corpus):
+        se = DictionaryCorrector(corpus)
+        # 'tigee' is OOV; both tigi (freq 6) and tige (freq 1) are at
+        # distance 1 — frequency wins.
+        suggestions = se.suggest("tigee serum")
+        assert suggestions[0].tokens == ("tigi", "serum")
+
+    def test_at_most_one_suggestion(self, corpus):
+        se = DictionaryCorrector(corpus)
+        assert len(se.suggest("tigee serum", k=10)) == 1
+
+    def test_unfixable_word_kept_as_is(self, corpus):
+        se = DictionaryCorrector(corpus)
+        suggestions = se.suggest("zzzzzzzzz serum")
+        # No variant found: the word stays, and since nothing changed
+        # overall the engine stays silent.
+        assert suggestions == []
+
+    def test_empty_query_raises(self, corpus):
+        with pytest.raises(QueryError):
+            DictionaryCorrector(corpus).suggest("of the")
+
+
+class TestLogKnowledge:
+    def test_log_entry_wins(self, corpus):
+        se1 = LogBasedCorrector(
+            corpus, misspelling_map={"sreum": "serum"}
+        )
+        suggestions = se1.suggest("tigi sreum")
+        assert suggestions[0].tokens == ("tigi", "serum")
+
+    def test_log_entry_must_be_in_vocabulary(self, corpus):
+        # A log correction pointing at an unindexed word falls through
+        # to frequency-based correction.
+        se1 = LogBasedCorrector(
+            corpus, misspelling_map={"tigee": "nonexistentword"}
+        )
+        suggestions = se1.suggest("tigee serum")
+        assert suggestions[0].tokens == ("tigi", "serum")
+
+    def test_fallback_matches_se2(self, corpus):
+        se1 = LogBasedCorrector(corpus, misspelling_map={})
+        se2 = DictionaryCorrector(corpus)
+        assert [s.tokens for s in se1.suggest("tigee serum")] == [
+            s.tokens for s in se2.suggest("tigee serum")
+        ]

@@ -1,0 +1,147 @@
+"""Tests for the PY08 baseline, including its two documented biases."""
+
+import pytest
+
+from repro.baselines.py08 import PY08Config, PY08Suggester
+from repro.exceptions import ConfigurationError, QueryError
+from repro.index.corpus import build_corpus_index
+from repro.xmltree.builder import build_tree
+from repro.xmltree.document import XMLDocument
+
+
+def figure1_corpus():
+    """A corpus realizing Figure 1's bias scenario.
+
+    'insurance' is frequent and co-occurs with 'health' inside records;
+    'instance' is rare (high idf) and only connects to 'health' through
+    the root.
+    """
+    records = []
+    for _ in range(8):
+        records.append(
+            ("record", [("text", "health insurance policy coverage")])
+        )
+    records.append(("record", [("text", "singular instance")]))
+    records.append(("record", [("text", "health checkup")]))
+    tree = build_tree(("db", records))
+    return build_corpus_index(XMLDocument(tree))
+
+
+@pytest.fixture
+def corpus():
+    return figure1_corpus()
+
+
+class TestFigure1Bias:
+    def test_rare_token_outscores_frequent(self, corpus):
+        # ed(insurence, instance) = 3: Figure 1 implicitly runs at eps=3.
+        suggester = PY08Suggester(corpus, config=PY08Config(max_errors=3))
+        suggestions = suggester.suggest("health insurence", k=3)
+        assert suggestions, "PY08 must return suggestions"
+        # The bias: 'instance' (rare, idf-heavy) ranks above 'insurance'
+        # even though it never co-occurs with 'health'.
+        tokens = [s.tokens for s in suggestions]
+        assert ("health", "instance") in tokens
+        rank_instance = tokens.index(("health", "instance"))
+        rank_insurance = (
+            tokens.index(("health", "insurance"))
+            if ("health", "insurance") in tokens
+            else len(tokens)
+        )
+        assert rank_instance < rank_insurance
+
+    def test_no_connectivity_requirement(self, corpus):
+        """PY08 happily suggests keyword pairs that never co-occur."""
+        suggester = PY08Suggester(
+            corpus,
+            config=PY08Config(max_errors=2, use_segments=False),
+        )
+        suggestions = suggester.suggest("health instanse", k=1)
+        assert suggestions[0].tokens == ("health", "instance")
+
+
+class TestMechanics:
+    def test_scores_descending(self, corpus):
+        suggester = PY08Suggester(corpus)
+        scores = [s.score for s in suggester.suggest("health insurence")]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_respected(self, corpus):
+        suggester = PY08Suggester(corpus)
+        assert len(suggester.suggest("health insurence", k=1)) == 1
+
+    def test_empty_query_raises(self, corpus):
+        with pytest.raises(QueryError):
+            PY08Suggester(corpus).suggest("the of")
+
+    def test_unmatchable_keyword(self, corpus):
+        assert PY08Suggester(corpus).suggest("zzzzzzzzzz health") == []
+
+    def test_gamma_limits_combinations(self, corpus):
+        small = PY08Suggester(corpus, config=PY08Config(gamma=1))
+        small.suggest("health insurence")
+        assert small.last_stats.candidates_evaluated == 1
+
+    def test_top_combinations_are_best(self, corpus):
+        """The lazy enumeration must return the true top combinations."""
+        suggester = PY08Suggester(
+            corpus, config=PY08Config(gamma=1000, use_segments=False)
+        )
+        suggestions = suggester.suggest("health insurence", k=100)
+        scores = [s.score for s in suggestions]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_exponential_penalty_mode(self, corpus):
+        exp = PY08Suggester(
+            corpus,
+            config=PY08Config(penalty="exponential", beta=5.0),
+        )
+        # A strong distance penalty suppresses the rare-token bias:
+        # 'insurance' (distance 1) now wins over 'instance' (distance 3).
+        top = exp.suggest("health insurence", k=1)[0]
+        assert top.tokens == ("health", "insurance")
+
+    def test_segment_bonus_rewards_cooccurrence(self, corpus):
+        with_seg = PY08Suggester(
+            corpus, config=PY08Config(max_errors=3, use_segments=True)
+        )
+        without_seg = PY08Suggester(
+            corpus, config=PY08Config(max_errors=3, use_segments=False)
+        )
+        s_with = {
+            s.tokens: s.score
+            for s in with_seg.suggest("health insurence", k=10)
+        }
+        s_without = {
+            s.tokens: s.score
+            for s in without_seg.suggest("health insurence", k=10)
+        }
+        pair = ("health", "insurance")
+        # 'health insurance' co-occurs, so only it gains the bonus.
+        assert s_with[pair] > s_without[pair]
+        lone = ("health", "instance")
+        assert s_with[lone] == pytest.approx(s_without[lone])
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            PY08Config(gamma=0)
+        with pytest.raises(ConfigurationError):
+            PY08Config(max_errors=-1)
+        with pytest.raises(ConfigurationError):
+            PY08Config(penalty="nope")
+
+    def test_multiple_passes_read_more_than_xclean(self, corpus):
+        """The efficiency story of Table VI: PY08 reads far more."""
+        from repro.core.cleaner import XCleanSuggester
+        from repro.core.config import XCleanConfig
+
+        py08 = PY08Suggester(corpus)
+        xclean = XCleanSuggester(
+            corpus, config=XCleanConfig(max_errors=2, gamma=None)
+        )
+        py08.suggest("health insurence")
+        xclean.suggest("health insurence")
+        assert (
+            py08.last_stats.postings_read
+            > xclean.last_stats.postings_read
+        )

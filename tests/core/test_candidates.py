@@ -1,0 +1,92 @@
+"""Tests for the candidate query space (Section IV-A, Example 2)."""
+
+import pytest
+
+from repro.core.candidates import CandidateSpace
+from repro.core.error_model import ExponentialErrorModel
+from repro.fastss.generator import VariantGenerator
+
+VOCAB = ["tree", "trees", "trie", "icde", "icdt"]
+
+
+@pytest.fixture
+def space():
+    generator = VariantGenerator(VOCAB, max_errors=1)
+    return CandidateSpace(
+        ["tree", "icdt"], generator, ExponentialErrorModel(5.0), 1
+    )
+
+
+class TestExample2:
+    """var_1(tree) = {tree, trees, trie}, var_1(icdt) = {icdt, icde};
+    the space has 6 candidates."""
+
+    def test_variant_sets(self, space):
+        assert set(space.variant_tokens(0)) == {"tree", "trees", "trie"}
+        assert set(space.variant_tokens(1)) == {"icdt", "icde"}
+
+    def test_space_size(self, space):
+        assert space.space_size() == 6
+
+    def test_enumerate_all(self, space):
+        candidates = set(space.enumerate_all())
+        assert candidates == {
+            ("tree", "icdt"),
+            ("tree", "icde"),
+            ("trees", "icdt"),
+            ("trees", "icde"),
+            ("trie", "icdt"),
+            ("trie", "icde"),
+        }
+
+    def test_viable(self, space):
+        assert space.is_viable
+
+
+class TestErrorWeights:
+    def test_weight_product(self, space):
+        w_exact = space.per_keyword[0].weight_of("tree")
+        w_icdt = space.per_keyword[1].weight_of("icdt")
+        assert space.error_weight(("tree", "icdt")) == pytest.approx(
+            w_exact * w_icdt
+        )
+
+    def test_exact_candidate_has_max_weight(self, space):
+        weights = {
+            c: space.error_weight(c) for c in space.enumerate_all()
+        }
+        assert max(weights, key=weights.get) == ("tree", "icdt")
+
+
+class TestEnumeratePresent:
+    def test_restricts_to_present(self, space):
+        present = [{"trie", "tree"}, {"icde"}]
+        assert set(space.enumerate_present(present)) == {
+            ("tree", "icde"),
+            ("trie", "icde"),
+        }
+
+    def test_missing_position_yields_nothing(self, space):
+        assert list(space.enumerate_present([{"tree"}, set()])) == []
+
+    def test_ignores_non_variants(self, space):
+        present = [{"tree", "unrelated"}, {"icde"}]
+        assert set(space.enumerate_present(present)) == {("tree", "icde")}
+
+    def test_order_deterministic(self, space):
+        present = [["trie", "tree"], ["icde", "icdt"]]
+        first = list(space.enumerate_present(present))
+        second = list(
+            space.enumerate_present([["tree", "trie"], ["icdt", "icde"]])
+        )
+        assert first == second
+
+
+class TestNonViable:
+    def test_keyword_without_variants(self):
+        generator = VariantGenerator(VOCAB, max_errors=1)
+        space = CandidateSpace(
+            ["tree", "zzzzzzz"], generator, ExponentialErrorModel(), 1
+        )
+        assert not space.is_viable
+        assert space.space_size() == 0

@@ -1,0 +1,211 @@
+"""Tests for Algorithm 1 (XCleanSuggester): paper trace + oracle equality."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cleaner import XCleanSuggester
+from repro.core.config import XCleanConfig
+from repro.core.naive import NaiveCleaner
+from repro.exceptions import QueryError
+from repro.index.corpus import build_corpus_index
+from repro.xmltree.builder import build_tree, paper_example_tree
+from repro.xmltree.document import XMLDocument
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus_index(XMLDocument(paper_example_tree()))
+
+
+def make_suggester(corpus, **overrides):
+    defaults = dict(max_errors=1, gamma=None, min_depth=2, reduction=0.8)
+    defaults.update(overrides)
+    return XCleanSuggester(corpus, config=XCleanConfig(**defaults))
+
+
+class TestPaperTrace:
+    """Example 5's execution trace against the real implementation."""
+
+    def test_groups_processed(self, corpus):
+        suggester = make_suggester(corpus)
+        suggester.suggest("tree icdt")
+        # Groups 1.2, 1.3 and 1.4 are processed; 1.1 contains only a
+        # tree-variant and 1.5 is never reached because the icdt/icde
+        # MergedList exhausts first.
+        assert suggester.last_stats.groups_processed == 3
+
+    def test_skipping_saves_reads(self, corpus):
+        suggester = make_suggester(corpus)
+        suggester.suggest("tree icdt")
+        stats = suggester.last_stats
+        # 8 postings are read (3 in group 1.2, 3 in 1.3, 2 in 1.4); the
+        # trees posting under 1.1 is skipped; trie's two postings under
+        # 1.5 are never touched.
+        assert stats.postings_read == 8
+        assert stats.postings_skipped == 1
+
+    def test_space_size_matches_example2(self, corpus):
+        suggester = make_suggester(corpus)
+        suggester.suggest("tree icdt")
+        assert suggester.last_stats.space_size == 6
+
+    def test_suggestions_have_valid_result_types(self, corpus):
+        suggester = make_suggester(corpus)
+        for suggestion in suggester.suggest("tree icdt"):
+            assert suggestion.result_type in {"/a/c", "/a/d"}
+
+    def test_candidates_connected_below_root_only(self, corpus):
+        suggester = make_suggester(corpus)
+        tokens = {s.tokens for s in suggester.suggest("tree icdt")}
+        # ('trees', 'icde')-style candidates connected only through the
+        # root must not appear.
+        assert ("trees", "icde") not in tokens
+        assert ("trees", "icdt") not in tokens
+
+
+class TestSuggestions:
+    def test_non_empty_results_guarantee(self, corpus):
+        """Every suggestion must have at least one entity containing
+        all its keywords — checked against the raw tree."""
+        doc = XMLDocument(paper_example_tree())
+        suggester = make_suggester(corpus)
+        for suggestion in suggester.suggest("tree icdt"):
+            found = False
+            for node, path in doc.iter_with_paths():
+                text = set(node.subtree_text().split())
+                if all(t in text for t in suggestion.tokens):
+                    if "/" + "/".join(path) == suggestion.result_type:
+                        found = True
+                        break
+            assert found, f"{suggestion.text} has no results"
+
+    def test_scores_descending(self, corpus):
+        suggester = make_suggester(corpus)
+        scores = [s.score for s in suggester.suggest("tree icdt")]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_limits_output(self, corpus):
+        suggester = make_suggester(corpus)
+        assert len(suggester.suggest("tree icdt", k=2)) == 2
+
+    def test_clean_query_ranks_itself_high(self, corpus):
+        suggester = make_suggester(corpus)
+        top = suggester.suggest("trie icde", k=1)[0]
+        assert top.tokens == ("trie", "icde")
+
+    def test_empty_query_raises(self, corpus):
+        with pytest.raises(QueryError):
+            make_suggester(corpus).suggest("of to")
+
+    def test_unmatchable_keyword_returns_nothing(self, corpus):
+        suggester = make_suggester(corpus)
+        assert suggester.suggest("tree zzzzzzzzz") == []
+
+    def test_single_keyword_query(self, corpus):
+        suggester = make_suggester(corpus)
+        suggestions = suggester.suggest("tre")
+        assert suggestions
+        assert all(len(s.tokens) == 1 for s in suggestions)
+
+
+class TestOracleEquivalence:
+    """Algorithm 1 with γ=∞ must reproduce the naive scorer exactly."""
+
+    QUERIES = ["tree icdt", "trie icde", "tre icde", "tree", "icde trie"]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_scores_match_naive(self, corpus, query):
+        fast = make_suggester(corpus).score_all(query)
+        naive = NaiveCleaner(
+            corpus,
+            config=XCleanConfig(max_errors=1, gamma=None, min_depth=2),
+        ).score_all(query)
+        naive = {c: s for c, s in naive.items() if s > 0}
+        assert set(fast) == set(naive)
+        for candidate, score in fast.items():
+            assert score == pytest.approx(naive[candidate], rel=1e-12)
+
+    def test_no_skipping_same_scores(self, corpus):
+        with_skip = make_suggester(corpus, use_skipping=True)
+        without_skip = make_suggester(corpus, use_skipping=False)
+        assert with_skip.score_all("tree icdt") == pytest.approx(
+            without_skip.score_all("tree icdt")
+        )
+
+    def test_no_skipping_reads_more(self, corpus):
+        with_skip = make_suggester(corpus, use_skipping=True)
+        without_skip = make_suggester(corpus, use_skipping=False)
+        with_skip.suggest("tree icdt")
+        without_skip.suggest("tree icdt")
+        assert (
+            without_skip.last_stats.postings_read
+            > with_skip.last_stats.postings_read
+        )
+        assert without_skip.last_stats.postings_skipped == 0
+
+
+tokens_strategy = st.sampled_from(
+    ["tree", "trie", "icde", "icdt", "data", "mining"]
+)
+
+
+@st.composite
+def random_tree(draw):
+    """A random 3-level document: root -> sections -> leaves(token)."""
+    section_labels = st.sampled_from(["sec", "div"])
+    sections = draw(
+        st.lists(
+            st.tuples(
+                section_labels,
+                st.lists(tokens_strategy, min_size=1, max_size=4),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    spec = (
+        "root",
+        [
+            (label, [("item", token) for token in leaf_tokens])
+            for label, leaf_tokens in sections
+        ],
+    )
+    return build_tree(spec)
+
+
+class TestOracleEquivalenceProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        random_tree(),
+        st.lists(tokens_strategy, min_size=1, max_size=2),
+    )
+    def test_random_documents(self, tree, query_tokens):
+        corpus = build_corpus_index(XMLDocument(tree))
+        query = " ".join(query_tokens)
+        config = XCleanConfig(max_errors=1, gamma=None, min_depth=2)
+        fast = XCleanSuggester(corpus, config=config).score_all(query)
+        naive = NaiveCleaner(corpus, config=config).score_all(query)
+        naive = {c: s for c, s in naive.items() if s > 0}
+        assert set(fast) == set(naive)
+        for candidate, score in fast.items():
+            assert score == pytest.approx(naive[candidate], rel=1e-9)
+
+
+class TestGammaPruning:
+    def test_gamma_one_keeps_best_available(self, corpus):
+        pruned = make_suggester(corpus, gamma=1)
+        suggestions = pruned.suggest("tree icdt")
+        assert len(suggestions) == 1
+
+    def test_large_gamma_equals_unbounded(self, corpus):
+        bounded = make_suggester(corpus, gamma=1000)
+        unbounded = make_suggester(corpus, gamma=None)
+        assert bounded.score_all("tree icdt") == pytest.approx(
+            unbounded.score_all("tree icdt")
+        )
+
+    def test_small_gamma_evicts(self, corpus):
+        pruned = make_suggester(corpus, gamma=1)
+        pruned.suggest("tree icdt")
+        assert pruned.last_stats.accumulator_evictions >= 1

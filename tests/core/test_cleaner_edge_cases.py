@@ -1,0 +1,174 @@
+"""Edge cases for the XClean suggester beyond the paper's happy path."""
+
+import pytest
+
+from repro.core.cleaner import XCleanSuggester
+from repro.core.config import XCleanConfig
+from repro.core.naive import NaiveCleaner
+from repro.index.corpus import build_corpus_index
+from repro.xmltree.builder import build_tree
+from repro.xmltree.document import XMLDocument
+
+
+def make_corpus(spec):
+    return build_corpus_index(XMLDocument(build_tree(spec)))
+
+
+def make_suggester(corpus, **overrides):
+    defaults = dict(max_errors=1, gamma=None, min_depth=2)
+    defaults.update(overrides)
+    return XCleanSuggester(corpus, config=XCleanConfig(**defaults))
+
+
+class TestRepeatedKeywords:
+    def test_duplicate_query_keywords(self):
+        corpus = make_corpus(
+            ("db", [("rec", [("t", "tree tree search")])])
+        )
+        suggester = make_suggester(corpus)
+        suggestions = suggester.suggest("tree tree")
+        assert suggestions
+        assert suggestions[0].tokens == ("tree", "tree")
+
+    def test_matches_naive_with_duplicates(self):
+        corpus = make_corpus(
+            (
+                "db",
+                [
+                    ("rec", [("t", "tree tree search")]),
+                    ("rec", [("t", "trie search")]),
+                ],
+            )
+        )
+        config = XCleanConfig(max_errors=1, gamma=None)
+        fast = XCleanSuggester(corpus, config=config)
+        naive = NaiveCleaner(corpus, config=config)
+        fast_scores = fast.score_all("tree tree")
+        naive_scores = {
+            c: s for c, s in naive.score_all("tree tree").items() if s > 0
+        }
+        assert set(fast_scores) == set(naive_scores)
+        for c, s in fast_scores.items():
+            assert s == pytest.approx(naive_scores[c], rel=1e-9)
+
+
+class TestTermFrequencies:
+    def test_tf_above_one_aggregated(self):
+        """Multiple occurrences of a token in one leaf must count."""
+        corpus = make_corpus(
+            (
+                "db",
+                [
+                    ("rec", [("t", "tree tree tree icde")]),
+                    ("rec", [("t", "tree icde")]),
+                ],
+            )
+        )
+        postings = list(corpus.inverted.list_for("tree"))
+        assert postings[0][2] == 3
+        suggester = make_suggester(corpus)
+        scores = suggester.score_all("tree icde")
+        # The tf-3 record has higher p(tree|D) despite being longer.
+        assert scores[("tree", "icde")] > 0
+
+
+class TestDeepAndShallowStructures:
+    def test_occurrences_shallower_than_min_depth(self):
+        # Text directly under the root (depth 2 leaves are fine, but a
+        # depth-1 posting cannot exist since the root's text would be
+        # depth 1): simulate with min_depth larger than leaf depth.
+        corpus = make_corpus(("db", [("rec", "tree icde")]))
+        suggester = make_suggester(corpus, min_depth=3)
+        # Leaves are at depth 2 < 3: no valid groups at all.
+        assert suggester.suggest("tree icde") == []
+
+    def test_min_depth_one(self):
+        corpus = make_corpus(
+            ("db", [("rec", [("t", "tree")]), ("rec", [("t", "icde")])])
+        )
+        # At d=1 the only shared type is the root itself.
+        suggester = make_suggester(corpus, min_depth=1)
+        suggestions = suggester.suggest("tree icde")
+        assert suggestions
+        assert suggestions[0].result_type == "/db"
+
+    def test_very_deep_tree(self):
+        spec = ("a", [("b", [("c", [("d", [("e", [("t", "tree icde")])])])])])
+        corpus = make_corpus(spec)
+        suggester = make_suggester(corpus)
+        suggestions = suggester.suggest("tree icde")
+        assert suggestions
+        assert suggestions[0].tokens == ("tree", "icde")
+
+
+class TestQueryShapes:
+    def test_many_keywords(self):
+        corpus = make_corpus(
+            (
+                "db",
+                [
+                    (
+                        "rec",
+                        [("t", "alpha bravo charlie delta echo")],
+                    )
+                ],
+            )
+        )
+        suggester = make_suggester(corpus)
+        suggestions = suggester.suggest(
+            "alpha bravo charlie delta echo"
+        )
+        assert suggestions[0].tokens == (
+            "alpha",
+            "bravo",
+            "charlie",
+            "delta",
+            "echo",
+        )
+
+    def test_mixed_known_unknown_keywords(self):
+        corpus = make_corpus(
+            ("db", [("rec", [("t", "tree index structure")])])
+        )
+        suggester = make_suggester(corpus)
+        suggestions = suggester.suggest("tree strcture")
+        assert any(
+            s.tokens == ("tree", "structure") for s in suggestions
+        )
+
+    def test_whitespace_and_punctuation_query(self):
+        corpus = make_corpus(("db", [("rec", [("t", "tree search")])]))
+        suggester = make_suggester(corpus)
+        suggestions = suggester.suggest("  tree,  search!! ")
+        assert suggestions[0].tokens == ("tree", "search")
+
+
+class TestScoreProperties:
+    def test_scores_are_probabilistic_magnitudes(self):
+        corpus = make_corpus(
+            (
+                "db",
+                [
+                    ("rec", [("t", "tree icde")]),
+                    ("rec", [("t", "trie icde")]),
+                ],
+            )
+        )
+        suggester = make_suggester(corpus)
+        for suggestion in suggester.suggest("tree icde"):
+            assert 0.0 < suggestion.score <= 1.0
+
+    def test_closer_variant_outranks_with_equal_support(self):
+        # Symmetric contents: only the error model separates candidates.
+        corpus = make_corpus(
+            (
+                "db",
+                [
+                    ("rec", [("t", "tree icde")]),
+                    ("rec", [("t", "trees icde")]),
+                ],
+            )
+        )
+        suggester = make_suggester(corpus)
+        suggestions = suggester.suggest("tree icde")
+        assert suggestions[0].tokens == ("tree", "icde")

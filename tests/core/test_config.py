@@ -1,0 +1,50 @@
+"""Validation tests for XCleanConfig."""
+
+import pytest
+
+from repro.core.config import XCleanConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = XCleanConfig()
+        assert config.beta == 5.0  # Table IV's best setting
+        assert config.min_depth == 2  # Section V-B
+        assert config.gamma == 1000  # Table V's saturation point
+        assert config.reduction == 0.8  # Example 3
+        assert config.use_skipping is True
+        assert config.prior == "uniform"
+
+    def test_frozen(self):
+        config = XCleanConfig()
+        with pytest.raises(AttributeError):
+            config.beta = 1.0  # type: ignore[misc]
+
+
+class TestValidation:
+    def test_negative_max_errors(self):
+        with pytest.raises(ConfigurationError):
+            XCleanConfig(max_errors=-1)
+
+    def test_gamma_zero(self):
+        with pytest.raises(ConfigurationError):
+            XCleanConfig(gamma=0)
+
+    def test_gamma_none_allowed(self):
+        assert XCleanConfig(gamma=None).gamma is None
+
+    def test_min_depth_zero(self):
+        with pytest.raises(ConfigurationError):
+            XCleanConfig(min_depth=0)
+
+    def test_unknown_prior(self):
+        with pytest.raises(ConfigurationError):
+            XCleanConfig(prior="zipf")
+
+    def test_valid_priors(self):
+        assert XCleanConfig(prior="length").prior == "length"
+
+    def test_max_errors_zero_allowed(self):
+        # ε=0: only exact-vocabulary queries produce candidates.
+        assert XCleanConfig(max_errors=0).max_errors == 0

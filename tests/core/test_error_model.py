@@ -1,0 +1,134 @@
+"""Tests for the error models (Section IV-B1)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.error_model import (
+    ExponentialErrorModel,
+    MaysErrorModel,
+    query_error_weight,
+)
+from repro.exceptions import ConfigurationError
+from repro.fastss.index import Variant
+
+VARIANTS = (
+    Variant(0, "tree"),
+    Variant(1, "trees"),
+    Variant(1, "trie"),
+    Variant(2, "tried"),
+)
+
+
+class TestExponentialModel:
+    def test_weights_normalized(self):
+        weights = ExponentialErrorModel(5.0).variant_weights(
+            "tree", VARIANTS
+        )
+        assert abs(sum(weights.values()) - 1.0) < 1e-12
+
+    def test_exact_match_dominates(self):
+        weights = ExponentialErrorModel(5.0).variant_weights(
+            "tree", VARIANTS
+        )
+        assert weights["tree"] > weights["trees"] > weights["tried"]
+
+    def test_equal_distance_equal_weight(self):
+        weights = ExponentialErrorModel(5.0).variant_weights(
+            "tree", VARIANTS
+        )
+        assert weights["trees"] == weights["trie"]
+
+    def test_exponential_ratio(self):
+        beta = 3.0
+        weights = ExponentialErrorModel(beta).variant_weights(
+            "tree", VARIANTS
+        )
+        assert weights["trees"] / weights["tree"] == pytest.approx(
+            math.exp(-beta)
+        )
+
+    def test_beta_zero_is_uniform(self):
+        weights = ExponentialErrorModel(0.0).variant_weights(
+            "tree", VARIANTS
+        )
+        assert all(
+            w == pytest.approx(1 / len(VARIANTS))
+            for w in weights.values()
+        )
+
+    def test_empty_variants(self):
+        assert ExponentialErrorModel().variant_weights("x", ()) == {}
+
+    def test_negative_beta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialErrorModel(-1.0)
+
+    @given(st.floats(min_value=0.0, max_value=20.0))
+    def test_always_a_distribution(self, beta):
+        weights = ExponentialErrorModel(beta).variant_weights(
+            "tree", VARIANTS
+        )
+        assert abs(sum(weights.values()) - 1.0) < 1e-9
+        assert all(w > 0 for w in weights.values())
+
+    def test_larger_beta_penalizes_more(self):
+        soft = ExponentialErrorModel(1.0).variant_weights("tree", VARIANTS)
+        hard = ExponentialErrorModel(8.0).variant_weights("tree", VARIANTS)
+        assert hard["tried"] < soft["tried"]
+        assert hard["tree"] > soft["tree"]
+
+
+class TestMaysModel:
+    def test_self_gets_alpha(self):
+        weights = MaysErrorModel(0.9).variant_weights("tree", VARIANTS)
+        assert weights["tree"] == pytest.approx(0.9)
+
+    def test_rest_shared_equally(self):
+        weights = MaysErrorModel(0.9).variant_weights("tree", VARIANTS)
+        others = [weights[t] for t in ("trees", "trie", "tried")]
+        assert all(w == pytest.approx(0.1 / 3) for w in others)
+
+    def test_out_of_vocabulary_keyword_uniform(self):
+        variants = (Variant(1, "tree"), Variant(1, "trie"))
+        weights = MaysErrorModel(0.9).variant_weights("tre", variants)
+        assert weights == {
+            "tree": pytest.approx(0.5),
+            "trie": pytest.approx(0.5),
+        }
+
+    def test_only_self(self):
+        weights = MaysErrorModel(0.9).variant_weights(
+            "tree", (Variant(0, "tree"),)
+        )
+        assert weights == {"tree": 1.0}
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MaysErrorModel(0.0)
+        with pytest.raises(ConfigurationError):
+            MaysErrorModel(1.0)
+
+    def test_empty_variants(self):
+        assert MaysErrorModel().variant_weights("x", ()) == {}
+
+    def test_normalized(self):
+        weights = MaysErrorModel(0.7).variant_weights("tree", VARIANTS)
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+
+class TestQueryErrorWeight:
+    def test_product_over_positions(self):
+        per_keyword = [{"a": 0.5, "b": 0.5}, {"c": 0.25}]
+        assert query_error_weight(per_keyword, ("a", "c")) == pytest.approx(
+            0.125
+        )
+
+    def test_missing_token_raises(self):
+        with pytest.raises(KeyError):
+            query_error_weight([{"a": 1.0}], ("z",))
+
+    def test_empty_candidate(self):
+        assert query_error_weight([], ()) == 1.0

@@ -1,0 +1,76 @@
+"""Tests for the Hoeffding bound helpers (Section V-D)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pruning import (
+    hoeffding_confidence,
+    samples_for_confidence,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestConfidence:
+    def test_zero_samples_gives_no_confidence(self):
+        assert hoeffding_confidence(0, 0.1) == 0.0
+
+    def test_exact_formula(self):
+        value = hoeffding_confidence(100, 0.1)
+        assert value == pytest.approx(1 - 2 * math.exp(-2 * 100 * 0.01))
+
+    def test_monotone_in_samples(self):
+        values = [hoeffding_confidence(n, 0.1) for n in (10, 100, 1000)]
+        assert values == sorted(values)
+
+    def test_monotone_in_epsilon(self):
+        values = [
+            hoeffding_confidence(100, e) for e in (0.01, 0.1, 0.3)
+        ]
+        assert values == sorted(values)
+
+    def test_clamped_to_unit_interval(self):
+        assert 0.0 <= hoeffding_confidence(1, 0.001) <= 1.0
+        assert hoeffding_confidence(10**6, 0.5) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            hoeffding_confidence(-1, 0.1)
+        with pytest.raises(ConfigurationError):
+            hoeffding_confidence(1, -0.1)
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_always_a_probability(self, n, epsilon):
+        assert 0.0 <= hoeffding_confidence(n, epsilon) <= 1.0
+
+
+class TestSamplesForConfidence:
+    def test_round_trip(self):
+        n = samples_for_confidence(0.95, 0.05)
+        assert hoeffding_confidence(n, 0.05) >= 0.95
+        if n > 0:
+            assert hoeffding_confidence(n - 1, 0.05) < 0.95
+
+    def test_tighter_epsilon_needs_more_samples(self):
+        assert samples_for_confidence(0.9, 0.01) > samples_for_confidence(
+            0.9, 0.1
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            samples_for_confidence(1.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            samples_for_confidence(0.9, 0.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.999),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_inverse_property(self, confidence, epsilon):
+        n = samples_for_confidence(confidence, epsilon)
+        assert hoeffding_confidence(n, epsilon) >= confidence - 1e-12

@@ -1,0 +1,98 @@
+"""Tests for the Dirichlet-smoothed unigram model (Eq. 6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.language_model import DirichletLanguageModel
+from repro.exceptions import ConfigurationError
+from repro.index.vocabulary import Vocabulary
+
+
+@pytest.fixture
+def vocab() -> Vocabulary:
+    v = Vocabulary()
+    v.add_occurrence("tree", 6)
+    v.add_occurrence("trie", 2)
+    v.add_occurrence("icde", 2)
+    return v
+
+
+class TestFormula:
+    def test_exact_value(self, vocab):
+        lm = DirichletLanguageModel(vocab, mu=10.0)
+        # (count + mu * cf/total) / (len + mu) = (3 + 10*0.6) / (20 + 10)
+        assert lm.probability("tree", 3, 20) == pytest.approx(9.0 / 30.0)
+
+    def test_zero_count_gets_background_mass(self, vocab):
+        lm = DirichletLanguageModel(vocab, mu=10.0)
+        assert lm.probability("tree", 0, 20) == pytest.approx(6.0 / 30.0)
+
+    def test_unknown_token_zero_background(self, vocab):
+        lm = DirichletLanguageModel(vocab, mu=10.0)
+        assert lm.probability("zzz", 0, 20) == 0.0
+        assert lm.probability("zzz", 2, 20) == pytest.approx(2.0 / 30.0)
+
+    def test_empty_document_degenerates_to_background(self, vocab):
+        lm = DirichletLanguageModel(vocab, mu=100.0)
+        assert lm.probability("tree", 0, 0) == pytest.approx(0.6)
+
+    def test_mu_validation(self, vocab):
+        with pytest.raises(ConfigurationError):
+            DirichletLanguageModel(vocab, mu=0.0)
+        with pytest.raises(ConfigurationError):
+            DirichletLanguageModel(vocab, mu=-5.0)
+
+
+class TestDistributionProperties:
+    def test_sums_to_one_over_vocabulary(self, vocab):
+        # Take a document holding 4 'tree' and 1 'icde' (length 5).
+        lm = DirichletLanguageModel(vocab, mu=7.0)
+        counts = {"tree": 4, "icde": 1, "trie": 0}
+        total = sum(
+            lm.probability(token, counts[token], 5) for token in counts
+        )
+        assert total == pytest.approx(1.0)
+
+    @given(
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=100),
+        st.floats(min_value=0.1, max_value=1000.0),
+    )
+    def test_probability_in_unit_interval(self, count, extra, mu):
+        vocab = Vocabulary()
+        vocab.add_occurrence("tree", 5)
+        vocab.add_occurrence("trie", 5)
+        lm = DirichletLanguageModel(vocab, mu=mu)
+        length = count + extra
+        p = lm.probability("tree", count, length)
+        assert 0.0 <= p <= 1.0
+
+    def test_monotone_in_count(self, vocab):
+        lm = DirichletLanguageModel(vocab, mu=10.0)
+        assert lm.probability("tree", 5, 20) > lm.probability("tree", 2, 20)
+
+    def test_higher_mu_pulls_toward_background(self, vocab):
+        # 'tree' background is 0.6; a doc with rel freq 1/20 = 0.05 is
+        # below background, so more smoothing *raises* the estimate.
+        weak = DirichletLanguageModel(vocab, mu=1.0)
+        strong = DirichletLanguageModel(vocab, mu=1000.0)
+        assert strong.probability("tree", 1, 20) > weak.probability(
+            "tree", 1, 20
+        )
+
+
+class TestDocumentProbability:
+    def test_product(self, vocab):
+        lm = DirichletLanguageModel(vocab, mu=10.0)
+        single = lm.probability("tree", 2, 10) * lm.probability(
+            "icde", 1, 10
+        )
+        combined = lm.document_probability(
+            ["tree", "icde"], [2, 1], 10
+        )
+        assert combined == pytest.approx(single)
+
+    def test_empty_query(self, vocab):
+        lm = DirichletLanguageModel(vocab)
+        assert lm.document_probability([], [], 10) == 1.0

@@ -1,0 +1,76 @@
+"""Direct tests for the naive reference cleaner."""
+
+import pytest
+
+from repro.core.config import XCleanConfig
+from repro.core.naive import NaiveCleaner
+from repro.exceptions import QueryError
+from repro.index.corpus import build_corpus_index
+from repro.xmltree.builder import paper_example_tree
+from repro.xmltree.document import XMLDocument
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus_index(XMLDocument(paper_example_tree()))
+
+
+@pytest.fixture(scope="module")
+def cleaner(corpus):
+    return NaiveCleaner(
+        corpus, config=XCleanConfig(max_errors=1, gamma=None)
+    )
+
+
+class TestSuggest:
+    def test_orders_by_score(self, cleaner):
+        suggestions = cleaner.suggest("tree icdt")
+        scores = [s.score for s in suggestions]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_result_types_attached(self, cleaner):
+        types = {
+            s.tokens: s.result_type
+            for s in cleaner.suggest("tree icdt")
+        }
+        assert types[("trie", "icdt")] == "/a/d"
+        assert types[("tree", "icde")] == "/a/c"
+
+    def test_k_respected(self, cleaner):
+        assert len(cleaner.suggest("tree icdt", k=1)) == 1
+
+    def test_empty_query_raises(self, cleaner):
+        with pytest.raises(QueryError):
+            cleaner.suggest("the of")
+
+    def test_unmatchable_keyword(self, cleaner):
+        assert cleaner.suggest("tree zzzzzzz") == []
+
+
+class TestScoreAll:
+    def test_only_valid_candidates_scored(self, cleaner):
+        scores = cleaner.score_all("tree icdt")
+        assert set(scores) == {
+            ("tree", "icde"),
+            ("trie", "icde"),
+            ("trie", "icdt"),
+        }
+
+    def test_evaluates_full_space(self, cleaner):
+        cleaner.score_all("tree icdt")
+        # Example 2: the Cartesian space has 6 candidates, all visited.
+        assert cleaner.last_stats.candidates_evaluated == 6
+        assert cleaner.last_stats.space_size == 6
+
+    def test_reads_full_lists(self, corpus, cleaner):
+        cleaner.score_all("tree icdt")
+        # The naive scorer has no skipping: it touches postings per
+        # candidate evaluation, far more than the single-pass algorithm.
+        assert cleaner.last_stats.postings_read >= sum(
+            len(corpus.inverted.list_for(t))
+            for t in ("tree", "trees", "trie", "icde", "icdt")
+        )
+
+    def test_scores_positive(self, cleaner):
+        for score in cleaner.score_all("tree icdt").values():
+            assert score > 0.0

@@ -1,0 +1,127 @@
+"""Tests for the framework extensions: entity priors and ELCA semantics."""
+
+import pytest
+
+from repro.core.cleaner import XCleanSuggester
+from repro.core.config import XCleanConfig
+from repro.core.naive import NaiveCleaner
+from repro.core.slca_cleaner import ELCACleanSuggester, SLCACleanSuggester
+from repro.exceptions import ConfigurationError
+from repro.index.corpus import build_corpus_index
+from repro.xmltree.builder import build_tree, paper_example_tree
+from repro.xmltree.document import XMLDocument
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus_index(XMLDocument(paper_example_tree()))
+
+
+class TestLengthPrior:
+    def test_prior_validation(self):
+        with pytest.raises(ConfigurationError):
+            XCleanConfig(prior="nope")
+
+    def test_uniform_is_default(self):
+        assert XCleanConfig().prior == "uniform"
+
+    def test_path_token_totals_consistent(self, corpus):
+        totals = corpus.path_token_totals()
+        table = corpus.path_table
+        # Root total equals the whole collection size.
+        root_pid = table.id_of(("a",))
+        assert totals[root_pid] == corpus.vocabulary.total_tokens
+        # /a/d entities 1.3 (3 tokens) + 1.4 (2 tokens) = 5.
+        assert totals[table.id_of(("a", "d"))] == 5
+
+    def test_totals_cached(self, corpus):
+        assert corpus.path_token_totals() is corpus.path_token_totals()
+
+    def test_matches_naive_under_length_prior(self, corpus):
+        config = XCleanConfig(max_errors=1, gamma=None, prior="length")
+        fast = XCleanSuggester(corpus, config=config)
+        naive = NaiveCleaner(corpus, config=config)
+        fast_scores = fast.score_all("tree icdt")
+        naive_scores = {
+            c: s for c, s in naive.score_all("tree icdt").items() if s > 0
+        }
+        assert set(fast_scores) == set(naive_scores)
+        for c, s in fast_scores.items():
+            assert s == pytest.approx(naive_scores[c], rel=1e-12)
+
+    def test_length_prior_changes_scores(self, corpus):
+        uniform = XCleanSuggester(
+            corpus, config=XCleanConfig(max_errors=1, gamma=None)
+        ).score_all("tree icdt")
+        weighted = XCleanSuggester(
+            corpus,
+            config=XCleanConfig(max_errors=1, gamma=None, prior="length"),
+        ).score_all("tree icdt")
+        assert set(uniform) == set(weighted)
+        assert any(
+            uniform[c] != pytest.approx(weighted[c]) for c in uniform
+        )
+
+    def test_length_prior_favors_longer_entities(self):
+        # Two result types, same counts; the candidate living in the
+        # longer entities gains relative to the uniform prior.
+        doc = XMLDocument(
+            build_tree(
+                (
+                    "db",
+                    [
+                        ("short", [("t", "tree icde")]),
+                        (
+                            "long",
+                            [
+                                ("t", "trie icde keyword search"
+                                      " engine ranking")
+                            ],
+                        ),
+                    ],
+                )
+            )
+        )
+        corpus = build_corpus_index(doc)
+        uniform = XCleanSuggester(
+            corpus, config=XCleanConfig(max_errors=1, gamma=None)
+        ).score_all("tree icde")
+        weighted = XCleanSuggester(
+            corpus,
+            config=XCleanConfig(max_errors=1, gamma=None, prior="length"),
+        ).score_all("tree icde")
+        ratio_uniform = uniform[("trie", "icde")] / uniform[
+            ("tree", "icde")
+        ]
+        ratio_weighted = weighted[("trie", "icde")] / weighted[
+            ("tree", "icde")
+        ]
+        assert ratio_weighted > ratio_uniform
+
+
+class TestELCACleaner:
+    def test_returns_elca_label(self, corpus):
+        suggester = ELCACleanSuggester(
+            corpus, config=XCleanConfig(max_errors=1, gamma=None)
+        )
+        suggestions = suggester.suggest("tree icdt")
+        assert suggestions
+        assert all(s.result_type == "ELCA" for s in suggestions)
+
+    def test_elca_counts_at_least_slca_entities(self, corpus):
+        config = XCleanConfig(max_errors=1, gamma=None)
+        slca_suggester = SLCACleanSuggester(corpus, config=config)
+        elca_suggester = ELCACleanSuggester(corpus, config=config)
+        slca_suggester.score_all("trie icde")
+        elca_suggester.score_all("trie icde")
+        assert (
+            elca_suggester.last_stats.entities_scored
+            >= slca_suggester.last_stats.entities_scored
+        )
+
+    def test_clean_query_still_first(self, corpus):
+        suggester = ELCACleanSuggester(
+            corpus, config=XCleanConfig(max_errors=1, gamma=None)
+        )
+        top = suggester.suggest("trie icde", k=1)[0]
+        assert top.tokens == ("trie", "icde")

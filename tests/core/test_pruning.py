@@ -1,0 +1,117 @@
+"""Tests for the γ-bounded accumulator pool (Section V-D)."""
+
+import pytest
+
+from repro.core.pruning import AccumulatorPool
+from repro.exceptions import ConfigurationError
+
+
+class TestUnbounded:
+    def test_accumulates_mass(self):
+        pool = AccumulatorPool(None)
+        pool.add(("a",), 0.5, 1.0, 10, 0)
+        pool.add(("a",), 0.25, 1.0, 10, 0)
+        entry = pool.entry(("a",))
+        assert entry.mass == pytest.approx(0.75)
+
+    def test_final_score_formula(self):
+        pool = AccumulatorPool(None)
+        pool.add(("a",), 0.5, 0.8, 4, 0)
+        assert pool.final_scores()[("a",)] == pytest.approx(
+            0.8 * 0.5 / 4
+        )
+
+    def test_no_evictions(self):
+        pool = AccumulatorPool(None)
+        for i in range(100):
+            pool.add((f"c{i}",), 1.0, 1.0, 1, 0)
+        assert len(pool) == 100
+        assert pool.evictions == 0
+
+
+class TestBounded:
+    def test_capacity_respected(self):
+        pool = AccumulatorPool(2)
+        pool.add(("a",), 1.0, 1.0, 1, 0)
+        pool.add(("b",), 2.0, 1.0, 1, 0)
+        pool.add(("c",), 3.0, 1.0, 1, 0)
+        assert len(pool) == 2
+
+    def test_lowest_estimate_evicted(self):
+        pool = AccumulatorPool(2)
+        pool.add(("low",), 0.1, 1.0, 1, 0)
+        pool.add(("high",), 5.0, 1.0, 1, 0)
+        pool.add(("mid",), 1.0, 1.0, 1, 0)
+        assert ("low",) not in pool
+        assert ("high",) in pool
+        assert ("mid",) in pool
+        assert pool.evictions == 1
+
+    def test_weak_incoming_dropped(self):
+        pool = AccumulatorPool(2)
+        pool.add(("a",), 5.0, 1.0, 1, 0)
+        pool.add(("b",), 4.0, 1.0, 1, 0)
+        pool.add(("weak",), 0.01, 1.0, 1, 0)
+        assert ("weak",) not in pool
+        assert len(pool) == 2
+
+    def test_existing_candidate_never_blocked(self):
+        pool = AccumulatorPool(1)
+        pool.add(("a",), 1.0, 1.0, 1, 0)
+        pool.add(("a",), 1.0, 1.0, 1, 0)
+        assert pool.entry(("a",)).mass == pytest.approx(2.0)
+        assert pool.evictions == 0
+
+    def test_error_weight_affects_estimate(self):
+        pool = AccumulatorPool(2)
+        # Same mass but tiny error weight -> weakest.
+        pool.add(("typo",), 1.0, 0.001, 1, 0)
+        pool.add(("good",), 1.0, 1.0, 1, 0)
+        pool.add(("new",), 1.0, 0.5, 1, 0)
+        assert ("typo",) not in pool
+
+    def test_entity_count_normalizes_estimate(self):
+        pool = AccumulatorPool(2)
+        # Equal mass over many entities is a weaker signal.
+        pool.add(("diluted",), 1.0, 1.0, 1000, 0)
+        pool.add(("focused",), 1.0, 1.0, 2, 0)
+        pool.add(("new",), 1.0, 1.0, 10, 0)
+        assert ("diluted",) not in pool
+
+    def test_evicted_candidate_restarts_from_zero(self):
+        pool = AccumulatorPool(1)
+        pool.add(("a",), 1.0, 1.0, 1, 0)
+        pool.add(("b",), 5.0, 1.0, 1, 0)  # evicts a
+        pool.add(("a",), 10.0, 1.0, 1, 0)  # evicts b, fresh accumulator
+        assert pool.entry(("a",)).mass == pytest.approx(10.0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            AccumulatorPool(0)
+
+
+class TestTopK:
+    def test_ordering(self):
+        pool = AccumulatorPool(None)
+        pool.add(("b",), 2.0, 1.0, 1, 0)
+        pool.add(("a",), 3.0, 1.0, 1, 0)
+        pool.add(("c",), 1.0, 1.0, 1, 0)
+        top = pool.top_k(2)
+        assert [t[0] for t in top] == [("a",), ("b",)]
+
+    def test_tie_breaks_lexicographic(self):
+        pool = AccumulatorPool(None)
+        pool.add(("zeta",), 1.0, 1.0, 1, 0)
+        pool.add(("alpha",), 1.0, 1.0, 1, 0)
+        top = pool.top_k(2)
+        assert [t[0] for t in top] == [("alpha",), ("zeta",)]
+
+    def test_k_larger_than_pool(self):
+        pool = AccumulatorPool(None)
+        pool.add(("a",), 1.0, 1.0, 1, 0)
+        assert len(pool.top_k(10)) == 1
+
+    def test_zero_entity_count_scores_zero(self):
+        pool = AccumulatorPool(None)
+        pool.add(("a",), 1.0, 1.0, 0, 0)
+        assert pool.final_scores()[("a",)] == 0.0

@@ -1,0 +1,93 @@
+"""Tests for entity search (executing cleaned queries)."""
+
+import pytest
+
+from repro.core.config import XCleanConfig
+from repro.core.search import EntitySearch
+from repro.exceptions import QueryError
+from repro.index.corpus import build_corpus_index
+from repro.xmltree.builder import paper_example_tree
+from repro.xmltree.document import XMLDocument
+
+
+@pytest.fixture(scope="module")
+def document():
+    return XMLDocument(paper_example_tree())
+
+
+@pytest.fixture(scope="module")
+def search(document):
+    return EntitySearch(
+        build_corpus_index(document),
+        config=XCleanConfig(max_errors=1, reduction=0.8, min_depth=2),
+    )
+
+
+class TestSearch:
+    def test_result_type_inferred(self, search):
+        assert search.result_type_of("trie icde") == "/a/d"
+        assert search.result_type_of("tree icde") == "/a/c"
+
+    def test_entities_are_13_and_14(self, search):
+        results = search.search("trie icde")
+        assert [r.dewey for r in results] == [(1, 3), (1, 4)] or [
+            r.dewey for r in results
+        ] == [(1, 4), (1, 3)]
+
+    def test_every_result_contains_all_keywords(self, search, document):
+        for result in search.search("trie icde"):
+            text = document.subtree_text(result.dewey).split()
+            assert "trie" in text and "icde" in text
+
+    def test_scores_descending(self, search):
+        scores = [r.score for r in search.search("trie icde")]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_shorter_entity_scores_higher(self, search):
+        # 1.4 (2 tokens, both keywords) beats 1.3 (3 tokens).
+        results = search.search("trie icde")
+        assert results[0].dewey == (1, 4)
+
+    def test_k_limits(self, search):
+        assert len(search.search("trie icde", k=1)) == 1
+
+    def test_no_cooccurrence_returns_empty(self, search):
+        assert search.search("trees icdt") == []
+
+    def test_unknown_token_returns_empty(self, search):
+        assert search.search("notindexed icde") == []
+
+    def test_empty_query_raises(self, search):
+        with pytest.raises(QueryError):
+            search.search("of the")
+
+    def test_lengths_reported(self, search):
+        for result in search.search("trie icde"):
+            assert result.length >= 2
+
+    def test_render_snippet(self, search, document):
+        result = search.search("trie icde")[0]
+        snippet = result.render(document)
+        assert "trie" in snippet and "icde" in snippet
+
+    def test_render_truncates(self, search, document):
+        result = search.search("trie icde")[0]
+        assert len(result.render(document, max_chars=5)) <= 5
+
+
+class TestCleanThenSearch:
+    """The paper's end-to-end story: clean a typo, run the suggestion."""
+
+    def test_pipeline(self, search, document):
+        from repro.core.cleaner import XCleanSuggester
+
+        corpus = search.corpus
+        suggester = XCleanSuggester(
+            corpus, config=XCleanConfig(max_errors=1, gamma=None)
+        )
+        suggestion = suggester.suggest("trie icdw", k=1)[0]
+        results = search.search(suggestion.text)
+        assert results, "cleaned query must have results"
+        for result in results:
+            text = document.subtree_text(result.dewey).split()
+            assert all(token in text for token in suggestion.tokens)

@@ -1,0 +1,86 @@
+"""Tests for the SLCA-semantics cleaner (Section VI-B)."""
+
+import pytest
+
+from repro.core.config import XCleanConfig
+from repro.core.slca_cleaner import SLCACleanSuggester
+from repro.exceptions import QueryError
+from repro.index.corpus import build_corpus_index
+from repro.xmltree.builder import paper_example_tree
+from repro.xmltree.document import XMLDocument
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus_index(XMLDocument(paper_example_tree()))
+
+
+@pytest.fixture(scope="module")
+def suggester(corpus):
+    return SLCACleanSuggester(
+        corpus, config=XCleanConfig(max_errors=1, gamma=None, min_depth=2)
+    )
+
+
+class TestSuggest:
+    def test_returns_suggestions(self, suggester):
+        suggestions = suggester.suggest("tree icdt")
+        assert suggestions
+        assert all(s.result_type == "SLCA" for s in suggestions)
+
+    def test_clean_query_ranks_itself_first(self, suggester):
+        top = suggester.suggest("trie icde", k=1)[0]
+        assert top.tokens == ("trie", "icde")
+
+    def test_scores_descending(self, suggester):
+        scores = [s.score for s in suggester.suggest("tree icdt")]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_empty_query_raises(self, suggester):
+        with pytest.raises(QueryError):
+            suggester.suggest("the of")
+
+    def test_unmatchable_keyword(self, suggester):
+        assert suggester.suggest("tree qqqqqqqq") == []
+
+
+class TestEntitySemantics:
+    def test_candidates_require_cooccurrence(self, suggester):
+        """(trees, icde) only co-occur through the root; the min-depth
+        threshold removes such candidates, as in the node-type mode."""
+        scores = suggester.score_all("tree icdt")
+        assert ("trees", "icde") not in scores
+        assert ("trees", "icdt") not in scores
+
+    def test_same_candidates_as_node_type_on_paper_tree(self, suggester):
+        scores = suggester.score_all("tree icdt")
+        assert set(scores) == {
+            ("tree", "icde"),
+            ("trie", "icde"),
+            ("trie", "icdt"),
+        }
+
+    def test_entity_count_normalization(self, corpus):
+        """(trie, icde) has SLCA entities 1.2, 1.3, 1.4: its mass must be
+        averaged over 3 entities."""
+        suggester = SLCACleanSuggester(
+            corpus,
+            config=XCleanConfig(max_errors=1, gamma=None, min_depth=2),
+        )
+        suggester.score_all("trie icde")
+        assert suggester.last_stats.entities_scored >= 3
+
+    def test_single_keyword_entities_are_leaves(self, suggester):
+        # For a single keyword the SLCAs are the occurrence nodes.
+        suggestions = suggester.suggest("trie")
+        assert suggestions
+        assert suggestions[0].tokens in {("trie",), ("tree",)}
+
+
+class TestStats:
+    def test_group_machinery_used(self, suggester):
+        suggester.suggest("tree icdt")
+        stats = suggester.last_stats
+        assert stats.groups_processed == 3
+        assert stats.postings_read == 8
+        assert stats.postings_skipped == 1

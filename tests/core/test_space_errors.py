@@ -1,0 +1,99 @@
+"""Tests for the space insertion/deletion extension (Section VI-A)."""
+
+import pytest
+
+from repro.core.cleaner import XCleanSuggester
+from repro.core.config import XCleanConfig
+from repro.core.space_errors import (
+    SpaceAwareSuggester,
+    expand_with_space_edits,
+)
+from repro.exceptions import QueryError
+from repro.index.corpus import build_corpus_index
+from repro.index.vocabulary import Vocabulary
+from repro.xmltree.document import XMLDocument
+
+
+@pytest.fixture
+def vocab():
+    v = Vocabulary()
+    for token in ("power", "point", "powerpoint", "data", "mining"):
+        v.add_occurrence(token)
+    return v
+
+
+class TestExpansion:
+    def test_original_always_included(self, vocab):
+        variants = expand_with_space_edits(["data", "mining"], vocab, 1)
+        assert variants[0].keywords == ("data", "mining")
+        assert variants[0].changes == 0
+
+    def test_merge_adjacent(self, vocab):
+        variants = expand_with_space_edits(["power", "point"], vocab, 1)
+        merged = [v for v in variants if v.keywords == ("powerpoint",)]
+        assert merged and merged[0].changes == 1
+
+    def test_split_keyword(self, vocab):
+        variants = expand_with_space_edits(["powerpoint"], vocab, 1)
+        split = [v for v in variants if v.keywords == ("power", "point")]
+        assert split and split[0].changes == 1
+
+    def test_invalid_merges_discarded(self, vocab):
+        variants = expand_with_space_edits(["data", "point"], vocab, 1)
+        # 'datapoint' is not in the vocabulary.
+        assert all(v.keywords != ("datapoint",) for v in variants)
+
+    def test_zero_changes(self, vocab):
+        variants = expand_with_space_edits(["power", "point"], vocab, 0)
+        assert len(variants) == 1
+
+    def test_two_changes_chain(self, vocab):
+        # split then merge back is deduplicated at the smaller count.
+        variants = expand_with_space_edits(["powerpoint"], vocab, 2)
+        original = [v for v in variants if v.keywords == ("powerpoint",)]
+        assert original[0].changes == 0
+
+    def test_negative_changes_rejected(self, vocab):
+        with pytest.raises(QueryError):
+            expand_with_space_edits(["data"], vocab, -1)
+
+    def test_ordering_by_changes(self, vocab):
+        variants = expand_with_space_edits(["power", "point"], vocab, 1)
+        counts = [v.changes for v in variants]
+        assert counts == sorted(counts)
+
+
+class TestSpaceAwareSuggester:
+    @pytest.fixture
+    def corpus(self):
+        return build_corpus_index(
+            XMLDocument.from_string(
+                "<db>"
+                "<doc><body>powerpoint slides template</body></doc>"
+                "<doc><body>power outage report</body></doc>"
+                "<doc><body>point cloud rendering</body></doc>"
+                "</db>"
+            )
+        )
+
+    def test_split_query_finds_merged_token(self, corpus):
+        base = XCleanSuggester(
+            corpus, config=XCleanConfig(max_errors=1, gamma=None)
+        )
+        wrapped = SpaceAwareSuggester(base, max_changes=1)
+        tokens = {s.tokens for s in wrapped.suggest("power point")}
+        assert ("powerpoint",) in tokens
+
+    def test_penalty_applied(self, corpus):
+        base = XCleanSuggester(
+            corpus, config=XCleanConfig(max_errors=1, gamma=None)
+        )
+        wrapped = SpaceAwareSuggester(base, max_changes=1, beta=5.0)
+        suggestions = wrapped.suggest("power outage")
+        # The unchanged interpretation must beat space-edited ones.
+        assert suggestions[0].tokens == ("power", "outage")
+
+    def test_empty_query_raises(self, corpus):
+        base = XCleanSuggester(corpus)
+        with pytest.raises(QueryError):
+            SpaceAwareSuggester(base).suggest("of")

@@ -1,0 +1,90 @@
+"""Tests for the small shared value objects (Suggestion, QueryRecord)."""
+
+import pytest
+
+from repro.core.suggestion import CleaningStats, Suggestion
+from repro.datasets.queries import QueryRecord
+
+
+class TestSuggestion:
+    def test_text_joins_tokens(self):
+        s = Suggestion(tokens=("tree", "icde"), score=0.5)
+        assert s.text == "tree icde"
+        assert str(s) == "tree icde"
+
+    def test_frozen(self):
+        s = Suggestion(tokens=("a",), score=1.0)
+        with pytest.raises(AttributeError):
+            s.score = 2.0  # type: ignore[misc]
+
+    def test_result_type_optional(self):
+        assert Suggestion(tokens=("a",), score=0.1).result_type is None
+
+    def test_equality(self):
+        a = Suggestion(tokens=("a",), score=0.1, result_type="/x")
+        b = Suggestion(tokens=("a",), score=0.1, result_type="/x")
+        assert a == b
+
+
+class TestQueryRecord:
+    def test_text_properties(self):
+        record = QueryRecord(
+            dirty=("tre", "icde"),
+            golden=(("tree", "icde"), ("trie", "icde")),
+            kind="RAND",
+        )
+        assert record.dirty_text == "tre icde"
+        assert record.golden_texts == ("tree icde", "trie icde")
+
+    def test_frozen(self):
+        record = QueryRecord(dirty=("a",), golden=(("a",),), kind="CLEAN")
+        with pytest.raises(AttributeError):
+            record.kind = "RAND"  # type: ignore[misc]
+
+
+class TestCleaningStats:
+    def test_defaults_zero(self):
+        stats = CleaningStats()
+        assert stats.groups_processed == 0
+        assert stats.postings_read == 0
+        assert stats.extra == {}
+
+    def test_extra_is_per_instance(self):
+        a = CleaningStats()
+        b = CleaningStats()
+        a.extra["x"] = 1.0
+        assert b.extra == {}
+
+
+class TestSpaceAwareTau2:
+    def test_two_changes(self):
+        from repro.core.cleaner import XCleanSuggester
+        from repro.core.config import XCleanConfig
+        from repro.core.space_errors import SpaceAwareSuggester
+        from repro.index.corpus import build_corpus_index
+        from repro.xmltree.document import XMLDocument
+
+        corpus = build_corpus_index(
+            XMLDocument.from_string(
+                "<db>"
+                "<rec><t>data base system design</t></rec>"
+                "<rec><t>database tuning</t></rec>"
+                "</db>"
+            )
+        )
+        base = XCleanSuggester(
+            corpus, config=XCleanConfig(max_errors=1, gamma=None)
+        )
+        wrapped = SpaceAwareSuggester(base, max_changes=2)
+        # 'databasesystem' needs two splits: data|base + ...system —
+        # one merge direction: 'database system' ← split once; two
+        # changes allow 'data base system'.
+        tokens = {
+            s.tokens for s in wrapped.suggest("databasesystem design")
+        }
+        assert ("database", "system", "design") in tokens or (
+            "data",
+            "base",
+            "system",
+            "design",
+        ) in tokens

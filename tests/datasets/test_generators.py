@@ -1,0 +1,148 @@
+"""Tests for the synthetic DBLP and Wikipedia generators."""
+
+import pytest
+
+from repro.datasets.sampling import ZipfSampler
+from repro.datasets.synthetic_dblp import DBLPConfig, generate_dblp
+from repro.datasets.synthetic_wiki import WikiConfig, generate_wiki
+from repro.index.corpus import build_corpus_index
+
+import random
+
+
+class TestZipfSampler:
+    def test_rank_one_most_frequent(self):
+        sampler = ZipfSampler(["a", "b", "c", "d"], exponent=1.2)
+        rng = random.Random(0)
+        counts = {"a": 0, "b": 0, "c": 0, "d": 0}
+        for _ in range(4000):
+            counts[sampler.sample(rng)] += 1
+        assert counts["a"] > counts["b"] > counts["d"]
+
+    def test_exponent_zero_uniformish(self):
+        sampler = ZipfSampler(["a", "b"], exponent=0.0)
+        rng = random.Random(1)
+        counts = {"a": 0, "b": 0}
+        for _ in range(2000):
+            counts[sampler.sample(rng)] += 1
+        assert abs(counts["a"] - counts["b"]) < 250
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler([])
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(["a"], exponent=-1)
+
+    def test_sample_distinct(self):
+        sampler = ZipfSampler(list("abcdefgh"))
+        rng = random.Random(2)
+        chosen = sampler.sample_distinct(rng, 5)
+        assert len(chosen) == len(set(chosen)) == 5
+
+    def test_sample_many_length(self):
+        sampler = ZipfSampler(["x", "y"])
+        assert len(sampler.sample_many(random.Random(3), 7)) == 7
+
+
+class TestDBLPGenerator:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_dblp(DBLPConfig(publications=150, seed=5))
+
+    def test_publication_count(self, corpus):
+        assert len(corpus.document.root.children) == 150
+
+    def test_deterministic(self):
+        a = generate_dblp(DBLPConfig(publications=30, seed=9))
+        b = generate_dblp(DBLPConfig(publications=30, seed=9))
+        assert a.document.serialize() == b.document.serialize()
+
+    def test_seed_changes_output(self):
+        a = generate_dblp(DBLPConfig(publications=30, seed=1))
+        b = generate_dblp(DBLPConfig(publications=30, seed=2))
+        assert a.document.serialize() != b.document.serialize()
+
+    def test_data_centric_shape(self, corpus):
+        stats = corpus.document.stats
+        assert stats.max_depth == 3  # dblp/pub/field
+        assert 2.0 < stats.avg_depth < 3.0
+
+    def test_every_publication_has_title_and_author(self, corpus):
+        for publication in corpus.document.root.children:
+            labels = [c.label for c in publication.children]
+            assert "title" in labels
+            assert "author" in labels
+
+    def test_publication_types(self, corpus):
+        labels = {c.label for c in corpus.document.root.children}
+        assert labels <= {"article", "inproceedings", "phdthesis"}
+        assert "article" in labels
+
+    def test_article_dominates(self, corpus):
+        counts: dict[str, int] = {}
+        for child in corpus.document.root.children:
+            counts[child.label] = counts.get(child.label, 0) + 1
+        assert counts["article"] > counts.get("inproceedings", 0)
+
+    def test_indexable(self, corpus):
+        index = build_corpus_index(corpus.document)
+        assert len(index.vocabulary) > 100
+        assert index.entity_count(
+            index.path_table.id_of(("dblp", "article"))
+        ) > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DBLPConfig(publications=0)
+        with pytest.raises(ValueError):
+            DBLPConfig(
+                publication_types=("a",), type_weights=(1, 2)
+            )
+
+
+class TestWikiGenerator:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_wiki(WikiConfig(articles=40, seed=5))
+
+    def test_article_count(self, corpus):
+        assert len(corpus.document.root.children) == 40
+
+    def test_deterministic(self):
+        a = generate_wiki(WikiConfig(articles=10, seed=4))
+        b = generate_wiki(WikiConfig(articles=10, seed=4))
+        assert a.document.serialize() == b.document.serialize()
+
+    def test_document_centric_shape(self, corpus):
+        stats = corpus.document.stats
+        # collection/article/body/section/.../p
+        assert stats.max_depth >= 6
+        assert stats.avg_depth > 3.5
+
+    def test_deeper_than_dblp(self, corpus):
+        dblp = generate_dblp(DBLPConfig(publications=40, seed=5))
+        assert (
+            corpus.document.stats.max_depth
+            > dblp.document.stats.max_depth
+        )
+
+    def test_larger_vocabulary_than_dblp(self):
+        wiki = generate_wiki(WikiConfig(articles=60, seed=3))
+        dblp = generate_dblp(DBLPConfig(publications=400, seed=3))
+        wiki_vocab = len(build_corpus_index(wiki.document).vocabulary)
+        dblp_vocab = len(build_corpus_index(dblp.document).vocabulary)
+        assert wiki_vocab > 1.5 * dblp_vocab
+
+    def test_every_article_has_name_and_body(self, corpus):
+        for article in corpus.document.root.children:
+            labels = [c.label for c in article.children]
+            assert labels[0] == "name"
+            assert "body" in labels
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WikiConfig(articles=0)
+        with pytest.raises(ValueError):
+            WikiConfig(max_section_depth=0)

@@ -1,0 +1,72 @@
+"""Tests for the misspelling list and rule-based misspeller."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets.misspellings import (
+    COMMON_MISSPELLINGS,
+    reverse_map,
+    rule_misspell,
+)
+from repro.fastss.edit_distance import edit_distance
+
+
+class TestCommonMisspellings:
+    def test_non_trivial_size(self):
+        assert len(COMMON_MISSPELLINGS) > 150
+
+    def test_no_identity_entries(self):
+        for wrong, right in COMMON_MISSPELLINGS.items():
+            assert wrong != right
+
+    def test_known_entries(self):
+        assert COMMON_MISSPELLINGS["recieve"] == "receive"
+        assert COMMON_MISSPELLINGS["seperate"] == "separate"
+        assert COMMON_MISSPELLINGS["gerat"] == "great"  # Table II's sample
+
+    def test_some_entries_are_distant(self):
+        """Section VII-A: some misspellings need ε > 1 (even > 2)."""
+        distances = [
+            edit_distance(wrong, right)
+            for wrong, right in COMMON_MISSPELLINGS.items()
+        ]
+        assert max(distances) >= 3
+        assert sum(1 for d in distances if d >= 2) >= 10
+
+    def test_reverse_map(self):
+        reverse = reverse_map()
+        assert "committee" in reverse
+        assert set(reverse["committee"]) == {"comittee", "commitee"}
+
+    def test_reverse_map_sorted(self):
+        for forms in reverse_map().values():
+            assert forms == sorted(forms)
+
+
+class TestRuleMisspell:
+    @given(
+        st.sampled_from(
+            ["architecture", "clustering", "verification", "database",
+             "believe", "parallel", "retrieval", "committee"]
+        ),
+        st.integers(0, 5000),
+    )
+    def test_always_changes_the_word(self, word, seed):
+        rng = random.Random(seed)
+        assert rule_misspell(word, rng) != word
+
+    @given(
+        st.sampled_from(["architecture", "clustering", "believe"]),
+        st.integers(0, 2000),
+    )
+    def test_stays_within_small_distance(self, word, seed):
+        rng = random.Random(seed)
+        misspelt = rule_misspell(word, rng)
+        assert edit_distance(word, misspelt) <= 2
+
+    def test_deterministic_under_seed(self):
+        a = rule_misspell("architecture", random.Random(42))
+        b = rule_misspell("architecture", random.Random(42))
+        assert a == b

@@ -1,0 +1,185 @@
+"""Tests for the CLEAN/RAND/RULE query workload generation."""
+
+import random
+
+import pytest
+
+from repro.datasets.queries import (
+    MIN_PERTURBED_LENGTH,
+    build_query_workloads,
+    rand_perturb_query,
+    rand_perturb_word,
+    rule_perturb_word,
+    sample_clean_queries,
+)
+from repro.datasets.synthetic_dblp import DBLPConfig, generate_dblp
+from repro.fastss.edit_distance import edit_distance
+from repro.index.corpus import build_corpus_index
+
+
+@pytest.fixture(scope="module")
+def setting():
+    corpus = generate_dblp(DBLPConfig(publications=200, seed=11))
+    index = build_corpus_index(corpus.document)
+    return corpus.document, index
+
+
+class TestCleanSampling:
+    def test_queries_have_results(self, setting):
+        document, index = setting
+        rng = random.Random(0)
+        queries = sample_clean_queries(
+            document, index.tokenizer, 15, rng
+        )
+        assert len(queries) == 15
+        for query in queries:
+            # All keywords co-occur in some top-level entity.
+            hit = any(
+                all(
+                    t in entity.subtree_text().split()
+                    for t in query
+                )
+                for entity in document.root.children
+            )
+            assert hit, query
+
+    def test_word_lengths(self, setting):
+        document, index = setting
+        queries = sample_clean_queries(
+            document, index.tokenizer, 10, random.Random(1)
+        )
+        for query in queries:
+            assert all(
+                len(w) >= MIN_PERTURBED_LENGTH for w in query
+            )
+
+    def test_dblp_style_anchored_on_author(self, setting):
+        document, index = setting
+        queries = sample_clean_queries(
+            document, index.tokenizer, 10, random.Random(2),
+            style="dblp",
+        )
+        author_tokens = set()
+        for entity in document.root.children:
+            for child in entity.children:
+                if child.label == "author":
+                    author_tokens.update(child.text.split())
+        for query in queries:
+            assert query[0] in author_tokens
+
+    def test_deterministic(self, setting):
+        document, index = setting
+        a = sample_clean_queries(
+            document, index.tokenizer, 8, random.Random(3)
+        )
+        b = sample_clean_queries(
+            document, index.tokenizer, 8, random.Random(3)
+        )
+        assert a == b
+
+    def test_empty_document(self, setting):
+        from repro.xmltree.document import XMLDocument
+        from repro.xmltree.node import XMLNode
+
+        _document, index = setting
+        empty = XMLDocument(XMLNode("root"))
+        assert sample_clean_queries(
+            empty, index.tokenizer, 5, random.Random(0)
+        ) == []
+
+
+class TestRandPerturbation:
+    def test_result_not_in_vocabulary(self, setting):
+        _document, index = setting
+        rng = random.Random(4)
+        for word in ("architecture", "clustering", "database"):
+            if word not in index.vocabulary:
+                continue
+            dirty = rand_perturb_word(word, index.vocabulary, rng)
+            assert dirty not in index.vocabulary
+            assert edit_distance(word, dirty) == 1
+
+    def test_short_words_untouched(self, setting):
+        _document, index = setting
+        assert rand_perturb_word(
+            "tree", index.vocabulary, random.Random(0)
+        ) == "tree"
+
+    def test_multi_edit(self, setting):
+        _document, index = setting
+        rng = random.Random(5)
+        dirty = rand_perturb_word(
+            "architecture", index.vocabulary, rng, edits=2
+        )
+        assert 1 <= edit_distance("architecture", dirty) <= 2
+
+    def test_whole_query(self, setting):
+        _document, index = setting
+        rng = random.Random(6)
+        dirty = rand_perturb_query(
+            ("architecture", "pipeline"), index.vocabulary, rng
+        )
+        assert len(dirty) == 2
+        assert dirty != ("architecture", "pipeline")
+
+
+class TestRulePerturbation:
+    def test_listed_misspelling_preferred(self, setting):
+        _document, index = setting
+        rng = random.Random(7)
+        dirty = rule_perturb_word(
+            "architecture", index.vocabulary, rng
+        )
+        # 'architecture' is in the common-misspellings reverse map.
+        assert dirty == "archetecture"
+
+    def test_fallback_rules(self, setting):
+        _document, index = setting
+        rng = random.Random(8)
+        dirty = rule_perturb_word("pipeline", index.vocabulary, rng)
+        assert dirty != "pipeline"
+        assert dirty not in index.vocabulary
+
+    def test_short_word_untouched(self, setting):
+        _document, index = setting
+        assert rule_perturb_word(
+            "icde", index.vocabulary, random.Random(0)
+        ) == "icde"
+
+
+class TestWorkloads:
+    def test_three_kinds(self, setting):
+        document, index = setting
+        workloads = build_query_workloads(
+            index, document, count=10, seed=99
+        )
+        assert set(workloads) == {"CLEAN", "RAND", "RULE"}
+        assert all(len(v) == 10 for v in workloads.values())
+
+    def test_golden_is_clean_query(self, setting):
+        document, index = setting
+        workloads = build_query_workloads(
+            index, document, count=10, seed=99
+        )
+        for kind in ("RAND", "RULE"):
+            for record, clean_record in zip(
+                workloads[kind], workloads["CLEAN"]
+            ):
+                assert record.golden == (clean_record.dirty,)
+
+    def test_dirty_queries_are_dirty(self, setting):
+        document, index = setting
+        workloads = build_query_workloads(
+            index, document, count=10, seed=99
+        )
+        changed = sum(
+            record.dirty != record.golden[0]
+            for record in workloads["RAND"]
+        )
+        assert changed == len(workloads["RAND"])
+
+    def test_deterministic(self, setting):
+        document, index = setting
+        a = build_query_workloads(index, document, count=6, seed=5)
+        b = build_query_workloads(index, document, count=6, seed=5)
+        assert a == b

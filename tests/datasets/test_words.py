@@ -1,0 +1,83 @@
+"""Tests for the embedded word pools and pseudo-word synthesis."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets.words import (
+    COMMON_WORDS,
+    CS_TERMS,
+    FIRST_NAMES,
+    LAST_NAMES,
+    VENUES,
+    WIKI_TOPICS,
+    inflect,
+    synthesize_words,
+)
+from repro.index.tokenizer import Tokenizer
+
+
+class TestPools:
+    def test_pools_non_trivial(self):
+        assert len(COMMON_WORDS) > 400
+        assert len(CS_TERMS) > 250
+        assert len(FIRST_NAMES) > 100
+        assert len(LAST_NAMES) > 200
+        assert len(WIKI_TOPICS) > 250
+        assert len(VENUES) > 20
+
+    def test_pools_deduplicated(self):
+        for pool in (COMMON_WORDS, CS_TERMS, FIRST_NAMES, LAST_NAMES):
+            assert len(pool) == len(set(pool))
+
+    def test_all_tokens_pass_default_tokenizer(self):
+        tokenizer = Tokenizer()
+        for pool in (
+            COMMON_WORDS,
+            CS_TERMS,
+            FIRST_NAMES,
+            LAST_NAMES,
+            VENUES,
+            WIKI_TOPICS,
+        ):
+            for word in pool:
+                assert tokenizer.tokenize(word) == [word], word
+
+
+class TestSynthesizeWords:
+    def test_count_and_uniqueness(self):
+        words = synthesize_words(500, seed=3)
+        assert len(words) == 500
+        assert len(set(words)) == 500
+
+    def test_deterministic(self):
+        assert synthesize_words(100, seed=9) == synthesize_words(
+            100, seed=9
+        )
+
+    def test_different_seeds_differ(self):
+        assert synthesize_words(100, seed=1) != synthesize_words(
+            100, seed=2
+        )
+
+    def test_words_are_indexable(self):
+        tokenizer = Tokenizer()
+        for word in synthesize_words(200, seed=5):
+            assert tokenizer.tokenize(word) == [word]
+
+
+class TestInflect:
+    @given(st.sampled_from(sorted(CS_TERMS)), st.integers(0, 10_000))
+    def test_inflection_is_close_but_different(self, word, seed):
+        rng = random.Random(seed)
+        variant = inflect(word, rng)
+        assert variant != word
+        assert variant.startswith(word[:-1])
+        assert 1 <= len(variant) - len(word) + 1 <= 4
+
+    def test_e_handling(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            variant = inflect("merge", rng)
+            assert "ee" not in variant[-4:] or variant.endswith("ees")

@@ -1,0 +1,173 @@
+"""Tests for the statistical analysis helpers."""
+
+import pytest
+
+from repro.core.suggestion import Suggestion
+from repro.datasets.queries import QueryRecord
+from repro.eval.analysis import (
+    FailureBreakdown,
+    bootstrap_mrr_ci,
+    categorize_failures,
+    mrr_difference_ci,
+    paired_comparison,
+    sign_test_p_value,
+)
+from repro.eval.runner import EvalResult, QueryOutcome
+
+
+def make_result(rrs, with_suggestions=True):
+    outcomes = []
+    for i, rr in enumerate(rrs):
+        record = QueryRecord(
+            dirty=(f"q{i}",), golden=((f"g{i}",),), kind="RAND"
+        )
+        suggestions = (
+            [Suggestion(tokens=(f"g{i}",), score=1.0)]
+            if with_suggestions
+            else []
+        )
+        outcomes.append(
+            QueryOutcome(
+                record=record,
+                suggestions=suggestions,
+                elapsed=0.001,
+                rr=rr,
+            )
+        )
+    mrr = sum(rrs) / len(rrs) if rrs else 0.0
+    return EvalResult(
+        system="X",
+        workload="W",
+        mrr=mrr,
+        precision={1: 0.0},
+        mean_time=0.001,
+        total_time=0.001 * len(rrs),
+        outcomes=outcomes,
+    )
+
+
+class TestBootstrapCI:
+    def test_interval_contains_point(self):
+        result = make_result([1.0, 0.5, 0.0, 1.0, 1.0, 0.5])
+        ci = bootstrap_mrr_ci(result, iterations=500, seed=1)
+        assert ci.low <= ci.point <= ci.high
+
+    def test_deterministic(self):
+        result = make_result([1.0, 0.0, 0.5])
+        a = bootstrap_mrr_ci(result, seed=7)
+        b = bootstrap_mrr_ci(result, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_degenerate_distribution(self):
+        result = make_result([1.0] * 10)
+        ci = bootstrap_mrr_ci(result)
+        assert ci.low == ci.high == 1.0
+
+    def test_empty_result(self):
+        ci = bootstrap_mrr_ci(make_result([]))
+        assert ci.point == 0.0
+
+    def test_wider_at_higher_confidence(self):
+        result = make_result([1.0, 0.0, 0.5, 1.0, 0.0, 1.0, 0.25])
+        narrow = bootstrap_mrr_ci(result, confidence=0.5, seed=3)
+        wide = bootstrap_mrr_ci(result, confidence=0.99, seed=3)
+        assert (wide.high - wide.low) >= (narrow.high - narrow.low)
+
+    def test_confidence_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mrr_ci(make_result([1.0]), confidence=1.0)
+
+
+class TestSignTest:
+    def test_no_decided_queries(self):
+        assert sign_test_p_value(0, 0) == 1.0
+
+    def test_balanced_is_not_significant(self):
+        assert sign_test_p_value(5, 5) > 0.5
+
+    def test_landslide_is_significant(self):
+        assert sign_test_p_value(20, 0) < 0.001
+
+    def test_symmetry(self):
+        assert sign_test_p_value(8, 2) == sign_test_p_value(2, 8)
+
+    def test_bounded_by_one(self):
+        for w, l in ((1, 1), (3, 4), (0, 1)):
+            assert 0.0 < sign_test_p_value(w, l) <= 1.0
+
+
+class TestPairedComparison:
+    def test_counts(self):
+        a = make_result([1.0, 0.5, 0.0, 1.0])
+        b = make_result([0.5, 0.5, 1.0, 0.0])
+        comparison = paired_comparison(a, b)
+        assert comparison.wins == 2
+        assert comparison.ties == 1
+        assert comparison.losses == 1
+
+    def test_misaligned_workloads_rejected(self):
+        a = make_result([1.0, 0.5])
+        b = make_result([1.0])
+        with pytest.raises(ValueError):
+            paired_comparison(a, b)
+
+    def test_dominant_system_significant(self):
+        a = make_result([1.0] * 15)
+        b = make_result([0.0] * 15)
+        comparison = paired_comparison(a, b)
+        assert comparison.wins == 15
+        assert comparison.p_value < 0.001
+
+
+class TestFailureBreakdown:
+    def test_partition_sums_to_total(self):
+        result = make_result([1.0, 0.5, 0.0, 1.0, 0.25])
+        breakdown = categorize_failures(result)
+        assert (
+            breakdown.correct_at_1
+            + breakdown.ranked_low
+            + breakdown.absent
+            + breakdown.silent
+            == breakdown.total
+        )
+
+    def test_categories(self):
+        result = make_result([1.0, 0.5, 0.0])
+        breakdown = categorize_failures(result)
+        assert breakdown.correct_at_1 == 1
+        assert breakdown.ranked_low == 1
+        assert breakdown.absent == 1
+        assert breakdown.silent == 0
+
+    def test_silent_miss(self):
+        result = make_result([0.0], with_suggestions=False)
+        assert categorize_failures(result).silent == 1
+
+    def test_silent_on_clean_counts_correct(self):
+        result = make_result([1.0], with_suggestions=False)
+        assert categorize_failures(result).correct_at_1 == 1
+
+    def test_as_rows(self):
+        rows = FailureBreakdown(4, 1, 1, 1, 1).as_rows()
+        assert len(rows) == 4
+        assert rows[0] == ("correct at rank 1", 1)
+
+
+class TestDifferenceCI:
+    def test_positive_difference(self):
+        a = make_result([1.0, 1.0, 0.5, 1.0])
+        b = make_result([0.0, 0.5, 0.5, 0.0])
+        ci = mrr_difference_ci(a, b, iterations=500, seed=2)
+        assert ci.point > 0
+        assert ci.low <= ci.point <= ci.high
+
+    def test_identical_systems(self):
+        a = make_result([1.0, 0.5])
+        b = make_result([1.0, 0.5])
+        ci = mrr_difference_ci(a, b)
+        assert ci.point == 0.0
+        assert ci.low == ci.high == 0.0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            mrr_difference_ci(make_result([1.0]), make_result([]))

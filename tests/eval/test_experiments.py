@@ -1,0 +1,95 @@
+"""Tests for the standard experimental setting (repro.eval.experiments)."""
+
+import pytest
+
+from repro.eval.experiments import (
+    EVAL_MAX_ERRORS,
+    RULE_MAX_ERRORS,
+    all_settings,
+    dblp_setting,
+    eps_for,
+    wiki_setting,
+    workload_label,
+)
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return dblp_setting("small")
+
+
+class TestEpsPolicy:
+    def test_rule_uses_larger_radius(self):
+        assert eps_for("RULE") == RULE_MAX_ERRORS
+        assert eps_for("RAND") == EVAL_MAX_ERRORS
+        assert eps_for("CLEAN") == EVAL_MAX_ERRORS
+        assert RULE_MAX_ERRORS > EVAL_MAX_ERRORS
+
+
+class TestSettings:
+    def test_both_datasets(self):
+        labels = [s.label for s in all_settings("small")]
+        assert labels == ["DBLP", "INEX"]
+
+    def test_cached_per_scale(self):
+        assert dblp_setting("small") is dblp_setting("small")
+
+    def test_workload_label(self, dblp):
+        assert workload_label(dblp, "RAND") == "DBLP-RAND"
+
+    def test_workloads_complete(self, dblp):
+        assert set(dblp.workloads) == {"CLEAN", "RAND", "RULE"}
+
+    def test_dblp_queries_author_anchored(self, dblp):
+        author_tokens = set()
+        for entity in dblp.document.root.children:
+            for child in entity.children:
+                if child.label == "author":
+                    author_tokens.update(child.text.split())
+        for record in dblp.workloads["CLEAN"]:
+            assert record.dirty[0] in author_tokens
+
+
+class TestFactories:
+    def test_suggesters_share_index_not_cache(self, dblp):
+        a = dblp.xclean()
+        b = dblp.xclean()
+        assert a.generator is not b.generator
+        assert a.generator._index is b.generator._index
+
+    def test_generator_radius_covers_rule(self, dblp):
+        suggester = dblp.xclean(max_errors=RULE_MAX_ERRORS)
+        # Must not raise: the shared index was built for eps=3.
+        suggester.suggest(dblp.workloads["RULE"][0].dirty_text, 3)
+
+    def test_se1_knows_more_than_se2(self, dblp):
+        assert len(dblp.se1().misspelling_map) >= len(
+            dblp.se2().misspelling_map
+        )
+
+    def test_query_log_contains_rule_corrections(self, dblp):
+        log = dblp.query_log_map(coverage=1.0)
+        covered = 0
+        for record in dblp.workloads["RULE"]:
+            for dirty_word, clean_word in zip(
+                record.dirty, record.golden[0]
+            ):
+                if dirty_word != clean_word and log.get(
+                    dirty_word
+                ) == clean_word:
+                    covered += 1
+        assert covered > 0
+
+    def test_coverage_fraction_respected(self, dblp):
+        full = dblp.query_log_map(coverage=1.0)
+        partial = dblp.query_log_map(coverage=0.5)
+        assert len(partial) <= len(full)
+
+    def test_naive_and_slca_factories(self, dblp):
+        record = dblp.workloads["RAND"][0]
+        assert isinstance(
+            dblp.naive().suggest(record.dirty_text, 2), list
+        )
+        assert isinstance(
+            dblp.xclean_slca().suggest(record.dirty_text, 2), list
+        )

@@ -1,0 +1,96 @@
+"""Tests for MRR / precision@N metrics."""
+
+import pytest
+
+from repro.core.suggestion import Suggestion
+from repro.datasets.queries import QueryRecord
+from repro.eval.metrics import (
+    hit_at,
+    mean_reciprocal_rank,
+    precision_at,
+    reciprocal_rank,
+)
+
+
+def record(dirty, golden, kind="RAND"):
+    return QueryRecord(dirty=dirty, golden=golden, kind=kind)
+
+
+def suggestions(*token_tuples):
+    return [Suggestion(tokens=t, score=1.0) for t in token_tuples]
+
+
+class TestReciprocalRank:
+    def test_rank_one(self):
+        r = record(("tre",), (("tree",),))
+        assert reciprocal_rank(suggestions(("tree",)), r) == 1.0
+
+    def test_rank_three(self):
+        r = record(("tre",), (("tree",),))
+        s = suggestions(("trie",), ("trees",), ("tree",))
+        assert reciprocal_rank(s, r) == pytest.approx(1 / 3)
+
+    def test_miss(self):
+        r = record(("tre",), (("tree",),))
+        assert reciprocal_rank(suggestions(("trie",)), r) == 0.0
+
+    def test_empty_suggestions_on_clean_query(self):
+        r = record(("tree",), (("tree",),), kind="CLEAN")
+        assert reciprocal_rank([], r) == 1.0
+
+    def test_empty_suggestions_on_dirty_query(self):
+        r = record(("tre",), (("tree",),))
+        assert reciprocal_rank([], r) == 0.0
+
+    def test_multiple_golden_answers(self):
+        r = record(("tre",), (("tree",), ("trees",)))
+        s = suggestions(("trees",), ("tree",))
+        assert reciprocal_rank(s, r) == 1.0
+
+
+class TestMRR:
+    def test_mean(self):
+        assert mean_reciprocal_rank([1.0, 0.5, 0.0]) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert mean_reciprocal_rank([]) == 0.0
+
+
+class TestHitAndPrecision:
+    def test_hit_within_cutoff(self):
+        r = record(("tre",), (("tree",),))
+        s = suggestions(("trie",), ("tree",))
+        assert not hit_at(s, r, 1)
+        assert hit_at(s, r, 2)
+
+    def test_empty_suggestion_convention(self):
+        clean = record(("tree",), (("tree",),), kind="CLEAN")
+        assert hit_at([], clean, 1)
+
+    def test_precision_at(self):
+        records = [
+            record(("a",), (("b",),)),
+            record(("c",), (("d",),)),
+        ]
+        all_suggestions = [
+            suggestions(("b",)),  # hit at 1
+            suggestions(("x",), ("d",)),  # hit at 2
+        ]
+        assert precision_at(all_suggestions, records, 1) == 0.5
+        assert precision_at(all_suggestions, records, 2) == 1.0
+
+    def test_precision_empty_records(self):
+        assert precision_at([], [], 5) == 0.0
+
+    def test_precision_monotone_in_n(self):
+        records = [record(("q",), (("g",),)) for _ in range(4)]
+        all_suggestions = [
+            suggestions(("g",)),
+            suggestions(("x",), ("g",)),
+            suggestions(("x",), ("y",), ("g",)),
+            suggestions(("x",)),
+        ]
+        values = [
+            precision_at(all_suggestions, records, n) for n in (1, 2, 3)
+        ]
+        assert values == sorted(values)

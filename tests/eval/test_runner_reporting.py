@@ -1,0 +1,132 @@
+"""Tests for the experiment runner and report rendering."""
+
+import pytest
+
+from repro.core.suggestion import Suggestion
+from repro.datasets.queries import QueryRecord
+from repro.eval.reporting import (
+    format_curve,
+    format_table,
+    shape_check,
+)
+from repro.eval.runner import evaluate_suggester
+from repro.exceptions import QueryError
+
+
+class EchoSuggester:
+    """Suggests the query itself (perfect on CLEAN, useless on dirty)."""
+
+    def suggest(self, query, k=10):
+        return [Suggestion(tokens=tuple(query.split()), score=1.0)]
+
+
+class FailingSuggester:
+    def suggest(self, query, k=10):
+        raise QueryError("nope")
+
+
+def records():
+    return [
+        QueryRecord(dirty=("tree",), golden=(("tree",),), kind="CLEAN"),
+        QueryRecord(dirty=("tre",), golden=(("tree",),), kind="RAND"),
+    ]
+
+
+class TestRunner:
+    def test_metrics_aggregated(self):
+        result = evaluate_suggester(EchoSuggester(), records())
+        # Echo gets the clean query right, misses the dirty one.
+        assert result.mrr == pytest.approx(0.5)
+        assert result.precision[1] == pytest.approx(0.5)
+        assert len(result.outcomes) == 2
+
+    def test_times_recorded(self):
+        result = evaluate_suggester(EchoSuggester(), records())
+        assert result.mean_time >= 0
+        assert result.total_time >= result.mean_time
+
+    def test_query_error_counts_as_empty(self):
+        result = evaluate_suggester(FailingSuggester(), records())
+        # Empty answer is right for the clean query only.
+        assert result.mrr == pytest.approx(0.5)
+
+    def test_hit_rank(self):
+        result = evaluate_suggester(EchoSuggester(), records())
+        assert result.outcomes[0].hit_rank == 1
+        assert result.outcomes[1].hit_rank is None
+
+    def test_empty_workload(self):
+        result = evaluate_suggester(EchoSuggester(), [])
+        assert result.mrr == 0.0
+        assert result.mean_time == 0.0
+
+    def test_system_name_default(self):
+        result = evaluate_suggester(EchoSuggester(), records())
+        assert result.system == "EchoSuggester"
+
+    def test_precision_row_ordering(self):
+        result = evaluate_suggester(
+            EchoSuggester(), records(), precision_levels=(5, 1, 3)
+        )
+        assert result.precision_row() == [
+            result.precision[1],
+            result.precision[3],
+            result.precision[5],
+        ]
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ("name", "value"),
+            [("alpha", 1.23456), ("b", 7)],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "alpha" in text
+        assert "1.235" in text  # float formatting
+
+    def test_format_table_handles_wide_cells(self):
+        text = format_table(("a",), [("very-long-cell-content",)])
+        assert "very-long-cell-content" in text
+
+    def test_format_curve_contains_values(self):
+        text = format_curve(
+            [1, 5], {"XClean": [0.9, 0.95], "PY08": [0.2, 0.5]}
+        )
+        assert "XClean" in text and "PY08" in text
+        assert "0.950" in text
+
+    def test_shape_check_markers(self):
+        assert "[OK ]" in shape_check("holds", True)
+        assert "[MISS]" in shape_check("broken", False)
+
+
+class TestPercentiles:
+    def test_basic_percentiles(self):
+        result = evaluate_suggester(EchoSuggester(), records())
+        p50 = result.time_percentile(50)
+        p100 = result.time_percentile(100)
+        assert 0 <= p50 <= p100
+
+    def test_zero_percentile_is_min(self):
+        result = evaluate_suggester(EchoSuggester(), records())
+        assert result.time_percentile(0) == min(
+            o.elapsed for o in result.outcomes
+        )
+
+    def test_hundred_percentile_is_max(self):
+        result = evaluate_suggester(EchoSuggester(), records())
+        assert result.time_percentile(100) == max(
+            o.elapsed for o in result.outcomes
+        )
+
+    def test_empty_result(self):
+        result = evaluate_suggester(EchoSuggester(), [])
+        assert result.time_percentile(95) == 0.0
+
+    def test_out_of_range_rejected(self):
+        result = evaluate_suggester(EchoSuggester(), records())
+        with pytest.raises(ValueError):
+            result.time_percentile(101)

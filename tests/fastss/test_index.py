@@ -1,0 +1,180 @@
+"""Tests for FastSS variant indexes against the brute-force oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.fastss.generator import VariantGenerator
+from repro.fastss.index import (
+    BruteForceVariants,
+    FastSSIndex,
+    PartitionedFastSSIndex,
+    Variant,
+)
+
+VOCAB = [
+    "tree",
+    "trees",
+    "trie",
+    "tried",
+    "icde",
+    "icdt",
+    "vldb",
+    "insurance",
+    "instance",
+    "architecture",
+    "archetype",
+    "classification",
+    "clustering",
+    "verification",
+    "verifications",
+]
+
+vocab_strategy = st.lists(
+    st.text(alphabet="abcdest", min_size=1, max_size=14),
+    min_size=0,
+    max_size=25,
+)
+query_strategy = st.text(alphabet="abcdest", min_size=1, max_size=14)
+
+
+class TestFastSSIndex:
+    def test_exact_match_included(self):
+        index = FastSSIndex(VOCAB, max_errors=1)
+        variants = index.variants("tree")
+        assert Variant(0, "tree") in variants
+
+    def test_distance_one_variants(self):
+        index = FastSSIndex(VOCAB, max_errors=1)
+        tokens = [v.token for v in index.variants("tree")]
+        assert tokens == ["tree", "trees", "trie"]  # sorted by (dist, token)
+
+    def test_out_of_vocabulary_query(self):
+        index = FastSSIndex(VOCAB, max_errors=1)
+        tokens = [v.token for v in index.variants("tre")]
+        assert "tree" in tokens
+        assert all(t in VOCAB for t in tokens)
+
+    def test_lower_eps_at_query_time(self):
+        index = FastSSIndex(VOCAB, max_errors=2)
+        wide = {v.token for v in index.variants("tree", 2)}
+        narrow = {v.token for v in index.variants("tree", 1)}
+        assert narrow <= wide
+        assert "tried" in wide and "tried" not in narrow
+
+    def test_higher_eps_than_built_raises(self):
+        index = FastSSIndex(VOCAB, max_errors=1)
+        with pytest.raises(ConfigurationError):
+            index.variants("tree", 2)
+
+    def test_negative_errors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FastSSIndex(VOCAB, max_errors=-1)
+
+    def test_duplicates_ignored(self):
+        index = FastSSIndex(["tree", "tree"], max_errors=1)
+        assert len(index) == 1
+
+    def test_results_sorted_deterministically(self):
+        index = FastSSIndex(VOCAB, max_errors=2)
+        variants = index.variants("tree")
+        assert variants == sorted(variants)
+
+    @settings(max_examples=50)
+    @given(vocab_strategy, query_strategy)
+    def test_matches_brute_force(self, vocab, query):
+        index = FastSSIndex(vocab, max_errors=2)
+        oracle = BruteForceVariants(vocab, max_errors=2)
+        assert index.variants(query) == oracle.variants(query)
+
+
+class TestPartitionedIndex:
+    def test_long_tokens_found(self):
+        index = PartitionedFastSSIndex(
+            VOCAB, max_errors=2, partition_threshold=6
+        )
+        tokens = [v.token for v in index.variants("verifcation")]
+        assert "verification" in tokens
+
+    def test_short_tokens_found(self):
+        index = PartitionedFastSSIndex(
+            VOCAB, max_errors=2, partition_threshold=6
+        )
+        tokens = [v.token for v in index.variants("tre")]
+        assert "tree" in tokens
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartitionedFastSSIndex(VOCAB, partition_threshold=1)
+
+    def test_eps_guard(self):
+        index = PartitionedFastSSIndex(VOCAB, max_errors=1)
+        with pytest.raises(ConfigurationError):
+            index.variants("tree", 2)
+
+    @settings(max_examples=50)
+    @given(vocab_strategy, query_strategy)
+    def test_matches_brute_force(self, vocab, query):
+        index = PartitionedFastSSIndex(
+            vocab, max_errors=2, partition_threshold=5
+        )
+        oracle = BruteForceVariants(vocab, max_errors=2)
+        assert index.variants(query) == oracle.variants(query)
+
+    @settings(max_examples=30)
+    @given(vocab_strategy, query_strategy)
+    def test_matches_brute_force_eps1(self, vocab, query):
+        index = PartitionedFastSSIndex(
+            vocab, max_errors=1, partition_threshold=5
+        )
+        oracle = BruteForceVariants(vocab, max_errors=1)
+        assert index.variants(query) == oracle.variants(query)
+
+
+class TestVariantGenerator:
+    def test_caches_results(self):
+        gen = VariantGenerator(VOCAB, max_errors=1)
+        first = gen.variants("tree")
+        second = gen.variants("tree")
+        assert first is second
+
+    def test_variant_tokens(self):
+        gen = VariantGenerator(VOCAB, max_errors=1)
+        assert gen.variant_tokens("tree") == ["tree", "trees", "trie"]
+
+    def test_distance_of(self):
+        gen = VariantGenerator(VOCAB, max_errors=1)
+        assert gen.distance_of("tree", "trie") == 1
+        assert gen.distance_of("tree", "tree") == 0
+        assert gen.distance_of("tree", "icde") is None
+
+    def test_unpartitioned_mode(self):
+        gen = VariantGenerator(VOCAB, max_errors=1, partitioned=False)
+        assert "trees" in gen.variant_tokens("tree")
+
+    def test_per_eps_cache_keys(self):
+        gen = VariantGenerator(VOCAB, max_errors=2)
+        assert len(gen.variants("tree", 1)) < len(gen.variants("tree", 2))
+
+
+class TestFreshCache:
+    def test_shares_index_not_cache(self):
+        gen = VariantGenerator(VOCAB, max_errors=1)
+        view = gen.fresh_cache()
+        assert view._index is gen._index
+        first = gen.variants("tree")
+        second = view.variants("tree")
+        assert first == second
+        assert first is not second  # separately memoized
+
+    def test_view_results_equal_original(self):
+        gen = VariantGenerator(VOCAB, max_errors=2)
+        view = gen.fresh_cache()
+        for word in ("tree", "insurance", "verifcation"):
+            assert view.variants(word) == gen.variants(word)
+
+    def test_view_keeps_radius(self):
+        gen = VariantGenerator(VOCAB, max_errors=1)
+        view = gen.fresh_cache()
+        assert view.max_errors == 1

@@ -1,0 +1,84 @@
+"""Tests for deletion neighborhoods."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fastss.edit_distance import edit_distance
+from repro.fastss.neighborhood import (
+    deletion_neighborhood,
+    neighborhood_size_bound,
+)
+
+words = st.text(alphabet="abcd", max_size=8)
+
+
+class TestNeighborhood:
+    def test_zero_deletions(self):
+        assert deletion_neighborhood("abc", 0) == {"abc"}
+
+    def test_one_deletion(self):
+        assert deletion_neighborhood("abc", 1) == {
+            "abc",
+            "bc",
+            "ac",
+            "ab",
+        }
+
+    def test_two_deletions(self):
+        result = deletion_neighborhood("abc", 2)
+        assert result == {"abc", "bc", "ac", "ab", "a", "b", "c"}
+
+    def test_deletions_beyond_length(self):
+        assert "" in deletion_neighborhood("ab", 5)
+
+    def test_duplicate_characters_deduped(self):
+        assert deletion_neighborhood("aa", 1) == {"aa", "a"}
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            deletion_neighborhood("abc", -1)
+
+    @given(words, st.integers(min_value=0, max_value=3))
+    def test_members_within_deletion_distance(self, word, k):
+        for member in deletion_neighborhood(word, k):
+            assert len(word) - len(member) <= k
+            # Each member is a subsequence of word.
+            it = iter(word)
+            assert all(ch in it for ch in member)
+
+    @given(words, st.integers(min_value=0, max_value=3))
+    def test_contains_word_itself(self, word, k):
+        assert word in deletion_neighborhood(word, k)
+
+    @given(words, words)
+    def test_fastss_property(self, s, t):
+        """ed(s,t) <= k implies the k-neighborhoods intersect."""
+        k = edit_distance(s, t)
+        if k <= 3:
+            ns = deletion_neighborhood(s, k)
+            nt = deletion_neighborhood(t, k)
+            assert ns & nt
+
+
+class TestSizeBound:
+    def test_exact_small_cases(self):
+        # C(3,0)+C(3,1) = 4
+        assert neighborhood_size_bound(3, 1) == 4
+        # C(3,0)+C(3,1)+C(3,2) = 7
+        assert neighborhood_size_bound(3, 2) == 7
+
+    def test_zero_deletions(self):
+        assert neighborhood_size_bound(10, 0) == 1
+
+    @given(
+        st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=0, max_size=8).filter(lambda w: len(set(w)) == len(w)),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_bound_is_tight_for_distinct_chars(self, word, k):
+        # With all-distinct characters every deletion yields a distinct
+        # string, so the bound is achieved exactly.
+        assert len(deletion_neighborhood(word, k)) == neighborhood_size_bound(
+            len(word), k
+        )

@@ -1,0 +1,160 @@
+"""Tests for Soundex and phonetic variant generation (Section VI-A)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.fastss.generator import VariantGenerator
+from repro.fastss.index import Variant
+from repro.fastss.phonetic import (
+    CompositeVariantGenerator,
+    PhoneticIndex,
+    soundex,
+)
+
+
+class TestSoundex:
+    @pytest.mark.parametrize(
+        "word,code",
+        [
+            ("robert", "R163"),
+            ("rupert", "R163"),
+            ("rubin", "R150"),
+            ("ashcraft", "A261"),
+            ("ashcroft", "A261"),
+            ("tymczak", "T522"),
+            ("pfister", "P236"),
+            ("honeyman", "H555"),
+        ],
+    )
+    def test_classic_vectors(self, word, code):
+        assert soundex(word) == code
+
+    def test_schuetze_schutze_match(self):
+        # Example 1's umlaut transliteration case.
+        assert soundex("schuetze") == soundex("schutze")
+
+    def test_short_words_padded(self):
+        assert soundex("lee") == "L000"
+
+    def test_empty_input(self):
+        assert soundex("") == "0000"
+        assert soundex("123") == "0000"
+
+    def test_case_insensitive(self):
+        assert soundex("Robert") == soundex("ROBERT")
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1,
+                   max_size=12))
+    def test_always_letter_plus_three(self, word):
+        code = soundex(word)
+        assert len(code) == 4
+        assert code[0].isalpha() and code[0].isupper()
+        assert all(c.isdigit() for c in code[1:])
+
+
+class TestPhoneticIndex:
+    VOCAB = ["schuetze", "schatz", "smith", "smyth", "robert", "rupert"]
+
+    def test_sound_alike_found(self):
+        index = PhoneticIndex(self.VOCAB)
+        tokens = [v.token for v in index.variants("schutze")]
+        assert "schuetze" in tokens
+
+    def test_smith_smyth(self):
+        index = PhoneticIndex(self.VOCAB)
+        tokens = [v.token for v in index.variants("smith")]
+        assert set(tokens) >= {"smith", "smyth"}
+
+    def test_identical_token_is_distance_zero(self):
+        index = PhoneticIndex(self.VOCAB)
+        assert Variant(0, "smith") in index.variants("smith")
+
+    def test_phonetic_distance_assigned(self):
+        index = PhoneticIndex(self.VOCAB, distance=2)
+        found = {v.token: v.distance for v in index.variants("smith")}
+        assert found["smyth"] == 2
+
+    def test_tight_radius_disables(self):
+        index = PhoneticIndex(self.VOCAB, distance=2)
+        assert index.variants("smith", max_errors=1) == []
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhoneticIndex(self.VOCAB, distance=-1)
+
+
+class TestComposite:
+    VOCAB = ["schuetze", "schatz", "smith", "smyth", "tree", "trie"]
+
+    def make(self):
+        return CompositeVariantGenerator(
+            [
+                VariantGenerator(self.VOCAB, max_errors=2),
+                PhoneticIndex(self.VOCAB, distance=2),
+            ],
+            max_errors=2,
+        )
+
+    def test_union_of_sources(self):
+        composite = self.make()
+        tokens = composite.variant_tokens("schutze")
+        # Edit distance 2 already finds schuetze; phonetic agrees.
+        assert "schuetze" in tokens
+
+    def test_phonetic_only_match_included(self):
+        # 'smythe' is ed-2 from 'smyth' but also sounds like 'smith'
+        # (ed 3) — only the phonetic source can contribute 'smith'.
+        composite = self.make()
+        found = {
+            v.token: v.distance
+            for v in composite.variants("smythe")
+        }
+        assert "smith" in found
+        assert found["smith"] == 2
+
+    def test_min_distance_wins(self):
+        composite = self.make()
+        found = {v.token: v.distance for v in composite.variants("tree")}
+        # 'tree' itself: edit source gives 0, phonetic gives 0 — min 0.
+        assert found["tree"] == 0
+        assert found["trie"] == 1  # edit beats phonetic's 2
+
+    def test_cache(self):
+        composite = self.make()
+        assert composite.variants("tree") is composite.variants("tree")
+
+    def test_requires_sources(self):
+        with pytest.raises(ConfigurationError):
+            CompositeVariantGenerator([])
+
+    def test_works_with_suggester(self):
+        from repro.core.cleaner import XCleanSuggester
+        from repro.core.config import XCleanConfig
+        from repro.index.corpus import build_corpus_index
+        from repro.xmltree.document import XMLDocument
+
+        doc = XMLDocument.from_string(
+            "<db>"
+            "<rec><t>schuetze retrieval paper</t></rec>"
+            "<rec><t>smith keyword search</t></rec>"
+            "</db>"
+        )
+        corpus = build_corpus_index(doc)
+        composite = CompositeVariantGenerator(
+            [
+                VariantGenerator(corpus.vocabulary.tokens(),
+                                 max_errors=2),
+                PhoneticIndex(corpus.vocabulary.tokens(), distance=2),
+            ],
+            max_errors=2,
+        )
+        suggester = XCleanSuggester(
+            corpus,
+            generator=composite,
+            config=XCleanConfig(max_errors=2, gamma=None),
+        )
+        suggestions = suggester.suggest("schutze retrieval")
+        assert suggestions
+        assert suggestions[0].tokens == ("schuetze", "retrieval")

@@ -1,0 +1,124 @@
+"""Edge cases for corpus indexing: empty/degenerate/mixed documents."""
+
+import pytest
+
+from repro.core.cleaner import XCleanSuggester
+from repro.core.config import XCleanConfig
+from repro.index.corpus import build_corpus_index
+from repro.xmltree.document import XMLDocument
+from repro.xmltree.node import XMLNode
+
+
+class TestDegenerateDocuments:
+    def test_empty_document(self):
+        corpus = build_corpus_index(XMLDocument(XMLNode("root")))
+        assert len(corpus.vocabulary) == 0
+        assert corpus.inverted.total_postings() == 0
+        # The root path is still registered.
+        assert corpus.entity_count(corpus.path_table.id_of(("root",))) == 1
+
+    def test_stopwords_only(self):
+        corpus = build_corpus_index(
+            XMLDocument.from_string("<a><b>the of and to</b></a>")
+        )
+        assert len(corpus.vocabulary) == 0
+        assert corpus.subtree_length((1,)) == 0
+
+    def test_suggester_on_empty_corpus(self):
+        corpus = build_corpus_index(XMLDocument(XMLNode("root")))
+        suggester = XCleanSuggester(
+            corpus, config=XCleanConfig(max_errors=1, gamma=None)
+        )
+        assert suggester.suggest("anything") == []
+
+    def test_single_token_document(self):
+        corpus = build_corpus_index(
+            XMLDocument.from_string("<a><b>database</b></a>")
+        )
+        assert corpus.vocabulary.total_tokens == 1
+        assert corpus.subtree_length((1,)) == 1
+        assert corpus.subtree_length((1, 1)) == 1
+
+
+class TestAttributesAndMixedContent:
+    def test_attribute_values_indexed(self):
+        corpus = build_corpus_index(
+            XMLDocument.from_string(
+                '<dblp><article key="conference paper">x</article></dblp>'
+            )
+        )
+        assert "conference" in corpus.vocabulary
+        postings = list(corpus.inverted.list_for("conference"))
+        path = corpus.path_table.string_of(postings[0][1])
+        assert path == "/dblp/article/@key"
+
+    def test_mixed_content_text_nodes_indexed(self):
+        corpus = build_corpus_index(
+            XMLDocument.from_string(
+                "<a>leading words<b>middle text</b>trailing words</a>"
+            )
+        )
+        assert "leading" in corpus.vocabulary
+        assert "trailing" in corpus.vocabulary
+        assert "middle" in corpus.vocabulary
+        postings = list(corpus.inverted.list_for("leading"))
+        assert corpus.path_table.string_of(postings[0][1]) == "/a/#text"
+
+    def test_duplicate_token_same_leaf_tf(self):
+        corpus = build_corpus_index(
+            XMLDocument.from_string("<a><b>echo echo echo</b></a>")
+        )
+        postings = list(corpus.inverted.list_for("echo"))
+        assert len(postings) == 1
+        assert postings[0][2] == 3
+        assert corpus.vocabulary.collection_frequency("echo") == 3
+
+
+class TestCollections:
+    def test_virtual_root_indexing(self):
+        corpus = build_corpus_index(
+            XMLDocument.from_strings(
+                ["<doc><t>alpha</t></doc>", "<doc><t>beta</t></doc>"]
+            )
+        )
+        table = corpus.path_table
+        assert corpus.entity_count(
+            table.id_of(("collection", "doc"))
+        ) == 2
+        assert corpus.subtree_length((1,)) == 2
+        assert corpus.subtree_length((1, 1)) == 1
+
+    def test_queries_across_documents_blocked_by_min_depth(self):
+        # alpha and beta never co-occur below the virtual root.
+        corpus = build_corpus_index(
+            XMLDocument.from_strings(
+                ["<doc><t>alpha</t></doc>", "<doc><t>beta</t></doc>"]
+            )
+        )
+        suggester = XCleanSuggester(
+            corpus,
+            config=XCleanConfig(max_errors=1, gamma=None, min_depth=2),
+        )
+        assert suggester.suggest("alpha beta") == []
+
+
+class TestUnicode:
+    def test_unicode_tokens_indexed(self):
+        corpus = build_corpus_index(
+            XMLDocument.from_string(
+                "<a><b>schütze naïve café</b></a>"
+            )
+        )
+        assert "schütze" in corpus.vocabulary
+        assert "naïve" in corpus.vocabulary
+
+    def test_unicode_query(self):
+        corpus = build_corpus_index(
+            XMLDocument.from_string("<a><b>schütze retrieval</b></a>")
+        )
+        suggester = XCleanSuggester(
+            corpus, config=XCleanConfig(max_errors=1, gamma=None)
+        )
+        suggestions = suggester.suggest("schütze retrieval")
+        assert suggestions
+        assert suggestions[0].tokens == ("schütze", "retrieval")

@@ -1,0 +1,131 @@
+"""Tests for the path index: f_w^p counts via prefix scanning."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index.corpus import build_corpus_index
+from repro.index.path_index import (
+    PathIndex,
+    path_counts_from_postings,
+)
+from repro.xmltree.builder import build_tree, paper_example_tree
+from repro.xmltree.document import XMLDocument
+from repro.xmltree.labelpath import PathTable
+
+
+def counts_by_string(index, path_table, token):
+    return {
+        path_table.string_of(pid): count
+        for pid, count in index.counts_for(token).items()
+    }
+
+
+class TestPaperExample:
+    """The f_w^p values of Example 3 must come out of the real index."""
+
+    def test_example3_counts(self):
+        doc = XMLDocument(paper_example_tree())
+        corpus = build_corpus_index(doc)
+        table = corpus.path_table
+        trie = counts_by_string(corpus.path_index, table, "trie")
+        icde = counts_by_string(corpus.path_index, table, "icde")
+        assert trie["/a/c"] == 2
+        assert trie["/a/c/x"] == 3
+        assert trie["/a/d"] == 2
+        assert trie["/a/d/x"] == 2
+        assert icde["/a/c"] == 1
+        assert icde["/a/c/x"] == 1
+        assert icde["/a/d"] == 2
+        assert icde["/a/d/x"] == 2
+
+    def test_root_counts_are_one(self):
+        doc = XMLDocument(paper_example_tree())
+        corpus = build_corpus_index(doc)
+        table = corpus.path_table
+        assert counts_by_string(corpus.path_index, table, "trie")["/a"] == 1
+
+
+class TestPrefixScan:
+    def test_single_posting(self):
+        table = PathTable()
+        pid = table.intern(("a", "b", "c"))
+        counts = path_counts_from_postings([((1, 2, 3), pid, 1)], table)
+        # One distinct node at each of the three depths.
+        assert counts == {
+            table.id_of(("a",)): 1,
+            table.id_of(("a", "b")): 1,
+            pid: 1,
+        }
+
+    def test_shared_ancestors_counted_once(self):
+        table = PathTable()
+        pid = table.intern(("a", "b"))
+        counts = path_counts_from_postings(
+            [((1, 1), pid, 1), ((1, 2), pid, 1)], table
+        )
+        assert counts[table.id_of(("a",))] == 1
+        assert counts[pid] == 2
+
+    def test_mixed_paths_at_same_depth(self):
+        table = PathTable()
+        pid_b = table.intern(("a", "b"))
+        pid_c = table.intern(("a", "c"))
+        counts = path_counts_from_postings(
+            [((1, 1), pid_b, 1), ((1, 2), pid_c, 1)], table
+        )
+        assert counts[pid_b] == 1
+        assert counts[pid_c] == 1
+
+    def test_empty_postings(self):
+        assert path_counts_from_postings([], PathTable()) == {}
+
+
+class TestAgainstBruteForce:
+    """Property: the prefix scan equals a recount from the tree."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["p", "q"]),
+                st.sampled_from(["x", "y"]),
+                st.sampled_from(["tree", "trie", "icde"]),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_counts_match_tree_recount(self, rows):
+        # Build a 3-level tree: root -> <p|q> -> <x|y>(token)
+        spec_children = [
+            (section, [(leaf_label, token)])
+            for section, leaf_label, token in rows
+        ]
+        doc = XMLDocument(build_tree(("root", spec_children)))
+        corpus = build_corpus_index(doc)
+
+        # Brute force from the tree.
+        for token in {r[2] for r in rows}:
+            expected: dict[str, int] = {}
+            for node, path in doc.iter_with_paths():
+                if token in node.subtree_text().split():
+                    key = "/" + "/".join(path)
+                    expected[key] = expected.get(key, 0) + 1
+            actual = counts_by_string(
+                corpus.path_index, corpus.path_table, token
+            )
+            assert actual == expected
+
+
+class TestPathIndexContainer:
+    def test_missing_token(self):
+        index = PathIndex()
+        assert index.counts_for("nope") == {}
+        assert index.f("nope", 0) == 0
+        assert "nope" not in index
+
+    def test_set_and_get(self):
+        index = PathIndex()
+        index.set_counts("tok", {3: 2})
+        assert index.f("tok", 3) == 2
+        assert len(index) == 1
+        assert list(index.tokens()) == ["tok"]

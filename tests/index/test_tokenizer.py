@@ -1,0 +1,94 @@
+"""Tests for tokenization rules (Section VII-A's indexing conventions)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index.tokenizer import (
+    DEFAULT_STOPWORDS,
+    Tokenizer,
+    TokenizerConfig,
+)
+
+
+class TestBasics:
+    def test_splits_on_whitespace_and_punctuation(self):
+        t = Tokenizer()
+        assert t.tokenize("tree-search, keyword queries!") == [
+            "tree",
+            "search",
+            "keyword",
+            "queries",
+        ]
+
+    def test_lowercases(self):
+        assert Tokenizer().tokenize("Hinrich SCHUETZE") == [
+            "hinrich",
+            "schuetze",
+        ]
+
+    def test_drops_short_tokens(self):
+        assert Tokenizer().tokenize("a of db xml") == ["xml"]
+
+    def test_drops_numbers(self):
+        assert Tokenizer().tokenize("icde 2011 vldb 99") == ["icde", "vldb"]
+
+    def test_keeps_alphanumeric_mixtures(self):
+        assert Tokenizer().tokenize("mp3 h264") == ["mp3", "h264"]
+
+    def test_drops_stopwords(self):
+        assert Tokenizer().tokenize("the tree and the trie") == [
+            "tree",
+            "trie",
+        ]
+
+    def test_empty_text(self):
+        assert Tokenizer().tokenize("") == []
+
+    def test_punctuation_only(self):
+        assert Tokenizer().tokenize("... --- !!!") == []
+
+
+class TestConfig:
+    def test_custom_min_length(self):
+        t = Tokenizer(TokenizerConfig(min_length=1, stopwords=frozenset()))
+        assert t.tokenize("a bc") == ["a", "bc"]
+
+    def test_case_preserving(self):
+        t = Tokenizer(TokenizerConfig(lowercase=False))
+        assert t.tokenize("Tree") == ["Tree"]
+
+    def test_numbers_allowed(self):
+        t = Tokenizer(TokenizerConfig(drop_numbers=False))
+        assert t.tokenize("2011") == ["2011"]
+
+    def test_custom_stopwords(self):
+        t = Tokenizer(TokenizerConfig(stopwords=frozenset({"tree"})))
+        assert t.tokenize("tree trie") == ["trie"]
+
+    def test_accepts(self):
+        t = Tokenizer()
+        assert t.accepts("tree")
+        assert not t.accepts("ab")
+        assert not t.accepts("the")
+
+
+class TestProperties:
+    @given(st.text(max_size=200))
+    def test_tokens_obey_config(self, text):
+        t = Tokenizer()
+        for token in t.tokenize(text):
+            assert len(token) >= 3
+            assert token == token.lower()
+            assert not token.isdigit()
+            assert token not in DEFAULT_STOPWORDS
+            assert token.isalnum()
+
+    @given(st.text(max_size=200))
+    def test_iter_matches_tokenize(self, text):
+        t = Tokenizer()
+        assert list(t.iter_tokens(text)) == t.tokenize(text)
+
+    @given(st.lists(st.sampled_from(["tree", "trie", "icde"]), max_size=8))
+    def test_known_tokens_roundtrip(self, words):
+        text = " ".join(words)
+        assert Tokenizer().tokenize(text) == words

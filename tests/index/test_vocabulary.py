@@ -1,0 +1,105 @@
+"""Tests for vocabulary statistics: background model and PY08 tf·idf."""
+
+import math
+
+import pytest
+
+from repro.index.vocabulary import Vocabulary
+
+
+@pytest.fixture
+def vocab() -> Vocabulary:
+    v = Vocabulary()
+    # Element doc 1: "tree tree search"
+    v.add_occurrence("tree", 2)
+    v.add_occurrence("search", 1)
+    v.register_element_doc({"tree": 2, "search": 1})
+    # Element doc 2: "trie"
+    v.add_occurrence("trie", 1)
+    v.register_element_doc({"trie": 1})
+    # Element doc 3: "tree"
+    v.add_occurrence("tree", 1)
+    v.register_element_doc({"tree": 1})
+    return v
+
+
+class TestMembership:
+    def test_contains(self, vocab):
+        assert "tree" in vocab
+        assert "missing" not in vocab
+
+    def test_len(self, vocab):
+        assert len(vocab) == 3
+
+    def test_iteration(self, vocab):
+        assert set(vocab) == {"tree", "search", "trie"}
+
+
+class TestBackgroundModel:
+    def test_total_tokens(self, vocab):
+        assert vocab.total_tokens == 5
+
+    def test_collection_frequency(self, vocab):
+        assert vocab.collection_frequency("tree") == 3
+        assert vocab.collection_frequency("missing") == 0
+
+    def test_background_probability(self, vocab):
+        assert vocab.background_probability("tree") == 3 / 5
+        assert vocab.background_probability("missing") == 0.0
+
+    def test_background_probability_empty_vocab(self):
+        assert Vocabulary().background_probability("x") == 0.0
+
+    def test_probabilities_sum_to_one(self, vocab):
+        total = sum(vocab.background_probability(t) for t in vocab)
+        assert abs(total - 1.0) < 1e-12
+
+
+class TestPY08Statistics:
+    def test_element_doc_count(self, vocab):
+        assert vocab.element_doc_count == 3
+
+    def test_element_df(self, vocab):
+        assert vocab.element_document_frequency("tree") == 2
+        assert vocab.element_document_frequency("trie") == 1
+
+    def test_max_relative_tf(self, vocab):
+        # tree: max(2/3, 1/1) = 1.0
+        assert vocab.max_relative_tf("tree") == 1.0
+        assert vocab.max_relative_tf("search") == 1 / 3
+
+    def test_idf(self, vocab):
+        assert abs(vocab.idf("trie") - math.log(3 / 1)) < 1e-12
+        assert abs(vocab.idf("tree") - math.log(3 / 2)) < 1e-12
+
+    def test_idf_unknown_token(self, vocab):
+        assert vocab.idf("missing") == 0.0
+
+    def test_max_tfidf_prefers_rare(self, vocab):
+        # The PY08 bias: rare 'trie' outscores frequent 'tree'... here
+        # both have max rel tf 1.0, so idf decides.
+        assert vocab.max_tfidf("trie") > vocab.max_tfidf("tree")
+
+    def test_empty_element_doc_ignored_for_stats(self):
+        v = Vocabulary()
+        v.register_element_doc({})
+        assert v.element_doc_count == 1
+        assert v.max_relative_tf("x") == 0.0
+
+
+class TestPersistenceRows:
+    def test_roundtrip(self, vocab):
+        rows = list(vocab.export_rows())
+        rebuilt = Vocabulary.from_rows(rows, vocab.element_doc_count)
+        assert rebuilt.total_tokens == vocab.total_tokens
+        assert rebuilt.element_doc_count == vocab.element_doc_count
+        for token in vocab:
+            assert rebuilt.collection_frequency(
+                token
+            ) == vocab.collection_frequency(token)
+            assert rebuilt.element_document_frequency(
+                token
+            ) == vocab.element_document_frequency(token)
+            assert rebuilt.max_relative_tf(token) == vocab.max_relative_tf(
+                token
+            )

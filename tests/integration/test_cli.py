@@ -1,0 +1,155 @@
+"""Tests for the xclean command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--dataset", "dblp", "--out", "x.xml"]
+        )
+        assert args.command == "generate"
+        assert args.dataset == "dblp"
+
+
+class TestPipeline:
+    def test_generate_index_suggest(self, tmp_path, capsys):
+        xml_path = str(tmp_path / "corpus.xml")
+        index_path = str(tmp_path / "corpus.xci")
+
+        assert main(
+            [
+                "generate",
+                "--dataset",
+                "dblp",
+                "--out",
+                xml_path,
+                "--size",
+                "80",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out
+
+        assert main(["index", "--xml", xml_path, "--out", index_path]) == 0
+        out = capsys.readouterr().out
+        assert "postings" in out
+
+        assert main(
+            [
+                "suggest",
+                "--index",
+                index_path,
+                "--query",
+                "datt",
+                "-k",
+                "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_binary_index_pipeline(self, tmp_path, capsys):
+        xml_path = str(tmp_path / "c.xml")
+        index_path = str(tmp_path / "c.xcib")
+        assert main(
+            ["generate", "--dataset", "dblp", "--out", xml_path,
+             "--size", "60"]
+        ) == 0
+        assert main(
+            ["index", "--xml", xml_path, "--out", index_path,
+             "--format", "binary"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["suggest", "--index", index_path, "--query", "datt",
+             "-k", "2"]
+        ) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_semantics_options(self, tmp_path, capsys):
+        xml_path = str(tmp_path / "s.xml")
+        index_path = str(tmp_path / "s.xci")
+        main(["generate", "--dataset", "dblp", "--out", xml_path,
+              "--size", "60"])
+        main(["index", "--xml", xml_path, "--out", index_path])
+        capsys.readouterr()
+        for semantics in ("slca", "elca"):
+            assert main(
+                ["suggest", "--index", index_path, "--query", "datt",
+                 "--semantics", semantics]
+            ) == 0
+        assert main(
+            ["suggest", "--index", index_path, "--query", "datt",
+             "--prior", "length"]
+        ) == 0
+
+    def test_generate_wiki(self, tmp_path, capsys):
+        xml_path = str(tmp_path / "wiki.xml")
+        assert main(
+            ["generate", "--dataset", "wiki", "--out", xml_path,
+             "--size", "10"]
+        ) == 0
+
+    def test_suggest_missing_index_fails(self, tmp_path, capsys):
+        code = main(
+            [
+                "suggest",
+                "--index",
+                str(tmp_path / "missing.xci"),
+                "--query",
+                "tree",
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_corrupt_index_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xci"
+        bad.write_text("not an index\n")
+        code = main(
+            ["suggest", "--index", str(bad), "--query", "tree"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_evaluate_small(self, capsys):
+        assert main(
+            ["evaluate", "--dataset", "dblp", "--scale", "small"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MRR" in out
+        assert "DBLP-CLEAN" in out or "CLEAN" in out
+
+
+class TestSearchCommand:
+    def test_search_pipeline(self, tmp_path, capsys):
+        xml_path = str(tmp_path / "q.xml")
+        index_path = str(tmp_path / "q.xci")
+        main(["generate", "--dataset", "dblp", "--out", xml_path,
+              "--size", "80"])
+        main(["index", "--xml", xml_path, "--out", index_path])
+        capsys.readouterr()
+        assert main(
+            ["search", "--index", index_path, "--query", "journal",
+             "--xml", xml_path, "-k", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "entity" in out or "no results" in out
+
+    def test_search_without_snippets(self, tmp_path, capsys):
+        xml_path = str(tmp_path / "r.xml")
+        index_path = str(tmp_path / "r.xci")
+        main(["generate", "--dataset", "dblp", "--out", xml_path,
+              "--size", "80"])
+        main(["index", "--xml", xml_path, "--out", index_path])
+        capsys.readouterr()
+        assert main(
+            ["search", "--index", index_path, "--query", "journal"]
+        ) == 0

@@ -1,0 +1,48 @@
+"""Every example script must run cleanly (the examples are API docs)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=lambda p: p.stem
+)
+def test_example_runs_cleanly(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must print something"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLE_SCRIPTS}
+    assert {
+        "quickstart",
+        "dblp_bibliography",
+        "wikipedia_search",
+        "bias_demo",
+        "space_errors_demo",
+        "clean_and_search",
+        "phonetic_errors",
+    } <= names
+
+
+def test_quickstart_output_shows_suggestions():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "trie icdt" in completed.stdout
+    assert "result type=/a/d" in completed.stdout

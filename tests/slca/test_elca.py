@@ -1,0 +1,78 @@
+"""Tests for ELCA computation against the XRANK-definition brute force."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.slca.elca import (
+    containing_ancestors,
+    elca,
+    elca_brute_force,
+)
+from repro.slca.multiway import slca
+
+deweys = st.lists(
+    st.integers(min_value=1, max_value=3), min_size=1, max_size=4
+).map(lambda parts: (1,) + tuple(parts))
+
+dewey_lists = st.lists(deweys, min_size=1, max_size=8).map(
+    lambda codes: sorted(set(codes))
+)
+
+
+class TestManualCases:
+    def test_single_subtree(self):
+        lists = [[(1, 2, 1)], [(1, 2, 3)]]
+        assert elca(lists) == [(1, 2)]
+
+    def test_root_only_connection(self):
+        lists = [[(1, 1, 1)], [(1, 2, 1)]]
+        assert elca(lists) == [(1,)]
+
+    def test_ancestor_with_exclusive_witness(self):
+        # 1.1 contains both keywords (via 1.1.1); the root additionally
+        # has exclusive witnesses a@1.2 and b@1.3 -> both are ELCAs.
+        a = [(1, 1, 1, 1), (1, 2)]
+        b = [(1, 1, 1, 2), (1, 3)]
+        assert elca([a, b]) == [(1,), (1, 1, 1)]
+
+    def test_ancestor_without_exclusive_witness_excluded(self):
+        # All occurrences sit under the single deep ELCA; ancestors
+        # have nothing exclusive.
+        a = [(1, 1, 1, 1)]
+        b = [(1, 1, 1, 2)]
+        assert elca([a, b]) == [(1, 1, 1)]
+
+    def test_elca_superset_of_slca(self):
+        a = [(1, 1, 1, 1), (1, 2)]
+        b = [(1, 1, 1, 2), (1, 3)]
+        assert set(slca([a, b])) <= set(elca([a, b]))
+
+    def test_empty_inputs(self):
+        assert elca([]) == []
+        assert elca([[(1, 1)], []]) == []
+
+    def test_containing_ancestors(self):
+        assert containing_ancestors([(1, 2, 3)]) == [
+            (1,),
+            (1, 2),
+            (1, 2, 3),
+        ]
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=120, deadline=None)
+    @given(st.lists(dewey_lists, min_size=1, max_size=3))
+    def test_matches_brute_force(self, lists):
+        assert elca(lists) == elca_brute_force(lists)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(dewey_lists, min_size=1, max_size=3))
+    def test_superset_of_slca(self, lists):
+        assert set(slca(lists)) <= set(elca(lists))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(dewey_lists, min_size=2, max_size=3))
+    def test_every_elca_contains_all_keywords(self, lists):
+        for node in elca(lists):
+            for lst in lists:
+                assert any(code[: len(node)] == node for code in lst)

@@ -1,0 +1,101 @@
+"""Tests for multi-way SLCA against the brute-force reference."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.slca.multiway import remove_ancestors, slca, slca_brute_force
+
+deweys = st.lists(
+    st.integers(min_value=1, max_value=3), min_size=1, max_size=4
+).map(lambda parts: (1,) + tuple(parts))
+
+dewey_lists = st.lists(deweys, min_size=1, max_size=8).map(
+    lambda codes: sorted(set(codes))
+)
+
+
+class TestRemoveAncestors:
+    def test_keeps_deepest(self):
+        assert remove_ancestors([(1,), (1, 2), (1, 2, 3)]) == [(1, 2, 3)]
+
+    def test_siblings_kept(self):
+        assert remove_ancestors([(1, 1), (1, 2)]) == [(1, 1), (1, 2)]
+
+    def test_duplicates_removed(self):
+        assert remove_ancestors([(1, 1), (1, 1)]) == [(1, 1)]
+
+    def test_mixed(self):
+        codes = [(1,), (1, 1), (1, 2), (1, 2, 1)]
+        assert remove_ancestors(codes) == [(1, 1), (1, 2, 1)]
+
+    def test_empty(self):
+        assert remove_ancestors([]) == []
+
+
+class TestSLCAManual:
+    def test_single_list_returns_nodes(self):
+        lists = [[(1, 1), (1, 2)]]
+        assert slca(lists) == [(1, 1), (1, 2)]
+
+    def test_two_lists_same_subtree(self):
+        lists = [[(1, 2, 1)], [(1, 2, 3)]]
+        assert slca(lists) == [(1, 2)]
+
+    def test_two_lists_only_root_connects(self):
+        lists = [[(1, 1, 1)], [(1, 2, 1)]]
+        assert slca(lists) == [(1,)]
+
+    def test_multiple_slcas(self):
+        lists = [
+            [(1, 1, 1), (1, 2, 1)],
+            [(1, 1, 2), (1, 2, 2)],
+        ]
+        assert slca(lists) == [(1, 1), (1, 2)]
+
+    def test_deeper_wins_over_shallower(self):
+        # Both keywords under 1.1.1 and also spread across 1.1/1.2 —
+        # the deep match 1.1.1 must suppress the shallow ancestor 1.1.
+        lists = [
+            [(1, 1, 1, 1), (1, 2, 1)],
+            [(1, 1, 1, 2)],
+        ]
+        assert slca(lists) == [(1, 1, 1)]
+
+    def test_empty_list_gives_nothing(self):
+        assert slca([[(1, 1)], []]) == []
+        assert slca([]) == []
+
+    def test_paper_tree_like_case(self):
+        # trie: 1.2.1.1, 1.3.2.1, 1.4.1.1; icde: 1.2.3.1, 1.3.3.1, 1.4.2.1
+        trie = [(1, 2, 1, 1), (1, 3, 2, 1), (1, 4, 1, 1)]
+        icde = [(1, 2, 3, 1), (1, 3, 3, 1), (1, 4, 2, 1)]
+        assert slca([trie, icde]) == [(1, 2), (1, 3), (1, 4)]
+
+    def test_occurrence_at_internal_node(self):
+        # One keyword at a node, the other in its subtree.
+        lists = [[(1, 2)], [(1, 2, 3)]]
+        assert slca(lists) == [(1, 2)]
+
+
+class TestSLCAProperty:
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(dewey_lists, min_size=1, max_size=3))
+    def test_matches_brute_force(self, lists):
+        assert slca(lists) == slca_brute_force(lists)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(dewey_lists, min_size=1, max_size=3))
+    def test_results_are_antichain(self, lists):
+        result = slca(lists)
+        for i, a in enumerate(result):
+            for b in result[i + 1 :]:
+                assert a[: len(b)] != b and b[: len(a)] != a
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(dewey_lists, min_size=2, max_size=3))
+    def test_every_slca_contains_all_lists(self, lists):
+        for root in slca(lists):
+            for lst in lists:
+                assert any(
+                    code[: len(root)] == root for code in lst
+                ), f"{root} misses a keyword"

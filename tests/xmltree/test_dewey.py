@@ -1,0 +1,142 @@
+"""Tests for Dewey code parsing, ordering, and tree relations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import DeweyError
+from repro.xmltree import dewey
+
+codes = st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=6).map(
+    tuple
+)
+
+
+class TestParseFormat:
+    def test_parse_simple(self):
+        assert dewey.parse("1.2.3") == (1, 2, 3)
+
+    def test_parse_single(self):
+        assert dewey.parse("1") == (1,)
+
+    def test_format_roundtrip(self):
+        assert dewey.format_code((1, 2, 3)) == "1.2.3"
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(DeweyError):
+            dewey.parse("")
+
+    def test_parse_rejects_zero_component(self):
+        with pytest.raises(DeweyError):
+            dewey.parse("1.0.2")
+
+    def test_parse_rejects_non_numeric(self):
+        with pytest.raises(DeweyError):
+            dewey.parse("1.x.2")
+
+    def test_parse_rejects_negative(self):
+        with pytest.raises(DeweyError):
+            dewey.parse("1.-2")
+
+    def test_format_rejects_empty(self):
+        with pytest.raises(DeweyError):
+            dewey.format_code(())
+
+    @given(codes)
+    def test_roundtrip_property(self, code):
+        assert dewey.parse(dewey.format_code(code)) == code
+
+
+class TestRelations:
+    def test_ancestor_proper(self):
+        assert dewey.is_ancestor((1,), (1, 2))
+        assert dewey.is_ancestor((1, 2), (1, 2, 7, 4))
+
+    def test_ancestor_not_self(self):
+        assert not dewey.is_ancestor((1, 2), (1, 2))
+
+    def test_ancestor_or_self(self):
+        assert dewey.is_ancestor_or_self((1, 2), (1, 2))
+        assert dewey.is_ancestor_or_self((1,), (1, 9))
+
+    def test_sibling_not_ancestor(self):
+        assert not dewey.is_ancestor((1, 2), (1, 3, 1))
+
+    def test_depth(self):
+        assert dewey.depth((1,)) == 1
+        assert dewey.depth((1, 4, 2)) == 3
+
+    def test_parent(self):
+        assert dewey.parent((1, 2, 3)) == (1, 2)
+
+    def test_parent_of_root_raises(self):
+        with pytest.raises(DeweyError):
+            dewey.parent((1,))
+
+    @given(codes, codes)
+    def test_ancestor_implies_document_order(self, a, b):
+        if dewey.is_ancestor(a, b):
+            assert a < b  # ancestors precede descendants in doc order
+
+
+class TestDocumentOrder:
+    def test_three_way(self):
+        assert dewey.compare_document_order((1, 2), (1, 3)) == -1
+        assert dewey.compare_document_order((1, 3), (1, 2)) == 1
+        assert dewey.compare_document_order((1, 2), (1, 2)) == 0
+
+    def test_prefix_precedes(self):
+        # An ancestor comes before its descendants in document order.
+        assert dewey.compare_document_order((1,), (1, 1)) == -1
+
+    @given(codes, codes)
+    def test_consistent_with_tuple_order(self, a, b):
+        cmp = dewey.compare_document_order(a, b)
+        if a < b:
+            assert cmp == -1
+        elif a > b:
+            assert cmp == 1
+        else:
+            assert cmp == 0
+
+
+class TestTruncateAndLCA:
+    def test_truncate(self):
+        assert dewey.truncate((1, 2, 3, 4), 2) == (1, 2)
+
+    def test_truncate_full_depth(self):
+        assert dewey.truncate((1, 2), 2) == (1, 2)
+
+    def test_truncate_out_of_range(self):
+        with pytest.raises(DeweyError):
+            dewey.truncate((1, 2), 3)
+        with pytest.raises(DeweyError):
+            dewey.truncate((1, 2), 0)
+
+    def test_common_prefix(self):
+        assert dewey.common_prefix((1, 2, 3), (1, 2, 5)) == (1, 2)
+
+    def test_common_prefix_disjoint(self):
+        assert dewey.common_prefix((1,), (2,)) == ()
+
+    def test_lca_basic(self):
+        assert dewey.lca([(1, 2, 3), (1, 2, 5), (1, 2, 3, 1)]) == (1, 2)
+
+    def test_lca_single(self):
+        assert dewey.lca([(1, 4)]) == (1, 4)
+
+    def test_lca_empty_raises(self):
+        with pytest.raises(DeweyError):
+            dewey.lca([])
+
+    def test_lca_disjoint_roots_raises(self):
+        with pytest.raises(DeweyError):
+            dewey.lca([(1, 2), (2, 1)])
+
+    @given(st.lists(codes, min_size=1, max_size=5))
+    def test_lca_is_common_ancestor(self, code_list):
+        # Force a shared root so lca is defined.
+        rooted = [(1,) + c for c in code_list]
+        ancestor = dewey.lca(rooted)
+        for code in rooted:
+            assert dewey.is_ancestor_or_self(ancestor, code)

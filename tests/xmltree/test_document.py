@@ -1,0 +1,96 @@
+"""Tests for XMLDocument: construction, navigation, Table I statistics."""
+
+from repro.xmltree.builder import build_tree
+from repro.xmltree.document import VIRTUAL_ROOT_LABEL, XMLDocument
+from repro.xmltree.node import XMLNode
+
+
+def small_doc() -> XMLDocument:
+    return XMLDocument.from_string(
+        "<dblp>"
+        "<article><title>tree search</title><author>jane</author></article>"
+        "<article><title>trie index</title></article>"
+        "</dblp>"
+    )
+
+
+class TestConstruction:
+    def test_from_string_assigns_deweys(self):
+        doc = small_doc()
+        assert doc.root.dewey == (1,)
+        assert doc.root.children[0].dewey == (1, 1)
+
+    def test_from_trees_adds_virtual_root(self):
+        t1 = XMLNode("a")
+        t2 = XMLNode("b")
+        doc = XMLDocument.from_trees([t1, t2])
+        assert doc.root.label == VIRTUAL_ROOT_LABEL
+        assert [c.label for c in doc.root.children] == ["a", "b"]
+        assert t1.dewey == (1, 1)
+        assert t2.dewey == (1, 2)
+
+    def test_from_strings(self):
+        doc = XMLDocument.from_strings(["<a>x</a>", "<b>y</b>"])
+        assert len(doc.root.children) == 2
+
+    def test_prebuilt_tree_keeps_deweys(self):
+        tree = build_tree(("a", [("b", "x")]))
+        doc = XMLDocument(tree)
+        assert doc.root.dewey == (1,)
+
+
+class TestNavigation:
+    def test_node_at(self):
+        doc = small_doc()
+        node = doc.node_at((1, 1, 1))
+        assert node is not None and node.label == "title"
+
+    def test_node_at_missing(self):
+        assert small_doc().node_at((1, 9, 9)) is None
+
+    def test_iter_nodes_in_document_order(self):
+        doc = small_doc()
+        deweys = [n.dewey for n in doc.iter_nodes()]
+        assert deweys == sorted(deweys)
+
+    def test_subtree_text(self):
+        doc = small_doc()
+        assert doc.subtree_text((1, 1)) == "tree search jane"
+
+    def test_subtree_text_missing_node(self):
+        assert small_doc().subtree_text((1, 9)) == ""
+
+    def test_build_path_table(self):
+        table = small_doc().build_path_table()
+        assert ("dblp", "article", "title") in table
+        assert ("dblp", "article", "author") in table
+
+
+class TestStats:
+    def test_node_count(self):
+        doc = small_doc()
+        # dblp + 2 articles + 2 titles + 1 author = 6
+        assert doc.stats.node_count == 6
+
+    def test_max_depth(self):
+        assert small_doc().stats.max_depth == 3
+
+    def test_avg_depth(self):
+        # depths: 1 + 2 + 3 + 3 + 2 + 3 = 14 over 6 nodes
+        assert abs(small_doc().stats.avg_depth - 14 / 6) < 1e-9
+
+    def test_stats_cached(self):
+        doc = small_doc()
+        assert doc.stats is doc.stats
+
+    def test_as_row_shape(self):
+        row = small_doc().stats.as_row()
+        assert set(row) == {"size (MB)", "#node", "max depth", "avg depth"}
+
+    def test_token_nodes(self):
+        assert small_doc().stats.token_nodes == 3
+
+    def test_serialize_parses_back(self):
+        doc = small_doc()
+        again = XMLDocument.from_string(doc.serialize())
+        assert again.stats.node_count == doc.stats.node_count

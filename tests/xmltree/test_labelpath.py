@@ -1,0 +1,100 @@
+"""Tests for label path formatting and the interning PathTable."""
+
+import pytest
+
+from repro.xmltree.labelpath import (
+    PathTable,
+    format_path,
+    parse_path,
+)
+
+
+class TestFormatting:
+    def test_format(self):
+        assert format_path(("a", "b", "c")) == "/a/b/c"
+
+    def test_parse(self):
+        assert parse_path("/a/b/c") == ("a", "b", "c")
+
+    def test_parse_without_leading_slash(self):
+        assert parse_path("a/b") == ("a", "b")
+
+    def test_parse_root_only(self):
+        assert parse_path("/") == ()
+
+    def test_roundtrip(self):
+        path = ("dblp", "article", "title")
+        assert parse_path(format_path(path)) == path
+
+
+class TestPathTable:
+    def test_intern_assigns_dense_ids(self):
+        table = PathTable()
+        assert table.intern(("a",)) == 0
+        assert table.intern(("a", "b")) == 1
+        assert table.intern(("a",)) == 0  # idempotent
+
+    def test_id_of_known(self):
+        table = PathTable()
+        pid = table.intern(("x", "y"))
+        assert table.id_of(("x", "y")) == pid
+
+    def test_id_of_unknown_raises(self):
+        table = PathTable()
+        with pytest.raises(KeyError):
+            table.id_of(("missing",))
+
+    def test_get_id_unknown_returns_none(self):
+        assert PathTable().get_id(("nope",)) is None
+
+    def test_labels_and_string(self):
+        table = PathTable()
+        pid = table.intern(("a", "b"))
+        assert table.labels_of(pid) == ("a", "b")
+        assert table.string_of(pid) == "/a/b"
+
+    def test_depth(self):
+        table = PathTable()
+        pid = table.intern(("a", "b", "c"))
+        assert table.depth_of(pid) == 3
+
+    def test_contains_and_len(self):
+        table = PathTable()
+        table.intern(("a",))
+        assert ("a",) in table
+        assert ("b",) not in table
+        assert len(table) == 1
+
+    def test_prefix_id_interns_on_demand(self):
+        table = PathTable()
+        deep = table.intern(("a", "b", "c"))
+        prefix = table.prefix_id(deep, 2)
+        assert table.labels_of(prefix) == ("a", "b")
+
+    def test_prefix_id_full_depth_is_identity(self):
+        table = PathTable()
+        pid = table.intern(("a", "b"))
+        assert table.prefix_id(pid, 2) == pid
+
+    def test_prefix_id_cached(self):
+        table = PathTable()
+        deep = table.intern(("a", "b", "c", "d"))
+        first = table.prefix_id(deep, 2)
+        second = table.prefix_id(deep, 2)
+        assert first == second
+
+    def test_prefix_id_out_of_range(self):
+        table = PathTable()
+        pid = table.intern(("a", "b"))
+        with pytest.raises(ValueError):
+            table.prefix_id(pid, 3)
+        with pytest.raises(ValueError):
+            table.prefix_id(pid, 0)
+
+    def test_ids_at_least_depth(self):
+        table = PathTable()
+        shallow = table.intern(("a",))
+        deep = table.intern(("a", "b", "c"))
+        mid = table.intern(("a", "b"))
+        assert set(table.ids_at_least_depth(2)) == {deep, mid}
+        assert set(table.ids_at_least_depth(1)) == {shallow, deep, mid}

@@ -1,0 +1,139 @@
+"""Tests for XMLNode, the tree builder, and the paper's example tree."""
+
+import pytest
+
+from repro.xmltree.builder import build_node, build_tree, paper_example_tree
+from repro.xmltree.node import XMLNode
+
+
+class TestBuilder:
+    def test_leaf_with_text(self):
+        node = build_node(("title", "hello world"))
+        assert node.label == "title"
+        assert node.text == "hello world"
+        assert node.is_leaf
+
+    def test_nested_children(self):
+        node = build_node(("a", [("b", "x"), ("c", "y")]))
+        assert [c.label for c in node.children] == ["b", "c"]
+
+    def test_text_and_children(self):
+        node = build_node(("a", "t", [("b", "x")]))
+        assert node.text == "t"
+        assert node.children[0].label == "b"
+
+    def test_rejects_non_tuple(self):
+        with pytest.raises(ValueError):
+            build_node("bare string")  # type: ignore[arg-type]
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(ValueError):
+            build_node(("", "text"))
+
+    def test_rejects_double_text(self):
+        with pytest.raises(ValueError):
+            build_node(("a", "t1", "t2"))  # type: ignore[arg-type]
+
+
+class TestDeweyAssignment:
+    def test_root_code(self):
+        tree = build_tree(("a", [("b", "x")]))
+        assert tree.dewey == (1,)
+        assert tree.children[0].dewey == (1, 1)
+
+    def test_sibling_numbering(self):
+        tree = build_tree(("a", [("b",), ("c",), ("d",)]))
+        assert [c.dewey for c in tree.children] == [(1, 1), (1, 2), (1, 3)]
+
+    def test_deep_assignment(self):
+        tree = build_tree(("a", [("b", [("c", [("d", "x")])])]))
+        leaf = tree.children[0].children[0].children[0]
+        assert leaf.dewey == (1, 1, 1, 1)
+
+    def test_custom_root_code(self):
+        tree = build_tree(("a", [("b",)]), root_code=(1, 5))
+        assert tree.dewey == (1, 5)
+        assert tree.children[0].dewey == (1, 5, 1)
+
+
+class TestTraversal:
+    def test_iter_subtree_document_order(self):
+        tree = build_tree(("a", [("b", [("c",)]), ("d",)]))
+        labels = [n.label for n in tree.iter_subtree()]
+        assert labels == ["a", "b", "c", "d"]
+
+    def test_iter_with_paths(self):
+        tree = build_tree(("a", [("b", [("c",)])]))
+        pairs = [(n.label, p) for n, p in tree.iter_with_paths()]
+        assert pairs == [
+            ("a", ("a",)),
+            ("b", ("a", "b")),
+            ("c", ("a", "b", "c")),
+        ]
+
+    def test_find_by_dewey(self):
+        tree = build_tree(("a", [("b", [("c", "x")]), ("d",)]))
+        found = tree.find((1, 1, 1))
+        assert found is not None and found.label == "c"
+
+    def test_find_missing_returns_none(self):
+        tree = build_tree(("a", [("b",)]))
+        assert tree.find((1, 9)) is None
+
+    def test_find_outside_subtree_returns_none(self):
+        tree = build_tree(("a", [("b",)]))
+        subtree = tree.children[0]
+        assert subtree.find((1,)) is None
+
+    def test_subtree_text_concatenates_in_order(self):
+        tree = build_tree(("a", [("b", "first"), ("c", [("d", "second")])]))
+        assert tree.subtree_text() == "first second"
+
+
+class TestPaperExampleTree:
+    """The fixture must be consistent with Example 3's f_w^p counts."""
+
+    def test_shape(self):
+        tree = paper_example_tree()
+        assert [c.label for c in tree.children] == ["b", "c", "d", "d", "c"]
+
+    def test_icde_anchor_position(self):
+        # Example 5: the first anchor is node 1.2.3.1 (an icde leaf).
+        tree = paper_example_tree()
+        node = tree.find((1, 2, 3, 1))
+        assert node is not None and node.text == "icde"
+
+    def _count(self, tree: XMLNode, path: tuple, token: str) -> int:
+        """f_token^path: nodes of that path whose subtree contains token."""
+        count = 0
+        for node, node_path in tree.iter_with_paths():
+            if node_path == path and token in node.subtree_text().split():
+                count += 1
+        return count
+
+    def test_example3_counts(self):
+        tree = paper_example_tree()
+        assert self._count(tree, ("a", "c"), "trie") == 2
+        assert self._count(tree, ("a", "c", "x"), "trie") == 3
+        assert self._count(tree, ("a", "d"), "trie") == 2
+        assert self._count(tree, ("a", "d", "x"), "trie") == 2
+        assert self._count(tree, ("a", "c"), "icde") == 1
+        assert self._count(tree, ("a", "c", "x"), "icde") == 1
+        assert self._count(tree, ("a", "d"), "icde") == 2
+        assert self._count(tree, ("a", "d", "x"), "icde") == 2
+
+    def test_example5_skip_targets(self):
+        # After skip_to(1.2): tree → 1.2.2.1, trees → exhausted,
+        # trie → 1.2.1.1 (Example 5's trace).
+        tree = paper_example_tree()
+        tree_node = tree.find((1, 2, 2, 1))
+        trie_node = tree.find((1, 2, 1, 1))
+        assert tree_node is not None and tree_node.text == "tree"
+        assert trie_node is not None and trie_node.text == "trie"
+        # 'trees' occurs only under 1.1.
+        occurrences = [
+            n.dewey
+            for n in tree.iter_subtree()
+            if n.text == "trees" and n.dewey is not None
+        ]
+        assert occurrences == [(1, 1, 1, 1)]

@@ -1,0 +1,186 @@
+"""Tests for the hand-rolled XML parser."""
+
+import pytest
+
+from repro.exceptions import XMLParseError
+from repro.xmltree.parser import (
+    decode_entities,
+    parse_document,
+    serialize,
+)
+
+
+class TestEntities:
+    def test_predefined(self):
+        assert decode_entities("a &amp; b &lt; c &gt; d") == "a & b < c > d"
+
+    def test_quotes(self):
+        assert decode_entities("&quot;x&apos;") == "\"x'"
+
+    def test_numeric_decimal(self):
+        assert decode_entities("&#65;") == "A"
+
+    def test_numeric_hex(self):
+        assert decode_entities("&#x41;") == "A"
+
+    def test_no_ampersand_fast_path(self):
+        assert decode_entities("plain") == "plain"
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(XMLParseError):
+            decode_entities("&nope;")
+
+    def test_unterminated_raises(self):
+        with pytest.raises(XMLParseError):
+            decode_entities("&amp")
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        root = parse_document("<a>hello</a>")
+        assert root.label == "a"
+        assert root.text == "hello"
+
+    def test_nested(self):
+        root = parse_document("<a><b>x</b><c>y</c></a>")
+        assert [c.label for c in root.children] == ["b", "c"]
+        assert root.children[0].text == "x"
+
+    def test_self_closing(self):
+        root = parse_document("<a><b/><c /></a>")
+        assert [c.label for c in root.children] == ["b", "c"]
+
+    def test_whitespace_only_text_ignored(self):
+        root = parse_document("<a>\n  <b>x</b>\n</a>")
+        assert root.text == ""
+        assert len(root.children) == 1
+
+    def test_declaration_and_doctype_skipped(self):
+        text = '<?xml version="1.0"?><!DOCTYPE dblp SYSTEM "d.dtd"><a>x</a>'
+        assert parse_document(text).text == "x"
+
+    def test_comments_skipped(self):
+        root = parse_document("<a><!-- note --><b>x</b><!-- end --></a>")
+        assert [c.label for c in root.children] == ["b"]
+
+    def test_cdata(self):
+        root = parse_document("<a><![CDATA[1 < 2 & 3]]></a>")
+        assert root.text == "1 < 2 & 3"
+
+    def test_entities_in_text(self):
+        root = parse_document("<a>schn&#252;tze</a>")
+        assert root.text == "schnütze"
+
+    def test_trailing_comment_allowed(self):
+        root = parse_document("<a>x</a><!-- done -->")
+        assert root.text == "x"
+
+
+class TestAttributes:
+    def test_attribute_becomes_child(self):
+        root = parse_document('<a key="mdate" other="2009">x</a>')
+        assert root.children[0].label == "@key"
+        assert root.children[0].text == "mdate"
+        assert root.children[1].label == "@other"
+
+    def test_attribute_entities_decoded(self):
+        root = parse_document('<a t="x &amp; y"/>')
+        assert root.children[0].text == "x & y"
+
+    def test_single_quoted(self):
+        root = parse_document("<a t='v'/>")
+        assert root.children[0].text == "v"
+
+
+class TestMixedContent:
+    def test_text_runs_wrapped(self):
+        root = parse_document("<a>before<b>x</b>after</a>")
+        labels = [c.label for c in root.children]
+        assert labels == ["#text", "b", "#text"]
+        assert root.children[0].text == "before"
+        assert root.children[2].text == "after"
+        assert root.text == ""
+
+    def test_pure_text_runs_joined(self):
+        root = parse_document("<a>one<!-- c -->two</a>")
+        assert root.text == "one two"
+
+
+class TestErrors:
+    def test_mismatched_tags(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a><b>x</c></a>")
+
+    def test_unterminated_element(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a><b>x</b>")
+
+    def test_content_after_root(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a>x</a><b>y</b>")
+
+    def test_garbage(self):
+        with pytest.raises(XMLParseError):
+            parse_document("just text")
+
+    def test_unquoted_attribute(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a k=v>x</a>")
+
+    def test_error_carries_position(self):
+        try:
+            parse_document("<a>&bad;</a>")
+        except XMLParseError as exc:
+            assert exc.position >= 0
+        else:  # pragma: no cover
+            pytest.fail("expected XMLParseError")
+
+
+class TestSerializeRoundTrip:
+    def test_roundtrip_structure(self):
+        text = '<dblp><article key="x"><title>a &amp; b</title></article></dblp>'
+        root = parse_document(text)
+        again = parse_document(serialize(root))
+        assert again.children[0].children[0].label == "@key"
+        title = again.children[0].children[1]
+        assert title.label == "title"
+        assert title.text == "a & b"
+
+    def test_roundtrip_self_closing(self):
+        root = parse_document("<a><b/></a>")
+        again = parse_document(serialize(root))
+        assert again.children[0].label == "b"
+
+
+class TestLatinEntities:
+    def test_uuml_in_text(self):
+        root = parse_document("<author>hinrich sch&uuml;tze</author>")
+        assert root.text == "hinrich schütze"
+
+    def test_eacute_in_attribute(self):
+        root = parse_document('<a name="ren&eacute;e"/>')
+        assert root.children[0].text == "renée"
+
+    def test_dblp_style_record(self):
+        text = (
+            "<dblp><article>"
+            "<author>J&ouml;rg M&uuml;ller</author>"
+            "<title>Queries &amp; answers</title>"
+            "</article></dblp>"
+        )
+        root = parse_document(text)
+        author = root.children[0].children[0]
+        assert author.text == "Jörg Müller"
+
+    def test_strict_mode_rejects_latin(self):
+        from repro.xmltree.parser import decode_entities
+
+        with pytest.raises(XMLParseError):
+            decode_entities("sch&uuml;tze", extra_entities={})
+
+    def test_custom_entity_table(self):
+        from repro.xmltree.parser import decode_entities
+
+        assert decode_entities(
+            "&smiley;", extra_entities={"smiley": ":-)"}
+        ) == ":-)"

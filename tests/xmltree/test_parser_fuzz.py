@@ -1,0 +1,79 @@
+"""Fuzz tests: the parser must parse or raise XMLParseError — nothing else."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import XMLParseError
+from repro.xmltree.parser import parse_document, serialize
+
+
+class TestFuzzRobustness:
+    @settings(max_examples=300, deadline=None)
+    @given(st.text(max_size=200))
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse_document(text)
+        except XMLParseError:
+            pass  # rejection is the expected failure mode
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.text(
+            alphabet='<>&/"=abc! -',  # XML-syntax-heavy alphabet
+            max_size=120,
+        )
+    )
+    def test_syntax_soup_never_crashes(self, text):
+        try:
+            parse_document(text)
+        except XMLParseError:
+            pass
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.text(alphabet="ab<>&;", max_size=60))
+    def test_wrapped_payload_never_crashes(self, payload):
+        try:
+            root = parse_document(f"<root>{payload}</root>")
+        except XMLParseError:
+            return
+        # If it parsed, it must also serialize and reparse cleanly.
+        parse_document(serialize(root))
+
+
+class TestStructuredFuzz:
+    labels = st.sampled_from(["a", "b", "item", "x1"])
+
+    @st.composite
+    def xml_text(draw, self=None):
+        labels = st.sampled_from(["a", "b", "item"])
+
+        def element(depth: int) -> str:
+            label = draw(labels)
+            if depth >= 2 or draw(st.booleans()):
+                body = draw(
+                    st.text(
+                        alphabet="abc 123",
+                        max_size=12,
+                    )
+                )
+                return f"<{label}>{body}</{label}>"
+            children = "".join(
+                element(depth + 1)
+                for _ in range(draw(st.integers(1, 3)))
+            )
+            return f"<{label}>{children}</{label}>"
+
+        return element(0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(xml_text())
+    def test_wellformed_documents_roundtrip(self, text):
+        root = parse_document(text)
+        again = parse_document(serialize(root))
+        original = [
+            (n.label, n.text.split()) for n in root.iter_subtree()
+        ]
+        restored = [
+            (n.label, n.text.split()) for n in again.iter_subtree()
+        ]
+        assert restored == original
