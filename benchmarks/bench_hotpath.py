@@ -1,0 +1,216 @@
+"""Hot-path benchmark — packed engine and batch serving vs the seed.
+
+Measures, on the synthetic DBLP dataset:
+
+* single-query latency of ``XCleanSuggester.suggest`` under the tuple
+  (seed, reference) and packed (columnar, int-keyed) engines, with warm
+  variant/merged-list caches — queries/sec, p50/p95 latency, and
+  postings consumed per second;
+* batch throughput of ``SuggestionService.suggest_batch`` (packed
+  engine + result cache) against the tuple engine serving the same
+  trace query by query.  The trace repeats each workload query
+  ``TRACE_REPEATS`` times in a shuffled order, the usual shape of a
+  production query log (head queries recur).
+
+Shapes asserted at the ``default`` scale: the packed engine answers
+single queries >= 2x faster, and the serving layer sustains >= 4x the
+tuple engine's batch throughput.  At ``small`` smoke scale the corpus
+is tiny, per-query fixed costs dominate, and only relaxed bounds are
+asserted.
+
+Results are emitted both as text (``out/hotpath.txt``) and as
+machine-readable JSON (``out/BENCH_hotpath.json``).
+"""
+
+import json
+import random
+import time
+
+from _common import OUT_DIR, bench_scale, emit
+
+from repro.core.server import SuggestionService
+from repro.eval.experiments import dblp_setting
+from repro.eval.reporting import format_table, shape_check
+
+#: Timed passes over the workload per engine (latencies are pooled).
+REPETITIONS = 3
+
+#: How often each query recurs in the batch trace.
+TRACE_REPEATS = 3
+
+#: Speedup floors asserted per scale: (single-query, batch throughput).
+FLOORS = {"default": (2.0, 4.0), "small": (1.1, 2.0)}
+
+
+def percentile(values, fraction):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def workload_queries(setting):
+    return [
+        record.dirty_text
+        for kind in ("RAND", "RULE", "CLEAN")
+        for record in setting.workloads[kind]
+    ]
+
+
+def bench_single(setting, engine, queries):
+    """Per-query latencies and postings/sec for one engine."""
+    suggester = setting.xclean(engine=engine)
+    for query in queries:  # warm caches: variants, merged lists, types
+        suggester.suggest(query, 10)
+    latencies = []
+    postings = 0
+    clock = time.perf_counter
+    for _ in range(REPETITIONS):
+        for query in queries:
+            began = clock()
+            suggester.suggest(query, 10)
+            latencies.append(clock() - began)
+            postings += suggester.last_stats.postings_read
+    elapsed = sum(latencies)
+    return {
+        "queries_per_sec": len(latencies) / elapsed,
+        "mean_ms": 1e3 * elapsed / len(latencies),
+        "p50_ms": 1e3 * percentile(latencies, 0.50),
+        "p95_ms": 1e3 * percentile(latencies, 0.95),
+        "postings_per_sec": postings / elapsed,
+    }
+
+
+def bench_batch(setting, queries):
+    """Batch throughput: packed serving layer vs tuple query-by-query."""
+    trace = queries * TRACE_REPEATS
+    random.Random(7).shuffle(trace)
+
+    tuple_engine = setting.xclean(engine="tuple")
+    for query in queries:
+        tuple_engine.suggest(query, 10)  # same warm start as singles
+    began = time.perf_counter()
+    for query in trace:
+        tuple_engine.suggest(query, 10)
+    tuple_elapsed = time.perf_counter() - began
+
+    service = SuggestionService(
+        setting.corpus,
+        config=setting.xclean(engine="packed").config,
+        generator=setting.generator.fresh_cache(),
+    )
+    for query in queries:
+        # Warm the variant/merged caches through the underlying
+        # suggester — the same warm start the tuple baseline got —
+        # without seeding the service's result cache.
+        service.suggester.suggest(query, 10)
+    began = time.perf_counter()
+    service.suggest_batch(trace, 10)
+    service_elapsed = time.perf_counter() - began
+
+    return {
+        "trace_queries": len(trace),
+        "unique_queries": len(set(trace)),
+        "tuple_queries_per_sec": len(trace) / tuple_elapsed,
+        "service_queries_per_sec": len(trace) / service_elapsed,
+        "result_cache_hits": service.stats.result_cache_hits,
+        "result_cache_misses": service.stats.result_cache_misses,
+    }
+
+
+def test_hotpath(benchmark):
+    scale = bench_scale()
+    setting = dblp_setting(scale)
+    queries = workload_queries(setting)
+
+    single = {
+        engine: bench_single(setting, engine, queries)
+        for engine in ("tuple", "packed")
+    }
+    single_speedup = (
+        single["packed"]["queries_per_sec"]
+        / single["tuple"]["queries_per_sec"]
+    )
+    batch = bench_batch(setting, queries)
+    batch_ratio = (
+        batch["service_queries_per_sec"]
+        / batch["tuple_queries_per_sec"]
+    )
+
+    report = {
+        "benchmark": "hotpath",
+        "scale": scale,
+        "dataset": "DBLP",
+        "corpus": setting.corpus.describe(),
+        "workload_queries": len(queries),
+        "repetitions": REPETITIONS,
+        "single": {**single, "speedup": single_speedup},
+        "batch": {**batch, "throughput_ratio": batch_ratio},
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_hotpath.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    table = format_table(
+        ("Engine", "q/s", "mean ms", "p50 ms", "p95 ms", "postings/s"),
+        [
+            (
+                engine,
+                round(stats["queries_per_sec"], 1),
+                stats["mean_ms"],
+                stats["p50_ms"],
+                stats["p95_ms"],
+                round(stats["postings_per_sec"]),
+            )
+            for engine, stats in single.items()
+        ],
+        title=f"Hot path — single queries ({scale} scale)",
+    )
+    single_floor, batch_floor = FLOORS.get(scale, FLOORS["small"])
+    checks = [
+        shape_check(
+            f"packed engine >= {single_floor}x faster per query "
+            f"({single_speedup:.2f}x)",
+            single_speedup >= single_floor,
+        ),
+        shape_check(
+            f"batch serving >= {batch_floor}x tuple throughput "
+            f"({batch_ratio:.2f}x)",
+            batch_ratio >= batch_floor,
+        ),
+        shape_check(
+            "result cache absorbed the repeated trace queries",
+            batch["result_cache_hits"]
+            >= (TRACE_REPEATS - 1) * batch["unique_queries"] * 0.9,
+        ),
+    ]
+    emit(
+        "hotpath",
+        table
+        + "\n"
+        + format_table(
+            ("Serving mode", "q/s"),
+            [
+                ("tuple, one by one", round(
+                    batch["tuple_queries_per_sec"], 1)),
+                ("packed service, batch", round(
+                    batch["service_queries_per_sec"], 1)),
+            ],
+            title=(
+                f"Batch trace — {batch['trace_queries']} queries, "
+                f"{batch['unique_queries']} unique"
+            ),
+        )
+        + "\n"
+        + "\n".join(checks),
+    )
+    assert all("[OK ]" in check for check in checks)
+
+    record = setting.workloads["RAND"][0]
+    packed = setting.xclean(engine="packed")
+    benchmark.pedantic(
+        lambda: packed.suggest(record.dirty_text, 10),
+        rounds=3,
+        iterations=1,
+    )

@@ -5,6 +5,7 @@ Installed as the ``xclean`` console script::
     xclean generate --dataset dblp --out dblp.xml
     xclean index --xml dblp.xml --out dblp.xci [--format binary]
     xclean suggest --index dblp.xci --query "keywrod serach" -k 5
+    xclean batch --index dblp.xci --queries queries.txt --workers 4
     xclean search --index dblp.xci --query "keyword search" --xml dblp.xml
     xclean evaluate --dataset dblp --scale small
 """
@@ -13,11 +14,13 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro.core.cleaner import XCleanSuggester
 from repro.core.config import XCleanConfig
 from repro.core.search import EntitySearch
+from repro.core.server import SuggestionService
 from repro.core.slca_cleaner import (
     ELCACleanSuggester,
     SLCACleanSuggester,
@@ -87,6 +90,33 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("uniform", "length"),
         default="uniform",
         help="entity prior of Eq. 8 (node-type semantics only)",
+    )
+    suggest.add_argument(
+        "--engine",
+        choices=("packed", "tuple"),
+        default="packed",
+        help="query engine: packed-int columnar lists or the "
+        "reference tuple lists (identical output)",
+    )
+
+    batch = sub.add_parser(
+        "batch", help="answer a file of queries through the service"
+    )
+    batch.add_argument("--index", required=True, help="index path")
+    batch.add_argument(
+        "--queries", required=True,
+        help="text file with one query per line",
+    )
+    batch.add_argument("-k", type=int, default=5)
+    batch.add_argument("--beta", type=float, default=5.0)
+    batch.add_argument("--max-errors", type=int, default=2)
+    batch.add_argument("--gamma", type=int, default=1000)
+    batch.add_argument(
+        "--engine", choices=("packed", "tuple"), default="packed"
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool width (default: in-process serial)",
     )
 
     search = sub.add_parser(
@@ -168,6 +198,7 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
         beta=args.beta,
         gamma=args.gamma,
         prior=args.prior,
+        engine=args.engine,
     )
     if args.semantics == "slca":
         suggester = SLCACleanSuggester(corpus, config=config)
@@ -184,6 +215,45 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
         for rank, s in enumerate(suggestions, start=1)
     ]
     print(format_table(("#", "suggestion", "score", "result type"), rows))
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    corpus = _load_any_index(args.index)
+    with open(args.queries, "r", encoding="utf-8") as handle:
+        queries = [line.strip() for line in handle if line.strip()]
+    if not queries:
+        print("(no queries)")
+        return 0
+    service = SuggestionService(
+        corpus,
+        config=XCleanConfig(
+            max_errors=args.max_errors,
+            beta=args.beta,
+            gamma=args.gamma,
+            engine=args.engine,
+        ),
+    )
+    started = time.perf_counter()
+    batches = service.suggest_batch(queries, args.k, workers=args.workers)
+    elapsed = time.perf_counter() - started
+    rows = []
+    for query, suggestions in zip(queries, batches):
+        best = suggestions[0] if suggestions else None
+        rows.append(
+            (
+                query,
+                best.text if best else "(none)",
+                f"{best.score:.3g}" if best else "",
+            )
+        )
+    print(format_table(("query", "top suggestion", "score"), rows))
+    qps = len(queries) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"{len(queries)} queries in {elapsed:.3f}s ({qps:.1f} q/s), "
+        f"cache hits {service.stats.result_cache_hits}, "
+        f"misses {service.stats.result_cache_misses}"
+    )
     return 0
 
 
@@ -249,6 +319,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "index": _cmd_index,
     "suggest": _cmd_suggest,
+    "batch": _cmd_batch,
     "search": _cmd_search,
     "evaluate": _cmd_evaluate,
 }

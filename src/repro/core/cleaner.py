@@ -34,6 +34,7 @@ non-empty results.
 from __future__ import annotations
 
 import logging
+from bisect import bisect_left
 
 from repro.core.candidates import CandidateQuery, CandidateSpace
 from repro.core.config import XCleanConfig
@@ -45,7 +46,12 @@ from repro.core.suggestion import CleaningStats, Suggestion
 from repro.exceptions import QueryError
 from repro.fastss.generator import VariantGenerator
 from repro.index.corpus import CorpusIndex
-from repro.index.merged_list import MergedEntry, MergedList
+from repro.index.merged_list import (
+    MergedEntry,
+    MergedList,
+    PackedEntry,
+    PackedMergedList,
+)
 from repro.xmltree.dewey import DeweyCode
 
 
@@ -116,6 +122,11 @@ class XCleanSuggester:
         keywords = self.corpus.tokenizer.tokenize(query)
         if not keywords:
             raise QueryError(f"query {query!r} has no usable keywords")
+        generator = self.generator
+        variant_hits = getattr(generator, "cache_hits", 0)
+        variant_misses = getattr(generator, "cache_misses", 0)
+        merged_hits = self.corpus.merged_cache_hits
+        merged_misses = self.corpus.merged_cache_misses
         space = CandidateSpace(
             keywords, self.generator, self.error_model,
             self.config.max_errors,
@@ -125,44 +136,35 @@ class XCleanSuggester:
         )
         self.last_stats = stats
         pool = AccumulatorPool(self.config.gamma)
-        if not space.is_viable:
-            return pool
-
-        merged = [
-            self.corpus.merged_list(space.variant_tokens(i))
-            for i in range(len(keywords))
-        ]
-        min_depth = self.config.min_depth
-
-        while True:
-            anchor = None
-            exhausted = False
-            for ml in merged:
-                head = ml.head_dewey()
-                if head is None:
-                    # Some keyword exhausted: no further group helps.
-                    exhausted = True
-                    break
-                if anchor is None or head > anchor:
-                    anchor = head
-            if exhausted or anchor is None:
-                break
-            if len(anchor) < min_depth:
-                # Occurrence too shallow to sit under any valid entity:
-                # consume it wherever it is and move on.
-                self._consume_shallow(merged, anchor)
-                continue
-            group = anchor[:min_depth]
-            occurrences = self._collect_group(merged, group, stats)
-            if occurrences is None:
-                continue
-            stats.groups_processed += 1
-            self._score_group(group, occurrences, space, pool, stats)
-
-        stats.postings_read = sum(ml.total_reads for ml in merged)
-        stats.postings_skipped = sum(ml.total_skips for ml in merged)
+        if space.is_viable:
+            if self.config.engine == "packed":
+                merged: list = [
+                    self.corpus.merged_list_packed(space.variant_tokens(i))
+                    for i in range(len(keywords))
+                ]
+                self._merge_loop_packed(merged, space, pool, stats)
+            else:
+                merged = [
+                    self.corpus.merged_list(space.variant_tokens(i))
+                    for i in range(len(keywords))
+                ]
+                self._merge_loop_tuple(merged, space, pool, stats)
+            stats.postings_read = sum(ml.total_reads for ml in merged)
+            stats.postings_skipped = sum(ml.total_skips for ml in merged)
         stats.accumulator_evictions = pool.evictions
         stats.result_types_computed = self.type_finder.cached_candidates()
+        stats.variant_cache_hits = (
+            getattr(generator, "cache_hits", 0) - variant_hits
+        )
+        stats.variant_cache_misses = (
+            getattr(generator, "cache_misses", 0) - variant_misses
+        )
+        stats.merged_cache_hits = (
+            self.corpus.merged_cache_hits - merged_hits
+        )
+        stats.merged_cache_misses = (
+            self.corpus.merged_cache_misses - merged_misses
+        )
         if logger.isEnabledFor(logging.DEBUG):
             logger.debug(
                 "xclean query=%r space=%d groups=%d candidates=%d "
@@ -177,14 +179,65 @@ class XCleanSuggester:
             )
         return pool
 
+    def _merge_loop_tuple(
+        self,
+        merged: list[MergedList],
+        space: CandidateSpace,
+        pool: AccumulatorPool,
+        stats: CleaningStats,
+    ) -> None:
+        """Algorithm 1 over the reference tuple-based merged lists."""
+        min_depth = self.config.min_depth
+        while True:
+            anchor = None
+            exhausted = False
+            for ml in merged:
+                head = ml.head_dewey()
+                if head is None:
+                    # Some keyword exhausted: no further group helps.
+                    exhausted = True
+                    break
+                if anchor is None or head > anchor:
+                    anchor = head
+            if exhausted or anchor is None:
+                return
+            if len(anchor) < min_depth:
+                # Occurrence too shallow to sit under any valid entity:
+                # consume it wherever it is and move on.
+                self._consume_shallow(merged, anchor)
+                continue
+            group = anchor[:min_depth]
+            occurrences = self._collect_group(merged, group, stats)
+            if occurrences is None:
+                continue
+            stats.groups_processed += 1
+            self._score_group(group, occurrences, space, pool, stats)
+
     def _consume_shallow(
         self, merged: list[MergedList], anchor: DeweyCode
     ) -> None:
-        """Drop a head entry that is too shallow to matter."""
+        """Drop a head entry that is too shallow to matter.
+
+        The anchor is the maximal head, so normally some list's head
+        equals it; consuming that head guarantees progress.  If no head
+        matches (defensive: a subclass or a concurrent mutation could
+        desynchronize the anchor), consume the maximal head instead —
+        silently doing nothing here would spin Algorithm 1's outer loop
+        forever on the same anchor.
+        """
+        fallback = None
+        fallback_head = None
         for ml in merged:
-            if ml.head_dewey() == anchor:
+            head = ml.head_dewey()
+            if head is None:
+                continue
+            if head == anchor:
                 ml.next()
                 return
+            if fallback_head is None or head > fallback_head:
+                fallback, fallback_head = ml, head
+        if fallback is not None:
+            fallback.next()
 
     def _skip_to(self, ml: MergedList, target: DeweyCode):
         """skip_to with the configured strategy (ablation switch)."""
@@ -272,7 +325,9 @@ class XCleanSuggester:
                 continue
             length_prior = self.config.prior == "length"
             mass = 0.0
-            for root in entities:
+            # Sorted so both engines accumulate in document order and
+            # produce bit-identical sums.
+            for root in sorted(entities):
                 stats.entities_scored += 1
                 length = self.corpus.subtree_length(root)
                 product = 1.0
@@ -283,6 +338,295 @@ class XCleanSuggester:
                 # Under the uniform prior every entity weighs 1 (and
                 # the normalizer is N); under the length prior weight
                 # is |D(r)| with normalizer W_p = Σ |D(r)| (Eq. 8).
+                mass += (length if length_prior else 1.0) * product
+            if length_prior:
+                normalizer = self.corpus.path_token_totals().get(
+                    pid, 0.0
+                )
+            else:
+                normalizer = float(self.corpus.entity_count(pid))
+            pool.add(
+                candidate,
+                mass,
+                space.error_weight(candidate),
+                normalizer,
+                pid,
+            )
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 — packed engine
+    # ------------------------------------------------------------------
+    #
+    # Mirrors the tuple path above, but every Dewey code is a packed
+    # int: anchor selection compares machine ints, the group test is a
+    # shift, prefix truncation is a mask, and subtree lengths are read
+    # from an int-keyed dict.  The two paths intentionally share their
+    # structure line for line so they stay reviewable side by side.
+
+    def _merge_loop_packed(
+        self,
+        merged: list[PackedMergedList],
+        space: CandidateSpace,
+        pool: AccumulatorPool,
+        stats: CleaningStats,
+    ) -> None:
+        """Algorithm 1 over the columnar packed merged lists.
+
+        The cursor state (position, reads, skips) of every merged list
+        is hoisted into locals for the duration of the loop and written
+        back on exit: the loop body then runs on plain ints, list
+        indexing, and C-level ``bisect_left`` with no method-call
+        overhead per group.  A subtree is a contiguous key range —
+        ``[group, upper)`` where ``upper`` bumps the group's prefix —
+        so skipping to the group and draining it are two bisects.
+        """
+        if not self.config.use_skipping:
+            # Ablation path: read entries one by one via the generic
+            # cursor methods so skipped-vs-read counters stay honest.
+            self._merge_loop_packed_generic(merged, space, pool, stats)
+            return
+        view = self.corpus.packed_view()
+        packer = view.packer
+        min_depth = self.config.min_depth
+        depth_mask = (1 << packer.depth_bits) - 1
+        group_shift = packer.shift_for(min_depth)
+        num = len(merged)
+        columns = [ml.columns for ml in merged]
+        key_columns = [c.keys for c in columns]
+        lengths = [c.length for c in columns]
+        positions = [ml.position for ml in merged]
+        reads = [0] * num
+        skips = [0] * num
+        starts = [0] * num
+        score_group = self._score_group_packed
+        indices = range(num)
+        try:
+            while True:
+                anchor = -1
+                for i in indices:
+                    position = positions[i]
+                    if position >= lengths[i]:
+                        # Some keyword exhausted: no further group helps.
+                        return
+                    head = key_columns[i][position]
+                    if head > anchor:
+                        anchor = head
+                if (anchor & depth_mask) < min_depth:
+                    # Shallow head: it is some list's head by
+                    # construction; consume it and move on.
+                    for i in indices:
+                        if key_columns[i][positions[i]] == anchor:
+                            positions[i] += 1
+                            reads[i] += 1
+                            break
+                    continue
+                prefix_bits = anchor >> group_shift
+                group = (prefix_bits << group_shift) | min_depth
+                upper = (prefix_bits + 1) << group_shift
+                # Pass 1: locate every list's slice of the group with
+                # two bisects; entries are *consumed* (and counted)
+                # either way, exactly as in the paper.
+                missing = False
+                for i in indices:
+                    keys = key_columns[i]
+                    start = bisect_left(
+                        keys, group, positions[i], lengths[i]
+                    )
+                    end = bisect_left(keys, upper, start, lengths[i])
+                    skips[i] += start - positions[i]
+                    reads[i] += end - start
+                    starts[i] = start
+                    positions[i] = end
+                    if end == start:
+                        missing = True
+                if missing:
+                    # Some keyword absent from the group: no candidate
+                    # can form here, so never materialize the entries.
+                    continue
+                # Pass 2: materialize entries, grouped by token.
+                occurrences: list[dict[str, list[PackedEntry]]] = []
+                for i in indices:
+                    keys = key_columns[i]
+                    cols = columns[i]
+                    path_ids = cols.path_ids
+                    tfs = cols.tfs
+                    token_ids = cols.token_ids
+                    tokens = cols.tokens
+                    by_token: dict[str, list[PackedEntry]] = {}
+                    for j in range(starts[i], positions[i]):
+                        token = tokens[token_ids[j]]
+                        entry = (keys[j], path_ids[j], tfs[j], token)
+                        found = by_token.get(token)
+                        if found is None:
+                            by_token[token] = [entry]
+                        else:
+                            found.append(entry)
+                    occurrences.append(by_token)
+                stats.groups_processed += 1
+                score_group(occurrences, space, pool, stats, view)
+        finally:
+            for i in indices:
+                ml = merged[i]
+                ml.position = positions[i]
+                ml.reads += reads[i]
+                ml.skips += skips[i]
+
+    def _merge_loop_packed_generic(
+        self,
+        merged: list[PackedMergedList],
+        space: CandidateSpace,
+        pool: AccumulatorPool,
+        stats: CleaningStats,
+    ) -> None:
+        """Packed merge loop over the generic cursor methods."""
+        view = self.corpus.packed_view()
+        packer = view.packer
+        min_depth = self.config.min_depth
+        depth_mask = (1 << packer.depth_bits) - 1
+        group_shift = packer.shift_for(min_depth)
+        while True:
+            anchor = None
+            exhausted = False
+            for ml in merged:
+                head = ml.head_key()
+                if head is None:
+                    exhausted = True
+                    break
+                if anchor is None or head > anchor:
+                    anchor = head
+            if exhausted or anchor is None:
+                return
+            if (anchor & depth_mask) < min_depth:
+                self._consume_shallow_packed(merged, anchor)
+                continue
+            group = packer.prefix(anchor, min_depth)
+            occurrences = self._collect_group_packed(
+                merged, group, group_shift
+            )
+            if occurrences is None:
+                continue
+            stats.groups_processed += 1
+            self._score_group_packed(
+                occurrences, space, pool, stats, view
+            )
+
+    def _consume_shallow_packed(
+        self, merged: list[PackedMergedList], anchor: int
+    ) -> None:
+        """Packed twin of :meth:`_consume_shallow` (same progress fix)."""
+        fallback = None
+        fallback_head = None
+        for ml in merged:
+            head = ml.head_key()
+            if head is None:
+                continue
+            if head == anchor:
+                ml.next()
+                return
+            if fallback_head is None or head > fallback_head:
+                fallback, fallback_head = ml, head
+        if fallback is not None:
+            fallback.next()
+
+    def _skip_to_packed(self, ml: PackedMergedList, target: int):
+        """skip_to with the configured strategy (ablation switch)."""
+        if self.config.use_skipping:
+            return ml.skip_to(target)
+        head = ml.head_key()
+        while head is not None and head < target:
+            ml.next()
+            head = ml.head_key()
+        return ml.cur_pos()
+
+    def _collect_group_packed(
+        self,
+        merged: list[PackedMergedList],
+        group: int,
+        group_shift: int,
+    ) -> list[dict[str, list[PackedEntry]]] | None:
+        """Drain all occurrences under ``group`` (Lines 7–11)."""
+        occurrences: list[dict[str, list[PackedEntry]]] = []
+        missing = False
+        for ml in merged:
+            by_token: dict[str, list[PackedEntry]] = {}
+            self._skip_to_packed(ml, group)
+            for entry in ml.pop_subtree(group, group_shift):
+                by_token.setdefault(entry[3], []).append(entry)
+            if not by_token:
+                missing = True
+            occurrences.append(by_token)
+        return None if missing else occurrences
+
+    def _score_group_packed(
+        self,
+        occurrences: list[dict[str, list[PackedEntry]]],
+        space: CandidateSpace,
+        pool: AccumulatorPool,
+        stats: CleaningStats,
+        view,
+    ) -> None:
+        """Enumerate and score the group's candidates (Lines 12–15)."""
+        table = self.corpus.path_table
+        packer = view.packer
+        depth_bits = packer.depth_bits
+        depth_mask = (1 << depth_bits) - 1
+        component_bits = packer.component_bits
+        max_depth = packer.max_depth
+        subtree_lengths = view.subtree_lengths
+        entity_cache: dict[tuple[int, str, int], dict[int, int]] = {}
+
+        def entity_counts(
+            position: int, token: str, pid: int, depth: int
+        ) -> dict[int, int]:
+            key = (position, token, pid)
+            cached = entity_cache.get(key)
+            if cached is not None:
+                return cached
+            counts: dict[int, int] = {}
+            shift = depth_bits + (max_depth - depth) * component_bits
+            prefix_id = table.prefix_id
+            for packed, path_id, tf, _token in occurrences[position][token]:
+                if (packed & depth_mask) < depth:
+                    continue
+                if prefix_id(path_id, depth) != pid:
+                    continue
+                root = ((packed >> shift) << shift) | depth
+                counts[root] = counts.get(root, 0) + tf
+            entity_cache[key] = counts
+            return counts
+
+        present = [list(by_token) for by_token in occurrences]
+        for candidate in space.enumerate_present(present):
+            stats.candidates_evaluated += 1
+            pid = self.type_finder.find(candidate)
+            if pid is None:
+                continue
+            depth = table.depth_of(pid)
+            per_keyword = [
+                entity_counts(position, token, pid, depth)
+                for position, token in enumerate(candidate)
+            ]
+            if any(not counts for counts in per_keyword):
+                continue
+            entities = set(min(per_keyword, key=len))
+            for counts in per_keyword:
+                entities &= counts.keys()
+            if not entities:
+                continue
+            length_prior = self.config.prior == "length"
+            probability = self.language_model.probability
+            mass = 0.0
+            # Packed keys sort exactly like their tuples, so this
+            # accumulates in the same order as the tuple engine and the
+            # sums are bit-identical.
+            for root in sorted(entities):
+                stats.entities_scored += 1
+                length = subtree_lengths.get(root, 0)
+                product = 1.0
+                for position, token in enumerate(candidate):
+                    product *= probability(
+                        token, per_keyword[position][root], length
+                    )
                 mass += (length if length_prior else 1.0) * product
             if length_prior:
                 normalizer = self.corpus.path_token_totals().get(

@@ -29,6 +29,11 @@ class XCleanConfig:
             (the paper's 1/N) or ``"length"`` (∝ |D(r)|: longer
             entities are a priori likelier targets; the generalization
             the paper notes is "easily" available).
+        engine: the Algorithm 1 substrate — ``"packed"`` runs over
+            columnar posting lists keyed by packed-int Dewey codes
+            (the fast path), ``"tuple"`` over the original tuple-based
+            lists (the reference path; kept for equivalence testing
+            and ablation).  Both produce identical suggestions.
     """
 
     max_errors: int = 2
@@ -39,6 +44,7 @@ class XCleanConfig:
     gamma: int | None = 1000
     use_skipping: bool = True
     prior: str = "uniform"
+    engine: str = "packed"
 
     def __post_init__(self):
         if self.max_errors < 0:
@@ -49,3 +55,5 @@ class XCleanConfig:
             raise ConfigurationError("min_depth must be >= 1")
         if self.prior not in ("uniform", "length"):
             raise ConfigurationError(f"unknown prior {self.prior!r}")
+        if self.engine not in ("packed", "tuple"):
+            raise ConfigurationError(f"unknown engine {self.engine!r}")

@@ -1,0 +1,211 @@
+"""The batch serving layer: one warm index, many queries.
+
+:class:`SuggestionService` wraps an :class:`XCleanSuggester` with the
+two things a production front-end needs that a single ``suggest`` call
+cannot provide:
+
+* a **whole-result LRU cache** keyed by the *normalized* query (token
+  sequence after tokenization) and k — real traffic is heavily skewed,
+  and a hit skips Algorithm 1, variant generation, everything;
+* a **batch API** (:meth:`SuggestionService.suggest_batch`) that
+  de-duplicates the batch, serves cached entries, and optionally fans
+  the remaining unique queries out over a ``concurrent.futures``
+  process pool whose workers share the read-only corpus index (on
+  POSIX the fork inherits the parent's index pages copy-on-write, so
+  workers start without re-building or re-pickling anything).
+
+The service keeps the :class:`CleaningStats` contract: after every
+``suggest`` call ``last_stats`` describes the work done, including the
+``result_cache_*`` counters (a hit reports a stats object with
+``result_cache_hits=1`` and no algorithm work).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.cleaner import XCleanSuggester
+from repro.core.config import XCleanConfig
+from repro.core.suggestion import CleaningStats, Suggestion
+from repro.exceptions import QueryError
+from repro.fastss.generator import VariantGenerator
+from repro.index.corpus import CorpusIndex
+
+#: Default bound of the whole-result LRU.
+DEFAULT_RESULT_CACHE_SIZE = 4096
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative serving counters (whole service lifetime)."""
+
+    queries_served: int = 0
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
+    unanswerable: int = 0
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing.  Module-level so the worker side is picklable;
+# each worker builds its suggester once in the initializer and reuses
+# it for every query it is handed.
+# ----------------------------------------------------------------------
+
+_WORKER_SUGGESTER: XCleanSuggester | None = None
+
+
+def _init_worker(corpus: CorpusIndex, config: XCleanConfig) -> None:
+    global _WORKER_SUGGESTER
+    _WORKER_SUGGESTER = XCleanSuggester(corpus, config=config)
+
+
+def _worker_suggest(task: tuple[str, int]) -> list[Suggestion]:
+    query, k = task
+    assert _WORKER_SUGGESTER is not None, "worker not initialized"
+    try:
+        return _WORKER_SUGGESTER.suggest(query, k)
+    except QueryError:
+        return []
+
+
+class SuggestionService:
+    """Query-serving facade over one read-only :class:`CorpusIndex`."""
+
+    def __init__(
+        self,
+        corpus: CorpusIndex,
+        config: XCleanConfig | None = None,
+        generator: VariantGenerator | None = None,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+    ):
+        self.corpus = corpus
+        self.config = config or XCleanConfig()
+        self.suggester = XCleanSuggester(
+            corpus, generator=generator, config=self.config
+        )
+        self.result_cache_size = result_cache_size
+        self._result_cache: OrderedDict[
+            tuple[tuple[str, ...], int], tuple[Suggestion, ...]
+        ] = OrderedDict()
+        self.stats = ServiceStats()
+        self.last_stats = CleaningStats()
+
+    # ------------------------------------------------------------------
+    # Single-query path
+    # ------------------------------------------------------------------
+
+    def _cache_key(
+        self, query: str, k: int
+    ) -> tuple[tuple[str, ...], int]:
+        """Normalize the query so trivial rewrites share a cache slot."""
+        return (tuple(self.corpus.tokenizer.tokenize(query)), k)
+
+    def _cache_put(
+        self,
+        key: tuple[tuple[str, ...], int],
+        suggestions: Sequence[Suggestion],
+    ) -> None:
+        cache = self._result_cache
+        cache[key] = tuple(suggestions)
+        if len(cache) > self.result_cache_size:
+            cache.popitem(last=False)
+
+    def suggest(self, query: str, k: int = 10) -> list[Suggestion]:
+        """Top-k suggestions, served from the result cache when possible.
+
+        Raises:
+            QueryError: when the query has no usable keywords (callers
+                that prefer empty answers should use ``suggest_batch``).
+        """
+        self.stats.queries_served += 1
+        key = self._cache_key(query, k)
+        cached = self._result_cache.get(key)
+        if cached is not None:
+            self._result_cache.move_to_end(key)
+            self.stats.result_cache_hits += 1
+            self.last_stats = CleaningStats(result_cache_hits=1)
+            return list(cached)
+        # Count the miss only once the suggester answers: unanswerable
+        # queries raise and are tallied separately, exactly as in the
+        # parallel batch path.
+        suggestions = self.suggester.suggest(query, k)
+        self.stats.result_cache_misses += 1
+        stats = self.suggester.last_stats
+        stats.result_cache_misses += 1
+        self.last_stats = stats
+        self._cache_put(key, suggestions)
+        return list(suggestions)
+
+    # ------------------------------------------------------------------
+    # Batch path
+    # ------------------------------------------------------------------
+
+    def suggest_batch(
+        self,
+        queries: Sequence[str],
+        k: int = 10,
+        workers: int | None = None,
+    ) -> list[list[Suggestion]]:
+        """Answer every query; order and length match ``queries``.
+
+        Unusable queries (no keywords after tokenization) yield empty
+        lists instead of raising.  The batch is de-duplicated through
+        the result cache first; with ``workers`` > 1 the remaining
+        unique queries run on a process pool over the shared index.
+        """
+        if workers is not None and workers > 1:
+            return self._suggest_batch_parallel(queries, k, workers)
+        out: list[list[Suggestion]] = []
+        for query in queries:
+            try:
+                out.append(self.suggest(query, k))
+            except QueryError:
+                self.stats.unanswerable += 1
+                out.append([])
+        return out
+
+    def _suggest_batch_parallel(
+        self, queries: Sequence[str], k: int, workers: int
+    ) -> list[list[Suggestion]]:
+        keys = [self._cache_key(query, k) for query in queries]
+        cache = self._result_cache
+        # Unique cache misses, first-occurrence order.
+        pending: dict[tuple[tuple[str, ...], int], str] = {}
+        for key, query in zip(keys, queries):
+            if key not in cache and key not in pending and key[0]:
+                pending[key] = query
+        if pending:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(self.corpus, self.config),
+            ) as pool:
+                answers = pool.map(
+                    _worker_suggest,
+                    [(query, k) for query in pending.values()],
+                )
+                for key, suggestions in zip(pending, answers):
+                    self._cache_put(key, suggestions)
+        out: list[list[Suggestion]] = []
+        computed = set(pending)
+        for key in keys:
+            self.stats.queries_served += 1
+            cached = cache.get(key)
+            if cached is None:
+                # Empty token tuple: unanswerable, never cached.
+                self.stats.unanswerable += 1
+                out.append([])
+                continue
+            cache.move_to_end(key)
+            if key in computed:
+                # First service of a freshly computed answer is a miss;
+                # duplicates later in the batch hit the cache.
+                self.stats.result_cache_misses += 1
+                computed.discard(key)
+            else:
+                self.stats.result_cache_hits += 1
+            out.append(list(cached))
+        return out

@@ -57,4 +57,14 @@ class CleaningStats:
     postings_skipped: int = 0
     accumulator_evictions: int = 0
     result_types_computed: int = 0
+    #: var_ε(q) memo hits/misses during this call (VariantGenerator).
+    variant_cache_hits: int = 0
+    variant_cache_misses: int = 0
+    #: Variant-set → posting-list resolution memo (CorpusIndex).
+    merged_cache_hits: int = 0
+    merged_cache_misses: int = 0
+    #: Whole-result LRU of the serving layer (SuggestionService); a hit
+    #: means Algorithm 1 never ran for the query.
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
     extra: dict[str, float] = field(default_factory=dict)

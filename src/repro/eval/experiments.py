@@ -94,6 +94,7 @@ class DatasetSetting:
         min_depth: int = 2,
         use_skipping: bool = True,
         max_errors: int = EVAL_MAX_ERRORS,
+        engine: str = "packed",
     ) -> XCleanSuggester:
         return XCleanSuggester(
             self.corpus,
@@ -104,6 +105,7 @@ class DatasetSetting:
                 gamma=gamma,
                 min_depth=min_depth,
                 use_skipping=use_skipping,
+                engine=engine,
             ),
         )
 

@@ -120,3 +120,53 @@ def evaluate_suggester(
         total_time=total_time,
         outcomes=outcomes,
     )
+
+
+def evaluate_service(
+    service,
+    records: Sequence[QueryRecord],
+    k: int = 10,
+    precision_levels: Sequence[int] = DEFAULT_PRECISION_LEVELS,
+    system: str = "",
+    workload: str = "",
+    workers: int | None = None,
+) -> EvalResult:
+    """Evaluate a batch serving layer (``suggest_batch``) end to end.
+
+    The whole workload goes through one ``suggest_batch`` call, which
+    is how the serving path is meant to be exercised (result cache,
+    deduplication, optional process-pool fan-out).  Per-query latency
+    is not observable through a batch, so each outcome carries the
+    amortized time ``total/len`` — use :func:`evaluate_suggester` when
+    individual latencies matter.
+    """
+    started = time.perf_counter()
+    batches = service.suggest_batch(
+        [record.dirty_text for record in records], k, workers=workers
+    )
+    total_time = time.perf_counter() - started
+    amortized = total_time / len(records) if records else 0.0
+    outcomes = [
+        QueryOutcome(
+            record=record,
+            suggestions=list(suggestions),
+            elapsed=amortized,
+            rr=reciprocal_rank(suggestions, record),
+        )
+        for record, suggestions in zip(records, batches)
+    ]
+    precision = {
+        n: precision_at(
+            [o.suggestions for o in outcomes], list(records), n
+        )
+        for n in precision_levels
+    }
+    return EvalResult(
+        system=system or type(service).__name__,
+        workload=workload,
+        mrr=mean_reciprocal_rank([o.rr for o in outcomes]),
+        precision=precision,
+        mean_time=amortized,
+        total_time=total_time,
+        outcomes=outcomes,
+    )

@@ -1,14 +1,22 @@
 """Variant generation service used by the query cleaners.
 
 Wraps a FastSS index over a corpus vocabulary and exposes ``var_ε(q)``
-with per-query-keyword memoization — Algorithm 1 Line 2
+with per-query-keyword LRU memoization — Algorithm 1 Line 2
 (``makeVariants``) asks for the same keyword's variants repeatedly
-across experiments.
+across queries, and a FastSS probe is orders of magnitude more
+expensive than a cache hit.  Hit/miss counters feed the
+``variant_cache_*`` fields of :class:`~repro.core.suggestion.CleaningStats`.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterable
+
+#: Default bound of the per-generator variant LRU.  Vocabulary-sized
+#: workloads never evict at this size; it exists so a pathological
+#: stream of unique garbage keywords cannot grow memory without bound.
+DEFAULT_VARIANT_CACHE_SIZE = 16384
 
 from repro.fastss.index import (
     FastSSIndex,
@@ -27,6 +35,7 @@ class VariantGenerator:
         max_errors: int = 2,
         partitioned: bool = True,
         partition_threshold: int = 9,
+        cache_size: int = DEFAULT_VARIANT_CACHE_SIZE,
         _shared_index: VariantIndex | None = None,
     ):
         self.max_errors = max_errors
@@ -41,7 +50,12 @@ class VariantGenerator:
             )
         else:
             self._index = FastSSIndex(tokens, max_errors=max_errors)
-        self._cache: dict[tuple[str, int], tuple[Variant, ...]] = {}
+        self.cache_size = cache_size
+        self._cache: OrderedDict[
+            tuple[str, int], tuple[Variant, ...]
+        ] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def fresh_cache(self) -> "VariantGenerator":
         """A new generator sharing this one's index, with an empty cache.
@@ -52,7 +66,10 @@ class VariantGenerator:
         is still shared.
         """
         return VariantGenerator(
-            (), max_errors=self.max_errors, _shared_index=self._index
+            (),
+            max_errors=self.max_errors,
+            cache_size=self.cache_size,
+            _shared_index=self._index,
         )
 
     def variants(
@@ -60,14 +77,22 @@ class VariantGenerator:
     ) -> tuple[Variant, ...]:
         """var_ε(q): vocabulary tokens within ``max_errors`` of ``keyword``.
 
-        Results are cached; the returned tuple is shared, do not mutate.
+        Results are LRU-cached; the returned tuple is shared, do not
+        mutate.
         """
         eps = self.max_errors if max_errors is None else max_errors
         key = (keyword, eps)
-        cached = self._cache.get(key)
+        cache = self._cache
+        cached = cache.get(key)
         if cached is None:
+            self.cache_misses += 1
             cached = tuple(self._index.variants(keyword, eps))
-            self._cache[key] = cached
+            cache[key] = cached
+            if len(cache) > self.cache_size:
+                cache.popitem(last=False)
+        else:
+            self.cache_hits += 1
+            cache.move_to_end(key)
         return cached
 
     def variant_tokens(

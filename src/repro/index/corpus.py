@@ -16,17 +16,78 @@ The index is self-contained: suggesters never touch the original tree.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.index.inverted import InvertedIndex, InvertedList
-from repro.index.merged_list import MergedList
+from repro.index.inverted import (
+    InvertedIndex,
+    InvertedList,
+    PackedInvertedList,
+)
+from repro.index.merged_list import (
+    MergedList,
+    PackedMergedColumns,
+    PackedMergedList,
+)
 from repro.index.path_index import PathIndex, path_counts_from_postings
 from repro.index.tokenizer import Tokenizer
 from repro.index.vocabulary import Vocabulary
 from repro.xmltree.dewey import DeweyCode
+from repro.xmltree.dewey_packed import DeweyPacker
 from repro.xmltree.document import XMLDocument
 from repro.xmltree.labelpath import PathTable
+
+
+class PackedIndex:
+    """The packed (columnar) view of a corpus — the fast query engine.
+
+    Built once per corpus on first use and cached: a
+    :class:`DeweyPacker` sized to the corpus, per-token columnar lists
+    (packed lazily, so only tokens that queries actually touch pay the
+    conversion), and the subtree token lengths re-keyed by packed Dewey
+    so the scoring loop never materializes a tuple.
+    """
+
+    __slots__ = ("packer", "_inverted", "_lists", "_subtree_lengths",
+                 "_empty")
+
+    def __init__(self, inverted: InvertedIndex,
+                 subtree_token_counts: dict[DeweyCode, int]):
+        self.packer = DeweyPacker.for_codes(
+            itertools.chain(
+                (
+                    code
+                    for token in inverted.tokens()
+                    for code, _pid, _tf in inverted.list_for(token)
+                ),
+                subtree_token_counts,
+            )
+        )
+        self._inverted = inverted
+        self._lists: dict[str, PackedInvertedList] = {}
+        pack = self.packer.pack
+        self._subtree_lengths: dict[int, int] = {
+            pack(code): count
+            for code, count in subtree_token_counts.items()
+        }
+        self._empty = PackedInvertedList("", [], [], [])
+
+    @property
+    def subtree_lengths(self) -> dict[int, int]:
+        """|D(r)| keyed by packed Dewey code."""
+        return self._subtree_lengths
+
+    def get(self, token: str) -> PackedInvertedList | None:
+        """Packed posting list for ``token``, or ``None`` if absent."""
+        packed = self._lists.get(token)
+        if packed is None:
+            source = self._inverted.get(token)
+            if source is None:
+                return None
+            packed = PackedInvertedList.from_inverted(source, self.packer)
+            self._lists[token] = packed
+        return packed
 
 
 @dataclass
@@ -41,6 +102,30 @@ class CorpusIndex:
     subtree_token_counts: dict[DeweyCode, int]
     path_node_counts: dict[int, int]
     tokenizer: Tokenizer = field(default_factory=Tokenizer)
+    #: W_p of Eq. 8 per path id; precomputed at build time (and
+    #: persisted), derived here only for hand-assembled indexes.
+    path_token_totals_map: dict[int, float] | None = None
+    #: Deepest label path; precomputed for the same reason.
+    max_depth: int | None = None
+
+    def __post_init__(self):
+        if self.path_token_totals_map is None:
+            self.path_token_totals_map = self._derive_path_token_totals()
+        if self.max_depth is None:
+            self.max_depth = max(
+                (len(labels) for labels in self.path_table), default=0
+            )
+        # Query-time caches; `= None` sentinels keep the dataclass
+        # picklable and the packed view lazily built.
+        self._packed: PackedIndex | None = None
+        self._merged_cache: dict[
+            tuple[str, ...], list[InvertedList]
+        ] = {}
+        self._packed_merged_cache: dict[
+            tuple[str, ...], PackedMergedColumns
+        ] = {}
+        self.merged_cache_hits = 0
+        self.merged_cache_misses = 0
 
     # ------------------------------------------------------------------
     # Query-time accessors
@@ -55,25 +140,78 @@ class CorpusIndex:
         return self.path_node_counts.get(path_id, 0)
 
     def merged_list(self, tokens: Iterable[str]) -> MergedList:
-        """MergedList over the inverted lists of the given variants."""
-        lists = []
-        for token in tokens:
-            found = self.inverted.get(token)
-            if found is not None:
-                lists.append(found)
+        """MergedList over the inverted lists of the given variants.
+
+        The per-variant-set list lookup is memoized: the same keyword
+        (hence the same variant set) recurs across queries, and
+        resolving dozens of token strings to posting lists on every
+        query is measurable.  Cursor state lives in the MergedList, so
+        sharing the underlying immutable lists is safe.
+        """
+        key = tuple(tokens)
+        lists = self._merged_cache.get(key)
+        if lists is None:
+            self.merged_cache_misses += 1
+            lists = []
+            for token in key:
+                found = self.inverted.get(token)
+                if found is not None:
+                    lists.append(found)
+            self._merged_cache[key] = lists
+        else:
+            self.merged_cache_hits += 1
         return MergedList(lists)
+
+    def packed_view(self) -> PackedIndex:
+        """The columnar view used by the packed engine (built once)."""
+        packed = self._packed
+        if packed is None:
+            packed = PackedIndex(self.inverted, self.subtree_token_counts)
+            self._packed = packed
+        return packed
+
+    def merged_list_packed(self, tokens: Iterable[str]) -> PackedMergedList:
+        """Packed MergedList over the given variants.
+
+        The *physical merge* of the variant columns is memoized, not
+        just the list lookup: the same keyword recurs across queries,
+        and re-merging costs O(postings log postings) while a cursor
+        over cached columns costs O(1).
+        """
+        key = tuple(tokens)
+        columns = self._packed_merged_cache.get(key)
+        if columns is None:
+            self.merged_cache_misses += 1
+            view = self.packed_view()
+            lists = []
+            for token in key:
+                found = view.get(token)
+                if found is not None:
+                    lists.append(found)
+            columns = PackedMergedColumns(lists)
+            self._packed_merged_cache[key] = columns
+        else:
+            self.merged_cache_hits += 1
+        return PackedMergedList(columns=columns)
 
     def path_token_totals(self) -> dict[int, float]:
         """Σ |D(r)| over the nodes r of each label path.
 
         The normalizer W_p of Eq. 8 under the *length* entity prior
         (P(r|T) ∝ |D(r)|): longer entities are a priori more likely
-        search targets.  Derived lazily from the postings in one pass
-        and cached — no extra persisted state.
+        search targets.  Precomputed at construction (see
+        ``path_token_totals_map``) so the query path is a dict lookup.
         """
-        cached = getattr(self, "_path_token_totals", None)
-        if cached is not None:
-            return cached
+        assert self.path_token_totals_map is not None
+        return self.path_token_totals_map
+
+    def max_path_depth(self) -> int:
+        """Deepest label path in the corpus (precomputed)."""
+        assert self.max_depth is not None
+        return self.max_depth
+
+    def _derive_path_token_totals(self) -> dict[int, float]:
+        """One-pass derivation of W_p from the postings (build time)."""
         # Leaf lengths: total tokens per text-bearing node.
         leaf_lengths: dict[DeweyCode, int] = {}
         leaf_paths: dict[DeweyCode, int] = {}
@@ -88,16 +226,7 @@ class CorpusIndex:
             for depth in range(1, len(dewey) + 1):
                 ancestor = table.prefix_id(path_id, depth)
                 totals[ancestor] = totals.get(ancestor, 0.0) + length
-        self._path_token_totals = totals
         return totals
-
-    def max_path_depth(self) -> int:
-        """Deepest label path in the corpus."""
-        deepest = 0
-        for labels in self.path_table:
-            if len(labels) > deepest:
-                deepest = len(labels)
-        return deepest
 
     def describe(self) -> dict[str, int]:
         """Summary counters (used in logs and benchmark headers)."""

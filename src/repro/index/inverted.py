@@ -12,10 +12,12 @@ lets Algorithm 1 jump over whole subtrees that cannot contribute.
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_left
 from typing import Iterator, Sequence
 
 from repro.xmltree.dewey import DeweyCode
+from repro.xmltree.dewey_packed import DeweyPacker
 
 #: A posting: (dewey, path_id, term_frequency).
 Posting = tuple[DeweyCode, int, int]
@@ -145,3 +147,106 @@ class ListCursor:
         self.skips += new_position - self.position
         self.position = new_position
         return self.current()
+
+
+# ----------------------------------------------------------------------
+# Columnar (packed) posting lists — the fast query engine
+# ----------------------------------------------------------------------
+#
+# The tuple-based classes above are the reference implementation; the
+# packed classes below store the same postings as three parallel columns
+# so the hot operations run on machine integers:
+#
+# * ``keys``  — packed Dewey codes (``array('q')`` when they fit in 64
+#   bits, else a plain list of big ints), numerically document-ordered;
+# * ``path_ids`` / ``tfs`` — ``array('i')`` side columns.
+#
+# ``skip_to`` gallops over the int column with C-level ``bisect`` (no
+# ``key=`` extractor), and the merged list's heap holds plain ints.
+
+
+class PackedInvertedList:
+    """Columnar, document-ordered posting list for one token."""
+
+    __slots__ = ("token", "keys", "path_ids", "tfs")
+
+    def __init__(
+        self,
+        token: str,
+        keys: Sequence[int],
+        path_ids: Sequence[int],
+        tfs: Sequence[int],
+    ):
+        if not (len(keys) == len(path_ids) == len(tfs)):
+            raise ValueError("packed columns must have equal length")
+        self.token = token
+        self.keys = keys
+        self.path_ids = path_ids
+        self.tfs = tfs
+
+    @classmethod
+    def from_inverted(
+        cls, source: InvertedList, packer: DeweyPacker
+    ) -> "PackedInvertedList":
+        """Pack a tuple-based list into columns (build-time only)."""
+        packed = [packer.pack(code) for code, _pid, _tf in source]
+        if packer.fits_int64:
+            keys: Sequence[int] = array("q", packed)
+        else:
+            keys = packed
+        path_ids = array("i", (pid for _c, pid, _tf in source))
+        tfs = array("i", (tf for _c, _pid, tf in source))
+        return cls(source.token, keys, path_ids, tfs)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def first_at_or_after(self, key: int, start: int = 0) -> int:
+        """Index of the first posting with packed key >= ``key``.
+
+        Same galloping-then-binary contract as
+        :meth:`InvertedList.first_at_or_after`, but over an int column.
+        """
+        keys = self.keys
+        n = len(keys)
+        if start >= n or keys[start] >= key:
+            return start
+        step = 1
+        lo = start
+        hi = start + 1
+        while hi < n and keys[hi] < key:
+            lo = hi
+            step *= 2
+            hi = min(n, hi + step)
+        return bisect_left(keys, key, lo + 1, hi)
+
+
+class PackedListCursor:
+    """Read cursor over one packed list (mirrors :class:`ListCursor`)."""
+
+    __slots__ = ("source", "position", "reads", "skips", "_keys",
+                 "_length")
+
+    def __init__(self, source: PackedInvertedList):
+        self.source = source
+        self.position = 0
+        self.reads = 0
+        self.skips = 0
+        self._keys = source.keys
+        self._length = len(source.keys)
+
+    def exhausted(self) -> bool:
+        return self.position >= self._length
+
+    def head_key(self) -> int | None:
+        """Packed key under the cursor, or ``None`` when exhausted."""
+        if self.position >= self._length:
+            return None
+        return self._keys[self.position]
+
+    def skip_to(self, key: int) -> int | None:
+        """Discard postings with key < ``key``; return the new head."""
+        new_position = self.source.first_at_or_after(key, self.position)
+        self.skips += new_position - self.position
+        self.position = new_position
+        return self.head_key()

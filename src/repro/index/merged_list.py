@@ -18,13 +18,22 @@ needs to know *which variant* occurred at a position.
 from __future__ import annotations
 
 import heapq
+from array import array
+from bisect import bisect_left
 from typing import Iterable
 
-from repro.index.inverted import InvertedList, ListCursor
+from repro.index.inverted import (
+    InvertedList,
+    ListCursor,
+    PackedInvertedList,
+)
 from repro.xmltree.dewey import DeweyCode
 
 #: An entry of the merged list: (dewey, path_id, tf, token).
 MergedEntry = tuple[DeweyCode, int, int, str]
+
+#: An entry of the packed merged list: (packed_key, path_id, tf, token).
+PackedEntry = tuple[int, int, int, str]
 
 
 class MergedList:
@@ -128,6 +137,169 @@ class MergedList:
         return sum(c.skips for c in self._cursors)
 
     def drain(self) -> list[MergedEntry]:
+        """Consume the remainder of the merged list (testing aid)."""
+        out = []
+        while True:
+            entry = self.next()
+            if entry is None:
+                return out
+            out.append(entry)
+
+
+class PackedMergedColumns:
+    """The variant lists of one keyword, physically merged (immutable).
+
+    Packed Dewey keys sort globally, so the member lists can be merged
+    once into four parallel columns sorted by key.  Two consequences
+    make the query-time cursor trivial:
+
+    * ``skip_to`` is a single C-level bisect over the key column — no
+      per-member galloping, no heap rebuild;
+    * every subtree is a *contiguous* key range (descendants of a node
+      share its packed prefix and nothing else sorts between them), so
+      ``pop_subtree`` pops one slice found by a second bisect.
+
+    The merge is paid once per variant set and memoized on the corpus;
+    :class:`PackedMergedList` cursors share the columns.
+    """
+
+    __slots__ = ("keys", "path_ids", "tfs", "token_ids", "tokens",
+                 "length")
+
+    def __init__(self, lists: Iterable[PackedInvertedList]):
+        members = list(lists)
+        self.tokens = [lst.token for lst in members]
+        rows = [
+            (lst.keys[i], member, lst.path_ids[i], lst.tfs[i])
+            for member, lst in enumerate(members)
+            for i in range(len(lst.keys))
+        ]
+        # Keys ascending, ties broken by member index — exactly the
+        # order a (key, member) min-heap merge would yield.
+        rows.sort()
+        if all(isinstance(lst.keys, array) for lst in members):
+            self.keys: list[int] | array = array(
+                "q", (row[0] for row in rows)
+            )
+        else:
+            self.keys = [row[0] for row in rows]
+        self.token_ids = array("i", (row[1] for row in rows))
+        self.path_ids = array("i", (row[2] for row in rows))
+        self.tfs = array("i", (row[3] for row in rows))
+        self.length = len(rows)
+
+
+class PackedMergedList:
+    """Cursor over the physically merged variant lists of one keyword.
+
+    Same contract as :class:`MergedList`, but the merge already
+    happened at construction (:class:`PackedMergedColumns`), so every
+    operation is a position bump or a bisect over an int column.
+    Entries are ``(packed_key, path_id, tf, token)``.
+    """
+
+    __slots__ = ("columns", "position", "reads", "skips")
+
+    def __init__(
+        self,
+        lists: Iterable[PackedInvertedList] | None = None,
+        *,
+        columns: PackedMergedColumns | None = None,
+    ):
+        if columns is None:
+            columns = PackedMergedColumns(
+                [] if lists is None else lists
+            )
+        self.columns = columns
+        self.position = 0
+        self.reads = 0
+        self.skips = 0
+
+    def __bool__(self) -> bool:
+        return self.position < self.columns.length
+
+    def head_key(self) -> int | None:
+        """Packed key of the head; O(1), no entry materialized."""
+        columns = self.columns
+        position = self.position
+        if position >= columns.length:
+            return None
+        return columns.keys[position]
+
+    def cur_pos(self) -> PackedEntry | None:
+        """The head entry without consuming it."""
+        columns = self.columns
+        position = self.position
+        if position >= columns.length:
+            return None
+        return (
+            columns.keys[position],
+            columns.path_ids[position],
+            columns.tfs[position],
+            columns.tokens[columns.token_ids[position]],
+        )
+
+    def next(self) -> PackedEntry | None:
+        """Pop and return the head; ``None`` when exhausted."""
+        entry = self.cur_pos()
+        if entry is not None:
+            self.position += 1
+            self.reads += 1
+        return entry
+
+    def pop_subtree(self, group: int, shift: int) -> list[PackedEntry]:
+        """Pop every entry under ``group`` (Lines 9–11 of Algorithm 1).
+
+        ``shift`` is ``packer.shift_for(depth(group))``: a key belongs
+        to the group iff ``key >> shift == group >> shift``.  The head
+        must itself be in the group (callers ``skip_to(group)`` first);
+        the group then ends at the first key reaching the next prefix,
+        found by one bisect.
+        """
+        columns = self.columns
+        keys = columns.keys
+        position = self.position
+        prefix = group >> shift
+        if position >= columns.length or (
+            keys[position] >> shift
+        ) != prefix:
+            return []
+        end = bisect_left(
+            keys, (prefix + 1) << shift, position, columns.length
+        )
+        path_ids = columns.path_ids
+        tfs = columns.tfs
+        token_ids = columns.token_ids
+        tokens = columns.tokens
+        out = [
+            (keys[i], path_ids[i], tfs[i], tokens[token_ids[i]])
+            for i in range(position, end)
+        ]
+        self.reads += end - position
+        self.position = end
+        return out
+
+    def skip_to(self, key: int) -> PackedEntry | None:
+        """Discard all entries with key < ``key``; return the new head."""
+        columns = self.columns
+        new_position = bisect_left(
+            columns.keys, key, self.position, columns.length
+        )
+        self.skips += new_position - self.position
+        self.position = new_position
+        return self.cur_pos()
+
+    @property
+    def total_reads(self) -> int:
+        """Postings consumed via ``next``/``pop_subtree``."""
+        return self.reads
+
+    @property
+    def total_skips(self) -> int:
+        """Postings jumped over via ``skip_to``."""
+        return self.skips
+
+    def drain(self) -> list[PackedEntry]:
         """Consume the remainder of the merged list (testing aid)."""
         out = []
         while True:

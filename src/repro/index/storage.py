@@ -24,7 +24,11 @@ from repro.xmltree import dewey as dewey_mod
 from repro.xmltree.labelpath import PathTable, format_path, parse_path
 
 MAGIC = "XCLEANIDX"
-VERSION = 1
+#: Version 2 adds the TOTALS section (precomputed Eq. 8 normalizers
+#: W_p plus the maximal label-path depth) so loading an index never
+#: re-derives them from the postings.  Version-1 files still load; the
+#: totals are derived on the fly.
+VERSION = 2
 
 
 def save_index(index: CorpusIndex, path: str) -> None:
@@ -69,6 +73,11 @@ def write_index(index: CorpusIndex, out: TextIO) -> None:
     for code in sorted(index.subtree_token_counts):
         count = index.subtree_token_counts[code]
         out.write(f"{dewey_mod.format_code(code)} {count}\n")
+
+    totals = index.path_token_totals()
+    out.write(f"TOTALS {len(totals)} {index.max_path_depth()}\n")
+    for pid in sorted(totals):
+        out.write(f"{pid} {totals[pid]!r}\n")
 
     vocab_rows = list(index.vocabulary.export_rows())
     out.write(
@@ -119,7 +128,8 @@ def _read_index(source: TextIO) -> CorpusIndex:
     header = next_line().split()
     if len(header) != 2 or header[0] != MAGIC:
         raise StorageError("not an XClean index file")
-    if int(header[1]) != VERSION:
+    version = int(header[1])
+    if version not in (1, VERSION):
         raise StorageError(f"unsupported index version {header[1]}")
 
     name_parts = next_line().split(maxsplit=1)
@@ -144,6 +154,16 @@ def _read_index(source: TextIO) -> CorpusIndex:
     for _ in range(int(subtree_count)):
         code_text, count_text = next_line().split()
         subtree_counts[dewey_mod.parse(code_text)] = int(count_text)
+
+    path_token_totals: dict[int, float] | None = None
+    max_depth: int | None = None
+    if version >= 2:
+        totals_header = _expect_header(next_line(), "TOTALS")
+        max_depth = int(totals_header[1])
+        path_token_totals = {}
+        for _ in range(int(totals_header[0])):
+            pid_text, total_text = next_line().split()
+            path_token_totals[int(pid_text)] = float(total_text)
 
     vocab_header = _expect_header(next_line(), "VOCAB")
     vocab_rows = []
@@ -183,4 +203,6 @@ def _read_index(source: TextIO) -> CorpusIndex:
         subtree_token_counts=subtree_counts,
         path_node_counts=path_node_counts,
         tokenizer=Tokenizer(),
+        path_token_totals_map=path_token_totals,
+        max_depth=max_depth,
     )

@@ -12,6 +12,7 @@ Layout (all integers varint, all strings length-prefixed UTF-8)::
     path count | paths (component count, labels...)
     path-node-count pairs
     subtree-count entries (delta-coded deweys | count)
+    max path depth | totals count | (pid, W_p as repr text) pairs
     element_doc_count | vocab rows (token, cf, df, max_rel_tf as text)
     list count | per token: token, encoded postings
     CRC32 of everything above (4 bytes, big-endian)
@@ -41,7 +42,11 @@ from repro.index.vocabulary import Vocabulary
 from repro.xmltree.labelpath import PathTable
 
 MAGIC = b"XCIB"
-VERSION = 1
+#: Version 2 appends the precomputed Eq. 8 normalizers (W_p per path
+#: id, as repr'd floats) and the maximal label-path depth after the
+#: subtree section.  Version-1 payloads still load; the totals are
+#: derived on the fly.
+VERSION = 2
 
 
 def dumps_binary(index: CorpusIndex) -> bytes:
@@ -68,6 +73,13 @@ def dumps_binary(index: CorpusIndex) -> bytes:
     subtree_items = sorted(index.subtree_token_counts.items())
     pseudo = [(code, 0, count) for code, count in subtree_items]
     buffer.extend(encode_postings(pseudo))
+
+    totals = index.path_token_totals()
+    write_uvarint(buffer, index.max_path_depth())
+    write_uvarint(buffer, len(totals))
+    for pid in sorted(totals):
+        write_uvarint(buffer, pid)
+        write_string(buffer, repr(totals[pid]))
 
     vocab_rows = sorted(index.vocabulary.export_rows())
     write_uvarint(buffer, index.vocabulary.element_doc_count)
@@ -107,7 +119,7 @@ def loads_binary(data: bytes) -> CorpusIndex:
     data = payload
     position = len(MAGIC)
     version, position = read_uvarint(data, position)
-    if version != VERSION:
+    if version not in (1, VERSION):
         raise StorageError(f"unsupported binary index version {version}")
     name, position = read_string(data, position)
 
@@ -130,6 +142,17 @@ def loads_binary(data: bytes) -> CorpusIndex:
 
     pseudo, position = decode_postings(data, position)
     subtree_counts = {code: count for code, _unused, count in pseudo}
+
+    path_token_totals: dict[int, float] | None = None
+    max_depth: int | None = None
+    if version >= 2:
+        max_depth, position = read_uvarint(data, position)
+        total_count, position = read_uvarint(data, position)
+        path_token_totals = {}
+        for _ in range(total_count):
+            pid, position = read_uvarint(data, position)
+            total_text, position = read_string(data, position)
+            path_token_totals[pid] = float(total_text)
 
     element_docs, position = read_uvarint(data, position)
     row_count, position = read_uvarint(data, position)
@@ -162,6 +185,8 @@ def loads_binary(data: bytes) -> CorpusIndex:
         subtree_token_counts=subtree_counts,
         path_node_counts=path_node_counts,
         tokenizer=Tokenizer(),
+        path_token_totals_map=path_token_totals,
+        max_depth=max_depth,
     )
 
 

@@ -1,0 +1,152 @@
+"""Packed Dewey codes: one sortable ``int`` per node.
+
+The tuple representation in :mod:`repro.xmltree.dewey` is semantically
+clean but every document-order comparison allocates an iterator and
+compares components one Python object at a time, and every prefix
+truncation (``code[:d]``) allocates a fresh tuple.  Algorithm 1 performs
+millions of both on a large corpus, so the fast query engine packs a
+whole Dewey code into a single integer whose **numeric order equals
+document order**, with O(1) ``prefix`` and ``is_under`` via bit masks.
+
+Layout (most-significant bits first)::
+
+    | c_1 | c_2 | ... | c_max_depth | depth |
+
+Each component occupies ``component_bits`` bits; absent levels are
+zero-filled.  Because real components are >= 1, the zero padding sorts
+an ancestor strictly before its descendants — exactly the prefix-first
+rule of lexicographic tuple order — and two distinct codes can never
+collide (the first zero level delimits the code).  The trailing
+``depth`` field makes depth extraction O(1); it never disturbs ordering
+because equal component blocks imply equal codes.
+
+A :class:`DeweyPacker` is sized per corpus from the maximal depth and
+component actually observed.  When the packed keys fit in a signed
+64-bit integer the columnar posting lists store them in ``array('q')``
+(8 bytes/key, C-level ``bisect``); otherwise they fall back to a plain
+Python list of (still sortable) big ints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import DeweyError
+from repro.xmltree.dewey import DeweyCode
+
+
+class DeweyPacker:
+    """Bijective order-preserving encoding of Dewey tuples as ints."""
+
+    __slots__ = (
+        "max_depth",
+        "component_bits",
+        "depth_bits",
+        "total_bits",
+        "_depth_mask",
+        "_component_mask",
+    )
+
+    def __init__(self, max_depth: int, component_bits: int):
+        if max_depth < 1:
+            raise DeweyError("max_depth must be >= 1")
+        if component_bits < 1:
+            raise DeweyError("component_bits must be >= 1")
+        self.max_depth = max_depth
+        self.component_bits = component_bits
+        self.depth_bits = max(1, max_depth.bit_length())
+        self.total_bits = max_depth * component_bits + self.depth_bits
+        self._depth_mask = (1 << self.depth_bits) - 1
+        self._component_mask = (1 << component_bits) - 1
+
+    @classmethod
+    def for_codes(cls, codes: Iterable[DeweyCode]) -> "DeweyPacker":
+        """A packer sized to hold every code in ``codes``.
+
+        Sizing from the data keeps keys as small as possible, which is
+        what lets typical corpora stay within 64 bits.
+        """
+        max_depth = 1
+        max_component = 1
+        for code in codes:
+            if len(code) > max_depth:
+                max_depth = len(code)
+            for component in code:
+                if component > max_component:
+                    max_component = component
+        return cls(max_depth, max_component.bit_length())
+
+    # ------------------------------------------------------------------
+    # Encoding / decoding
+    # ------------------------------------------------------------------
+
+    @property
+    def fits_int64(self) -> bool:
+        """True when every packed key fits in a signed 64-bit slot."""
+        return self.total_bits <= 63
+
+    def pack(self, code: DeweyCode) -> int:
+        """Encode a Dewey tuple; raises when it does not fit."""
+        depth = len(code)
+        if depth == 0 or depth > self.max_depth:
+            raise DeweyError(
+                f"cannot pack depth-{depth} code "
+                f"(packer max_depth={self.max_depth})"
+            )
+        bits = self.component_bits
+        key = 0
+        for component in code:
+            if component < 1 or component > self._component_mask:
+                raise DeweyError(
+                    f"component {component} out of range for "
+                    f"{bits}-bit packer"
+                )
+            key = (key << bits) | component
+        key <<= (self.max_depth - depth) * bits
+        return (key << self.depth_bits) | depth
+
+    def unpack(self, key: int) -> DeweyCode:
+        """Decode a packed key back into the original tuple."""
+        depth = key & self._depth_mask
+        bits = self.component_bits
+        mask = self._component_mask
+        components = key >> (
+            self.depth_bits + (self.max_depth - depth) * bits
+        )
+        out = [0] * depth
+        for i in range(depth - 1, -1, -1):
+            out[i] = components & mask
+            components >>= bits
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # O(1) structural queries (the whole point)
+    # ------------------------------------------------------------------
+
+    def depth(self, key: int) -> int:
+        """Depth of the encoded node."""
+        return key & self._depth_mask
+
+    def shift_for(self, depth: int) -> int:
+        """Right-shift that keeps exactly the top ``depth`` components.
+
+        ``a >> shift == b >> shift`` iff a and b agree on their first
+        ``depth`` components (both discarding the depth field); used by
+        the merged list's subtree test so the per-posting check is two
+        machine-word ops.
+        """
+        return self.depth_bits + (self.max_depth - depth) * (
+            self.component_bits
+        )
+
+    def prefix(self, key: int, depth: int) -> int:
+        """Packed key of the depth-``depth`` prefix (Alg. 1 Line 7)."""
+        shift = self.depth_bits + (self.max_depth - depth) * (
+            self.component_bits
+        )
+        return ((key >> shift) << shift) | depth
+
+    def is_under(self, key: int, group: int) -> bool:
+        """True iff ``key`` is ``group`` or one of its descendants."""
+        shift = self.shift_for(group & self._depth_mask)
+        return (key >> shift) == (group >> shift)

@@ -1,0 +1,118 @@
+"""Packed engine ≡ tuple engine.
+
+The packed (columnar, int-keyed) query path is a pure representation
+change: for any query both engines must return the same top-k
+suggestions — same candidate tokens, same result types, scores within
+1e-9 (the implementation actually accumulates in identical order, so
+scores are typically bit-identical).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.cleaner import XCleanSuggester
+from repro.core.config import XCleanConfig
+from repro.eval.experiments import dblp_setting
+from repro.index.corpus import build_corpus_index
+from repro.xmltree.builder import paper_example_tree
+from repro.xmltree.document import XMLDocument
+
+
+def pair_of_suggesters(corpus, generator=None, **overrides):
+    packed = XCleanSuggester(
+        corpus,
+        generator=generator,
+        config=XCleanConfig(engine="packed", **overrides),
+    )
+    tuple_engine = XCleanSuggester(
+        corpus,
+        generator=generator,
+        config=XCleanConfig(engine="tuple", **overrides),
+    )
+    return packed, tuple_engine
+
+
+def assert_same_output(packed, tuple_engine, query, k=10):
+    fast = packed.suggest(query, k)
+    reference = tuple_engine.suggest(query, k)
+    assert [(s.tokens, s.result_type) for s in fast] == [
+        (s.tokens, s.result_type) for s in reference
+    ]
+    for got, want in zip(fast, reference):
+        assert got.score == pytest.approx(want.score, rel=1e-9)
+    # The merge loops must do the same amount of work, too.
+    assert (
+        packed.last_stats.postings_read
+        == tuple_engine.last_stats.postings_read
+    )
+    assert (
+        packed.last_stats.groups_processed
+        == tuple_engine.last_stats.groups_processed
+    )
+
+
+class TestPaperExample:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return build_corpus_index(XMLDocument(paper_example_tree()))
+
+    @pytest.mark.parametrize(
+        "query", ["tree icdt", "tre icd", "databas", "xml tree"]
+    )
+    def test_same_topk(self, corpus, query):
+        packed, tuple_engine = pair_of_suggesters(corpus, max_errors=1)
+        assert_same_output(packed, tuple_engine, query)
+
+    def test_score_all_identical(self, corpus):
+        packed, tuple_engine = pair_of_suggesters(
+            corpus, max_errors=1, gamma=None
+        )
+        fast = packed.score_all("tree icdt")
+        reference = tuple_engine.score_all("tree icdt")
+        assert set(fast) == set(reference)
+        for candidate, score in fast.items():
+            assert score == pytest.approx(
+                reference[candidate], rel=1e-9
+            )
+
+    def test_length_prior_equivalent(self, corpus):
+        packed, tuple_engine = pair_of_suggesters(
+            corpus, max_errors=1, prior="length"
+        )
+        assert_same_output(packed, tuple_engine, "tree icdt")
+
+    def test_no_skipping_equivalent(self, corpus):
+        packed, tuple_engine = pair_of_suggesters(
+            corpus, max_errors=1, use_skipping=False
+        )
+        assert_same_output(packed, tuple_engine, "tree icdt")
+
+
+class TestSyntheticDBLP:
+    @pytest.fixture(scope="class")
+    def setting(self):
+        return dblp_setting("small")
+
+    @pytest.mark.parametrize("kind", ["CLEAN", "RAND", "RULE"])
+    def test_workload_equivalence(self, setting, kind):
+        packed = XCleanSuggester(
+            setting.corpus,
+            generator=setting.generator.fresh_cache(),
+            config=XCleanConfig(engine="packed"),
+        )
+        tuple_engine = XCleanSuggester(
+            setting.corpus,
+            generator=setting.generator.fresh_cache(),
+            config=XCleanConfig(engine="tuple"),
+        )
+        for record in setting.workloads[kind]:
+            assert_same_output(
+                packed, tuple_engine, record.dirty_text, k=10
+            )
+
+    def test_config_round_trips_engine(self):
+        config = XCleanConfig(engine="tuple")
+        assert dataclasses.replace(config, engine="packed").engine == (
+            "packed"
+        )

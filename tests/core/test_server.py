@@ -1,0 +1,144 @@
+"""Tests for the batch serving layer (SuggestionService)."""
+
+import pytest
+
+from repro.core.config import XCleanConfig
+from repro.core.server import SuggestionService
+from repro.exceptions import QueryError
+from repro.index.corpus import build_corpus_index
+from repro.xmltree.builder import paper_example_tree
+from repro.xmltree.document import XMLDocument
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus_index(XMLDocument(paper_example_tree()))
+
+
+@pytest.fixture()
+def service(corpus):
+    return SuggestionService(
+        corpus, config=XCleanConfig(max_errors=1)
+    )
+
+
+class TestResultCache:
+    def test_repeat_query_hits_cache(self, service):
+        first = service.suggest("tree icdt", 5)
+        second = service.suggest("tree icdt", 5)
+        assert [s.tokens for s in first] == [s.tokens for s in second]
+        assert service.stats.result_cache_hits == 1
+        assert service.stats.result_cache_misses == 1
+
+    def test_cleaning_stats_report_cache_counters(self):
+        # Fresh corpus: the merged-list memo lives on the corpus, and a
+        # shared fixture would arrive pre-warmed from earlier tests.
+        service = SuggestionService(
+            build_corpus_index(XMLDocument(paper_example_tree())),
+            config=XCleanConfig(max_errors=1),
+        )
+        service.suggest("tree icdt", 5)
+        miss_stats = service.last_stats
+        assert miss_stats.result_cache_misses == 1
+        assert miss_stats.result_cache_hits == 0
+        # The miss ran the algorithm, which populated the variant memo.
+        assert miss_stats.variant_cache_misses > 0
+        assert miss_stats.merged_cache_misses > 0
+
+        service.suggest("tree icdt", 5)
+        hit_stats = service.last_stats
+        assert hit_stats.result_cache_hits == 1
+        assert hit_stats.groups_processed == 0
+
+        # A re-run of the same keywords hits the variant + merged memos.
+        service.suggest("tree icdt icdt", 5)
+        assert service.last_stats.variant_cache_hits > 0
+        assert service.last_stats.merged_cache_hits > 0
+
+    def test_normalized_queries_share_slot(self, service):
+        service.suggest("Tree   ICDT", 5)
+        service.suggest("tree icdt", 5)
+        assert service.stats.result_cache_hits == 1
+
+    def test_distinct_k_distinct_slot(self, service):
+        service.suggest("tree icdt", 5)
+        service.suggest("tree icdt", 3)
+        assert service.stats.result_cache_hits == 0
+
+    def test_lru_evicts_oldest(self, corpus):
+        service = SuggestionService(
+            corpus,
+            config=XCleanConfig(max_errors=1),
+            result_cache_size=1,
+        )
+        service.suggest("tree icdt", 5)
+        service.suggest("databas", 5)  # evicts "tree icdt"
+        service.suggest("tree icdt", 5)
+        assert service.stats.result_cache_hits == 0
+        assert service.stats.result_cache_misses == 3
+
+    def test_unusable_query_raises_like_suggester(self, service):
+        with pytest.raises(QueryError):
+            service.suggest("!!", 5)
+
+
+class TestBatch:
+    def test_batch_matches_singles(self, corpus):
+        service = SuggestionService(
+            corpus, config=XCleanConfig(max_errors=1)
+        )
+        reference = SuggestionService(
+            corpus, config=XCleanConfig(max_errors=1)
+        )
+        queries = ["tree icdt", "databas", "tree icdt"]
+        batch = service.suggest_batch(queries, 5)
+        singles = [reference.suggest(q, 5) for q in queries]
+        assert [
+            [(s.tokens, s.result_type) for s in answer]
+            for answer in batch
+        ] == [
+            [(s.tokens, s.result_type) for s in answer]
+            for answer in singles
+        ]
+        assert service.stats.result_cache_hits == 1
+
+    def test_batch_swallows_unusable_queries(self, service):
+        batch = service.suggest_batch(["tree icdt", "!!", ""], 5)
+        assert len(batch) == 3
+        assert batch[1] == [] and batch[2] == []
+        assert service.stats.unanswerable == 2
+
+    def test_parallel_batch_matches_serial(self, corpus):
+        queries = ["tree icdt", "databas", "tree icdt", "!!"]
+        serial = SuggestionService(
+            corpus, config=XCleanConfig(max_errors=1)
+        ).suggest_batch(queries, 5)
+        parallel_service = SuggestionService(
+            corpus, config=XCleanConfig(max_errors=1)
+        )
+        parallel = parallel_service.suggest_batch(
+            queries, 5, workers=2
+        )
+        assert [
+            [(s.tokens, s.result_type) for s in answer]
+            for answer in serial
+        ] == [
+            [(s.tokens, s.result_type) for s in answer]
+            for answer in parallel
+        ]
+        for left, right in zip(serial, parallel):
+            for a, b in zip(left, right):
+                assert a.score == pytest.approx(b.score, rel=1e-9)
+        # 3 usable queries, one of them a duplicate → 1 in-batch hit.
+        assert parallel_service.stats.result_cache_hits == 1
+        assert parallel_service.stats.result_cache_misses == 2
+        assert parallel_service.stats.unanswerable == 1
+
+    def test_parallel_batch_reuses_cache(self, corpus):
+        service = SuggestionService(
+            corpus, config=XCleanConfig(max_errors=1)
+        )
+        service.suggest("tree icdt", 5)
+        batch = service.suggest_batch(["tree icdt"], 5, workers=2)
+        assert batch[0]
+        assert service.stats.result_cache_hits == 1

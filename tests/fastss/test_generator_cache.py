@@ -1,0 +1,54 @@
+"""Tests for the VariantGenerator LRU cache and its counters."""
+
+from repro.fastss.generator import VariantGenerator
+
+VOCAB = ["tree", "trees", "free", "icdt", "icde", "database"]
+
+
+class TestCounters:
+    def test_miss_then_hit(self):
+        generator = VariantGenerator(VOCAB, max_errors=1)
+        generator.variants("tree")
+        assert (generator.cache_misses, generator.cache_hits) == (1, 0)
+        generator.variants("tree")
+        assert (generator.cache_misses, generator.cache_hits) == (1, 1)
+
+    def test_distinct_eps_is_distinct_entry(self):
+        generator = VariantGenerator(VOCAB, max_errors=2)
+        generator.variants("tree", 1)
+        generator.variants("tree", 2)
+        assert generator.cache_misses == 2
+
+    def test_fresh_cache_resets_counters_not_index(self):
+        generator = VariantGenerator(VOCAB, max_errors=1)
+        generator.variants("tree")
+        fresh = generator.fresh_cache()
+        assert (fresh.cache_hits, fresh.cache_misses) == (0, 0)
+        assert fresh.variants("tree") == generator.variants("tree")
+        assert fresh.cache_misses == 1
+
+
+class TestLRU:
+    def test_eviction_at_capacity(self):
+        generator = VariantGenerator(VOCAB, max_errors=1, cache_size=2)
+        generator.variants("tree")
+        generator.variants("free")
+        generator.variants("icdt")  # evicts "tree"
+        generator.variants("tree")  # miss again
+        assert generator.cache_misses == 4
+        assert generator.cache_hits == 0
+
+    def test_recent_use_protects_entry(self):
+        generator = VariantGenerator(VOCAB, max_errors=1, cache_size=2)
+        generator.variants("tree")
+        generator.variants("free")
+        generator.variants("tree")  # refresh "tree"
+        generator.variants("icdt")  # evicts "free", not "tree"
+        generator.variants("tree")
+        assert generator.cache_hits == 2
+
+    def test_results_unchanged_by_caching(self):
+        cached = VariantGenerator(VOCAB, max_errors=1)
+        uncached = VariantGenerator(VOCAB, max_errors=1, cache_size=1)
+        for keyword in ("tree", "icdt", "tree", "xyz", "tree"):
+            assert cached.variants(keyword) == uncached.variants(keyword)

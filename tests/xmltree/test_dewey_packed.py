@@ -1,0 +1,90 @@
+"""Tests for the packed-int Dewey encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import DeweyError
+from repro.xmltree.dewey_packed import DeweyPacker
+
+codes = st.lists(
+    st.integers(min_value=1, max_value=200), min_size=1, max_size=6
+).map(tuple)
+
+
+class TestRoundTrip:
+    @given(st.lists(codes, min_size=1, max_size=30))
+    def test_pack_unpack_identity(self, pool):
+        packer = DeweyPacker.for_codes(pool)
+        for code in pool:
+            assert packer.unpack(packer.pack(code)) == code
+
+    def test_for_codes_sizes_to_data(self):
+        packer = DeweyPacker.for_codes([(1, 2, 3), (7,)])
+        assert packer.max_depth == 3
+        assert packer.component_bits == 3  # 7 needs three bits
+
+    def test_overflow_rejected(self):
+        packer = DeweyPacker(max_depth=2, component_bits=3)
+        with pytest.raises(DeweyError):
+            packer.pack((8, 1))  # component too large
+        with pytest.raises(DeweyError):
+            packer.pack((1, 1, 1))  # too deep
+        with pytest.raises(DeweyError):
+            packer.pack(())
+
+
+class TestOrdering:
+    @given(st.lists(codes, min_size=2, max_size=40))
+    def test_numeric_order_is_document_order(self, pool):
+        packer = DeweyPacker.for_codes(pool)
+        by_tuple = sorted(set(pool))
+        by_key = sorted(packer.pack(code) for code in set(pool))
+        assert [packer.unpack(k) for k in by_key] == by_tuple
+
+    def test_ancestor_sorts_first(self):
+        packer = DeweyPacker(max_depth=3, component_bits=4)
+        assert packer.pack((1,)) < packer.pack((1, 1))
+        assert packer.pack((1, 1)) < packer.pack((1, 1, 1))
+        assert packer.pack((1, 15, 15)) < packer.pack((2,))
+
+
+class TestStructuralQueries:
+    @given(codes)
+    def test_depth_is_o1(self, code):
+        packer = DeweyPacker.for_codes([code])
+        assert packer.depth(packer.pack(code)) == len(code)
+
+    @given(codes, st.data())
+    def test_prefix_matches_tuple_slice(self, code, data):
+        depth = data.draw(
+            st.integers(min_value=1, max_value=len(code))
+        )
+        packer = DeweyPacker.for_codes([code])
+        prefix_key = packer.prefix(packer.pack(code), depth)
+        assert packer.unpack(prefix_key) == code[:depth]
+
+    @given(codes, codes)
+    def test_is_under_matches_tuple_semantics(self, code, group):
+        packer = DeweyPacker.for_codes([code, group])
+        key = packer.pack(code)
+        group_key = packer.pack(group)
+        expected = (
+            len(code) >= len(group) and code[: len(group)] == group
+        )
+        assert packer.is_under(key, group_key) == expected
+
+    def test_shift_for_group_test(self):
+        packer = DeweyPacker(max_depth=4, component_bits=5)
+        group = packer.pack((3, 2))
+        shift = packer.shift_for(2)
+        inside = [packer.pack(c) for c in [(3, 2), (3, 2, 1), (3, 2, 9, 4)]]
+        outside = [packer.pack(c) for c in [(3,), (3, 3), (2, 2, 1), (4,)]]
+        for key in inside:
+            assert key >> shift == group >> shift
+        for key in outside:
+            assert key >> shift != group >> shift
+
+    def test_fits_int64(self):
+        assert DeweyPacker(max_depth=4, component_bits=14).fits_int64
+        assert not DeweyPacker(max_depth=8, component_bits=16).fits_int64
