@@ -6,6 +6,7 @@ Installed as the ``xclean`` console script::
     xclean index --xml dblp.xml --out dblp.xci [--format binary]
     xclean suggest --index dblp.xci --query "keywrod serach" -k 5
     xclean batch --index dblp.xci --queries queries.txt --workers 4
+    xclean metrics --index dblp.xci --queries queries.txt --format prometheus
     xclean search --index dblp.xci --query "keyword search" --xml dblp.xml
     xclean evaluate --dataset dblp --scale small
 """
@@ -118,6 +119,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="process-pool width (default: in-process serial)",
     )
+    batch.add_argument(
+        "--worker-timeout", type=float, default=None,
+        help="per-query worker timeout in seconds; a timed-out query "
+        "is retried once, then answered in-process",
+    )
+    batch.add_argument(
+        "--recycle-after", type=int, default=None,
+        help="recycle pool workers after this many dispatched queries",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="answer a file of queries, then export serving metrics",
+    )
+    metrics.add_argument("--index", required=True, help="index path")
+    metrics.add_argument(
+        "--queries", required=True,
+        help="text file with one query per line",
+    )
+    metrics.add_argument("-k", type=int, default=5)
+    metrics.add_argument("--beta", type=float, default=5.0)
+    metrics.add_argument("--max-errors", type=int, default=2)
+    metrics.add_argument("--gamma", type=int, default=1000)
+    metrics.add_argument(
+        "--engine", choices=("packed", "tuple"), default="packed"
+    )
+    metrics.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool width (default: in-process serial)",
+    )
+    metrics.add_argument(
+        "--format",
+        choices=("json", "prometheus"),
+        default="json",
+        help="export format: JSON snapshot or Prometheus text",
+    )
 
     search = sub.add_parser(
         "search", help="execute a keyword query (no spell correction)"
@@ -218,14 +255,21 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_queries(path: str) -> list[str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return [line.strip() for line in handle if line.strip()]
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     corpus = _load_any_index(args.index)
-    with open(args.queries, "r", encoding="utf-8") as handle:
-        queries = [line.strip() for line in handle if line.strip()]
+    queries = _read_queries(args.queries)
     if not queries:
         print("(no queries)")
         return 0
-    service = SuggestionService(
+    service_kwargs = {}
+    if args.recycle_after is not None:
+        service_kwargs["worker_recycle_after"] = args.recycle_after
+    with SuggestionService(
         corpus,
         config=XCleanConfig(
             max_errors=args.max_errors,
@@ -233,10 +277,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             gamma=args.gamma,
             engine=args.engine,
         ),
-    )
-    started = time.perf_counter()
-    batches = service.suggest_batch(queries, args.k, workers=args.workers)
-    elapsed = time.perf_counter() - started
+        worker_timeout=args.worker_timeout,
+        **service_kwargs,
+    ) as service:
+        started = time.perf_counter()
+        batches = service.suggest_batch(
+            queries, args.k, workers=args.workers
+        )
+        elapsed = time.perf_counter() - started
     rows = []
     for query, suggestions in zip(queries, batches):
         best = suggestions[0] if suggestions else None
@@ -249,11 +297,34 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
     print(format_table(("query", "top suggestion", "score"), rows))
     qps = len(queries) / elapsed if elapsed > 0 else float("inf")
+    stats = service.stats
     print(
         f"{len(queries)} queries in {elapsed:.3f}s ({qps:.1f} q/s), "
-        f"cache hits {service.stats.result_cache_hits}, "
-        f"misses {service.stats.result_cache_misses}"
+        f"cache hits {stats.result_cache_hits}, "
+        f"misses {stats.result_cache_misses}, "
+        f"degraded {stats.degraded_queries}"
     )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    corpus = _load_any_index(args.index)
+    queries = _read_queries(args.queries)
+    with SuggestionService(
+        corpus,
+        config=XCleanConfig(
+            max_errors=args.max_errors,
+            beta=args.beta,
+            gamma=args.gamma,
+            engine=args.engine,
+        ),
+    ) as service:
+        service.suggest_batch(queries, args.k, workers=args.workers)
+        snapshot = service.metrics()
+    if args.format == "prometheus":
+        sys.stdout.write(snapshot.to_prometheus())
+    else:
+        print(snapshot.to_json())
     return 0
 
 
@@ -320,6 +391,7 @@ _COMMANDS = {
     "index": _cmd_index,
     "suggest": _cmd_suggest,
     "batch": _cmd_batch,
+    "metrics": _cmd_metrics,
     "search": _cmd_search,
     "evaluate": _cmd_evaluate,
 }

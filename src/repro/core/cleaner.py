@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import logging
 from bisect import bisect_left
+from time import perf_counter
 
 from repro.core.candidates import CandidateQuery, CandidateSpace
 from repro.core.config import XCleanConfig
@@ -52,6 +53,7 @@ from repro.index.merged_list import (
     PackedEntry,
     PackedMergedList,
 )
+from repro.obs.metrics import NULL_METRICS
 from repro.xmltree.dewey import DeweyCode
 
 
@@ -67,6 +69,7 @@ class XCleanSuggester:
         generator: VariantGenerator | None = None,
         error_model: ErrorModel | None = None,
         config: XCleanConfig | None = None,
+        metrics=None,
     ):
         self.corpus = corpus
         self.config = config or XCleanConfig()
@@ -79,12 +82,20 @@ class XCleanSuggester:
         self.language_model = DirichletLanguageModel(
             corpus.vocabulary, self.config.mu
         )
+        #: Observability hooks; NULL_METRICS (no-op, near-zero cost)
+        #: unless a serving layer hands in a live registry.
+        self.metrics = metrics or NULL_METRICS
+        #: Scoring time of the current query, summed over the many
+        #: per-group scoring calls and observed once per query.
+        self._score_seconds = 0.0
         self.type_finder = ResultTypeFinder(
             corpus,
             ResultTypeConfig(
                 reduction=self.config.reduction,
                 min_depth=self.config.min_depth,
+                cache_size=self.config.type_cache_size,
             ),
+            metrics=self.metrics,
         )
         self.last_stats = CleaningStats()
 
@@ -119,7 +130,9 @@ class XCleanSuggester:
     # ------------------------------------------------------------------
 
     def _run(self, query: str) -> AccumulatorPool:
-        keywords = self.corpus.tokenizer.tokenize(query)
+        metrics = self.metrics
+        with metrics.stage("tokenize"):
+            keywords = self.corpus.tokenizer.tokenize(query)
         if not keywords:
             raise QueryError(f"query {query!r} has no usable keywords")
         generator = self.generator
@@ -127,32 +140,52 @@ class XCleanSuggester:
         variant_misses = getattr(generator, "cache_misses", 0)
         merged_hits = self.corpus.merged_cache_hits
         merged_misses = self.corpus.merged_cache_misses
-        space = CandidateSpace(
-            keywords, self.generator, self.error_model,
-            self.config.max_errors,
-        )
+        type_finder = self.type_finder
+        type_hits = type_finder.cache_hits
+        type_misses = type_finder.cache_misses
+        with metrics.stage("variant_gen"):
+            space = CandidateSpace(
+                keywords, self.generator, self.error_model,
+                self.config.max_errors,
+            )
         stats = CleaningStats(
             keywords=len(keywords), space_size=space.space_size()
         )
         self.last_stats = stats
         pool = AccumulatorPool(self.config.gamma)
+        self._score_seconds = 0.0
         if space.is_viable:
-            if self.config.engine == "packed":
-                merged: list = [
-                    self.corpus.merged_list_packed(space.variant_tokens(i))
-                    for i in range(len(keywords))
-                ]
-                self._merge_loop_packed(merged, space, pool, stats)
-            else:
-                merged = [
-                    self.corpus.merged_list(space.variant_tokens(i))
-                    for i in range(len(keywords))
-                ]
-                self._merge_loop_tuple(merged, space, pool, stats)
+            # The merge stage covers the whole Algorithm 1 loop, entity
+            # scoring included; "score" reports the scoring share.
+            with metrics.stage("merge"):
+                if self.config.engine == "packed":
+                    merged: list = [
+                        self.corpus.merged_list_packed(
+                            space.variant_tokens(i)
+                        )
+                        for i in range(len(keywords))
+                    ]
+                    self._merge_loop_packed(merged, space, pool, stats)
+                else:
+                    merged = [
+                        self.corpus.merged_list(space.variant_tokens(i))
+                        for i in range(len(keywords))
+                    ]
+                    self._merge_loop_tuple(merged, space, pool, stats)
             stats.postings_read = sum(ml.total_reads for ml in merged)
             stats.postings_skipped = sum(ml.total_skips for ml in merged)
+            if metrics.enabled and self._score_seconds:
+                metrics.observe_stage("score", self._score_seconds)
         stats.accumulator_evictions = pool.evictions
-        stats.result_types_computed = self.type_finder.cached_candidates()
+        # Per-query deltas: on a long-lived service the finder's
+        # counters (and cache) span many queries.
+        stats.result_type_cache_hits = (
+            type_finder.cache_hits - type_hits
+        )
+        stats.result_type_cache_misses = (
+            type_finder.cache_misses - type_misses
+        )
+        stats.result_types_computed = stats.result_type_cache_misses
         stats.variant_cache_hits = (
             getattr(generator, "cache_hits", 0) - variant_hits
         )
@@ -282,6 +315,8 @@ class XCleanSuggester:
         stats: CleaningStats,
     ) -> None:
         """Enumerate and score the group's candidates (Lines 12–15)."""
+        metrics = self.metrics
+        score_began = perf_counter() if metrics.enabled else 0.0
         table = self.corpus.path_table
         entity_cache: dict[
             tuple[int, str, int], dict[DeweyCode, int]
@@ -352,6 +387,8 @@ class XCleanSuggester:
                 normalizer,
                 pid,
             )
+        if metrics.enabled:
+            self._score_seconds += perf_counter() - score_began
 
     # ------------------------------------------------------------------
     # Algorithm 1 — packed engine
@@ -566,6 +603,8 @@ class XCleanSuggester:
         view,
     ) -> None:
         """Enumerate and score the group's candidates (Lines 12–15)."""
+        metrics = self.metrics
+        score_began = perf_counter() if metrics.enabled else 0.0
         table = self.corpus.path_table
         packer = view.packer
         depth_bits = packer.depth_bits
@@ -641,3 +680,5 @@ class XCleanSuggester:
                 normalizer,
                 pid,
             )
+        if metrics.enabled:
+            self._score_seconds += perf_counter() - score_began

@@ -6,7 +6,11 @@ from dataclasses import dataclass
 
 from repro.core.error_model import DEFAULT_BETA
 from repro.core.language_model import DEFAULT_MU
-from repro.core.result_type import DEFAULT_MIN_DEPTH, DEFAULT_REDUCTION
+from repro.core.result_type import (
+    DEFAULT_MIN_DEPTH,
+    DEFAULT_REDUCTION,
+    DEFAULT_TYPE_CACHE_SIZE,
+)
 from repro.exceptions import ConfigurationError
 
 
@@ -34,6 +38,8 @@ class XCleanConfig:
             (the fast path), ``"tuple"`` over the original tuple-based
             lists (the reference path; kept for equivalence testing
             and ablation).  Both produce identical suggestions.
+        type_cache_size: LRU bound of the per-candidate result-type
+            cache (``ResultTypeFinder``); ``None`` removes the bound.
     """
 
     max_errors: int = 2
@@ -45,12 +51,20 @@ class XCleanConfig:
     use_skipping: bool = True
     prior: str = "uniform"
     engine: str = "packed"
+    #: LRU bound of the per-candidate result-type cache; ``None``
+    #: disables the bound (offline workloads only — a long-lived
+    #: service must keep it finite).
+    type_cache_size: int | None = DEFAULT_TYPE_CACHE_SIZE
 
     def __post_init__(self):
         if self.max_errors < 0:
             raise ConfigurationError("max_errors must be >= 0")
         if self.gamma is not None and self.gamma < 1:
             raise ConfigurationError("gamma must be >= 1 or None")
+        if self.type_cache_size is not None and self.type_cache_size < 1:
+            raise ConfigurationError(
+                "type_cache_size must be >= 1 or None"
+            )
         if self.min_depth < 1:
             raise ConfigurationError("min_depth must be >= 1")
         if self.prior not in ("uniform", "length"):

@@ -19,17 +19,28 @@ contains all its keywords.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.index.corpus import CorpusIndex
+from repro.obs.metrics import NULL_METRICS
 
 #: The paper's depth reduction factor in the worked example (Example 3).
 DEFAULT_REDUCTION = 0.8
 
 #: "d = 2 is usually enough" (Section V-B).
 DEFAULT_MIN_DEPTH = 2
+
+#: Default bound of the per-candidate result-type LRU.  A long-lived
+#: service sees an unbounded stream of distinct candidates, so the
+#: cache must not grow with uptime; 64k entries of a few machine words
+#: each keep the hit rate near 100% on skewed traffic.
+DEFAULT_TYPE_CACHE_SIZE = 65536
+
+_MISSING = object()
 
 
 @dataclass(frozen=True)
@@ -38,23 +49,45 @@ class ResultTypeConfig:
 
     reduction: float = DEFAULT_REDUCTION
     min_depth: int = DEFAULT_MIN_DEPTH
+    #: LRU bound of the per-candidate cache; ``None`` disables the
+    #: bound (only safe for offline, bounded workloads).
+    cache_size: int | None = DEFAULT_TYPE_CACHE_SIZE
 
     def __post_init__(self):
         if not 0.0 < self.reduction <= 1.0:
             raise ConfigurationError("reduction must be in (0, 1]")
         if self.min_depth < 1:
             raise ConfigurationError("min_depth must be >= 1")
+        if self.cache_size is not None and self.cache_size < 1:
+            raise ConfigurationError("cache_size must be >= 1 or None")
 
 
 class ResultTypeFinder:
-    """FindResultType(C) of Section V-B, with per-candidate caching."""
+    """FindResultType(C) of Section V-B, with per-candidate caching.
+
+    The cache is a bounded LRU (``config.cache_size``): entries
+    refresh on hit and the least recently used candidate is dropped on
+    overflow, so memory stays flat on a long-lived service.  The
+    cumulative ``cache_hits``/``cache_misses``/``cache_evictions``
+    counters let callers (``XCleanSuggester._run``) report per-query
+    deltas.
+    """
 
     def __init__(
-        self, corpus: CorpusIndex, config: ResultTypeConfig | None = None
+        self,
+        corpus: CorpusIndex,
+        config: ResultTypeConfig | None = None,
+        metrics=NULL_METRICS,
     ):
         self.corpus = corpus
         self.config = config or ResultTypeConfig()
-        self._cache: dict[tuple[str, ...], int | None] = {}
+        self.metrics = metrics or NULL_METRICS
+        self._cache: OrderedDict[tuple[str, ...], int | None] = (
+            OrderedDict()
+        )
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
 
     def utility(self, candidate: Sequence[str], path_id: int) -> float:
         """U(C, p) of Eq. 7; 0 when some keyword never occurs under p."""
@@ -76,10 +109,25 @@ class ResultTypeFinder:
         choice — and everything downstream — is deterministic.
         """
         key = tuple(candidate)
-        if key in self._cache:
-            return self._cache[key]
-        best = self._compute(key)
-        self._cache[key] = best
+        cache = self._cache
+        found = cache.get(key, _MISSING)
+        if found is not _MISSING:
+            self.cache_hits += 1
+            cache.move_to_end(key)
+            return found
+        self.cache_misses += 1
+        metrics = self.metrics
+        if metrics.enabled:
+            began = perf_counter()
+            best = self._compute(key)
+            metrics.observe_stage("type_infer", perf_counter() - began)
+        else:
+            best = self._compute(key)
+        cache[key] = best
+        capacity = self.config.cache_size
+        if capacity is not None and len(cache) > capacity:
+            cache.popitem(last=False)
+            self.cache_evictions += 1
         return best
 
     def _compute(self, candidate: tuple[str, ...]) -> int | None:
@@ -115,5 +163,5 @@ class ResultTypeFinder:
         return best_pid
 
     def cached_candidates(self) -> int:
-        """Number of candidates whose result type has been computed."""
+        """Number of candidates currently held in the LRU cache."""
         return len(self._cache)

@@ -1,7 +1,7 @@
 """The batch serving layer: one warm index, many queries.
 
 :class:`SuggestionService` wraps an :class:`XCleanSuggester` with the
-two things a production front-end needs that a single ``suggest`` call
+things a production front-end needs that a single ``suggest`` call
 cannot provide:
 
 * a **whole-result LRU cache** keyed by the *normalized* query (token
@@ -9,22 +9,40 @@ cannot provide:
   and a hit skips Algorithm 1, variant generation, everything;
 * a **batch API** (:meth:`SuggestionService.suggest_batch`) that
   de-duplicates the batch, serves cached entries, and optionally fans
-  the remaining unique queries out over a ``concurrent.futures``
-  process pool whose workers share the read-only corpus index (on
-  POSIX the fork inherits the parent's index pages copy-on-write, so
-  workers start without re-building or re-pickling anything).
+  the remaining unique queries out over a **persistent process pool**
+  whose workers share the read-only corpus index (on POSIX the fork
+  inherits the parent's index pages copy-on-write, so workers start
+  without re-building or re-pickling anything);
+* **resilience**: the pool is started lazily, reused across batches
+  (workers keep their warm caches), recycled after
+  ``worker_recycle_after`` dispatched queries, and every dispatched
+  query can carry a ``worker_timeout`` — on timeout the query is
+  retried once and then *degraded* to in-process execution, so a hung
+  or crashed worker slows one answer instead of losing it.  A suspect
+  pool is torn down after the batch and restarted on demand;
+* **observability**: per-stage timers, counters, and latency
+  histograms collected in a :class:`~repro.obs.MetricsRegistry`,
+  snapshotted by :meth:`SuggestionService.metrics` as JSON or
+  Prometheus text.
 
-The service keeps the :class:`CleaningStats` contract: after every
-``suggest`` call ``last_stats`` describes the work done, including the
-``result_cache_*`` counters (a hit reports a stats object with
-``result_cache_hits=1`` and no algorithm work).
+The service keeps the :class:`CleaningStats` contract on *both* batch
+paths: after every served query ``last_stats`` describes the work done
+for it (a cache hit reports ``result_cache_hits=1`` and no algorithm
+work; a fresh parallel answer carries the worker's counters), and
+unanswerable queries are tallied per occurrence and never cached.
+
+Lifecycle: the service is a context manager; :meth:`close` shuts the
+pool down.  A closed service still answers queries — parallel batches
+simply degrade to in-process execution.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Sequence
 
 from repro.core.cleaner import XCleanSuggester
@@ -33,10 +51,15 @@ from repro.core.suggestion import CleaningStats, Suggestion
 from repro.exceptions import QueryError
 from repro.fastss.generator import VariantGenerator
 from repro.index.corpus import CorpusIndex
+from repro.obs import MetricsRegistry, MetricsSnapshot
 
 #: Default bound of the whole-result LRU.
 DEFAULT_RESULT_CACHE_SIZE = 4096
 
+#: Default number of dispatched queries after which the worker pool is
+#: recycled (between batches).  Bounds slow leaks in long-lived
+#: workers — fresh processes re-fork from the warm parent.
+DEFAULT_RECYCLE_AFTER = 10_000
 
 @dataclass
 class ServiceStats:
@@ -46,6 +69,12 @@ class ServiceStats:
     result_cache_hits: int = 0
     result_cache_misses: int = 0
     unanswerable: int = 0
+    #: Process-pool lifecycle and resilience counters.
+    pool_starts: int = 0
+    pool_recycles: int = 0
+    worker_timeouts: int = 0
+    worker_failures: int = 0
+    degraded_queries: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -62,13 +91,21 @@ def _init_worker(corpus: CorpusIndex, config: XCleanConfig) -> None:
     _WORKER_SUGGESTER = XCleanSuggester(corpus, config=config)
 
 
-def _worker_suggest(task: tuple[str, int]) -> list[Suggestion]:
+def _worker_suggest(task: tuple[str, int]):
+    """Answer one query in a worker.
+
+    Returns ``(suggestions, stats)`` so the parent can keep the
+    ``last_stats`` contract, or ``None`` for an unanswerable query —
+    the parent must *not* cache that (the serial path re-raises per
+    occurrence, so a cached empty answer would diverge).
+    """
     query, k = task
     assert _WORKER_SUGGESTER is not None, "worker not initialized"
     try:
-        return _WORKER_SUGGESTER.suggest(query, k)
+        suggestions = _WORKER_SUGGESTER.suggest(query, k)
     except QueryError:
-        return []
+        return None
+    return tuple(suggestions), _WORKER_SUGGESTER.last_stats
 
 
 class SuggestionService:
@@ -80,11 +117,20 @@ class SuggestionService:
         config: XCleanConfig | None = None,
         generator: VariantGenerator | None = None,
         result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        workers: int | None = None,
+        worker_timeout: float | None = None,
+        worker_recycle_after: int = DEFAULT_RECYCLE_AFTER,
+        metrics: MetricsRegistry | None = None,
     ):
         self.corpus = corpus
         self.config = config or XCleanConfig()
+        self.metrics_registry = metrics or MetricsRegistry()
+        corpus.bind_metrics(self.metrics_registry)
         self.suggester = XCleanSuggester(
-            corpus, generator=generator, config=self.config
+            corpus,
+            generator=generator,
+            config=self.config,
+            metrics=self.metrics_registry,
         )
         self.result_cache_size = result_cache_size
         self._result_cache: OrderedDict[
@@ -92,6 +138,48 @@ class SuggestionService:
         ] = OrderedDict()
         self.stats = ServiceStats()
         self.last_stats = CleaningStats()
+        #: Default fan-out of ``suggest_batch`` when the call does not
+        #: pass ``workers``; ``None``/1 means in-process serial.
+        self.workers = workers
+        self.worker_timeout = worker_timeout
+        self.worker_recycle_after = worker_recycle_after
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_workers = 0
+        self._pool_tasks = 0
+        self._pool_suspect = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down.  Idempotent.
+
+        The service stays usable: later parallel batches degrade to
+        in-process execution instead of forking new workers.
+        """
+        self._closed = True
+        self._shutdown_pool()
+
+    def __enter__(self) -> "SuggestionService":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def metrics(self) -> MetricsSnapshot:
+        """Stage-level metrics snapshot (dict / JSON / Prometheus).
+
+        Includes per-stage latency histograms (``stage_seconds``:
+        tokenize, variant_gen, merge, score, type_infer), request
+        latencies, cache counters, and pool lifecycle counters —
+        everything recorded in :attr:`metrics_registry`.  Worker
+        processes keep their own registries; only parent-side work
+        appears here.
+        """
+        return self.metrics_registry.snapshot()
 
     # ------------------------------------------------------------------
     # Single-query path
@@ -120,23 +208,35 @@ class SuggestionService:
             QueryError: when the query has no usable keywords (callers
                 that prefer empty answers should use ``suggest_batch``).
         """
+        metrics = self.metrics_registry
+        began = perf_counter() if metrics.enabled else 0.0
         self.stats.queries_served += 1
+        if metrics.enabled:
+            metrics.inc("queries_total")
         key = self._cache_key(query, k)
         cached = self._result_cache.get(key)
         if cached is not None:
             self._result_cache.move_to_end(key)
             self.stats.result_cache_hits += 1
             self.last_stats = CleaningStats(result_cache_hits=1)
+            if metrics.enabled:
+                metrics.inc("result_cache_hits_total")
+                metrics.observe(
+                    "request_seconds", perf_counter() - began
+                )
             return list(cached)
         # Count the miss only once the suggester answers: unanswerable
         # queries raise and are tallied separately, exactly as in the
-        # parallel batch path.
+        # batch paths.
         suggestions = self.suggester.suggest(query, k)
         self.stats.result_cache_misses += 1
         stats = self.suggester.last_stats
         stats.result_cache_misses += 1
         self.last_stats = stats
         self._cache_put(key, suggestions)
+        if metrics.enabled:
+            metrics.inc("result_cache_misses_total")
+            metrics.observe("request_seconds", perf_counter() - began)
         return list(suggestions)
 
     # ------------------------------------------------------------------
@@ -153,9 +253,15 @@ class SuggestionService:
 
         Unusable queries (no keywords after tokenization) yield empty
         lists instead of raising.  The batch is de-duplicated through
-        the result cache first; with ``workers`` > 1 the remaining
-        unique queries run on a process pool over the shared index.
+        the result cache first; with ``workers`` > 1 (or a service
+        default) the remaining unique queries run on the persistent
+        process pool over the shared index.
         """
+        metrics = self.metrics_registry
+        if metrics.enabled:
+            metrics.inc("batches_total")
+        if workers is None:
+            workers = self.workers
         if workers is not None and workers > 1:
             return self._suggest_batch_parallel(queries, k, workers)
         out: list[list[Suggestion]] = []
@@ -164,48 +270,191 @@ class SuggestionService:
                 out.append(self.suggest(query, k))
             except QueryError:
                 self.stats.unanswerable += 1
+                if metrics.enabled:
+                    metrics.inc("unanswerable_total")
                 out.append([])
         return out
 
     def _suggest_batch_parallel(
         self, queries: Sequence[str], k: int, workers: int
     ) -> list[list[Suggestion]]:
+        metrics = self.metrics_registry
         keys = [self._cache_key(query, k) for query in queries]
         cache = self._result_cache
-        # Unique cache misses, first-occurrence order.
+        # Unique cache misses, first-occurrence order.  Keys with no
+        # usable tokens never reach a worker: they are unanswerable by
+        # construction.
         pending: dict[tuple[tuple[str, ...], int], str] = {}
         for key, query in zip(keys, queries):
             if key not in cache and key not in pending and key[0]:
                 pending[key] = query
+        fresh_stats: dict[
+            tuple[tuple[str, ...], int], CleaningStats
+        ] = {}
         if pending:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(self.corpus, self.config),
-            ) as pool:
-                answers = pool.map(
-                    _worker_suggest,
-                    [(query, k) for query in pending.values()],
-                )
-                for key, suggestions in zip(pending, answers):
-                    self._cache_put(key, suggestions)
+            tasks = [(query, k) for query in pending.values()]
+            answers = self._run_on_pool(tasks, workers)
+            for key, answer in zip(pending, answers):
+                if answer is None:
+                    # Unanswerable: never cached, so every occurrence
+                    # below is tallied — same as the serial path, which
+                    # re-raises per occurrence.
+                    continue
+                suggestions, stats = answer
+                self._cache_put(key, suggestions)
+                fresh_stats[key] = stats
         out: list[list[Suggestion]] = []
-        computed = set(pending)
+        computed = set(fresh_stats)
         for key in keys:
             self.stats.queries_served += 1
+            if metrics.enabled:
+                metrics.inc("queries_total")
             cached = cache.get(key)
             if cached is None:
-                # Empty token tuple: unanswerable, never cached.
+                # Empty token tuple or a failed/unanswerable worker
+                # answer: unanswerable, never cached.
                 self.stats.unanswerable += 1
+                if metrics.enabled:
+                    metrics.inc("unanswerable_total")
                 out.append([])
                 continue
             cache.move_to_end(key)
             if key in computed:
                 # First service of a freshly computed answer is a miss;
-                # duplicates later in the batch hit the cache.
-                self.stats.result_cache_misses += 1
+                # duplicates later in the batch hit the cache.  The
+                # worker's stats become last_stats, mirroring the
+                # serial path's per-query contract.
                 computed.discard(key)
+                self.stats.result_cache_misses += 1
+                stats = fresh_stats[key]
+                stats.result_cache_misses += 1
+                self.last_stats = stats
+                if metrics.enabled:
+                    metrics.inc("result_cache_misses_total")
             else:
                 self.stats.result_cache_hits += 1
+                self.last_stats = CleaningStats(result_cache_hits=1)
+                if metrics.enabled:
+                    metrics.inc("result_cache_hits_total")
             out.append(list(cached))
         return out
+
+    # ------------------------------------------------------------------
+    # Worker-pool plumbing (parent side)
+    # ------------------------------------------------------------------
+
+    def _run_on_pool(
+        self, tasks: list[tuple[str, int]], workers: int
+    ) -> list:
+        """Answer ``tasks`` on the pool, degrading where necessary."""
+        pool = self._acquire_pool(workers)
+        if pool is None:
+            # No pool available (closed service or failed start):
+            # everything runs in-process.
+            return [self._degrade(task) for task in tasks]
+        futures = []
+        for task in tasks:
+            try:
+                futures.append(pool.submit(_worker_suggest, task))
+            except Exception:
+                # Pool broke mid-submission; the remaining tasks (and
+                # the failed submissions) degrade below.
+                self._pool_suspect = True
+                futures.append(None)
+        self._pool_tasks += len(tasks)
+        answers = [
+            self._await_worker(task, future)
+            for task, future in zip(tasks, futures)
+        ]
+        if self._pool_suspect:
+            # A hung or crashed worker poisons the whole pool; tear it
+            # down without waiting and re-fork on the next batch.
+            self._shutdown_pool(wait=False)
+            self.stats.pool_recycles += 1
+            self.metrics_registry.inc("pool_recycles_total")
+        return answers
+
+    def _await_worker(self, task: tuple[str, int], future):
+        """One worker answer: timeout → retry once → degrade."""
+        metrics = self.metrics_registry
+        if future is not None:
+            try:
+                return future.result(self.worker_timeout)
+            except (TimeoutError, _FuturesTimeout):
+                self.stats.worker_timeouts += 1
+                metrics.inc("worker_timeouts_total")
+                future.cancel()
+                retry = self._resubmit(task)
+                if retry is not None:
+                    try:
+                        return retry.result(self.worker_timeout)
+                    except (TimeoutError, _FuturesTimeout):
+                        self.stats.worker_timeouts += 1
+                        metrics.inc("worker_timeouts_total")
+                        retry.cancel()
+                    except Exception:
+                        self.stats.worker_failures += 1
+                        metrics.inc("worker_failures_total")
+                self._pool_suspect = True
+            except Exception:
+                # Worker crash / broken pool: degrade this answer and
+                # let the batch finish.
+                self.stats.worker_failures += 1
+                metrics.inc("worker_failures_total")
+                self._pool_suspect = True
+        return self._degrade(task)
+
+    def _resubmit(self, task: tuple[str, int]):
+        pool = self._pool
+        if pool is None:
+            return None
+        try:
+            return pool.submit(_worker_suggest, task)
+        except Exception:
+            return None
+
+    def _degrade(self, task: tuple[str, int]):
+        """In-process fallback with the same answer shape as a worker."""
+        self.stats.degraded_queries += 1
+        self.metrics_registry.inc("degraded_queries_total")
+        query, k = task
+        try:
+            suggestions = self.suggester.suggest(query, k)
+        except QueryError:
+            return None
+        return tuple(suggestions), self.suggester.last_stats
+
+    def _acquire_pool(
+        self, workers: int
+    ) -> ProcessPoolExecutor | None:
+        """The persistent pool, started lazily and recycled when due."""
+        if self._closed:
+            return None
+        if self._pool is not None and (
+            self._pool_workers != workers
+            or self._pool_tasks >= self.worker_recycle_after
+        ):
+            self._shutdown_pool()
+            self.stats.pool_recycles += 1
+            self.metrics_registry.inc("pool_recycles_total")
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_worker,
+                    initargs=(self.corpus, self.config),
+                )
+            except Exception:
+                return None
+            self._pool_workers = workers
+            self._pool_tasks = 0
+            self._pool_suspect = False
+            self.stats.pool_starts += 1
+            self.metrics_registry.inc("pool_starts_total")
+        return self._pool
+
+    def _shutdown_pool(self, wait: bool = True) -> None:
+        pool, self._pool = self._pool, None
+        self._pool_suspect = False
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=True)

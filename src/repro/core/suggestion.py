@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence
+from typing import Protocol
 
 
 @dataclass(frozen=True)
@@ -56,7 +56,12 @@ class CleaningStats:
     postings_read: int = 0
     postings_skipped: int = 0
     accumulator_evictions: int = 0
+    #: Result types computed *during this query* (type-cache misses);
+    #: cached lookups are counted in ``result_type_cache_hits``.
     result_types_computed: int = 0
+    #: Per-query hit/miss deltas of the bounded ResultTypeFinder LRU.
+    result_type_cache_hits: int = 0
+    result_type_cache_misses: int = 0
     #: var_ε(q) memo hits/misses during this call (VariantGenerator).
     variant_cache_hits: int = 0
     variant_cache_misses: int = 0

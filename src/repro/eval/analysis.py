@@ -17,7 +17,6 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.eval.runner import EvalResult
 

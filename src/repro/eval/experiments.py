@@ -19,7 +19,6 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.baselines.dictionary import (
-    DictionaryCorrector,
     LogBasedCorrector,
 )
 from repro.baselines.py08 import PY08Config, PY08Suggester

@@ -52,6 +52,9 @@ class EvalResult:
     mean_time: float
     total_time: float
     outcomes: list[QueryOutcome] = field(repr=False, default_factory=list)
+    #: Serving-layer metrics snapshot (``MetricsSnapshot.as_dict()``)
+    #: when the evaluated system exposes one; see `evaluate_service`.
+    metrics: dict | None = field(repr=False, default=None)
 
     def precision_row(self) -> list[float]:
         """Precision values in cut-off order (Figure 4 series)."""
@@ -138,13 +141,19 @@ def evaluate_service(
     deduplication, optional process-pool fan-out).  Per-query latency
     is not observable through a batch, so each outcome carries the
     amortized time ``total/len`` — use :func:`evaluate_suggester` when
-    individual latencies matter.
+    individual latencies matter.  When the service exposes a
+    ``metrics()`` snapshot (``SuggestionService`` does), its dict form
+    is attached to the result for stage-level analysis.
     """
     started = time.perf_counter()
     batches = service.suggest_batch(
         [record.dirty_text for record in records], k, workers=workers
     )
     total_time = time.perf_counter() - started
+    metrics_snapshot = None
+    metrics_hook = getattr(service, "metrics", None)
+    if callable(metrics_hook):
+        metrics_snapshot = metrics_hook().as_dict()
     amortized = total_time / len(records) if records else 0.0
     outcomes = [
         QueryOutcome(
@@ -169,4 +178,5 @@ def evaluate_service(
         mean_time=amortized,
         total_time=total_time,
         outcomes=outcomes,
+        metrics=metrics_snapshot,
     )

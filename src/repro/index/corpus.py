@@ -33,6 +33,7 @@ from repro.index.merged_list import (
 from repro.index.path_index import PathIndex, path_counts_from_postings
 from repro.index.tokenizer import Tokenizer
 from repro.index.vocabulary import Vocabulary
+from repro.obs.metrics import NULL_METRICS
 from repro.xmltree.dewey import DeweyCode
 from repro.xmltree.dewey_packed import DeweyPacker
 from repro.xmltree.document import XMLDocument
@@ -126,6 +127,17 @@ class CorpusIndex:
         ] = {}
         self.merged_cache_hits = 0
         self.merged_cache_misses = 0
+        self._metrics = NULL_METRICS
+
+    def bind_metrics(self, metrics) -> None:
+        """Attach a MetricsRegistry to the cache hooks.
+
+        One registry per corpus (the last binding wins): a
+        ``SuggestionService`` binds its own registry so the
+        ``merged_cache_*`` counters and packed-view build time show up
+        in its snapshot.  Pass ``None`` to detach.
+        """
+        self._metrics = metrics or NULL_METRICS
 
     # ------------------------------------------------------------------
     # Query-time accessors
@@ -152,6 +164,7 @@ class CorpusIndex:
         lists = self._merged_cache.get(key)
         if lists is None:
             self.merged_cache_misses += 1
+            self._metrics.inc("merged_cache_misses_total")
             lists = []
             for token in key:
                 found = self.inverted.get(token)
@@ -160,13 +173,17 @@ class CorpusIndex:
             self._merged_cache[key] = lists
         else:
             self.merged_cache_hits += 1
+            self._metrics.inc("merged_cache_hits_total")
         return MergedList(lists)
 
     def packed_view(self) -> PackedIndex:
         """The columnar view used by the packed engine (built once)."""
         packed = self._packed
         if packed is None:
-            packed = PackedIndex(self.inverted, self.subtree_token_counts)
+            with self._metrics.stage("pack_index"):
+                packed = PackedIndex(
+                    self.inverted, self.subtree_token_counts
+                )
             self._packed = packed
         return packed
 
@@ -182,6 +199,7 @@ class CorpusIndex:
         columns = self._packed_merged_cache.get(key)
         if columns is None:
             self.merged_cache_misses += 1
+            self._metrics.inc("merged_cache_misses_total")
             view = self.packed_view()
             lists = []
             for token in key:
@@ -192,6 +210,7 @@ class CorpusIndex:
             self._packed_merged_cache[key] = columns
         else:
             self.merged_cache_hits += 1
+            self._metrics.inc("merged_cache_hits_total")
         return PackedMergedList(columns=columns)
 
     def path_token_totals(self) -> dict[int, float]:

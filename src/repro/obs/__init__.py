@@ -1,0 +1,23 @@
+"""Observability for the serving layer: metrics, timers, exporters."""
+
+from repro.obs.export import MetricsSnapshot
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    STAGE_HISTOGRAM,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_METRICS",
+    "NullMetrics",
+    "STAGE_HISTOGRAM",
+]

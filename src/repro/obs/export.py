@@ -1,0 +1,161 @@
+"""Metric snapshots and their export formats (JSON, Prometheus text).
+
+A :class:`MetricsSnapshot` is a frozen copy of a registry's state,
+decoupled from the live objects so exports are consistent even while
+queries keep landing.  Two renderings:
+
+* :meth:`MetricsSnapshot.as_dict` / :meth:`to_json` — a stable dict
+  with ``counters``, ``histograms`` (per-series summaries), and a
+  ``stages`` convenience view of the ``stage_seconds`` family;
+* :meth:`MetricsSnapshot.to_prometheus` — the Prometheus text
+  exposition format (``# HELP``/``# TYPE`` headers, cumulative
+  ``_bucket{le=...}`` series, ``_sum``/``_count``), ready to serve
+  from a ``/metrics`` endpoint or push through a textfile collector.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import STAGE_HISTOGRAM
+
+#: (name, labels, value, help)
+CounterState = tuple[str, dict[str, str], float, str]
+
+#: (name, labels, buckets, counts, sum, count, help)
+HistogramState = tuple[
+    str, dict[str, str], tuple[float, ...], tuple[int, ...], float, int,
+    str,
+]
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus expects."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _render_labels(labels: dict[str, str],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = sorted(labels.items()) + list(extra)
+    if not pairs:
+        return ""
+    escaped = (
+        (key, value.replace("\\", "\\\\").replace('"', '\\"'))
+        for key, value in pairs
+    )
+    return "{" + ",".join(f'{k}="{v}"' for k, v in escaped) + "}"
+
+
+def _series_key(name: str, labels: dict[str, str]) -> str:
+    return name + _render_labels(labels)
+
+
+def _histogram_summary(
+    buckets: tuple[float, ...], counts: tuple[int, ...],
+    total: float, count: int,
+) -> dict[str, float]:
+    def quantile(q: float) -> float:
+        if count == 0:
+            return 0.0
+        threshold = q * count
+        for bound, cumulative in zip(buckets, counts):
+            if cumulative >= threshold:
+                return bound
+        return float("inf")
+
+    return {
+        "count": count,
+        "sum": total,
+        "mean": total / count if count else 0.0,
+        "p50": quantile(0.50),
+        "p95": quantile(0.95),
+    }
+
+
+class MetricsSnapshot:
+    """A frozen, export-ready copy of one registry's metrics."""
+
+    __slots__ = ("namespace", "counters", "histograms")
+
+    def __init__(
+        self,
+        namespace: str,
+        counters: list[CounterState],
+        histograms: list[HistogramState],
+    ):
+        self.namespace = namespace
+        self.counters = list(counters)
+        self.histograms = list(histograms)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view; see the module docstring for the shape."""
+        counters = {
+            _series_key(name, labels): value
+            for name, labels, value, _help in self.counters
+        }
+        histograms = {}
+        stages = {}
+        for name, labels, buckets, counts, total, count, _ in (
+            self.histograms
+        ):
+            summary = _histogram_summary(buckets, counts, total, count)
+            histograms[_series_key(name, labels)] = summary
+            if name == STAGE_HISTOGRAM and "stage" in labels:
+                stages[labels["stage"]] = summary
+        return {
+            "namespace": self.namespace,
+            "counters": counters,
+            "histograms": histograms,
+            "stages": stages,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        seen_headers: set[str] = set()
+
+        def header(name: str, kind: str, help: str) -> None:
+            if name in seen_headers:
+                return
+            seen_headers.add(name)
+            if help:
+                lines.append(f"# HELP {name} {help}")
+            lines.append(f"# TYPE {name} {kind}")
+
+        ns = self.namespace
+        for name, labels, value, help in self.counters:
+            full = f"{ns}_{name}"
+            header(full, "counter", help)
+            lines.append(
+                f"{full}{_render_labels(labels)} {_format_value(value)}"
+            )
+        for name, labels, buckets, counts, total, count, help in (
+            self.histograms
+        ):
+            full = f"{ns}_{name}"
+            header(full, "histogram", help)
+            for bound, cumulative in zip(buckets, counts):
+                lines.append(
+                    f"{full}_bucket"
+                    f"{_render_labels(labels, (('le', _format_value(bound)),))}"
+                    f" {cumulative}"
+                )
+            lines.append(
+                f"{full}_bucket"
+                f"{_render_labels(labels, (('le', '+Inf'),))} {count}"
+            )
+            lines.append(
+                f"{full}_sum{_render_labels(labels)} "
+                f"{_format_value(total)}"
+            )
+            lines.append(
+                f"{full}_count{_render_labels(labels)} {count}"
+            )
+        return "\n".join(lines) + ("\n" if lines else "")

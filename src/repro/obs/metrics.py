@@ -1,0 +1,327 @@
+"""Serving-layer metrics: counters, latency histograms, stage timers.
+
+The registry is deliberately tiny — plain Python objects, no locks, no
+background threads — because it sits on the query hot path.  Two
+implementations share one interface:
+
+* :class:`MetricsRegistry` — the live registry.  Counters are floats,
+  histograms are fixed-bucket cumulative latency histograms (the
+  Prometheus model), and :meth:`MetricsRegistry.stage` times a named
+  pipeline stage into the shared ``stage_seconds`` histogram family.
+* :data:`NULL_METRICS` — the disabled singleton.  Every hook is a
+  no-op; hot code guards its ``perf_counter`` calls behind
+  ``metrics.enabled`` so a disabled registry costs one attribute load
+  per instrumentation point (verified by ``benchmarks/bench_serving``).
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are point-in-time copies
+that render as a JSON-friendly dict or Prometheus text exposition
+format; see :mod:`repro.obs.export`.
+
+Counters and histograms are process-local: worker processes of the
+serving pool keep their own registries, and only parent-side metrics
+appear in :meth:`SuggestionService.metrics`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from time import perf_counter
+
+#: Upper bounds (seconds) of the default latency histogram; an +Inf
+#: overflow bucket is implicit.  Spans 100µs .. 5s, log-ish spacing.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+#: Histogram family that all stage timers observe into.
+STAGE_HISTOGRAM = "stage_seconds"
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing counter (one label set)."""
+
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help: str = "",
+                 labels: dict[str, str] | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """A fixed-bucket latency histogram (Prometheus semantics).
+
+    Internally observations land in *disjoint* per-bucket tallies (one
+    ``bisect`` + one increment per observation, so the hot path is
+    O(log buckets)); the cumulative Prometheus view — ``counts[i]`` is
+    the number of observations <= ``buckets[i]``, overflow implicit —
+    is derived on access.
+    """
+
+    __slots__ = ("name", "help", "labels", "buckets", "_tallies",
+                 "sum", "count")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+                 labels: dict[str, str] | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.buckets = tuple(buckets)
+        # One tally per bound plus the overflow bucket.
+        self._tallies = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        self._tallies[bisect_left(self.buckets, value)] += 1
+
+    @property
+    def counts(self) -> list[int]:
+        """Cumulative bucket counts (the ``_bucket{le=...}`` view)."""
+        out = []
+        running = 0
+        for tally in self._tallies[:-1]:
+            running += tally
+            out.append(running)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the q-quantile.
+
+        Bucket-resolution estimate (like Prometheus'
+        ``histogram_quantile``); returns ``inf`` when the quantile
+        falls in the overflow bucket and 0.0 on an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        threshold = q * self.count
+        cumulative = 0
+        for bound, tally in zip(self.buckets, self._tallies):
+            cumulative += tally
+            if cumulative >= threshold:
+                return bound
+        return float("inf")
+
+    def summary(self) -> dict[str, float]:
+        """Count/sum/mean plus bucket-resolution p50/p95."""
+        mean = self.sum / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+        }
+
+
+class _StageTimer:
+    """Context manager observing its lifetime into a histogram."""
+
+    __slots__ = ("_histogram", "_began")
+
+    def __init__(self, histogram: Histogram):
+        self._histogram = histogram
+        self._began = 0.0
+
+    def __enter__(self) -> "_StageTimer":
+        self._began = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._histogram.observe(perf_counter() - self._began)
+        return False
+
+
+class MetricsRegistry:
+    """The live metrics registry (see module docstring)."""
+
+    enabled = True
+
+    __slots__ = ("namespace", "_counters", "_histograms",
+                 "_stage_histograms")
+
+    def __init__(self, namespace: str = "xclean"):
+        self.namespace = namespace
+        self._counters: dict[tuple, Counter] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+        # Hot-path shortcut: stage name -> its stage_seconds series,
+        # skipping label-key construction on every observation.
+        self._stage_histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create ------------------------------------------------
+
+    def counter(self, name: str, help: str = "",
+                **labels: str) -> Counter:
+        key = (name, _label_key(labels))
+        found = self._counters.get(key)
+        if found is None:
+            found = Counter(name, help, labels)
+            self._counters[key] = found
+        return found
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        found = self._histograms.get(key)
+        if found is None:
+            found = Histogram(name, help, buckets, labels)
+            self._histograms[key] = found
+        return found
+
+    # -- recording shortcuts ------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0,
+            **labels: str) -> None:
+        self.counter(name, **labels).inc(amount)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    def _stage_histogram(self, stage: str) -> Histogram:
+        found = self._stage_histograms.get(stage)
+        if found is None:
+            found = self.histogram(STAGE_HISTOGRAM, stage=stage)
+            self._stage_histograms[stage] = found
+        return found
+
+    def observe_stage(self, stage: str, seconds: float) -> None:
+        """Record one timing of a named pipeline stage."""
+        self._stage_histogram(stage).observe(seconds)
+
+    def stage(self, name: str) -> _StageTimer:
+        """Context manager timing a named pipeline stage."""
+        return _StageTimer(self._stage_histogram(name))
+
+    # -- export -------------------------------------------------------
+
+    def snapshot(self):
+        """Point-in-time :class:`~repro.obs.export.MetricsSnapshot`."""
+        from repro.obs.export import MetricsSnapshot
+
+        counters = [
+            (c.name, dict(c.labels), c.value, c.help)
+            for c in self._counters.values()
+        ]
+        histograms = [
+            (
+                h.name,
+                dict(h.labels),
+                h.buckets,
+                tuple(h.counts),
+                h.sum,
+                h.count,
+                h.help,
+            )
+            for h in self._histograms.values()
+        ]
+        return MetricsSnapshot(self.namespace, counters, histograms)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return self.snapshot().to_json(indent=indent)
+
+    def to_prometheus(self) -> str:
+        return self.snapshot().to_prometheus()
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetrics:
+    """Disabled registry: every hook is a no-op (the hot-path default).
+
+    Instrumented code checks ``metrics.enabled`` before paying for
+    ``perf_counter``; the remaining no-op calls are attribute loads.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    namespace = "xclean"
+
+    def counter(self, name: str, help: str = "",
+                **labels: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+                  **labels: str) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def inc(self, name: str, amount: float = 1.0,
+            **labels: str) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        pass
+
+    def observe_stage(self, stage: str, seconds: float) -> None:
+        pass
+
+    def stage(self, name: str) -> _NullTimer:
+        return _NULL_TIMER
+
+    def snapshot(self):
+        from repro.obs.export import MetricsSnapshot
+
+        return MetricsSnapshot(self.namespace, [], [])
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return self.snapshot().to_json(indent=indent)
+
+    def to_prometheus(self) -> str:
+        return self.snapshot().to_prometheus()
+
+
+#: The shared disabled registry; safe to use as a default everywhere.
+NULL_METRICS = NullMetrics()

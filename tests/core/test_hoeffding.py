@@ -74,3 +74,32 @@ class TestSamplesForConfidence:
     def test_inverse_property(self, confidence, epsilon):
         n = samples_for_confidence(confidence, epsilon)
         assert hoeffding_confidence(n, epsilon) >= confidence - 1e-12
+
+
+class TestEdgeCases:
+    def test_zero_epsilon_clamps_to_zero(self):
+        # Raw bound is 1 - 2·exp(0) = -1; the clamp keeps it a
+        # probability: no interval width, no confidence.
+        assert hoeffding_confidence(100, 0.0) == 0.0
+        assert hoeffding_confidence(0, 0.0) == 0.0
+
+    def test_huge_sample_count_saturates_at_one(self):
+        # exp underflows to exactly 0.0 — no overflow, clean 1.0.
+        assert hoeffding_confidence(10**9, 0.5) == 1.0
+
+    def test_zero_confidence_still_needs_samples(self):
+        # Even "no confidence" needs 2·exp(-2nε²) <= 1, i.e.
+        # n >= ln(2) / (2ε²) — the bound is vacuous below that.
+        n = samples_for_confidence(0.0, 0.1)
+        assert n == math.ceil(math.log(2.0) / (2.0 * 0.1 * 0.1))
+        assert hoeffding_confidence(n, 0.1) >= 0.0
+        assert hoeffding_confidence(n - 1, 0.1) == 0.0
+
+    def test_epsilon_one_round_trip(self):
+        n = samples_for_confidence(0.99, 1.0)
+        assert hoeffding_confidence(n, 1.0) >= 0.99
+        assert hoeffding_confidence(n - 1, 1.0) < 0.99
+
+    def test_returns_builtin_int(self):
+        assert isinstance(samples_for_confidence(0.9, 0.1), int)
+        assert isinstance(samples_for_confidence(0.0, 1.0), int)

@@ -90,6 +90,41 @@ class TestBounded:
             AccumulatorPool(0)
 
 
+class TestEvictionTies:
+    """Tie-breaking of the eviction scan is deterministic by design."""
+
+    def test_incoming_tie_evicts_existing(self):
+        # estimate(incoming) == estimate(weakest victim): the victim
+        # goes (<=, newer data wins) and the newcomer is admitted.
+        pool = AccumulatorPool(1)
+        pool.add(("a",), 1.0, 1.0, 1, 0)
+        pool.add(("b",), 1.0, 1.0, 1, 0)
+        assert ("a",) not in pool
+        assert ("b",) in pool
+        assert pool.evictions == 1
+
+    def test_tied_victims_evict_first_inserted(self):
+        # Among equally weak entries the strict < scan keeps the first
+        # candidate seen as victim — insertion order decides.
+        pool = AccumulatorPool(2)
+        pool.add(("first",), 1.0, 1.0, 1, 0)
+        pool.add(("second",), 1.0, 1.0, 1, 0)
+        pool.add(("new",), 2.0, 1.0, 1, 0)
+        assert ("first",) not in pool
+        assert ("second",) in pool
+        assert ("new",) in pool
+
+    def test_zero_estimate_tie_still_admits_newcomer(self):
+        # Both sides estimate 0.0 (zero normalizer): eviction still
+        # happens, so the table never deadlocks on degenerate scores.
+        pool = AccumulatorPool(1)
+        pool.add(("stale",), 1.0, 1.0, 0, 0)
+        pool.add(("fresh",), 1.0, 1.0, 0, 0)
+        assert ("stale",) not in pool
+        assert ("fresh",) in pool
+        assert len(pool) == 1
+
+
 class TestTopK:
     def test_ordering(self):
         pool = AccumulatorPool(None)

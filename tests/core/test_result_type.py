@@ -126,3 +126,74 @@ class TestConfigValidation:
     def test_min_depth_bound(self):
         with pytest.raises(ConfigurationError):
             ResultTypeConfig(min_depth=0)
+
+    def test_cache_size_bound(self):
+        with pytest.raises(ConfigurationError):
+            ResultTypeConfig(cache_size=0)
+        # None (unbounded) and 1 are both legal.
+        assert ResultTypeConfig(cache_size=None).cache_size is None
+        assert ResultTypeConfig(cache_size=1).cache_size == 1
+
+
+class TestCacheLRU:
+    def bounded(self, corpus, size):
+        return ResultTypeFinder(
+            corpus,
+            ResultTypeConfig(
+                reduction=0.8, min_depth=2, cache_size=size
+            ),
+        )
+
+    def test_eviction_keeps_bound(self, corpus):
+        finder = self.bounded(corpus, 2)
+        finder.find(("tree", "icde"))
+        finder.find(("trie", "icde"))
+        finder.find(("trie", "icdt"))
+        assert finder.cached_candidates() == 2
+        assert finder.cache_evictions == 1
+        assert ("tree", "icde") not in finder._cache
+
+    def test_hit_refreshes_recency(self, corpus):
+        finder = self.bounded(corpus, 2)
+        finder.find(("tree", "icde"))
+        finder.find(("trie", "icde"))
+        finder.find(("tree", "icde"))  # hit: most recently used now
+        finder.find(("trie", "icdt"))  # evicts ("trie", "icde")
+        assert ("tree", "icde") in finder._cache
+        assert ("trie", "icde") not in finder._cache
+
+    def test_evicted_candidate_recomputes(self, corpus):
+        finder = self.bounded(corpus, 1)
+        first = finder.find(("trie", "icde"))
+        finder.find(("trie", "icdt"))  # evicts the first entry
+        again = finder.find(("trie", "icde"))
+        assert again == first
+        assert finder.cache_misses == 3
+        assert finder.cache_hits == 0
+
+    def test_hit_miss_counters(self, corpus):
+        finder = self.bounded(corpus, None)
+        finder.find(("tree", "icde"))
+        finder.find(("tree", "icde"))
+        finder.find(("trie", "icdt"))
+        assert finder.cache_misses == 2
+        assert finder.cache_hits == 1
+        assert finder.cache_evictions == 0
+
+    def test_none_answers_participate_in_lru(self, corpus):
+        # None ("no valid type") is a first-class cached value: a
+        # second lookup is a hit, not a recompute.
+        finder = self.bounded(corpus, 2)
+        assert finder.find(("trees", "icdt")) is None
+        assert finder.find(("trees", "icdt")) is None
+        assert finder.cache_misses == 1
+        assert finder.cache_hits == 1
+
+    def test_unbounded_when_none(self, corpus):
+        finder = self.bounded(corpus, None)
+        finder.find(("tree", "icde"))
+        finder.find(("trie", "icde"))
+        finder.find(("trie", "icdt"))
+        finder.find(("tree", "icdt"))
+        assert finder.cached_candidates() == 4
+        assert finder.cache_evictions == 0

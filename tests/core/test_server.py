@@ -1,7 +1,10 @@
 """Tests for the batch serving layer (SuggestionService)."""
 
+import time
+
 import pytest
 
+from repro.core import server as server_module
 from repro.core.config import XCleanConfig
 from repro.core.server import SuggestionService
 from repro.exceptions import QueryError
@@ -20,6 +23,35 @@ def service(corpus):
     return SuggestionService(
         corpus, config=XCleanConfig(max_errors=1)
     )
+
+
+def make_service(corpus, **kwargs):
+    return SuggestionService(
+        corpus, config=XCleanConfig(max_errors=1), **kwargs
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker stand-ins for the resilience tests.  Module level so they
+# pickle by reference; the pool starts lazily *after* the monkeypatch,
+# so the fork inherits the patched module attribute and the parent
+# submits the stand-in.
+# ----------------------------------------------------------------------
+
+_real_worker_suggest = server_module._worker_suggest
+
+
+def _sleepy_worker(task):
+    """Hang on one marked query, answer everything else normally."""
+    query, _k = task
+    if "databas" in query:
+        time.sleep(1.0)
+    return _real_worker_suggest(task)
+
+
+def _unanswerable_worker(task):
+    """Simulate a worker that fails every query (QueryError path)."""
+    return None
 
 
 class TestResultCache:
@@ -142,3 +174,213 @@ class TestBatch:
         batch = service.suggest_batch(["tree icdt"], 5, workers=2)
         assert batch[0]
         assert service.stats.result_cache_hits == 1
+
+
+class TestSerialParallelEquivalence:
+    """Both batch paths keep the same stats and last_stats contract."""
+
+    #: Fields of CleaningStats that are algorithmic — identical no
+    #: matter which process ran the query.  (Memo counters like
+    #: variant_cache_* depend on process-local warm-up and are
+    #: deliberately excluded.)
+    FIELDS = (
+        "keywords",
+        "space_size",
+        "groups_processed",
+        "candidates_evaluated",
+        "entities_scored",
+        "postings_read",
+        "postings_skipped",
+        "result_types_computed",
+        "result_type_cache_misses",
+        "result_cache_hits",
+        "result_cache_misses",
+    )
+
+    def test_service_stats_match(self, corpus):
+        queries = ["databas", "!!", "tree icdt", "tree icdt"]
+        serial = make_service(corpus)
+        serial_out = serial.suggest_batch(queries, 5)
+        with make_service(corpus) as par:
+            par_out = par.suggest_batch(queries, 5, workers=2)
+        assert [
+            [(s.tokens, s.result_type) for s in answer]
+            for answer in serial_out
+        ] == [
+            [(s.tokens, s.result_type) for s in answer]
+            for answer in par_out
+        ]
+        for name in (
+            "queries_served",
+            "result_cache_hits",
+            "result_cache_misses",
+            "unanswerable",
+        ):
+            assert getattr(par.stats, name) == getattr(
+                serial.stats, name
+            ), name
+        # Last served query is an in-batch duplicate: both paths must
+        # report it as a pure cache hit.
+        assert serial.last_stats.result_cache_hits == 1
+        assert par.last_stats.result_cache_hits == 1
+        assert par.last_stats.groups_processed == 0
+
+    def test_fresh_last_stats_match(self, corpus):
+        # Batch ends on a fresh query: last_stats must carry the
+        # worker's algorithm counters, exactly as the serial path does.
+        queries = ["databas", "tree icdt"]
+        serial = make_service(corpus)
+        serial.suggest_batch(queries, 5)
+        with make_service(corpus) as par:
+            par.suggest_batch(queries, 5, workers=2)
+        for name in self.FIELDS:
+            assert getattr(par.last_stats, name) == getattr(
+                serial.last_stats, name
+            ), name
+        assert par.last_stats.result_cache_misses == 1
+        assert par.last_stats.groups_processed > 0
+
+
+class TestPoolLifecycle:
+    def test_pool_persists_across_batches(self, corpus):
+        with make_service(corpus) as service:
+            service.suggest_batch(["tree icdt"], 5, workers=2)
+            pool = service._pool
+            assert pool is not None
+            service.suggest_batch(["databas"], 5, workers=2)
+            assert service._pool is pool
+            assert service.stats.pool_starts == 1
+            assert service.stats.pool_recycles == 0
+            assert service.stats.degraded_queries == 0
+
+    def test_pool_recycles_after_budget(self, corpus):
+        with make_service(corpus, worker_recycle_after=1) as service:
+            first = service.suggest_batch(["tree icdt"], 5, workers=2)
+            second = service.suggest_batch(["tree icde"], 5, workers=2)
+            assert first[0] and second[0]
+            assert service.stats.result_cache_misses == 2
+            assert service.stats.pool_starts == 2
+            assert service.stats.pool_recycles == 1
+
+    def test_closed_service_degrades_in_process(self, corpus):
+        service = make_service(corpus)
+        service.close()
+        service.close()  # idempotent
+        batch = service.suggest_batch(["tree icdt"], 5, workers=2)
+        assert batch[0]
+        assert service.stats.pool_starts == 0
+        assert service.stats.degraded_queries == 1
+
+    def test_context_manager_shuts_pool(self, corpus):
+        with make_service(corpus) as service:
+            service.suggest_batch(["tree icdt"], 5, workers=2)
+            assert service._pool is not None
+        assert service._pool is None
+        assert service._closed
+
+    def test_service_default_workers_used_by_batch(self, corpus):
+        with make_service(corpus, workers=2) as service:
+            service.suggest_batch(["tree icdt"], 5)
+            assert service.stats.pool_starts == 1
+
+
+class TestResilience:
+    def test_timeout_retries_once_then_degrades(
+        self, corpus, monkeypatch
+    ):
+        monkeypatch.setattr(
+            server_module, "_worker_suggest", _sleepy_worker
+        )
+        reference = make_service(corpus).suggest_batch(
+            ["tree icdt", "databas"], 5
+        )
+        with make_service(corpus, worker_timeout=0.15) as service:
+            batch = service.suggest_batch(
+                ["tree icdt", "databas"], 5, workers=2
+            )
+        assert [
+            [(s.tokens, s.result_type) for s in answer]
+            for answer in batch
+        ] == [
+            [(s.tokens, s.result_type) for s in answer]
+            for answer in reference
+        ]
+        # First wait timed out, the single retry timed out, then the
+        # query was answered in-process and the suspect pool recycled.
+        assert service.stats.worker_timeouts == 2
+        assert service.stats.degraded_queries == 1
+        assert service.stats.pool_recycles == 1
+
+    def test_worker_failure_not_cached_as_empty(
+        self, corpus, monkeypatch
+    ):
+        monkeypatch.setattr(
+            server_module, "_worker_suggest", _unanswerable_worker
+        )
+        with make_service(corpus) as service:
+            first = service.suggest_batch(["tree icdt"], 5, workers=2)
+            second = service.suggest_batch(["tree icdt"], 5, workers=2)
+        # A failed worker answer must never become a cached empty
+        # result: the retry in the second batch is a fresh attempt,
+        # not a cache hit.
+        assert first == [[]] and second == [[]]
+        assert service.stats.unanswerable == 2
+        assert service.stats.result_cache_hits == 0
+
+
+class TestResultTypeDeltas:
+    def test_reported_per_query_not_cumulative(self, corpus):
+        service = make_service(corpus)
+        service.suggest("tree icdt", 5)
+        first = service.last_stats
+        assert first.result_types_computed > 0
+        assert (
+            first.result_types_computed
+            == first.result_type_cache_misses
+        )
+        # Distinct k defeats the result cache, so the algorithm reruns
+        # — but every candidate's type is already in the finder's LRU.
+        service.suggest("tree icdt", 3)
+        second = service.last_stats
+        assert second.result_types_computed == 0
+        assert second.result_type_cache_misses == 0
+        assert second.result_type_cache_hits > 0
+
+
+class TestServiceMetrics:
+    def test_snapshot_has_stage_timers_and_counters(self, corpus):
+        service = make_service(corpus)
+        service.suggest("tree icdt", 5)
+        data = service.metrics().as_dict()
+        for stage in (
+            "tokenize",
+            "variant_gen",
+            "merge",
+            "score",
+            "type_infer",
+        ):
+            assert data["stages"][stage]["count"] >= 1, stage
+        assert data["counters"]["queries_total"] == 1
+        assert data["counters"]["result_cache_misses_total"] == 1
+        assert data["histograms"]["request_seconds"]["count"] == 1
+
+    def test_prometheus_export(self, corpus):
+        service = make_service(corpus)
+        service.suggest("tree icdt", 5)
+        service.suggest("tree icdt", 5)
+        text = service.metrics().to_prometheus()
+        assert "xclean_queries_total 2" in text
+        assert "xclean_result_cache_hits_total 1" in text
+        assert 'xclean_stage_seconds_bucket{stage="merge"' in text
+        assert "# TYPE xclean_request_seconds histogram" in text
+
+    def test_parallel_batch_counts_queries(self, corpus):
+        with make_service(corpus) as service:
+            service.suggest_batch(
+                ["tree icdt", "tree icdt", "!!"], 5, workers=2
+            )
+        data = service.metrics().as_dict()
+        assert data["counters"]["queries_total"] == 3
+        assert data["counters"]["batches_total"] == 1
+        assert data["counters"]["unanswerable_total"] == 1
+        assert data["counters"]["pool_starts_total"] == 1

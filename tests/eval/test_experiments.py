@@ -8,7 +8,6 @@ from repro.eval.experiments import (
     all_settings,
     dblp_setting,
     eps_for,
-    wiki_setting,
     workload_label,
 )
 

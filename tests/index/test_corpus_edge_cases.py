@@ -1,7 +1,5 @@
 """Edge cases for corpus indexing: empty/degenerate/mixed documents."""
 
-import pytest
-
 from repro.core.cleaner import XCleanSuggester
 from repro.core.config import XCleanConfig
 from repro.index.corpus import build_corpus_index

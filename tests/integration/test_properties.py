@@ -1,6 +1,5 @@
 """Cross-module property tests on randomly generated documents."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
