@@ -1,0 +1,345 @@
+"""Cold-start benchmark — snapshot v3 vs the v1/v2 object-graph loaders.
+
+Measures, on the synthetic DBLP dataset:
+
+* **save/build time** for every on-disk format, including the v3
+  parallel builder (whose output must be byte-identical to serial);
+* **load time** (best of N) for text v1, binary v2, and mmap v3 — the
+  claim under test is that v3 is at least 5x faster than
+  ``load_index_binary`` at the default scale, because it maps sections
+  instead of materializing per-posting Python objects;
+* **worker-pool spin-up**: time to first parallel answer and the
+  pickled initializer payload for a pickled-corpus pool vs a
+  snapshot-path pool (the payload must be bounded by a constant, not
+  the corpus size);
+* **per-worker RSS** right after initialization, via
+  ``/proc/self/status`` (best-effort; 0 on platforms without procfs);
+* **equivalence**: top-k suggestions over the mapped snapshot must be
+  byte-identical (exact tokens, scores, and result types) to the
+  in-memory packed engine on every workload query.
+
+Results are emitted as text (``out/coldstart.txt``) and JSON
+(``out/BENCH_coldstart.json``).  Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_coldstart.py --scale smoke
+
+or through pytest (scale from ``REPRO_BENCH_SCALE``).
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+if __package__ is None or __package__ == "":
+    sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import OUT_DIR, bench_scale, emit
+
+from repro.core.cleaner import XCleanSuggester
+from repro.core.config import XCleanConfig
+from repro.core.server import SuggestionService, _init_worker_snapshot
+from repro.eval.experiments import dblp_setting
+from repro.eval.reporting import format_table, shape_check
+from repro.index.snapshot import build_snapshot, load_snapshot
+from repro.index.storage import load_index, save_index
+from repro.index.storage_binary import (
+    load_index_binary,
+    save_index_binary,
+)
+
+#: Load repetitions (best-of wins); the first rep also warms the page
+#: cache so every format is measured warm-cache.
+LOAD_REPS = 3
+
+#: Required v2/v3 load-time ratio per scale.  The 5x acceptance bar
+#: applies at the default scale; the tiny corpora of the smoke scales
+#: are dominated by fixed per-call costs, so only a relaxed bound is
+#: asserted there.
+SPEEDUP_FLOORS = {"default": 5.0, "small": 2.0, "smoke": 2.0}
+
+#: The snapshot pool initializer carries (path, config); anything past
+#: this many pickled bytes means the corpus leaked into the payload.
+INIT_PAYLOAD_CEILING = 4096
+
+
+def _worker_rss_kb(_task=None) -> int:
+    """Resident set size of the calling process in kB (0 if unknown)."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return 0
+
+
+def best_of(action, reps: int = LOAD_REPS) -> float:
+    clock = time.perf_counter
+    best = float("inf")
+    for _ in range(reps):
+        began = clock()
+        action()
+        best = min(best, clock() - began)
+    return best
+
+
+def bench_formats(setting, directory: Path) -> dict:
+    """Save + load timings for v1/v2/v3, plus parallel-build parity."""
+    corpus = setting.corpus
+    clock = time.perf_counter
+    paths = {
+        "v1_text": directory / "dblp.xci",
+        "v2_binary": directory / "dblp.xcib",
+        "v3_snapshot": directory / "dblp.xcs3",
+    }
+
+    began = clock()
+    save_index(corpus, str(paths["v1_text"]))
+    v1_save = clock() - began
+    began = clock()
+    save_index_binary(corpus, str(paths["v2_binary"]))
+    v2_save = clock() - began
+    began = clock()
+    build_snapshot(
+        corpus, str(paths["v3_snapshot"]), generator=setting.generator
+    )
+    v3_save = clock() - began
+
+    parallel_path = directory / "dblp-par.xcs3"
+    began = clock()
+    build_snapshot(
+        corpus,
+        str(parallel_path),
+        generator=setting.generator,
+        workers=4,
+    )
+    v3_parallel_save = clock() - began
+    parallel_identical = (
+        paths["v3_snapshot"].read_bytes() == parallel_path.read_bytes()
+    )
+
+    loads = {
+        "v1_text": best_of(lambda: load_index(str(paths["v1_text"]))),
+        "v2_binary": best_of(
+            lambda: load_index_binary(str(paths["v2_binary"]))
+        ),
+        "v3_snapshot": best_of(
+            lambda: load_snapshot(str(paths["v3_snapshot"]))
+        ),
+    }
+    return {
+        "bytes": {
+            name: path.stat().st_size for name, path in paths.items()
+        },
+        "save_s": {
+            "v1_text": v1_save,
+            "v2_binary": v2_save,
+            "v3_snapshot": v3_save,
+            "v3_snapshot_parallel": v3_parallel_save,
+        },
+        "load_s": loads,
+        "parallel_build_identical": parallel_identical,
+        "speedup_v3_vs_v2": loads["v2_binary"] / loads["v3_snapshot"],
+        "speedup_v3_vs_v1": loads["v1_text"] / loads["v3_snapshot"],
+    }
+
+
+def bench_pool(setting, snapshot_path: Path, query: str) -> dict:
+    """Pool spin-up to first parallel answer, pickled vs snapshot."""
+    config = XCleanConfig(max_errors=2, beta=5.0, gamma=1000)
+    clock = time.perf_counter
+    out = {}
+    snapshot_corpus = load_snapshot(str(snapshot_path))
+    for label, corpus in (
+        ("pickled", setting.corpus),
+        ("snapshot", snapshot_corpus),
+    ):
+        began = clock()
+        with SuggestionService(corpus, config=config) as service:
+            service.suggest_batch([query], 10, workers=2)
+            out[label] = {
+                "first_answer_s": clock() - began,
+                "init_payload_bytes": service.stats.pool_init_bytes,
+            }
+    # Best-effort RSS of a worker initialized from the snapshot alone.
+    try:
+        with ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_init_worker_snapshot,
+            initargs=(str(snapshot_path), config),
+        ) as pool:
+            out["snapshot"]["worker_rss_kb"] = pool.submit(
+                _worker_rss_kb
+            ).result(timeout=60)
+    except Exception:
+        out["snapshot"]["worker_rss_kb"] = 0
+    return out
+
+
+def bench_equivalence(setting, snapshot_path: Path) -> dict:
+    """Exact top-k parity: in-memory packed engine vs mapped snapshot."""
+    config = XCleanConfig(max_errors=3, beta=5.0, gamma=1000)
+    memory = XCleanSuggester(
+        setting.corpus,
+        generator=setting.generator.fresh_cache(),
+        config=config,
+    )
+    mapped = XCleanSuggester(
+        load_snapshot(str(snapshot_path)), config=config
+    )
+    queries = checked = mismatches = suggestions = 0
+    for records in setting.workloads.values():
+        for record in records:
+            queries += 1
+            a = memory.suggest(record.dirty_text, 10)
+            b = mapped.suggest(record.dirty_text, 10)
+            rows_a = [(s.tokens, s.score, s.result_type) for s in a]
+            rows_b = [(s.tokens, s.score, s.result_type) for s in b]
+            checked += 1
+            suggestions += len(rows_a)
+            if rows_a != rows_b:
+                mismatches += 1
+    return {
+        "queries": queries,
+        "checked": checked,
+        "suggestions": suggestions,
+        "mismatches": mismatches,
+    }
+
+
+def run(scale: str) -> dict:
+    setting = dblp_setting("small" if scale == "smoke" else scale)
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp)
+        formats = bench_formats(setting, directory)
+        snapshot_path = directory / "dblp.xcs3"
+        query = setting.workloads["RAND"][0].dirty_text
+        pool = bench_pool(setting, snapshot_path, query)
+        equivalence = bench_equivalence(setting, snapshot_path)
+
+    floor = SPEEDUP_FLOORS.get(scale, SPEEDUP_FLOORS["smoke"])
+    report = {
+        "benchmark": "coldstart",
+        "scale": scale,
+        "dataset": "DBLP",
+        "corpus": setting.corpus.describe(
+            generator=setting.generator
+        ),
+        "formats": formats,
+        "pool": pool,
+        "equivalence": equivalence,
+        "speedup_floor": floor,
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_coldstart.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    load_table = format_table(
+        ("Format", "bytes", "save (ms)", "load (ms)"),
+        [
+            (
+                name,
+                formats["bytes"][name],
+                1e3 * formats["save_s"][name],
+                1e3 * formats["load_s"][name],
+            )
+            for name in ("v1_text", "v2_binary", "v3_snapshot")
+        ],
+        title=f"Cold start by format ({scale} scale)",
+    )
+    pool_table = format_table(
+        ("Pool init", "first answer (ms)", "init payload (bytes)"),
+        [
+            (
+                label,
+                1e3 * pool[label]["first_answer_s"],
+                pool[label]["init_payload_bytes"],
+            )
+            for label in ("pickled", "snapshot")
+        ],
+        title="Worker-pool spin-up (2 workers)",
+    )
+    speedup = formats["speedup_v3_vs_v2"]
+    checks = [
+        shape_check(
+            f"v3 mmap load {speedup:.1f}x faster than "
+            f"load_index_binary (floor {floor}x)",
+            speedup >= floor,
+        ),
+        shape_check(
+            "parallel snapshot build is byte-identical to serial",
+            formats["parallel_build_identical"],
+        ),
+        shape_check(
+            f"snapshot pool init payload "
+            f"{pool['snapshot']['init_payload_bytes']} bytes is "
+            f"constant-bounded (<= {INIT_PAYLOAD_CEILING}) and below "
+            f"the pickled corpus "
+            f"({pool['pickled']['init_payload_bytes']} bytes)",
+            pool["snapshot"]["init_payload_bytes"]
+            <= INIT_PAYLOAD_CEILING
+            < pool["pickled"]["init_payload_bytes"],
+        ),
+        shape_check(
+            f"snapshot top-k byte-identical on "
+            f"{equivalence['checked']} workload queries "
+            f"({equivalence['suggestions']} suggestions)",
+            equivalence["mismatches"] == 0
+            and equivalence["checked"] > 0,
+        ),
+    ]
+    emit(
+        "coldstart",
+        load_table
+        + "\n"
+        + pool_table
+        + "\n"
+        + format_table(
+            ("Cold-start summary", "value"),
+            [
+                ("v3 vs v2 load speedup", f"{speedup:.1f}x"),
+                (
+                    "v3 vs v1 load speedup",
+                    f"{formats['speedup_v3_vs_v1']:.1f}x",
+                ),
+                (
+                    "snapshot worker RSS (kB)",
+                    pool["snapshot"].get("worker_rss_kb", 0),
+                ),
+            ],
+            title="Summary",
+        )
+        + "\n"
+        + "\n".join(checks),
+    )
+    assert all("[OK ]" in check for check in checks)
+    return report
+
+
+def test_coldstart():
+    run(bench_scale())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Cold-start benchmark (snapshot v3 vs v1/v2)"
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("smoke", "small", "default"),
+        default=bench_scale(),
+    )
+    args = parser.parse_args(argv)
+    run(args.scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

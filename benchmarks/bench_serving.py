@@ -25,7 +25,9 @@ Results are emitted as text (``out/serving.txt``) and JSON
 
 import json
 import random
+import tempfile
 import time
+from pathlib import Path
 
 from _common import OUT_DIR, bench_scale, emit
 
@@ -34,7 +36,12 @@ from repro.core.config import XCleanConfig
 from repro.core.server import SuggestionService
 from repro.eval.experiments import dblp_setting
 from repro.eval.reporting import format_table, shape_check
-from repro.obs import MetricsRegistry
+from repro.index.snapshot import build_snapshot, load_snapshot
+from repro.index.storage_binary import (
+    load_index_binary,
+    save_index_binary,
+)
+from repro.obs import INDEX_LOAD_STAGE, MetricsRegistry
 
 #: Alternating timed passes per configuration (best-of wins).
 PASSES = 7
@@ -122,6 +129,37 @@ def bench_service(setting, queries):
         }
 
 
+def bench_index_load(setting):
+    """The index_load stage: v2 deserialization vs v3 mmap, timed
+    through the same ``stage_seconds`` family the query stages use."""
+    registry = MetricsRegistry()
+    with tempfile.TemporaryDirectory() as tmp:
+        binary_path = Path(tmp) / "dblp.xcib"
+        snapshot_path = Path(tmp) / "dblp.xcs3"
+        save_index_binary(setting.corpus, str(binary_path))
+        build_snapshot(
+            setting.corpus,
+            str(snapshot_path),
+            generator=setting.generator,
+        )
+        with registry.stage(INDEX_LOAD_STAGE):
+            load_index_binary(str(binary_path))
+        binary_s = registry.snapshot().as_dict()["stages"][
+            INDEX_LOAD_STAGE
+        ]["sum"]
+        load_snapshot(str(snapshot_path), metrics=registry)
+        total_s = registry.snapshot().as_dict()["stages"][
+            INDEX_LOAD_STAGE
+        ]["sum"]
+    return {
+        "binary_load_s": binary_s,
+        "snapshot_load_s": total_s - binary_s,
+        "stage": registry.snapshot().as_dict()["stages"][
+            INDEX_LOAD_STAGE
+        ],
+    }
+
+
 def bench_pool_reuse(setting, queries):
     """Two parallel batches must share one persistent pool."""
     half = max(1, len(queries) // 2)
@@ -150,6 +188,7 @@ def test_serving(benchmark):
     overhead = bench_overhead(setting, queries)
     service = bench_service(setting, queries)
     pool = bench_pool_reuse(setting, queries)
+    index_load = bench_index_load(setting)
 
     ceiling = OVERHEAD_CEILINGS.get(scale, OVERHEAD_CEILINGS["small"])
     report = {
@@ -160,6 +199,7 @@ def test_serving(benchmark):
         "overhead": {**overhead, "ceiling": ceiling},
         "service": service,
         "pool": pool,
+        "index_load": index_load,
     }
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / "BENCH_serving.json").write_text(
@@ -231,6 +271,15 @@ def test_serving(benchmark):
                 ("cache hits", service["result_cache_hits"]),
             ],
             title="Instrumented batch serving",
+        )
+        + "\n"
+        + format_table(
+            ("index_load stage", "ms"),
+            [
+                ("v2 binary", 1e3 * index_load["binary_load_s"]),
+                ("v3 snapshot", 1e3 * index_load["snapshot_load_s"]),
+            ],
+            title="Cold-start stage timer (one load each)",
         )
         + "\n"
         + "\n".join(checks),

@@ -33,11 +33,10 @@ from repro.eval.reporting import format_table
 from repro.eval.runner import evaluate_suggester
 from repro.exceptions import ReproError
 from repro.index.corpus import build_corpus_index
-from repro.index.storage import load_index, save_index
-from repro.index.storage_binary import (
-    load_index_binary,
-    save_index_binary,
-)
+from repro.index.snapshot import build_snapshot, snapshot_or_corpus
+from repro.index.storage import save_index
+from repro.index.storage_binary import save_index_binary
+from repro.obs import MetricsRegistry
 from repro.xmltree.document import XMLDocument
 
 
@@ -66,9 +65,15 @@ def build_parser() -> argparse.ArgumentParser:
     index.add_argument("--out", required=True, help="output index path")
     index.add_argument(
         "--format",
-        choices=("text", "binary"),
+        choices=("text", "binary", "v3"),
         default="text",
-        help="text is diff-able; binary is ~2x smaller",
+        help="text is diff-able; binary is ~2x smaller; v3 is the "
+        "mmap snapshot (near-instant loads, shared worker pages)",
+    )
+    index.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel workers for the v3 snapshot build "
+        "(default: serial; output is byte-identical either way)",
     )
 
     suggest = sub.add_parser(
@@ -207,7 +212,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_index(args: argparse.Namespace) -> int:
     document = XMLDocument.from_file(args.xml)
     corpus = build_corpus_index(document)
-    if args.format == "binary":
+    if args.format == "v3":
+        build_snapshot(corpus, args.out, workers=args.workers)
+    elif args.format == "binary":
         save_index_binary(corpus, args.out)
     else:
         save_index(corpus, args.out)
@@ -219,13 +226,14 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_any_index(path: str):
-    """Load a text or binary index by sniffing the magic bytes."""
-    with open(path, "rb") as handle:
-        magic = handle.read(4)
-    if magic == b"XCIB":
-        return load_index_binary(path)
-    return load_index(path)
+def _load_any_index(path: str, metrics=None):
+    """Load a text, binary, or v3 snapshot index by magic sniffing.
+
+    Whatever the format, the load is timed under the ``index_load``
+    stage of ``metrics`` (when given), so cold-start cost shows up in
+    the same ``stage_seconds`` family as the query stages.
+    """
+    return snapshot_or_corpus(path, metrics=metrics)
 
 
 def _cmd_suggest(args: argparse.Namespace) -> int:
@@ -261,7 +269,8 @@ def _read_queries(path: str) -> list[str]:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    corpus = _load_any_index(args.index)
+    registry = MetricsRegistry()
+    corpus = _load_any_index(args.index, metrics=registry)
     queries = _read_queries(args.queries)
     if not queries:
         print("(no queries)")
@@ -278,6 +287,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             engine=args.engine,
         ),
         worker_timeout=args.worker_timeout,
+        metrics=registry,
         **service_kwargs,
     ) as service:
         started = time.perf_counter()
@@ -308,7 +318,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
-    corpus = _load_any_index(args.index)
+    # The registry exists before the load so the index_load stage (and
+    # the pool_init_bytes counter) lands in the exported snapshot.
+    registry = MetricsRegistry()
+    corpus = _load_any_index(args.index, metrics=registry)
     queries = _read_queries(args.queries)
     with SuggestionService(
         corpus,
@@ -318,6 +331,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             gamma=args.gamma,
             engine=args.engine,
         ),
+        metrics=registry,
     ) as service:
         service.suggest_batch(queries, args.k, workers=args.workers)
         snapshot = service.metrics()

@@ -73,9 +73,19 @@ class XCleanSuggester:
     ):
         self.corpus = corpus
         self.config = config or XCleanConfig()
-        self.generator = generator or VariantGenerator(
-            corpus.vocabulary.tokens(), max_errors=self.config.max_errors
-        )
+        if generator is None:
+            # Snapshot-backed corpora serve FastSS buckets straight
+            # from the mapped file; building a fresh index would read
+            # the whole vocabulary for nothing.
+            corpus_generator = getattr(corpus, "variant_generator", None)
+            if corpus_generator is not None:
+                generator = corpus_generator(self.config.max_errors)
+            else:
+                generator = VariantGenerator(
+                    corpus.vocabulary.tokens(),
+                    max_errors=self.config.max_errors,
+                )
+        self.generator = generator
         self.error_model = error_model or ExponentialErrorModel(
             self.config.beta
         )

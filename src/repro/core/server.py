@@ -38,6 +38,8 @@ simply degrade to in-process execution.
 
 from __future__ import annotations
 
+import logging
+import pickle
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
@@ -52,6 +54,8 @@ from repro.exceptions import QueryError
 from repro.fastss.generator import VariantGenerator
 from repro.index.corpus import CorpusIndex
 from repro.obs import MetricsRegistry, MetricsSnapshot
+
+logger = logging.getLogger(__name__)
 
 #: Default bound of the whole-result LRU.
 DEFAULT_RESULT_CACHE_SIZE = 4096
@@ -75,6 +79,11 @@ class ServiceStats:
     worker_timeouts: int = 0
     worker_failures: int = 0
     degraded_queries: int = 0
+    #: Pickled size of the worker initializer payload (bytes).  With a
+    #: snapshot-backed corpus this is a file path plus the config —
+    #: constant in corpus size; the pickled-corpus fallback makes the
+    #: O(corpus) transfer visible here.  0 until the first pool start.
+    pool_init_bytes: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -89,6 +98,23 @@ _WORKER_SUGGESTER: XCleanSuggester | None = None
 def _init_worker(corpus: CorpusIndex, config: XCleanConfig) -> None:
     global _WORKER_SUGGESTER
     _WORKER_SUGGESTER = XCleanSuggester(corpus, config=config)
+
+
+def _init_worker_snapshot(
+    snapshot_path: str, config: XCleanConfig
+) -> None:
+    """Initialize a worker from a v3 snapshot path.
+
+    Every worker mmaps the same file, so the posting bytes live once
+    in the OS page cache no matter how many workers the pool runs —
+    the init payload is a path string instead of a pickled corpus.
+    """
+    global _WORKER_SUGGESTER
+    from repro.index.snapshot import load_snapshot
+
+    _WORKER_SUGGESTER = XCleanSuggester(
+        load_snapshot(snapshot_path), config=config
+    )
 
 
 def _worker_suggest(task: tuple[str, int]):
@@ -438,11 +464,12 @@ class SuggestionService:
             self.stats.pool_recycles += 1
             self.metrics_registry.inc("pool_recycles_total")
         if self._pool is None:
+            initializer, initargs = self._pool_init()
             try:
                 self._pool = ProcessPoolExecutor(
                     max_workers=workers,
-                    initializer=_init_worker,
-                    initargs=(self.corpus, self.config),
+                    initializer=initializer,
+                    initargs=initargs,
                 )
             except Exception:
                 return None
@@ -452,6 +479,44 @@ class SuggestionService:
             self.stats.pool_starts += 1
             self.metrics_registry.inc("pool_starts_total")
         return self._pool
+
+    def _pool_init(self):
+        """Worker initializer and args — snapshot path when available.
+
+        A snapshot-backed corpus ships only its file path; plain
+        corpora fall back to pickling the whole index into every
+        worker.  Either way the pickled payload size is recorded as
+        ``pool_init_bytes`` (stat + counter) and logged — under the
+        POSIX fork start method nothing is actually pickled, but the
+        size is what a spawn-based start *would* transfer, which is
+        the regression the metric exists to catch.
+        """
+        snapshot_path = getattr(self.corpus, "snapshot_path", None)
+        if snapshot_path is not None:
+            initializer = _init_worker_snapshot
+            initargs: tuple = (snapshot_path, self.config)
+        else:
+            initializer = _init_worker
+            initargs = (self.corpus, self.config)
+        if self.stats.pool_init_bytes == 0:
+            payload = len(pickle.dumps(initargs))
+            self.stats.pool_init_bytes = payload
+            self.metrics_registry.inc("pool_init_bytes", payload)
+            if snapshot_path is None:
+                logger.info(
+                    "worker pool initialized with a pickled corpus "
+                    "(%d bytes); build a v3 snapshot for constant-size "
+                    "worker init",
+                    payload,
+                )
+            else:
+                logger.info(
+                    "worker pool initialized from snapshot %s "
+                    "(%d-byte init payload)",
+                    snapshot_path,
+                    payload,
+                )
+        return initializer, initargs
 
     def _shutdown_pool(self, wait: bool = True) -> None:
         pool, self._pool = self._pool, None

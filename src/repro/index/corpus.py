@@ -17,6 +17,7 @@ The index is self-contained: suggesters never touch the original tree.
 from __future__ import annotations
 
 import itertools
+import sys
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -91,34 +92,21 @@ class PackedIndex:
         return packed
 
 
-@dataclass
-class CorpusIndex:
-    """All index structures for one corpus (see module docstring)."""
+class QueryEngineMixin:
+    """The query-time engine API shared by every corpus flavour.
 
-    name: str
-    path_table: PathTable
-    inverted: InvertedIndex
-    path_index: PathIndex
-    vocabulary: Vocabulary
-    subtree_token_counts: dict[DeweyCode, int]
-    path_node_counts: dict[int, int]
-    tokenizer: Tokenizer = field(default_factory=Tokenizer)
-    #: W_p of Eq. 8 per path id; precomputed at build time (and
-    #: persisted), derived here only for hand-assembled indexes.
-    path_token_totals_map: dict[int, float] | None = None
-    #: Deepest label path; precomputed for the same reason.
-    max_depth: int | None = None
+    Both the in-memory :class:`CorpusIndex` and the mmap-backed
+    :class:`~repro.index.snapshot.SnapshotCorpusIndex` expose the same
+    accessors to the suggesters: memoized merged-list construction over
+    the tuple and packed engines, precomputed Eq. 8 normalizers, and a
+    metrics binding for the cache counters.  Subclasses must provide
+    ``inverted``, ``path_node_counts``, ``path_token_totals_map``,
+    ``max_depth``, and ``packed_view()``; the mixin owns the caches.
+    """
 
-    def __post_init__(self):
-        if self.path_token_totals_map is None:
-            self.path_token_totals_map = self._derive_path_token_totals()
-        if self.max_depth is None:
-            self.max_depth = max(
-                (len(labels) for labels in self.path_table), default=0
-            )
-        # Query-time caches; `= None` sentinels keep the dataclass
+    def _init_query_caches(self) -> None:
+        # Query-time caches; `= None` sentinels keep CorpusIndex
         # picklable and the packed view lazily built.
-        self._packed: PackedIndex | None = None
         self._merged_cache: dict[
             tuple[str, ...], list[InvertedList]
         ] = {}
@@ -142,10 +130,6 @@ class CorpusIndex:
     # ------------------------------------------------------------------
     # Query-time accessors
     # ------------------------------------------------------------------
-
-    def subtree_length(self, dewey: DeweyCode) -> int:
-        """|D(r)| — token count of the virtual document rooted at r."""
-        return self.subtree_token_counts.get(dewey, 0)
 
     def entity_count(self, path_id: int) -> int:
         """N — number of nodes of the given type in the document."""
@@ -175,17 +159,6 @@ class CorpusIndex:
             self.merged_cache_hits += 1
             self._metrics.inc("merged_cache_hits_total")
         return MergedList(lists)
-
-    def packed_view(self) -> PackedIndex:
-        """The columnar view used by the packed engine (built once)."""
-        packed = self._packed
-        if packed is None:
-            with self._metrics.stage("pack_index"):
-                packed = PackedIndex(
-                    self.inverted, self.subtree_token_counts
-                )
-            self._packed = packed
-        return packed
 
     def merged_list_packed(self, tokens: Iterable[str]) -> PackedMergedList:
         """Packed MergedList over the given variants.
@@ -229,6 +202,50 @@ class CorpusIndex:
         assert self.max_depth is not None
         return self.max_depth
 
+
+@dataclass
+class CorpusIndex(QueryEngineMixin):
+    """All index structures for one corpus (see module docstring)."""
+
+    name: str
+    path_table: PathTable
+    inverted: InvertedIndex
+    path_index: PathIndex
+    vocabulary: Vocabulary
+    subtree_token_counts: dict[DeweyCode, int]
+    path_node_counts: dict[int, int]
+    tokenizer: Tokenizer = field(default_factory=Tokenizer)
+    #: W_p of Eq. 8 per path id; precomputed at build time (and
+    #: persisted), derived here only for hand-assembled indexes.
+    path_token_totals_map: dict[int, float] | None = None
+    #: Deepest label path; precomputed for the same reason.
+    max_depth: int | None = None
+
+    def __post_init__(self):
+        if self.path_token_totals_map is None:
+            self.path_token_totals_map = self._derive_path_token_totals()
+        if self.max_depth is None:
+            self.max_depth = max(
+                (len(labels) for labels in self.path_table), default=0
+            )
+        self._packed: PackedIndex | None = None
+        self._init_query_caches()
+
+    def subtree_length(self, dewey: DeweyCode) -> int:
+        """|D(r)| — token count of the virtual document rooted at r."""
+        return self.subtree_token_counts.get(dewey, 0)
+
+    def packed_view(self) -> PackedIndex:
+        """The columnar view used by the packed engine (built once)."""
+        packed = self._packed
+        if packed is None:
+            with self._metrics.stage("pack_index"):
+                packed = PackedIndex(
+                    self.inverted, self.subtree_token_counts
+                )
+            self._packed = packed
+        return packed
+
     def _derive_path_token_totals(self) -> dict[int, float]:
         """One-pass derivation of W_p from the postings (build time)."""
         # Leaf lengths: total tokens per text-bearing node.
@@ -247,14 +264,131 @@ class CorpusIndex:
                 totals[ancestor] = totals.get(ancestor, 0.0) + length
         return totals
 
-    def describe(self) -> dict[str, int]:
-        """Summary counters (used in logs and benchmark headers)."""
+    def describe(self, generator=None) -> dict:
+        """Summary counters (used in logs and benchmark headers).
+
+        Besides the classic counts, the ``approx_bytes`` sub-dict gives
+        an approximate in-memory size breakdown — tuple postings,
+        packed columns (when built), vocabulary, subtree lengths, and
+        (when a :class:`~repro.fastss.generator.VariantGenerator` is
+        passed) its FastSS deletion-neighborhood buckets — so snapshot
+        savings are verifiable number against number.
+        """
         return {
             "tokens": len(self.vocabulary),
             "postings": self.inverted.total_postings(),
             "paths": len(self.path_table),
             "total_occurrences": self.vocabulary.total_tokens,
+            "approx_bytes": approximate_index_bytes(
+                self, generator=generator
+            ),
         }
+
+
+#: Amortized bytes per dict entry (key/value slots, hash, and the
+#: boxed small value), calibrated against CPython 3.10-3.12 dicts at
+#: typical fill factors.  An estimate, not an audit: ``describe`` only
+#: needs the breakdown to be *comparable* across corpus flavours.
+_DICT_ENTRY_BYTES = 104
+
+
+def _bucket_table_bytes(buckets: dict[str, list[str]]) -> int:
+    """Approximate bytes of one FastSS signature → tokens table.
+
+    Token strings are shared with the vocabulary, so each bucket slot
+    is charged a pointer, not the string.
+    """
+    sizeof = sys.getsizeof
+    total = sizeof(buckets)
+    for signature, tokens in buckets.items():
+        total += sizeof(signature) + sizeof(tokens) + 8 * len(tokens)
+    return total
+
+
+def fastss_bucket_bytes(generator) -> int:
+    """Approximate bytes held by a generator's FastSS bucket tables.
+
+    Accepts a :class:`~repro.fastss.generator.VariantGenerator` or a
+    bare variant index; handles both the plain and the partitioned
+    (short + prefix + suffix tables) layouts.
+    """
+    index = getattr(generator, "_index", generator)
+    total = 0
+    buckets = getattr(index, "_buckets", None)
+    if buckets is not None:
+        total += _bucket_table_bytes(buckets)
+    short = getattr(index, "_short", None)
+    if short is not None:
+        total += _bucket_table_bytes(short._buckets)
+    for attr in ("_prefix_buckets", "_suffix_buckets"):
+        table = getattr(index, attr, None)
+        if table is not None:
+            total += _bucket_table_bytes(table)
+    return total
+
+
+def approximate_index_bytes(index, generator=None) -> dict[str, int]:
+    """Approximate in-memory footprint of the index structures (bytes).
+
+    Deterministic for equal indexes: every term derives from element
+    counts and ``sys.getsizeof`` of the stored objects, both of which
+    survive a persistence round-trip — which is what lets the
+    round-trip tests compare ``describe()`` outputs with ``==``.
+
+    ``postings_packed`` is the footprint the columnar engine pays (one
+    int64 key plus two int32 side columns per posting), reported
+    whether or not the packed view has been built yet, so the tuple vs
+    packed vs snapshot comparison is always available.
+    """
+    sizeof = sys.getsizeof
+    inverted = index.inverted
+
+    postings_tuple = 0
+    postings_packed = 0
+    for token in inverted.tokens():
+        lst = inverted.list_for(token)
+        n = len(lst)
+        postings_tuple += sizeof(lst.postings)
+        postings_packed += 16 * n + 3 * 64
+        if n == 0:
+            continue
+        first = lst[0]
+        # Per posting: the 3-tuple, its Dewey tuple, and the list slot.
+        # Dewey components are small ints (interned), charged nothing.
+        postings_tuple += n * (sizeof(first) + sizeof(first[0]) + 8)
+
+    vocabulary = 0
+    for token, _cf, df, max_rel in index.vocabulary.export_rows():
+        vocabulary += sizeof(token) + _DICT_ENTRY_BYTES
+        if df:
+            vocabulary += _DICT_ENTRY_BYTES
+        if max_rel:
+            vocabulary += _DICT_ENTRY_BYTES + sizeof(max_rel)
+
+    subtree_lengths = sizeof(index.subtree_token_counts)
+    for dewey in index.subtree_token_counts:
+        subtree_lengths += sizeof(dewey) + _DICT_ENTRY_BYTES
+
+    path_index_bytes = 0
+    for token in index.path_index.tokens():
+        counts = index.path_index.counts_for(token)
+        path_index_bytes += (
+            sizeof(token)
+            + sizeof(counts)
+            + len(counts) * _DICT_ENTRY_BYTES
+        )
+
+    breakdown = {
+        "postings_tuple": postings_tuple,
+        "postings_packed": postings_packed,
+        "vocabulary": vocabulary,
+        "subtree_lengths": subtree_lengths,
+        "path_index": path_index_bytes,
+    }
+    if generator is not None:
+        breakdown["fastss_buckets"] = fastss_bucket_bytes(generator)
+    breakdown["total"] = sum(breakdown.values())
+    return breakdown
 
 
 def build_corpus_index(

@@ -177,7 +177,12 @@ class PackedMergedColumns:
         # Keys ascending, ties broken by member index — exactly the
         # order a (key, member) min-heap merge would yield.
         rows.sort()
-        if all(isinstance(lst.keys, array) for lst in members):
+        # Snapshot-backed lists carry memoryview columns; they hold
+        # int64 keys just like array('q'), so the merged keys stay a
+        # machine-int column (only >63-bit packers fall through).
+        if all(
+            isinstance(lst.keys, (array, memoryview)) for lst in members
+        ):
             self.keys: list[int] | array = array(
                 "q", (row[0] for row in rows)
             )

@@ -3,6 +3,7 @@
 from repro.obs.export import MetricsSnapshot
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
+    INDEX_LOAD_STAGE,
     NULL_METRICS,
     Counter,
     Histogram,
@@ -15,6 +16,7 @@ __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "Histogram",
+    "INDEX_LOAD_STAGE",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NULL_METRICS",

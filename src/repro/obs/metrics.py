@@ -37,6 +37,13 @@ DEFAULT_LATENCY_BUCKETS = (
 #: Histogram family that all stage timers observe into.
 STAGE_HISTOGRAM = "stage_seconds"
 
+#: Stage name for index deserialization / snapshot mapping — the cold
+#: half of the pipeline (pack_index and the query stages cover the warm
+#: half).  Every loader in ``cli.py``, ``snapshot.py`` and the serving
+#: benchmarks times itself under this name so cold starts show up next
+#: to the query stages in one ``stage_seconds`` family.
+INDEX_LOAD_STAGE = "index_load"
+
 
 def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted(labels.items()))

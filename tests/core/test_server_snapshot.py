@@ -1,0 +1,84 @@
+"""Snapshot-backed worker pools and the pool_init_bytes metric."""
+
+import pytest
+
+from repro.core.config import XCleanConfig
+from repro.core.server import SuggestionService
+from repro.index.corpus import build_corpus_index
+from repro.index.snapshot import build_snapshot, load_snapshot
+from repro.xmltree.builder import paper_example_tree
+from repro.xmltree.document import XMLDocument
+
+QUERIES = ["confernce", "xml daabases", "keyword serach", "confernce"]
+
+
+@pytest.fixture
+def corpus():
+    return build_corpus_index(
+        XMLDocument(paper_example_tree(), name="paper-example")
+    )
+
+
+@pytest.fixture
+def snapshot_corpus(corpus, tmp_path):
+    path = str(tmp_path / "index.xcs3")
+    build_snapshot(corpus, path)
+    return load_snapshot(path)
+
+
+def _rows(batches):
+    return [
+        [(s.tokens, s.score, s.result_type) for s in suggestions]
+        for suggestions in batches
+    ]
+
+
+class TestSnapshotPool:
+    def test_parallel_batch_matches_pickled_pool(
+        self, corpus, snapshot_corpus
+    ):
+        config = XCleanConfig(max_errors=2)
+        with SuggestionService(corpus, config=config) as pickled, \
+                SuggestionService(
+                    snapshot_corpus, config=config
+                ) as snapshot:
+            expected = pickled.suggest_batch(QUERIES, 5, workers=2)
+            actual = snapshot.suggest_batch(QUERIES, 5, workers=2)
+            assert _rows(actual) == _rows(expected)
+            assert snapshot.stats.degraded_queries == 0
+
+    def test_init_payload_constant_for_snapshot_pool(
+        self, corpus, snapshot_corpus
+    ):
+        config = XCleanConfig(max_errors=2)
+        with SuggestionService(
+            snapshot_corpus, config=config
+        ) as service:
+            service.suggest_batch(QUERIES[:1], 5, workers=2)
+            snapshot_bytes = service.stats.pool_init_bytes
+        with SuggestionService(corpus, config=config) as service:
+            service.suggest_batch(QUERIES[:1], 5, workers=2)
+            pickled_bytes = service.stats.pool_init_bytes
+        # The snapshot payload is a path + config; the fallback pickles
+        # the whole corpus.  Both are recorded, only one is O(corpus).
+        assert 0 < snapshot_bytes < 4096
+        assert pickled_bytes > snapshot_bytes
+
+    def test_pool_init_bytes_counter_exported(self, snapshot_corpus):
+        with SuggestionService(
+            snapshot_corpus, config=XCleanConfig(max_errors=2)
+        ) as service:
+            service.suggest_batch(QUERIES[:1], 5, workers=2)
+            counters = service.metrics().as_dict()["counters"]
+        assert counters["pool_init_bytes"] == (
+            service.stats.pool_init_bytes
+        )
+
+    def test_serial_service_over_snapshot(self, snapshot_corpus):
+        with SuggestionService(
+            snapshot_corpus, config=XCleanConfig(max_errors=2)
+        ) as service:
+            batches = service.suggest_batch(QUERIES, 5)
+            assert len(batches) == len(QUERIES)
+            assert service.stats.result_cache_hits >= 1  # repeated query
+            assert service.stats.pool_init_bytes == 0  # no pool started

@@ -1,0 +1,305 @@
+"""Snapshot v3: format validation, mmap loader, and engine parity."""
+
+import os
+import struct
+
+import pytest
+
+from repro.core.cleaner import XCleanSuggester
+from repro.core.config import XCleanConfig
+from repro.exceptions import StorageError
+from repro.fastss.generator import VariantGenerator
+from repro.index.corpus import build_corpus_index
+from repro.index.snapshot import (
+    MAGIC,
+    build_snapshot,
+    load_snapshot,
+    snapshot_or_corpus,
+    verify_snapshot,
+)
+from repro.index.storage import save_index
+from repro.index.storage_binary import save_index_binary
+from repro.xmltree.builder import paper_example_tree
+from repro.xmltree.document import XMLDocument
+
+
+@pytest.fixture
+def corpus():
+    return build_corpus_index(
+        XMLDocument(paper_example_tree(), name="paper-example")
+    )
+
+
+@pytest.fixture
+def snapshot_path(corpus, tmp_path):
+    path = str(tmp_path / "index.xcs3")
+    build_snapshot(corpus, path)
+    return path
+
+
+class TestRoundTrip:
+    def test_name_and_counts(self, corpus, snapshot_path):
+        loaded = load_snapshot(snapshot_path)
+        assert loaded.name == "paper-example"
+        description = loaded.describe()
+        assert description["tokens"] == len(corpus.vocabulary)
+        assert (
+            description["postings"]
+            == corpus.inverted.total_postings()
+        )
+        assert description["paths"] == len(corpus.path_table)
+        assert description["snapshot_bytes"]["total"] == os.path.getsize(
+            snapshot_path
+        )
+
+    def test_postings_identical(self, corpus, snapshot_path):
+        loaded = load_snapshot(snapshot_path)
+        for token in corpus.inverted.tokens():
+            assert list(loaded.inverted.list_for(token)) == list(
+                corpus.inverted.list_for(token)
+            )
+
+    def test_path_table_identical(self, corpus, snapshot_path):
+        loaded = load_snapshot(snapshot_path)
+        assert list(loaded.path_table) == list(corpus.path_table)
+
+    def test_subtree_counts_identical(self, corpus, snapshot_path):
+        loaded = load_snapshot(snapshot_path)
+        assert (
+            loaded.subtree_token_counts == corpus.subtree_token_counts
+        )
+        for dewey, count in corpus.subtree_token_counts.items():
+            assert loaded.subtree_length(dewey) == count
+        assert loaded.subtree_length((99, 99, 99)) == 0
+
+    def test_path_statistics_identical(self, corpus, snapshot_path):
+        loaded = load_snapshot(snapshot_path)
+        assert loaded.path_node_counts == corpus.path_node_counts
+        assert loaded.path_token_totals() == corpus.path_token_totals()
+        assert loaded.max_path_depth() == corpus.max_path_depth()
+        for token in corpus.path_index.tokens():
+            assert dict(loaded.path_index.counts_for(token)) == dict(
+                corpus.path_index.counts_for(token)
+            )
+
+    def test_vocabulary_statistics(self, corpus, snapshot_path):
+        loaded = load_snapshot(snapshot_path)
+        vocab, loaded_vocab = corpus.vocabulary, loaded.vocabulary
+        assert loaded_vocab.total_tokens == vocab.total_tokens
+        assert (
+            loaded_vocab.element_doc_count == vocab.element_doc_count
+        )
+        assert sorted(loaded_vocab.tokens()) == sorted(vocab.tokens())
+        for token in vocab:
+            assert token in loaded_vocab
+            assert loaded_vocab.collection_frequency(
+                token
+            ) == vocab.collection_frequency(token)
+            assert loaded_vocab.background_probability(
+                token
+            ) == vocab.background_probability(token)
+            assert loaded_vocab.max_tfidf(token) == pytest.approx(
+                vocab.max_tfidf(token)
+            )
+        assert "no-such-token" not in loaded_vocab
+        assert loaded_vocab.collection_frequency("no-such-token") == 0
+
+    def test_embedded_fastss_matches_fresh_generator(
+        self, corpus, tmp_path
+    ):
+        path = str(tmp_path / "fss.xcs3")
+        build_snapshot(
+            corpus, path, fastss_max_errors=2,
+            fastss_partition_threshold=5,
+        )
+        loaded = load_snapshot(path)
+        embedded = loaded.variant_generator(2)
+        fresh = VariantGenerator(
+            corpus.vocabulary.tokens(), max_errors=2
+        )
+        for token in corpus.vocabulary:
+            assert embedded.variants(token) == fresh.variants(token)
+
+    def test_larger_radius_rebuilds_from_vocabulary(
+        self, corpus, tmp_path
+    ):
+        path = str(tmp_path / "fss1.xcs3")
+        build_snapshot(corpus, path, fastss_max_errors=1)
+        loaded = load_snapshot(path)
+        fresh = VariantGenerator(
+            corpus.vocabulary.tokens(), max_errors=3
+        )
+        generator = loaded.variant_generator(3)
+        for token in corpus.vocabulary:
+            assert generator.variants(token) == fresh.variants(token)
+
+    def test_verify_snapshot(self, snapshot_path):
+        summary = verify_snapshot(snapshot_path)
+        assert summary["bytes"] == os.path.getsize(snapshot_path)
+        assert summary["sections"] > 10
+
+
+class TestEngineParity:
+    """v1 -> v2 -> v3 must agree suggestion-for-suggestion."""
+
+    QUERIES = ("confernce", "xml daabases", "keyword serach")
+
+    @staticmethod
+    def _rows(suggester, query):
+        return [
+            (s.tokens, s.score, s.result_type)
+            for s in suggester.suggest(query, 10)
+        ]
+
+    def test_all_formats_identical_topk(self, corpus, tmp_path):
+        from repro.index.storage import load_index
+        from repro.index.storage_binary import load_index_binary
+
+        v1 = str(tmp_path / "index.xci")
+        v2 = str(tmp_path / "index.xcib")
+        v3 = str(tmp_path / "index.xcs3")
+        save_index(corpus, v1)
+        save_index_binary(corpus, v2)
+        build_snapshot(corpus, v3)
+        config = XCleanConfig(max_errors=2)
+        suggesters = [
+            XCleanSuggester(source, config=config)
+            for source in (
+                corpus,
+                load_index(v1),
+                load_index_binary(v2),
+                load_snapshot(v3),
+            )
+        ]
+        for query in self.QUERIES:
+            reference = self._rows(suggesters[0], query)
+            for other in suggesters[1:]:
+                assert self._rows(other, query) == reference
+
+    def test_tuple_engine_over_snapshot(self, corpus, snapshot_path):
+        loaded = load_snapshot(snapshot_path)
+        packed = XCleanSuggester(
+            loaded, config=XCleanConfig(max_errors=2)
+        )
+        tuple_engine = XCleanSuggester(
+            loaded, config=XCleanConfig(max_errors=2, engine="tuple")
+        )
+        for query in self.QUERIES:
+            assert self._rows(tuple_engine, query) == self._rows(
+                packed, query
+            )
+
+    def test_parallel_build_byte_identical(self, corpus, tmp_path):
+        serial = str(tmp_path / "serial.xcs3")
+        parallel = str(tmp_path / "parallel.xcs3")
+        build_snapshot(corpus, serial)
+        build_snapshot(corpus, parallel, workers=3)
+        with open(serial, "rb") as a, open(parallel, "rb") as b:
+            assert a.read() == b.read()
+
+
+class TestCorruption:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.xcs3"
+        path.write_bytes(b"")
+        with pytest.raises(StorageError, match="empty"):
+            load_snapshot(str(path))
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.xcs3"
+        path.write_bytes(b"NOPE" + b"\0" * 64)
+        with pytest.raises(StorageError, match="magic"):
+            load_snapshot(str(path))
+
+    def test_bad_version(self, tmp_path, snapshot_path):
+        raw = bytearray(open(snapshot_path, "rb").read())
+        struct.pack_into("<I", raw, 4, 99)
+        path = tmp_path / "version.xcs3"
+        path.write_bytes(raw)
+        with pytest.raises(StorageError, match="version 99"):
+            load_snapshot(str(path))
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.xcs3"
+        path.write_bytes(MAGIC + b"\x03")
+        with pytest.raises(StorageError, match="truncated"):
+            load_snapshot(str(path))
+
+    def test_truncated_table(self, tmp_path, snapshot_path):
+        raw = open(snapshot_path, "rb").read()
+        path = tmp_path / "table.xcs3"
+        path.write_bytes(raw[:24])
+        with pytest.raises(StorageError, match="truncated"):
+            load_snapshot(str(path))
+
+    def test_corrupt_table_checksum(self, tmp_path, snapshot_path):
+        raw = bytearray(open(snapshot_path, "rb").read())
+        raw[20] ^= 0xFF  # inside the first table entry's name
+        path = tmp_path / "crc.xcs3"
+        path.write_bytes(raw)
+        with pytest.raises(StorageError, match="checksum"):
+            load_snapshot(str(path))
+
+    def test_corrupt_payload_caught_by_verify(
+        self, tmp_path, snapshot_path
+    ):
+        raw = bytearray(open(snapshot_path, "rb").read())
+        raw[-1] ^= 0xFF  # flip a payload byte, table stays intact
+        path = tmp_path / "payload.xcs3"
+        path.write_bytes(raw)
+        with pytest.raises(StorageError, match="checksum"):
+            verify_snapshot(str(path))
+
+
+class TestMmapBehavior:
+    def test_survives_source_file_removal(
+        self, corpus, snapshot_path, tmp_path
+    ):
+        loaded = load_snapshot(snapshot_path)
+        os.remove(snapshot_path)
+        # Postings are still served out of the (now unlinked) mapping.
+        reference = XCleanSuggester(
+            corpus, config=XCleanConfig(max_errors=2)
+        )
+        mapped = XCleanSuggester(
+            loaded, config=XCleanConfig(max_errors=2)
+        )
+        for query in TestEngineParity.QUERIES:
+            assert [
+                (s.tokens, s.score) for s in mapped.suggest(query, 10)
+            ] == [
+                (s.tokens, s.score)
+                for s in reference.suggest(query, 10)
+            ]
+
+    def test_close_is_best_effort(self, snapshot_path):
+        loaded = load_snapshot(snapshot_path)
+        loaded.packed_view().get(next(iter(loaded.vocabulary)))
+        loaded.close()  # exported views keep the mapping alive
+
+
+class TestDispatch:
+    def test_snapshot_or_corpus_sniffs_all_formats(
+        self, corpus, tmp_path
+    ):
+        v1 = str(tmp_path / "a.xci")
+        v2 = str(tmp_path / "a.xcib")
+        v3 = str(tmp_path / "a.xcs3")
+        save_index(corpus, v1)
+        save_index_binary(corpus, v2)
+        build_snapshot(corpus, v3)
+        for path in (v1, v2, v3):
+            loaded = snapshot_or_corpus(path)
+            assert loaded.name == "paper-example"
+            assert (
+                loaded.inverted.total_postings()
+                == corpus.inverted.total_postings()
+            )
+
+    def test_load_timed_under_index_load_stage(self, snapshot_path):
+        from repro.obs import INDEX_LOAD_STAGE, MetricsRegistry
+
+        registry = MetricsRegistry()
+        load_snapshot(snapshot_path, metrics=registry)
+        stages = registry.snapshot().as_dict()["stages"]
+        assert stages[INDEX_LOAD_STAGE]["count"] == 1
