@@ -12,7 +12,10 @@ Measures, on the synthetic DBLP dataset:
   trace (the service always carries a registry), with the stage-level
   snapshot embedded in the JSON artifact;
 * persistent-pool reuse: two consecutive parallel batches must share
-  one pool start and answer everything without degrading.
+  one pool start and answer everything without degrading;
+* fault-hook overhead: the ``repro.obs.faults`` injection sites with
+  no plan installed vs an armed-but-idle plan — both inside the same
+  ceiling as the metrics instrumentation.
 
 Shapes asserted: instrumentation overhead stays under 5% at the
 ``default`` scale (per-query work dominates a handful of counter
@@ -41,7 +44,7 @@ from repro.index.storage_binary import (
     load_index_binary,
     save_index_binary,
 )
-from repro.obs import INDEX_LOAD_STAGE, MetricsRegistry
+from repro.obs import INDEX_LOAD_STAGE, MetricsRegistry, faults
 
 #: Alternating timed passes per configuration (best-of wins).
 PASSES = 7
@@ -100,6 +103,41 @@ def bench_overhead(setting, queries):
         "enabled_best_s": best_instrumented,
         "overhead_ratio": best_instrumented / best_plain,
         "stages": stages,
+    }
+
+
+def bench_fault_overhead(setting, queries):
+    """Hot-path cost of the fault-injection hooks.
+
+    With no plan installed the hooks are one attribute load and a
+    falsy branch per site (``NULL_FAULTS``); an *armed but idle* plan
+    (targeting ``worker.init``, a site the in-process path never hits)
+    additionally pays one dict miss per guarded site.  Both must stay
+    within the instrumentation ceiling — passes alternate so cache and
+    clock effects hit the two configurations equally.
+    """
+    baseline = make_suggester(setting)
+    armed = make_suggester(setting)
+    for suggester in (baseline, armed):
+        for query in queries:  # warm variant/merged/type caches
+            suggester.suggest(query, 10)
+    baseline_times, armed_times = [], []
+    try:
+        for _ in range(PASSES):
+            faults.uninstall()
+            baseline_times.append(timed_pass(baseline, queries))
+            faults.install_spec("worker.init:raise")
+            armed_times.append(timed_pass(armed, queries))
+    finally:
+        faults.uninstall()
+    best_baseline = min(baseline_times)
+    best_armed = min(armed_times)
+    return {
+        "queries_per_pass": len(queries),
+        "passes": PASSES,
+        "disabled_best_s": best_baseline,
+        "armed_idle_best_s": best_armed,
+        "overhead_ratio": best_armed / best_baseline,
     }
 
 
@@ -186,6 +224,7 @@ def test_serving(benchmark):
     queries = workload_queries(setting)
 
     overhead = bench_overhead(setting, queries)
+    fault_overhead = bench_fault_overhead(setting, queries)
     service = bench_service(setting, queries)
     pool = bench_pool_reuse(setting, queries)
     index_load = bench_index_load(setting)
@@ -197,6 +236,7 @@ def test_serving(benchmark):
         "dataset": "DBLP",
         "corpus": setting.corpus.describe(),
         "overhead": {**overhead, "ceiling": ceiling},
+        "fault_overhead": {**fault_overhead, "ceiling": ceiling},
         "service": service,
         "pool": pool,
         "index_load": index_load,
@@ -236,10 +276,16 @@ def test_serving(benchmark):
         ],
         title="Stage timers (instrumented run)",
     )
+    fault_ratio = fault_overhead["overhead_ratio"]
     checks = [
         shape_check(
             f"instrumentation overhead {ratio:.3f}x <= {ceiling}x",
             ratio <= ceiling,
+        ),
+        shape_check(
+            f"fault-hook overhead {fault_ratio:.3f}x <= {ceiling}x "
+            f"(armed idle plan vs no plan)",
+            fault_ratio <= ceiling,
         ),
         shape_check(
             "result cache absorbed the repeated trace queries",

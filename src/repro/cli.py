@@ -9,6 +9,8 @@ Installed as the ``xclean`` console script::
     xclean metrics --index dblp.xci --queries queries.txt --format prometheus
     xclean search --index dblp.xci --query "keyword search" --xml dblp.xml
     xclean evaluate --dataset dblp --scale small
+    xclean chaos --index dblp.xci --queries queries.txt \
+        --plan "worker.query:raise@2;merge.step:delay=0.001"
 """
 
 from __future__ import annotations
@@ -31,12 +33,13 @@ from repro.datasets.synthetic_wiki import WikiConfig, generate_wiki
 from repro.eval.experiments import dblp_setting, wiki_setting
 from repro.eval.reporting import format_table
 from repro.eval.runner import evaluate_suggester
-from repro.exceptions import ReproError
+from repro.exceptions import Overloaded, ReproError
 from repro.index.corpus import build_corpus_index
 from repro.index.snapshot import build_snapshot, snapshot_or_corpus
 from repro.index.storage import save_index
 from repro.index.storage_binary import save_index_binary
 from repro.obs import MetricsRegistry
+from repro.obs import faults
 from repro.xmltree.document import XMLDocument
 
 
@@ -180,6 +183,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument(
         "--scale", choices=("small", "default"), default="small"
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay queries through the service under an injected "
+        "fault plan and report how each degradation resolved",
+    )
+    chaos.add_argument("--index", required=True, help="index path")
+    chaos.add_argument(
+        "--queries", required=True,
+        help="text file with one query per line",
+    )
+    chaos.add_argument(
+        "--plan", required=True,
+        help="fault plan spec, e.g. "
+        "'worker.query:raise@2;merge.step:delay=0.01x3' "
+        "(sites: snapshot.load, worker.init, worker.query, "
+        "merge.step, variant.gen)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for deterministic fault corruption offsets",
+    )
+    chaos.add_argument("-k", type=int, default=5)
+    chaos.add_argument(
+        "--engine", choices=("packed", "tuple"), default="packed"
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool width (default: in-process serial)",
+    )
+    chaos.add_argument(
+        "--worker-timeout", type=float, default=None,
+        help="per-query worker timeout in seconds",
+    )
+    chaos.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-query deadline in seconds; an expired query returns "
+        "its best-so-far top-k marked partial",
+    )
+    chaos.add_argument(
+        "--max-pending", type=int, default=None,
+        help="admission-control bound; excess queries are shed with "
+        "a typed Overloaded error",
     )
     return parser
 
@@ -400,6 +447,76 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    registry = MetricsRegistry()
+    corpus = _load_any_index(args.index, metrics=registry)
+    queries = _read_queries(args.queries)
+    if not queries:
+        print("(no queries)")
+        return 0
+    config = XCleanConfig(
+        engine=args.engine,
+        deadline_seconds=args.deadline,
+        fault_plan=args.plan,
+        fault_seed=args.seed,
+    )
+    rows = []
+    with SuggestionService(
+        corpus,
+        config=config,
+        worker_timeout=args.worker_timeout,
+        max_pending=args.max_pending,
+        metrics=registry,
+    ) as service:
+        plan = faults.active()
+        print(f"fault plan: {plan.describe()}")
+        parallel = args.workers is not None and args.workers > 1
+        for query in queries:
+            try:
+                if parallel:
+                    # Route through the pool so the worker.* sites are
+                    # actually exercised; a one-query batch keeps the
+                    # per-query shed/error granularity.
+                    suggestions = service.suggest_batch(
+                        [query], args.k, workers=args.workers
+                    )[0]
+                else:
+                    suggestions = service.suggest(query, args.k)
+            except Overloaded as exc:
+                rows.append((query, "(shed)", f"overloaded: {exc}"))
+                continue
+            except ReproError as exc:
+                rows.append(
+                    (query, "(error)", f"{type(exc).__name__}: {exc}")
+                )
+                continue
+            outcome = (
+                "partial" if service.last_stats.partial else "ok"
+            )
+            best = suggestions[0].text if suggestions else "(none)"
+            rows.append((query, best, outcome))
+        fired = plan.fired()
+        stats = service.stats
+        breaker_state = service.breaker.state
+    print(format_table(("query", "top suggestion", "outcome"), rows))
+    print(
+        "fired: "
+        + (
+            ", ".join(
+                f"{site}={count}" for site, count in sorted(fired.items())
+            )
+            or "(none)"
+        )
+    )
+    print(
+        f"shed {stats.shed_queries}, partial {stats.partial_results}, "
+        f"degraded {stats.degraded_queries}, "
+        f"quarantined {stats.snapshot_quarantined}, "
+        f"breaker {breaker_state}"
+    )
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "index": _cmd_index,
@@ -408,6 +525,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "search": _cmd_search,
     "evaluate": _cmd_evaluate,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -39,6 +39,7 @@ from time import perf_counter
 
 from repro.core.candidates import CandidateQuery, CandidateSpace
 from repro.core.config import XCleanConfig
+from repro.core.deadline import Deadline
 from repro.core.error_model import ErrorModel, ExponentialErrorModel
 from repro.core.language_model import DirichletLanguageModel
 from repro.core.pruning import AccumulatorPool
@@ -53,6 +54,7 @@ from repro.index.merged_list import (
     PackedEntry,
     PackedMergedList,
 )
+from repro.obs.faults import active as _active_faults
 from repro.obs.metrics import NULL_METRICS
 from repro.xmltree.dewey import DeweyCode
 
@@ -98,6 +100,10 @@ class XCleanSuggester:
         #: Scoring time of the current query, summed over the many
         #: per-group scoring calls and observed once per query.
         self._score_seconds = 0.0
+        #: Wall-clock budget of the query in flight (``core/deadline``);
+        #: ``None`` unless ``config.deadline_seconds`` is set, in which
+        #: case ``_run`` arms a fresh one per query.
+        self._deadline: Deadline | None = None
         self.type_finder = ResultTypeFinder(
             corpus,
             ResultTypeConfig(
@@ -145,6 +151,15 @@ class XCleanSuggester:
             keywords = self.corpus.tokenizer.tokenize(query)
         if not keywords:
             raise QueryError(f"query {query!r} has no usable keywords")
+        deadline_seconds = self.config.deadline_seconds
+        self._deadline = (
+            Deadline(deadline_seconds)
+            if deadline_seconds is not None
+            else None
+        )
+        faults = _active_faults()
+        if faults.enabled:
+            faults.hit("variant.gen")
         generator = self.generator
         variant_hits = getattr(generator, "cache_hits", 0)
         variant_misses = getattr(generator, "cache_misses", 0)
@@ -231,7 +246,17 @@ class XCleanSuggester:
     ) -> None:
         """Algorithm 1 over the reference tuple-based merged lists."""
         min_depth = self.config.min_depth
+        deadline = self._deadline
+        faults = _active_faults()
+        faults_enabled = faults.enabled
         while True:
+            if deadline is not None and deadline.expired():
+                # Anytime exit: the accumulator already holds the best
+                # answer derivable from the groups processed so far.
+                stats.partial = True
+                return
+            if faults_enabled:
+                faults.hit("merge.step")
             anchor = None
             exhausted = False
             for ml in merged:
@@ -350,8 +375,14 @@ class XCleanSuggester:
             entity_cache[key] = counts
             return counts
 
+        deadline = self._deadline
         present = [list(by_token) for by_token in occurrences]
         for candidate in space.enumerate_present(present):
+            if deadline is not None and deadline.expired():
+                # Accumulator boundary: stop scoring further candidates
+                # of this group; whatever was added already is valid.
+                stats.partial = True
+                break
             stats.candidates_evaluated += 1
             pid = self.type_finder.find(candidate)
             if pid is None:
@@ -447,8 +478,18 @@ class XCleanSuggester:
         starts = [0] * num
         score_group = self._score_group_packed
         indices = range(num)
+        deadline = self._deadline
+        faults = _active_faults()
+        faults_enabled = faults.enabled
         try:
             while True:
+                if deadline is not None and deadline.expired():
+                    # Anytime exit; the finally block writes the
+                    # cursor state back, so counters stay honest.
+                    stats.partial = True
+                    return
+                if faults_enabled:
+                    faults.hit("merge.step")
                 anchor = -1
                 for i in indices:
                     position = positions[i]
@@ -531,7 +572,15 @@ class XCleanSuggester:
         min_depth = self.config.min_depth
         depth_mask = (1 << packer.depth_bits) - 1
         group_shift = packer.shift_for(min_depth)
+        deadline = self._deadline
+        faults = _active_faults()
+        faults_enabled = faults.enabled
         while True:
+            if deadline is not None and deadline.expired():
+                stats.partial = True
+                return
+            if faults_enabled:
+                faults.hit("merge.step")
             anchor = None
             exhausted = False
             for ml in merged:
@@ -644,8 +693,14 @@ class XCleanSuggester:
             entity_cache[key] = counts
             return counts
 
+        deadline = self._deadline
         present = [list(by_token) for by_token in occurrences]
         for candidate in space.enumerate_present(present):
+            if deadline is not None and deadline.expired():
+                # Accumulator boundary (same contract as the tuple
+                # engine's score loop).
+                stats.partial = True
+                break
             stats.candidates_evaluated += 1
             pid = self.type_finder.find(candidate)
             if pid is None:

@@ -55,6 +55,20 @@ class XCleanConfig:
     #: disables the bound (offline workloads only — a long-lived
     #: service must keep it finite).
     type_cache_size: int | None = DEFAULT_TYPE_CACHE_SIZE
+    #: Per-query wall-clock budget (seconds) for the merge/score loop;
+    #: on expiry the engine returns the best-so-far top-k with
+    #: ``CleaningStats.partial = True`` instead of raising.  ``None``
+    #: (the default) disables the checks entirely, leaving the loops
+    #: byte-identical to their pre-deadline behavior.
+    deadline_seconds: float | None = None
+    #: Fault-injection plan spec (``repro.obs.faults`` grammar), or
+    #: ``None`` for no injection.  Carried in the config so a plan
+    #: crosses process boundaries: pool worker initializers install it
+    #: before building their suggester.
+    fault_plan: str | None = None
+    #: Seed for the fault plan's deterministic choices (corrupt-byte
+    #: offsets); ignored when ``fault_plan`` is ``None``.
+    fault_seed: int = 0
 
     def __post_init__(self):
         if self.max_errors < 0:
@@ -71,3 +85,13 @@ class XCleanConfig:
             raise ConfigurationError(f"unknown prior {self.prior!r}")
         if self.engine not in ("packed", "tuple"):
             raise ConfigurationError(f"unknown engine {self.engine!r}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigurationError(
+                "deadline_seconds must be > 0 or None"
+            )
+        if self.fault_plan is not None:
+            # Parse for validation only; installation is the caller's
+            # (service / worker initializer) responsibility.
+            from repro.obs.faults import FaultPlan
+
+            FaultPlan.parse(self.fault_plan, seed=self.fault_seed)

@@ -1,0 +1,72 @@
+"""Wall-clock budgets for anytime query execution.
+
+XClean's Algorithm 1 is naturally *anytime*: the merge loop fills a
+top-k accumulator monotonically, so stopping early yields the best
+answer found so far rather than garbage.  A :class:`Deadline` makes
+that explicit — the engine checks it at merge-loop and group-scoring
+boundaries and, once expired, stops consuming input and returns the
+current top-k with ``CleaningStats.partial = True`` (it never raises).
+
+Deadlines are cheap but not free (a ``perf_counter`` call per check),
+so the engine only consults one when ``XCleanConfig.deadline_seconds``
+is set; the default ``None`` leaves the loops byte-identical to their
+pre-deadline behavior.
+
+Checks are amortized: ``expired()`` looks at the clock only every
+``stride`` calls (default 64), bounding overshoot to one stride of
+loop iterations while keeping the common case to one integer
+decrement.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+
+class Deadline:
+    """A wall-clock budget with amortized expiry checks.
+
+    Args:
+        seconds: budget from *now*; ``float("inf")`` never expires.
+        stride: how many ``expired()`` calls share one clock read.
+    """
+
+    __slots__ = ("expires_at", "stride", "_countdown", "_expired")
+
+    def __init__(self, seconds: float, stride: int = 64):
+        if seconds < 0:
+            seconds = 0.0
+        if stride < 1:
+            stride = 1
+        self.expires_at = perf_counter() + seconds
+        self.stride = stride
+        self._countdown = 0  # first call always reads the clock
+        self._expired = False
+
+    def expired(self) -> bool:
+        """True once the budget has run out (sticky thereafter)."""
+        if self._expired:
+            return True
+        countdown = self._countdown
+        if countdown > 0:
+            self._countdown = countdown - 1
+            return False
+        self._countdown = self.stride - 1
+        if perf_counter() >= self.expires_at:
+            self._expired = True
+            return True
+        return False
+
+    def expired_now(self) -> bool:
+        """Unamortized check: reads the clock every call (sticky)."""
+        if self._expired:
+            return True
+        if perf_counter() >= self.expires_at:
+            self._expired = True
+            return True
+        return False
+
+    def remaining(self) -> float:
+        """Seconds left (clamped at 0); reads the clock."""
+        left = self.expires_at - perf_counter()
+        return left if left > 0 else 0.0

@@ -20,6 +20,16 @@ cannot provide:
   retried once and then *degraded* to in-process execution, so a hung
   or crashed worker slows one answer instead of losing it.  A suspect
   pool is torn down after the batch and restarted on demand;
+* **self-healing** (see ``docs/serving.md`` → Reliability):
+  *admission control* bounds concurrent in-flight work and sheds the
+  excess with a typed :class:`~repro.exceptions.Overloaded` instead of
+  queueing without bound; a per-pool *circuit breaker* stops
+  dispatching to a pool that keeps failing (open after
+  ``breaker_threshold`` consecutive failures, half-open probe after
+  ``breaker_cooldown`` seconds, transitions visible in metrics); and
+  *snapshot quarantine* — when pool trouble coincides with a corrupt
+  on-disk snapshot, the file is verified, moved aside, and the service
+  degrades to the parent's still-valid mapping in-process;
 * **observability**: per-stage timers, counters, and latency
   histograms collected in a :class:`~repro.obs.MetricsRegistry`,
   snapshotted by :meth:`SuggestionService.metrics` as JSON or
@@ -44,16 +54,23 @@ from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass
-from time import perf_counter
+from time import monotonic, perf_counter
 from typing import Sequence
 
 from repro.core.cleaner import XCleanSuggester
 from repro.core.config import XCleanConfig
 from repro.core.suggestion import CleaningStats, Suggestion
-from repro.exceptions import QueryError
+from repro.exceptions import (
+    ConfigurationError,
+    Overloaded,
+    QueryError,
+    StorageError,
+)
 from repro.fastss.generator import VariantGenerator
 from repro.index.corpus import CorpusIndex
 from repro.obs import MetricsRegistry, MetricsSnapshot
+from repro.obs.faults import active as _active_faults
+from repro.obs.metrics import NULL_METRICS
 
 logger = logging.getLogger(__name__)
 
@@ -64,6 +81,19 @@ DEFAULT_RESULT_CACHE_SIZE = 4096
 #: recycled (between batches).  Bounds slow leaks in long-lived
 #: workers — fresh processes re-fork from the warm parent.
 DEFAULT_RECYCLE_AFTER = 10_000
+
+#: Consecutive pool failures before the circuit breaker opens.
+DEFAULT_BREAKER_THRESHOLD = 5
+
+#: Seconds an open breaker waits before letting a half-open probe
+#: batch through.
+DEFAULT_BREAKER_COOLDOWN = 30.0
+
+#: Seconds :meth:`SuggestionService.close` grants workers to exit
+#: before escalating to ``terminate``/``kill`` — a hung worker must
+#: never turn close() into a deadlock or a leaked process.
+DEFAULT_CLOSE_GRACE = 1.0
+
 
 @dataclass
 class ServiceStats:
@@ -79,11 +109,98 @@ class ServiceStats:
     worker_timeouts: int = 0
     worker_failures: int = 0
     degraded_queries: int = 0
+    #: Queries rejected with :class:`Overloaded` before any work ran
+    #: (admission bound hit, or pool work refused by an open breaker).
+    shed_queries: int = 0
+    #: Answers served with ``CleaningStats.partial = True`` (deadline
+    #: expired mid-query; best-so-far top-k, never cached).
+    partial_results: int = 0
+    #: Corrupt snapshot files moved aside (see ``index/snapshot.py``).
+    snapshot_quarantined: int = 0
     #: Pickled size of the worker initializer payload (bytes).  With a
     #: snapshot-backed corpus this is a file path plus the config —
     #: constant in corpus size; the pickled-corpus fallback makes the
     #: O(corpus) transfer visible here.  0 until the first pool start.
     pool_init_bytes: int = 0
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker guarding the worker pool.
+
+    States: ``closed`` (dispatch normally) → ``open`` after
+    ``threshold`` consecutive failures (dispatch refused; callers shed
+    with :class:`Overloaded`) → ``half_open`` once ``cooldown`` seconds
+    have passed (exactly one probe is let through) → back to ``closed``
+    on probe success or ``open`` on probe failure.
+
+    Transitions are recorded in the ``breaker_transitions_total``
+    counter, labeled by destination state, so the current state is
+    reconstructible from metrics.  ``clock`` is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        cooldown: float = DEFAULT_BREAKER_COOLDOWN,
+        metrics: MetricsRegistry | None = None,
+        clock=monotonic,
+    ):
+        if threshold < 1:
+            raise ConfigurationError("breaker threshold must be >= 1")
+        if cooldown < 0:
+            raise ConfigurationError("breaker cooldown must be >= 0")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = "closed"
+        self.failures = 0
+        self._metrics = metrics or NULL_METRICS
+        self._clock = clock
+        self._opened_at = 0.0
+
+    def allow(self) -> bool:
+        """May work be dispatched right now?
+
+        In ``open`` state this flips to ``half_open`` (returning True —
+        the caller's dispatch *is* the probe) once the cooldown has
+        elapsed; in ``half_open`` further dispatches are refused until
+        the in-flight probe resolves via ``record_*``.
+        """
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self._clock() - self._opened_at >= self.cooldown:
+                self._transition("half_open")
+                return True
+            return False
+        return False  # half_open: one probe at a time
+
+    def record_success(self) -> None:
+        self.failures = 0
+        if self.state != "closed":
+            self._transition("closed")
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == "half_open" or (
+            self.state == "closed" and self.failures >= self.threshold
+        ):
+            self._opened_at = self._clock()
+            self._transition("open")
+
+    def retry_after(self) -> float | None:
+        """Seconds until a probe would be allowed (None when not open)."""
+        if self.state != "open":
+            return None
+        left = self.cooldown - (self._clock() - self._opened_at)
+        return left if left > 0 else 0.0
+
+    def _transition(self, to: str) -> None:
+        if to == self.state:
+            return
+        logger.info("circuit breaker %s -> %s", self.state, to)
+        self.state = to
+        if self._metrics.enabled:
+            self._metrics.inc("breaker_transitions_total", to=to)
 
 
 # ----------------------------------------------------------------------
@@ -95,8 +212,26 @@ class ServiceStats:
 _WORKER_SUGGESTER: XCleanSuggester | None = None
 
 
+def _enter_worker(config: XCleanConfig) -> None:
+    """Shared worker-initializer prologue: faults, then the init site.
+
+    The parent's fault plan travels in the (picklable) config, so it
+    reaches workers under any start method, not just fork; a ``raise``
+    at ``worker.init`` breaks the pool exactly like a real initializer
+    crash (bad snapshot, OOM) would.
+    """
+    if config.fault_plan is not None:
+        from repro.obs import faults
+
+        faults.install_spec(config.fault_plan, seed=config.fault_seed)
+    faults = _active_faults()
+    if faults.enabled:
+        faults.hit("worker.init")
+
+
 def _init_worker(corpus: CorpusIndex, config: XCleanConfig) -> None:
     global _WORKER_SUGGESTER
+    _enter_worker(config)
     _WORKER_SUGGESTER = XCleanSuggester(corpus, config=config)
 
 
@@ -112,6 +247,7 @@ def _init_worker_snapshot(
     global _WORKER_SUGGESTER
     from repro.index.snapshot import load_snapshot
 
+    _enter_worker(config)
     _WORKER_SUGGESTER = XCleanSuggester(
         load_snapshot(snapshot_path), config=config
     )
@@ -127,6 +263,12 @@ def _worker_suggest(task: tuple[str, int]):
     """
     query, k = task
     assert _WORKER_SUGGESTER is not None, "worker not initialized"
+    faults = _active_faults()
+    if faults.enabled:
+        # ``raise`` here surfaces in the parent as a worker failure;
+        # ``delay`` past the worker timeout exercises the retry →
+        # degrade ladder.
+        faults.hit("worker.query")
     try:
         suggestions = _WORKER_SUGGESTER.suggest(query, k)
     except QueryError:
@@ -147,11 +289,27 @@ class SuggestionService:
         worker_timeout: float | None = None,
         worker_recycle_after: int = DEFAULT_RECYCLE_AFTER,
         metrics: MetricsRegistry | None = None,
+        max_pending: int | None = None,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
+        close_grace: float = DEFAULT_CLOSE_GRACE,
     ):
+        if max_pending is not None and max_pending < 1:
+            raise ConfigurationError(
+                "max_pending must be >= 1 or None (unbounded)"
+            )
         self.corpus = corpus
         self.config = config or XCleanConfig()
         self.metrics_registry = metrics or MetricsRegistry()
         corpus.bind_metrics(self.metrics_registry)
+        self._installed_faults = False
+        if self.config.fault_plan is not None:
+            from repro.obs import faults
+
+            faults.install_spec(
+                self.config.fault_plan, seed=self.config.fault_seed
+            )
+            self._installed_faults = True
         self.suggester = XCleanSuggester(
             corpus,
             generator=generator,
@@ -169,10 +327,30 @@ class SuggestionService:
         self.workers = workers
         self.worker_timeout = worker_timeout
         self.worker_recycle_after = worker_recycle_after
+        #: Admission bound on concurrently admitted queries; ``None``
+        #: disables shedding.  A batch is admitted whole, so a batch
+        #: larger than the remaining headroom is shed up front.
+        self.max_pending = max_pending
+        self.close_grace = close_grace
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold,
+            cooldown=breaker_cooldown,
+            metrics=self.metrics_registry,
+        )
+        self._inflight = 0
         self._pool: ProcessPoolExecutor | None = None
         self._pool_workers = 0
         self._pool_tasks = 0
         self._pool_suspect = False
+        #: Worker processes from suspect pools torn down without
+        #: waiting; reaped (terminate/kill) by the next waiting
+        #: shutdown so close() never leaks a hung worker.
+        self._orphans: list = []
+        #: Set when the backing snapshot file was quarantined: worker
+        #: pools can no longer be initialized from it (and the mapped
+        #: corpus is not picklable), so the service stays in-process on
+        #: the parent's still-valid mapping.
+        self._snapshot_degraded = False
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -184,9 +362,20 @@ class SuggestionService:
 
         The service stays usable: later parallel batches degrade to
         in-process execution instead of forking new workers.
+
+        Never deadlocks and never leaks processes: workers get
+        ``close_grace`` seconds to exit, then are terminated and — as
+        a last resort — killed (a worker hung in an injected or real
+        infinite delay would otherwise block ``shutdown(wait=True)``
+        forever).
         """
         self._closed = True
-        self._shutdown_pool()
+        self._shutdown_pool(wait=True)
+        if self._installed_faults:
+            from repro.obs import faults
+
+            faults.uninstall()
+            self._installed_faults = False
 
     def __enter__(self) -> "SuggestionService":
         return self
@@ -227,13 +416,45 @@ class SuggestionService:
         if len(cache) > self.result_cache_size:
             cache.popitem(last=False)
 
+    # -- admission control ---------------------------------------------
+
+    def _admit(self, cost: int) -> None:
+        """Reserve ``cost`` slots of in-flight work or shed typed.
+
+        Raises:
+            Overloaded: when the reservation would exceed
+                ``max_pending``; nothing is reserved in that case.
+        """
+        limit = self.max_pending
+        if limit is not None and self._inflight + cost > limit:
+            self.stats.shed_queries += cost
+            if self.metrics_registry.enabled:
+                self.metrics_registry.inc("shed_queries_total", cost)
+            raise Overloaded(
+                f"admission queue full ({self._inflight} in flight + "
+                f"{cost} requested > limit {limit})"
+            )
+        self._inflight += cost
+
+    def _release(self, cost: int) -> None:
+        self._inflight -= cost
+
     def suggest(self, query: str, k: int = 10) -> list[Suggestion]:
         """Top-k suggestions, served from the result cache when possible.
 
         Raises:
             QueryError: when the query has no usable keywords (callers
                 that prefer empty answers should use ``suggest_batch``).
+            Overloaded: when admission control is over ``max_pending``.
         """
+        self._admit(1)
+        try:
+            return self._suggest_one(query, k)
+        finally:
+            self._release(1)
+
+    def _suggest_one(self, query: str, k: int) -> list[Suggestion]:
+        """The single-query path, past admission control."""
         metrics = self.metrics_registry
         began = perf_counter() if metrics.enabled else 0.0
         self.stats.queries_served += 1
@@ -259,7 +480,15 @@ class SuggestionService:
         stats = self.suggester.last_stats
         stats.result_cache_misses += 1
         self.last_stats = stats
-        self._cache_put(key, suggestions)
+        if stats.partial:
+            # A deadline-truncated answer is served but never cached —
+            # a transient overload must not become a permanently
+            # incomplete top-k for this query.
+            self.stats.partial_results += 1
+            if metrics.enabled:
+                metrics.inc("partial_results_total")
+        else:
+            self._cache_put(key, suggestions)
         if metrics.enabled:
             metrics.inc("result_cache_misses_total")
             metrics.observe("request_seconds", perf_counter() - began)
@@ -282,24 +511,34 @@ class SuggestionService:
         the result cache first; with ``workers`` > 1 (or a service
         default) the remaining unique queries run on the persistent
         process pool over the shared index.
+
+        Raises:
+            Overloaded: when the whole batch does not fit under
+                ``max_pending``, or pool work is refused because the
+                circuit breaker is open — in both cases *before* any
+                query of the batch runs, so shedding is all-or-nothing.
         """
         metrics = self.metrics_registry
         if metrics.enabled:
             metrics.inc("batches_total")
-        if workers is None:
-            workers = self.workers
-        if workers is not None and workers > 1:
-            return self._suggest_batch_parallel(queries, k, workers)
-        out: list[list[Suggestion]] = []
-        for query in queries:
-            try:
-                out.append(self.suggest(query, k))
-            except QueryError:
-                self.stats.unanswerable += 1
-                if metrics.enabled:
-                    metrics.inc("unanswerable_total")
-                out.append([])
-        return out
+        self._admit(len(queries))
+        try:
+            if workers is None:
+                workers = self.workers
+            if workers is not None and workers > 1:
+                return self._suggest_batch_parallel(queries, k, workers)
+            out: list[list[Suggestion]] = []
+            for query in queries:
+                try:
+                    out.append(self._suggest_one(query, k))
+                except QueryError:
+                    self.stats.unanswerable += 1
+                    if metrics.enabled:
+                        metrics.inc("unanswerable_total")
+                    out.append([])
+            return out
+        finally:
+            self._release(len(queries))
 
     def _suggest_batch_parallel(
         self, queries: Sequence[str], k: int, workers: int
@@ -314,10 +553,23 @@ class SuggestionService:
         for key, query in zip(keys, queries):
             if key not in cache and key not in pending and key[0]:
                 pending[key] = query
-        fresh_stats: dict[
-            tuple[tuple[str, ...], int], CleaningStats
+        # Freshly computed (suggestions, stats) by key; partial answers
+        # live only here — they are served below but never cached.
+        fresh: dict[
+            tuple[tuple[str, ...], int],
+            tuple[tuple[Suggestion, ...], CleaningStats],
         ] = {}
         if pending:
+            if not self._closed and not self.breaker.allow():
+                # Shed before any work: the pool keeps failing and the
+                # parent must not absorb the whole batch in-process.
+                self.stats.shed_queries += len(queries)
+                if metrics.enabled:
+                    metrics.inc("shed_queries_total", len(queries))
+                raise Overloaded(
+                    "worker pool circuit breaker is open",
+                    retry_after=self.breaker.retry_after(),
+                )
             tasks = [(query, k) for query in pending.values()]
             answers = self._run_on_pool(tasks, workers)
             for key, answer in zip(pending, answers):
@@ -327,42 +579,57 @@ class SuggestionService:
                     # re-raises per occurrence.
                     continue
                 suggestions, stats = answer
-                self._cache_put(key, suggestions)
-                fresh_stats[key] = stats
+                if not stats.partial:
+                    self._cache_put(key, suggestions)
+                fresh[key] = (tuple(suggestions), stats)
         out: list[list[Suggestion]] = []
-        computed = set(fresh_stats)
+        computed = {key for key in fresh if key in cache}
         for key in keys:
             self.stats.queries_served += 1
             if metrics.enabled:
                 metrics.inc("queries_total")
             cached = cache.get(key)
-            if cached is None:
-                # Empty token tuple or a failed/unanswerable worker
-                # answer: unanswerable, never cached.
-                self.stats.unanswerable += 1
-                if metrics.enabled:
-                    metrics.inc("unanswerable_total")
-                out.append([])
+            if cached is not None:
+                cache.move_to_end(key)
+                if key in computed:
+                    # First service of a freshly computed answer is a
+                    # miss; duplicates later in the batch hit the
+                    # cache.  The worker's stats become last_stats,
+                    # mirroring the serial path's per-query contract.
+                    computed.discard(key)
+                    self.stats.result_cache_misses += 1
+                    stats = fresh[key][1]
+                    stats.result_cache_misses += 1
+                    self.last_stats = stats
+                    if metrics.enabled:
+                        metrics.inc("result_cache_misses_total")
+                else:
+                    self.stats.result_cache_hits += 1
+                    self.last_stats = CleaningStats(result_cache_hits=1)
+                    if metrics.enabled:
+                        metrics.inc("result_cache_hits_total")
+                out.append(list(cached))
                 continue
-            cache.move_to_end(key)
-            if key in computed:
-                # First service of a freshly computed answer is a miss;
-                # duplicates later in the batch hit the cache.  The
-                # worker's stats become last_stats, mirroring the
-                # serial path's per-query contract.
-                computed.discard(key)
+            entry = fresh.get(key)
+            if entry is not None:
+                # Deadline-truncated answer: served on every occurrence
+                # as an uncached miss, so a later retry can still get
+                # (and cache) the exact top-k.
+                suggestions, stats = entry
                 self.stats.result_cache_misses += 1
-                stats = fresh_stats[key]
-                stats.result_cache_misses += 1
+                self.stats.partial_results += 1
                 self.last_stats = stats
                 if metrics.enabled:
                     metrics.inc("result_cache_misses_total")
-            else:
-                self.stats.result_cache_hits += 1
-                self.last_stats = CleaningStats(result_cache_hits=1)
-                if metrics.enabled:
-                    metrics.inc("result_cache_hits_total")
-            out.append(list(cached))
+                    metrics.inc("partial_results_total")
+                out.append(list(suggestions))
+                continue
+            # Empty token tuple or a failed/unanswerable worker
+            # answer: unanswerable, never cached.
+            self.stats.unanswerable += 1
+            if metrics.enabled:
+                metrics.inc("unanswerable_total")
+            out.append([])
         return out
 
     # ------------------------------------------------------------------
@@ -398,14 +665,61 @@ class SuggestionService:
             self._shutdown_pool(wait=False)
             self.stats.pool_recycles += 1
             self.metrics_registry.inc("pool_recycles_total")
+            # Pool trouble on a snapshot-backed corpus may mean the
+            # file went bad under us (workers re-map it at init; the
+            # parent's old mapping would not notice).  Verify and
+            # quarantine before the next pool start re-maps garbage.
+            self._check_snapshot_health()
         return answers
 
+    def _check_snapshot_health(self) -> None:
+        """Deep-verify the backing snapshot; quarantine on corruption.
+
+        Only runs for snapshot-backed corpora that have not already
+        been quarantined.  On a CRC (or injected) failure the file is
+        moved aside, the ``snapshot_quarantined`` counters bump, and
+        the service pins itself to in-process execution — the parent's
+        mapping predates the corruption and POSIX keeps it valid
+        across the rename, so answers stay correct.
+        """
+        if self._snapshot_degraded:
+            return
+        path = getattr(self.corpus, "snapshot_path", None)
+        if path is None:
+            return
+        from repro.index.snapshot import (
+            quarantine_snapshot,
+            verify_snapshot,
+        )
+
+        try:
+            verify_snapshot(path)
+        except StorageError as error:
+            logger.warning(
+                "backing snapshot failed verification (%s); "
+                "quarantining and degrading to in-process", error
+            )
+            quarantine_snapshot(path, metrics=self.metrics_registry)
+            self.stats.snapshot_quarantined += 1
+            self._snapshot_degraded = True
+        except OSError:
+            # File already rotated/removed: nothing to verify, but
+            # workers cannot init from it either.
+            self._snapshot_degraded = True
+
     def _await_worker(self, task: tuple[str, int], future):
-        """One worker answer: timeout → retry once → degrade."""
+        """One worker answer: timeout → retry once → degrade.
+
+        Every final outcome feeds the circuit breaker: a served answer
+        (including a worker-side ``QueryError``) counts as success, an
+        exhausted retry or a crash as one failure.
+        """
         metrics = self.metrics_registry
         if future is not None:
             try:
-                return future.result(self.worker_timeout)
+                answer = future.result(self.worker_timeout)
+                self.breaker.record_success()
+                return answer
             except (TimeoutError, _FuturesTimeout):
                 self.stats.worker_timeouts += 1
                 metrics.inc("worker_timeouts_total")
@@ -413,7 +727,9 @@ class SuggestionService:
                 retry = self._resubmit(task)
                 if retry is not None:
                     try:
-                        return retry.result(self.worker_timeout)
+                        answer = retry.result(self.worker_timeout)
+                        self.breaker.record_success()
+                        return answer
                     except (TimeoutError, _FuturesTimeout):
                         self.stats.worker_timeouts += 1
                         metrics.inc("worker_timeouts_total")
@@ -422,12 +738,14 @@ class SuggestionService:
                         self.stats.worker_failures += 1
                         metrics.inc("worker_failures_total")
                 self._pool_suspect = True
+                self.breaker.record_failure()
             except Exception:
                 # Worker crash / broken pool: degrade this answer and
                 # let the batch finish.
                 self.stats.worker_failures += 1
                 metrics.inc("worker_failures_total")
                 self._pool_suspect = True
+                self.breaker.record_failure()
         return self._degrade(task)
 
     def _resubmit(self, task: tuple[str, int]):
@@ -454,7 +772,10 @@ class SuggestionService:
         self, workers: int
     ) -> ProcessPoolExecutor | None:
         """The persistent pool, started lazily and recycled when due."""
-        if self._closed:
+        if self._closed or self._snapshot_degraded:
+            # Closed, or the backing snapshot was quarantined (workers
+            # cannot re-map it; the mapped corpus is not picklable):
+            # permanent in-process execution on the parent's mapping.
             return None
         if self._pool is not None and (
             self._pool_workers != workers
@@ -519,7 +840,42 @@ class SuggestionService:
         return initializer, initargs
 
     def _shutdown_pool(self, wait: bool = True) -> None:
+        """Tear the pool down; with ``wait``, never hang on it.
+
+        ``ProcessPoolExecutor.shutdown(wait=True)`` joins worker
+        processes, so a single hung worker (infinite loop, injected
+        delay) would block forever.  Instead: signal shutdown without
+        waiting, give the workers ``close_grace`` seconds to exit,
+        then ``terminate()`` and finally ``kill()`` stragglers — the
+        pool is gone, no process leaks, bounded time.
+        """
         pool, self._pool = self._pool, None
         self._pool_suspect = False
+        processes: list = []
         if pool is not None:
-            pool.shutdown(wait=wait, cancel_futures=True)
+            processes = list(
+                (getattr(pool, "_processes", None) or {}).values()
+            )
+            pool.shutdown(wait=False, cancel_futures=True)
+        if not wait:
+            self._orphans.extend(p for p in processes if p.is_alive())
+            return
+        processes.extend(self._orphans)
+        self._orphans = []
+        if not processes:
+            return
+        grace_ends = monotonic() + max(0.0, self.close_grace)
+        for process in processes:
+            process.join(max(0.0, grace_ends - monotonic()))
+        stragglers = [p for p in processes if p.is_alive()]
+        for process in stragglers:
+            logger.warning(
+                "worker %s did not exit within %.1fs; terminating",
+                process.pid, self.close_grace,
+            )
+            process.terminate()
+        for process in stragglers:
+            process.join(1.0)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+                process.join(1.0)

@@ -72,4 +72,9 @@ class CleaningStats:
     #: means Algorithm 1 never ran for the query.
     result_cache_hits: int = 0
     result_cache_misses: int = 0
+    #: True when a deadline expired mid-query and the suggestions are
+    #: the best-so-far top-k rather than the exact answer (the anytime
+    #: contract of ``core/deadline.py``).  Partial results are served
+    #: but never cached.
+    partial: bool = False
     extra: dict[str, float] = field(default_factory=dict)

@@ -47,8 +47,39 @@ class StorageError(ReproError):
     """Raised when persisting or loading an index fails."""
 
 
+class FaultInjected(StorageError):
+    """Raised by :mod:`repro.obs.faults` when a ``raise`` action fires.
+
+    Subclasses :class:`StorageError` so injected faults travel the same
+    recovery paths real corruption does (snapshot quarantine, worker
+    failure handling) without special-casing in production code.
+
+    Attributes:
+        site: the injection-point name that fired (e.g.
+            ``"snapshot.load"``).
+    """
+
+    def __init__(self, message: str, site: str = ""):
+        super().__init__(message)
+        self.site = site
+
+
 class QueryError(ReproError):
     """Raised for invalid user queries (e.g. empty after tokenization)."""
+
+
+class Overloaded(ReproError):
+    """Typed load-shedding rejection from the serving layer.
+
+    Raised instead of queueing work when admission control is over its
+    bound or the worker-pool circuit breaker is open.  Callers should
+    back off and retry; ``retry_after`` is a hint in seconds when the
+    service can estimate one (``None`` otherwise).
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class ConfigurationError(ReproError):

@@ -71,8 +71,10 @@ from __future__ import annotations
 
 import itertools
 import json
+import logging
 import mmap
 import multiprocessing
+import os
 import struct
 import sys
 import zlib
@@ -87,16 +89,23 @@ from repro.fastss.generator import (
     VariantGenerator,
 )
 from repro.fastss.index import FastSSIndex, PartitionedFastSSIndex
+from repro.index.atomic import atomic_write
 from repro.index.corpus import CorpusIndex, QueryEngineMixin
 from repro.index.inverted import InvertedList, PackedInvertedList
 from repro.index.tokenizer import Tokenizer, TokenizerConfig
+from repro.obs.faults import active as _active_faults
 from repro.obs.metrics import INDEX_LOAD_STAGE, NULL_METRICS
 from repro.xmltree.dewey import DeweyCode
 from repro.xmltree.dewey_packed import DeweyPacker
 from repro.xmltree.labelpath import PathTable, format_path, parse_path
 
+logger = logging.getLogger(__name__)
+
 MAGIC = b"XCS3"
 VERSION = 3
+
+#: Suffix appended when a corrupt snapshot is moved aside.
+QUARANTINE_SUFFIX = ".quarantined"
 
 _HEADER = struct.Struct("<4sIII")
 _ENTRY = struct.Struct("<16sQQII")
@@ -487,7 +496,10 @@ def _write_sections(
     header = _HEADER.pack(
         MAGIC, VERSION, len(sections), zlib.crc32(table) & 0xFFFFFFFF
     )
-    with open(path, "wb") as handle:
+    # Crash-safe: the whole file lands in <path>.tmp and is renamed
+    # into place, so a build killed mid-write cannot leave a torn
+    # (loadable-looking) snapshot under the destination name.
+    with atomic_write(path, "wb") as handle:
         handle.write(header)
         handle.write(table)
         position = header_size
@@ -520,8 +532,15 @@ def _map_file(path: str) -> mmap.mmap:
 
     POSIX keeps the mapping (and the pages behind it) valid after the
     file is closed or even unlinked — the snapshot index therefore
-    survives rotation of the file it was loaded from.
+    survives rotation (or quarantine) of the file it was loaded from.
+
+    This is the ``snapshot.load`` fault-injection site: every mapping —
+    fast loads, deep verifies, worker inits — funnels through here, so
+    a plan can fail or corrupt any snapshot read deterministically.
     """
+    faults = _active_faults()
+    if faults.enabled:
+        faults.hit("snapshot.load", path=path)
     with open(path, "rb") as handle:
         if handle.seek(0, 2) == 0:
             raise StorageError("truncated snapshot: empty file")
@@ -1297,6 +1316,86 @@ def verify_snapshot(path: str) -> dict:
             mapped.close()
         except BufferError:  # pragma: no cover - defensive
             pass
+
+
+def quarantine_snapshot(path: str, metrics=None) -> str | None:
+    """Move a damaged snapshot aside so nothing loads it again.
+
+    Renames ``path`` to ``path + ".quarantined"`` (atomic; an existing
+    quarantine file from an earlier incident is overwritten) and bumps
+    the ``snapshot_quarantined_total`` counter.  Returns the quarantine
+    path, or ``None`` when the rename failed (file already gone, or a
+    permission problem — logged, not raised: quarantine is a best-effort
+    cleanup on an already-failing path).
+
+    Live mappings of the file keep working after the rename (POSIX
+    keeps mapped pages valid), so a parent process that loaded the
+    snapshot before it went bad continues serving while new loads and
+    new workers fall back.
+    """
+    metrics = metrics or NULL_METRICS
+    target = path + QUARANTINE_SUFFIX
+    try:
+        os.replace(path, target)
+    except OSError as error:
+        logger.warning(
+            "could not quarantine snapshot %s: %s", path, error
+        )
+        return None
+    metrics.inc("snapshot_quarantined_total")
+    logger.warning("quarantined corrupt snapshot %s -> %s", path, target)
+    return target
+
+
+def load_resilient(
+    path: str,
+    metrics=None,
+    verify: bool = False,
+    fallback_path: str | None = None,
+    rebuild=None,
+):
+    """Load an on-disk index, quarantining a corrupt v3 snapshot.
+
+    The degradation ladder:
+
+    1. ``snapshot_or_corpus(path)`` — optionally preceded by a deep
+       per-section CRC check (``verify=True``) when the file is a v3
+       snapshot;
+    2. on a :class:`StorageError` from a v3 snapshot, the file is
+       quarantined (moved to ``path + ".quarantined"``, counter
+       bumped) and the loader falls back to ``fallback_path`` (a v1/v2
+       index or older snapshot) when given;
+    3. else to ``rebuild()`` — a zero-argument callable returning a
+       fresh corpus index (e.g. re-parsing the source documents).
+
+    Corruption in a *non*-snapshot file is not quarantined (the v1/v2
+    formats are the fallback tier, not the managed artifact) but still
+    falls through the same ladder.  Raises the original
+    :class:`StorageError` when no fallback recovers.
+    """
+    metrics = metrics or NULL_METRICS
+    try:
+        with open(path, "rb") as handle:
+            magic = handle.read(len(MAGIC))
+        is_snapshot = magic == MAGIC
+        if is_snapshot and verify:
+            verify_snapshot(path)
+        return snapshot_or_corpus(path, metrics=metrics)
+    except StorageError as error:
+        if is_snapshot:
+            quarantine_snapshot(path, metrics=metrics)
+        logger.warning("index load failed for %s: %s", path, error)
+        if fallback_path is not None:
+            try:
+                return load_resilient(
+                    fallback_path, metrics=metrics, verify=verify,
+                    rebuild=rebuild,
+                )
+            except StorageError:
+                pass
+        if rebuild is not None:
+            return rebuild()
+        raise
 
 
 def snapshot_or_corpus(path: str, metrics=None):

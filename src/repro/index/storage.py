@@ -17,6 +17,7 @@ from typing import TextIO
 from repro.exceptions import StorageError
 from repro.index.corpus import CorpusIndex
 from repro.index.inverted import InvertedIndex, InvertedList
+from repro.index.atomic import atomic_write
 from repro.index.path_index import PathIndex, path_counts_from_postings
 from repro.index.tokenizer import Tokenizer
 from repro.index.vocabulary import Vocabulary
@@ -32,8 +33,13 @@ VERSION = 2
 
 
 def save_index(index: CorpusIndex, path: str) -> None:
-    """Write ``index`` to ``path`` (overwriting)."""
-    with open(path, "w", encoding="utf-8") as handle:
+    """Write ``index`` to ``path`` (overwriting, crash-safe).
+
+    The bytes land in ``<path>.tmp`` and are atomically renamed into
+    place, so a crash mid-write never leaves a torn file under
+    ``path`` (see :mod:`repro.index.atomic`).
+    """
+    with atomic_write(path, "w", encoding="utf-8") as handle:
         write_index(index, handle)
 
 

@@ -34,6 +34,7 @@ from repro.index.compression import (
     write_string,
     write_uvarint,
 )
+from repro.index.atomic import atomic_write
 from repro.index.corpus import CorpusIndex
 from repro.index.inverted import InvertedIndex, InvertedList
 from repro.index.path_index import PathIndex, path_counts_from_postings
@@ -191,8 +192,11 @@ def loads_binary(data: bytes) -> CorpusIndex:
 
 
 def save_index_binary(index: CorpusIndex, path: str) -> None:
-    """Write the compact binary form to ``path``."""
-    with open(path, "wb") as handle:
+    """Write the compact binary form to ``path`` (crash-safe).
+
+    Atomic temp-file rename as in :func:`repro.index.storage.save_index`.
+    """
+    with atomic_write(path, "wb") as handle:
         handle.write(dumps_binary(index))
 
 

@@ -1,6 +1,15 @@
-"""Observability for the serving layer: metrics, timers, exporters."""
+"""Observability for the serving layer: metrics, timers, faults."""
 
 from repro.obs.export import MetricsSnapshot
+from repro.obs.faults import (
+    NULL_FAULTS,
+    FaultAction,
+    FaultPlan,
+    NullFaultPlan,
+    SITES,
+    injected,
+    install_spec,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     INDEX_LOAD_STAGE,
@@ -15,11 +24,18 @@ from repro.obs.metrics import (
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "FaultAction",
+    "FaultPlan",
     "Histogram",
     "INDEX_LOAD_STAGE",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "NULL_FAULTS",
     "NULL_METRICS",
+    "NullFaultPlan",
     "NullMetrics",
+    "SITES",
     "STAGE_HISTOGRAM",
+    "injected",
+    "install_spec",
 ]

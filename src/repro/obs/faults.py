@@ -1,0 +1,334 @@
+"""Deterministic fault injection for reliability drills.
+
+Production code is sprinkled with a handful of **named injection
+points** (sites); each site is a single guarded call::
+
+    faults = active()
+    ...
+    if faults.enabled:
+        faults.hit("merge.step")
+
+With no plan installed (the default) ``active()`` returns
+:data:`NULL_FAULTS`, whose ``enabled`` is ``False`` — the hot path pays
+one attribute load and a falsy branch per site, nothing else
+(``benchmarks/bench_serving.py`` asserts the overhead stays under 5%).
+
+A :class:`FaultPlan` maps sites to actions that fire deterministically:
+
+* ``raise`` — raise :class:`~repro.exceptions.FaultInjected` (a
+  :class:`~repro.exceptions.StorageError`, so the fault travels the
+  same recovery paths real corruption does);
+* ``delay`` — sleep for a fixed number of seconds (simulates a hung
+  worker, a slow disk, a stalled merge stage);
+* ``corrupt`` — flip one byte of the file passed to ``hit`` at a
+  seed-derived offset (produces *real* CRC failures in on-disk
+  indexes; only meaningful at sites that hand over a path).
+
+Actions are scheduled by hit count: ``after`` skips the first N hits of
+the site, ``times`` bounds how often the action fires (``None`` =
+every matching hit).  Counters are per-plan and per-process — a forked
+worker inherits the installed plan and counts its own hits — so a
+seeded plan replays identically run over run.
+
+Plans parse from a compact spec string (the ``XCleanConfig.fault_plan``
+field and the ``xclean chaos --plan`` flag)::
+
+    site:kind[=value][@after][xN][;site:kind...]
+
+    "worker.query:delay=0.5"         delay every worker query 0.5s
+    "merge.step:delay=0.01@3"        delay merge steps after the 3rd
+    "snapshot.load:raise"            fail every snapshot load
+    "snapshot.load:corrupt@0x1"      corrupt the file on the 1st load
+    "worker.init:raise x2"           fail the first two worker inits
+
+Install a plan process-globally with :func:`install` /
+:func:`uninstall`, or scoped with the :func:`injected` context manager
+(what the reliability tests use).  ``SuggestionService`` and the pool
+worker initializers install the plan named by
+``XCleanConfig.fault_plan`` automatically, so a spec reaches spawned
+workers even without fork inheritance.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.exceptions import ConfigurationError, FaultInjected
+
+#: The named injection points wired into production code.
+SITES = (
+    "snapshot.load",
+    "worker.init",
+    "worker.query",
+    "merge.step",
+    "variant.gen",
+)
+
+#: Sites that receive a file path and therefore support ``corrupt``.
+_PATH_SITES = frozenset({"snapshot.load"})
+
+_KINDS = ("raise", "delay", "corrupt")
+
+_ACTION_RE = re.compile(
+    r"^(?P<site>[a-z_.]+):(?P<kind>[a-z]+)"
+    r"(?:=(?P<value>[0-9.]+))?"
+    r"(?:@(?P<after>\d+))?"
+    r"(?:\s*x(?P<times>\d+))?$"
+)
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault at one site (see module docstring)."""
+
+    site: str
+    kind: str
+    #: Delay duration in seconds (``delay`` only).
+    seconds: float = 0.0
+    #: Skip the first ``after`` hits of the site.
+    after: int = 0
+    #: Fire at most this many times; ``None`` fires on every hit.
+    times: int | None = None
+
+    def __post_init__(self):
+        if self.site not in SITES:
+            raise ConfigurationError(
+                f"unknown fault site {self.site!r}; known sites: "
+                f"{', '.join(SITES)}"
+            )
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; known kinds: "
+                f"{', '.join(_KINDS)}"
+            )
+        if self.kind == "corrupt" and self.site not in _PATH_SITES:
+            raise ConfigurationError(
+                f"fault kind 'corrupt' needs a file-backed site "
+                f"({', '.join(sorted(_PATH_SITES))}), not {self.site!r}"
+            )
+        if self.seconds < 0:
+            raise ConfigurationError("fault delay must be >= 0 seconds")
+
+    def spec(self) -> str:
+        """The action as a spec fragment (round-trips via ``parse``)."""
+        out = f"{self.site}:{self.kind}"
+        if self.kind == "delay":
+            out += f"={self.seconds:g}"
+        if self.after:
+            out += f"@{self.after}"
+        if self.times is not None:
+            out += f"x{self.times}"
+        return out
+
+
+class NullFaultPlan:
+    """The disabled plan: every hook is a no-op (the default)."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def hit(self, site: str, path: str | None = None) -> None:
+        pass
+
+    def fired(self) -> dict[str, int]:
+        return {}
+
+    def describe(self) -> dict:
+        return {"enabled": False, "actions": []}
+
+
+#: Shared disabled plan; safe to use as a default everywhere.
+NULL_FAULTS = NullFaultPlan()
+
+
+@dataclass
+class _SiteState:
+    hits: int = 0
+    fired: dict[int, int] = field(default_factory=dict)
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of fault actions."""
+
+    enabled = True
+
+    def __init__(self, actions: list[FaultAction], seed: int = 0):
+        self.seed = seed
+        self.actions = tuple(actions)
+        self._by_site: dict[str, list[tuple[int, FaultAction]]] = {}
+        for index, action in enumerate(self.actions):
+            self._by_site.setdefault(action.site, []).append(
+                (index, action)
+            )
+        self._state: dict[str, _SiteState] = {
+            site: _SiteState() for site in self._by_site
+        }
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse a ``site:kind[=value][@after][xN][;...]`` spec string."""
+        actions: list[FaultAction] = []
+        for chunk in re.split(r"[;,]", spec):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            match = _ACTION_RE.match(chunk)
+            if match is None:
+                raise ConfigurationError(
+                    f"unparseable fault spec {chunk!r}; expected "
+                    f"site:kind[=seconds][@after][xN]"
+                )
+            kind = match.group("kind")
+            value = match.group("value")
+            if kind == "delay" and value is None:
+                raise ConfigurationError(
+                    f"fault spec {chunk!r}: delay needs =seconds"
+                )
+            actions.append(
+                FaultAction(
+                    site=match.group("site"),
+                    kind=kind,
+                    seconds=float(value) if value else 0.0,
+                    after=int(match.group("after") or 0),
+                    times=(
+                        int(match.group("times"))
+                        if match.group("times")
+                        else None
+                    ),
+                )
+            )
+        if not actions:
+            raise ConfigurationError(
+                f"fault spec {spec!r} contains no actions"
+            )
+        return cls(actions, seed=seed)
+
+    def spec(self) -> str:
+        """The plan as a spec string (round-trips via ``parse``)."""
+        return ";".join(action.spec() for action in self.actions)
+
+    # ------------------------------------------------------------------
+    # The injection hook
+    # ------------------------------------------------------------------
+
+    def hit(self, site: str, path: str | None = None) -> None:
+        """One pass through the named site; fires any due actions.
+
+        ``raise`` actions raise :class:`FaultInjected` *after* the hit
+        is recorded, so schedules keep advancing deterministically.
+        """
+        scheduled = self._by_site.get(site)
+        if not scheduled:
+            return
+        state = self._state[site]
+        count = state.hits
+        state.hits = count + 1
+        for index, action in scheduled:
+            if count < action.after:
+                continue
+            fired = state.fired.get(index, 0)
+            if action.times is not None and fired >= action.times:
+                continue
+            state.fired[index] = fired + 1
+            if action.kind == "delay":
+                time.sleep(action.seconds)
+            elif action.kind == "corrupt":
+                if path is not None:
+                    self._corrupt_file(path, site, index, fired)
+            else:  # raise
+                raise FaultInjected(
+                    f"injected fault at {site} "
+                    f"(hit {count}, action {action.spec()!r})",
+                    site=site,
+                )
+
+    def _corrupt_file(
+        self, path: str, site: str, index: int, fired: int
+    ) -> None:
+        """Flip one byte of ``path`` at a seed-derived offset."""
+        size = os.path.getsize(path)
+        if size == 0:
+            return
+        rng = random.Random(f"{self.seed}:{site}:{index}:{fired}")
+        offset = rng.randrange(size)
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def fired(self) -> dict[str, int]:
+        """Total actions fired per site (for chaos reports)."""
+        out: dict[str, int] = {}
+        for site, state in self._state.items():
+            total = sum(state.fired.values())
+            if total:
+                out[site] = total
+        return out
+
+    def describe(self) -> dict:
+        return {
+            "enabled": True,
+            "seed": self.seed,
+            "actions": [action.spec() for action in self.actions],
+            "fired": self.fired(),
+        }
+
+
+# ----------------------------------------------------------------------
+# The process-global active plan
+# ----------------------------------------------------------------------
+
+_ACTIVE: FaultPlan | NullFaultPlan = NULL_FAULTS
+
+
+def active() -> FaultPlan | NullFaultPlan:
+    """The currently installed plan (:data:`NULL_FAULTS` by default)."""
+    return _ACTIVE
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` process-globally; returns it for chaining."""
+    global _ACTIVE
+    _ACTIVE = plan
+    return plan
+
+
+def install_spec(spec: str, seed: int = 0) -> FaultPlan:
+    """Parse and install a spec string (config / CLI entry point)."""
+    return install(FaultPlan.parse(spec, seed=seed))
+
+
+def uninstall() -> None:
+    """Restore the no-op default plan."""
+    global _ACTIVE
+    _ACTIVE = NULL_FAULTS
+
+
+@contextmanager
+def injected(plan: FaultPlan | str, seed: int = 0) -> Iterator[FaultPlan]:
+    """Scope a plan to a ``with`` block (tests, drills)."""
+    if isinstance(plan, str):
+        plan = FaultPlan.parse(plan, seed=seed)
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous

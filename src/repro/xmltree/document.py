@@ -63,16 +63,24 @@ class XMLDocument:
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_string(cls, text: str, name: str = "document") -> XMLDocument:
-        """Parse a single XML document from a string."""
+    def from_string(
+        cls, text: str | bytes, name: str = "document"
+    ) -> XMLDocument:
+        """Parse a single XML document from a string (or UTF-8 bytes)."""
         return cls(xml_parser.parse_document(text), name=name)
 
     @classmethod
     def from_file(cls, path: str, name: str | None = None) -> XMLDocument:
-        """Parse a single XML document from a file path."""
-        with open(path, "r", encoding="utf-8") as handle:
-            text = handle.read()
-        return cls.from_string(text, name=name or path)
+        """Parse a single XML document from a file path.
+
+        The file is read as raw bytes and decoded by the parser, so a
+        non-UTF-8 file raises a typed
+        :class:`~repro.exceptions.XMLParseError` (with the offending
+        byte offset) instead of an untyped ``UnicodeDecodeError``.
+        """
+        with open(path, "rb") as handle:
+            data = handle.read()
+        return cls.from_string(data, name=name or path)
 
     @classmethod
     def from_trees(

@@ -65,6 +65,13 @@ LATIN_ENTITIES = {
     "nbsp": " ", "times": "×", "micro": "µ", "reg": "®",
 }
 
+#: Maximum element nesting depth accepted by the parser.  Deeper input
+#: (hostile or corrupt) would otherwise exhaust the Python recursion
+#: limit with an untyped ``RecursionError`` — and Dewey codes of that
+#: depth could not be packed into the fixed-width int64 keys the v3
+#: snapshot format stores anyway.
+MAX_ELEMENT_DEPTH = 200
+
 #: Label used for wrapped text runs in mixed content.
 TEXT_LABEL = "#text"
 
@@ -125,9 +132,11 @@ def encode_text(text: str) -> str:
 class _Scanner:
     """Cursor over the raw document with primitive scanning operations."""
 
-    def __init__(self, text: str):
+    def __init__(self, text: str, max_depth: int = MAX_ELEMENT_DEPTH):
         self.text = text
         self.pos = 0
+        self.depth = 0
+        self.max_depth = max_depth
 
     def error(self, message: str) -> XMLParseError:
         return XMLParseError(message, self.pos)
@@ -217,18 +226,35 @@ def _skip_prolog(scanner: _Scanner) -> None:
             return
 
 
-def parse_document(text: str) -> XMLNode:
+def parse_document(
+    text: str | bytes, max_depth: int = MAX_ELEMENT_DEPTH
+) -> XMLNode:
     """Parse a complete XML document and return its root node.
 
     Dewey codes are *not* assigned; callers (usually
     :class:`repro.xmltree.document.XMLDocument`) decide the root code,
     since a collection may hang several documents under a virtual root.
 
+    ``bytes`` input is decoded as UTF-8 first; undecodable bytes raise
+    the same typed error as any other malformed input, with the byte
+    offset in ``position``.
+
     Raises:
-        XMLParseError: on malformed input or trailing non-whitespace
-            content after the root element.
+        XMLParseError: on malformed input (truncated documents,
+            mismatched tags, undecodable bytes, nesting deeper than
+            ``max_depth``) or trailing non-whitespace content after
+            the root element.
     """
-    scanner = _Scanner(text)
+    if isinstance(text, (bytes, bytearray)):
+        try:
+            text = bytes(text).decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise XMLParseError(
+                f"document is not valid UTF-8: {error.reason} at byte "
+                f"{error.start}",
+                error.start,
+            ) from None
+    scanner = _Scanner(text, max_depth=max_depth)
     _skip_prolog(scanner)
     if scanner.peek() != "<":
         raise scanner.error("expected root element")
@@ -251,6 +277,19 @@ def parse_document(text: str) -> XMLNode:
 
 def _parse_element(scanner: _Scanner) -> XMLNode:
     """Parse one element starting at ``<name``; returns the subtree."""
+    scanner.depth += 1
+    if scanner.depth > scanner.max_depth:
+        raise scanner.error(
+            f"element nesting exceeds the maximum depth "
+            f"{scanner.max_depth} (corrupt or hostile input?)"
+        )
+    try:
+        return _parse_element_body(scanner)
+    finally:
+        scanner.depth -= 1
+
+
+def _parse_element_body(scanner: _Scanner) -> XMLNode:
     scanner.expect("<")
     name = scanner.scan_name()
     node = XMLNode(name)

@@ -1,0 +1,187 @@
+"""Unit tests for the fault-injection harness (repro/obs/faults.py)."""
+
+import time
+
+import pytest
+
+from repro.core.config import XCleanConfig
+from repro.exceptions import ConfigurationError, FaultInjected
+from repro.obs import faults
+from repro.obs.faults import NULL_FAULTS, FaultAction, FaultPlan, injected
+
+
+class TestSpecParsing:
+    def test_round_trip(self):
+        spec = "worker.query:delay=0.5@3x2;snapshot.load:raise"
+        plan = FaultPlan.parse(spec, seed=7)
+        assert plan.spec() == spec
+        assert FaultPlan.parse(plan.spec(), seed=7).spec() == spec
+
+    def test_comma_and_semicolon_separators(self):
+        plan = FaultPlan.parse("merge.step:raise, variant.gen:raise")
+        assert len(plan.actions) == 2
+
+    def test_delay_requires_seconds(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse("worker.query:delay")
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse("bogus.site:raise")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse("worker.query:explode")
+
+    def test_corrupt_needs_path_bearing_site(self):
+        with pytest.raises(ConfigurationError):
+            FaultAction(site="merge.step", kind="corrupt")
+        # snapshot.load hands over a path, so corrupt is legal there.
+        FaultAction(site="snapshot.load", kind="corrupt")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse("  ;  ")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse("worker.query raise")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultAction(site="merge.step", kind="delay", seconds=-1.0)
+
+
+class TestScheduling:
+    def test_raise_fires_every_hit(self):
+        plan = FaultPlan.parse("merge.step:raise")
+        for _ in range(3):
+            with pytest.raises(FaultInjected) as excinfo:
+                plan.hit("merge.step")
+            assert excinfo.value.site == "merge.step"
+        assert plan.fired() == {"merge.step": 3}
+
+    def test_after_skips_first_hits(self):
+        plan = FaultPlan.parse("merge.step:raise@2")
+        plan.hit("merge.step")
+        plan.hit("merge.step")
+        with pytest.raises(FaultInjected):
+            plan.hit("merge.step")
+
+    def test_times_caps_firings(self):
+        plan = FaultPlan.parse("merge.step:raise x2")
+        for _ in range(2):
+            with pytest.raises(FaultInjected):
+                plan.hit("merge.step")
+        plan.hit("merge.step")  # exhausted: no-op now
+        assert plan.fired() == {"merge.step": 2}
+
+    def test_raise_still_advances_schedule(self):
+        # The hit is recorded before the raise, so a one-shot action
+        # stays one-shot even though it raised.
+        plan = FaultPlan.parse("variant.gen:raise@1x1")
+        plan.hit("variant.gen")
+        with pytest.raises(FaultInjected):
+            plan.hit("variant.gen")
+        plan.hit("variant.gen")
+        assert plan.fired() == {"variant.gen": 1}
+
+    def test_delay_sleeps(self):
+        plan = FaultPlan.parse("worker.query:delay=0.05x1")
+        began = time.perf_counter()
+        plan.hit("worker.query")
+        assert time.perf_counter() - began >= 0.04
+        began = time.perf_counter()
+        plan.hit("worker.query")  # capped: no further sleep
+        assert time.perf_counter() - began < 0.04
+
+    def test_unlisted_site_is_noop(self):
+        plan = FaultPlan.parse("merge.step:raise")
+        plan.hit("worker.query")
+        assert plan.fired() == {}
+
+    def test_describe_reports_actions_and_fired(self):
+        plan = FaultPlan.parse("merge.step:raise x1", seed=3)
+        with pytest.raises(FaultInjected):
+            plan.hit("merge.step")
+        description = plan.describe()
+        assert description["enabled"] is True
+        assert description["seed"] == 3
+        assert description["actions"] == ["merge.step:raise x1".replace(" ", "")]
+        assert description["fired"] == {"merge.step": 1}
+
+
+class TestCorrupt:
+    def test_flips_exactly_one_byte_deterministically(self, tmp_path):
+        payload = bytes(range(256)) * 8
+        target = tmp_path / "data.bin"
+
+        def corrupt_once(seed):
+            target.write_bytes(payload)
+            plan = FaultPlan.parse("snapshot.load:corrupt", seed=seed)
+            plan.hit("snapshot.load", path=str(target))
+            return target.read_bytes()
+
+        first = corrupt_once(seed=11)
+        diffs = [i for i, (a, b) in enumerate(zip(payload, first)) if a != b]
+        assert len(diffs) == 1
+        # Same seed, fresh plan: identical corruption.
+        assert corrupt_once(seed=11) == first
+
+    def test_corrupt_without_path_is_noop(self, tmp_path):
+        plan = FaultPlan.parse("snapshot.load:corrupt")
+        plan.hit("snapshot.load")  # no path: nothing to flip
+
+    def test_corrupt_empty_file_is_noop(self, tmp_path):
+        target = tmp_path / "empty.bin"
+        target.write_bytes(b"")
+        plan = FaultPlan.parse("snapshot.load:corrupt")
+        plan.hit("snapshot.load", path=str(target))
+        assert target.read_bytes() == b""
+
+
+class TestInstallation:
+    def test_default_is_null_plan(self):
+        assert faults.active() is NULL_FAULTS
+        assert NULL_FAULTS.enabled is False
+        NULL_FAULTS.hit("merge.step")  # no-op
+        assert NULL_FAULTS.fired() == {}
+        assert NULL_FAULTS.describe()["enabled"] is False
+
+    def test_injected_scopes_and_restores(self):
+        with injected("merge.step:raise") as plan:
+            assert faults.active() is plan
+            with pytest.raises(FaultInjected):
+                faults.active().hit("merge.step")
+        assert faults.active() is NULL_FAULTS
+
+    def test_injected_nests(self):
+        with injected("merge.step:raise") as outer:
+            with injected("variant.gen:raise") as inner:
+                assert faults.active() is inner
+            assert faults.active() is outer
+        assert faults.active() is NULL_FAULTS
+
+    def test_install_spec_and_uninstall(self):
+        plan = faults.install_spec("worker.init:raise", seed=5)
+        try:
+            assert faults.active() is plan
+            assert plan.seed == 5
+        finally:
+            faults.uninstall()
+        assert faults.active() is NULL_FAULTS
+
+
+class TestConfigValidation:
+    def test_fault_plan_validated_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            XCleanConfig(fault_plan="not a plan")
+        XCleanConfig(fault_plan="merge.step:delay=0.1")
+
+    def test_deadline_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            XCleanConfig(deadline_seconds=0)
+        with pytest.raises(ConfigurationError):
+            XCleanConfig(deadline_seconds=-1.5)
+        XCleanConfig(deadline_seconds=0.5)
+        XCleanConfig(deadline_seconds=None)

@@ -1,0 +1,317 @@
+"""Self-healing serving: admission control, circuit breaker, close().
+
+Every drill here must end in one of exactly three outcomes — a correct
+answer, a ``partial=True`` answer, or a typed error — and never a hang,
+a leaked process, or a wrong top-k.
+"""
+
+import time
+
+import pytest
+
+from repro.core import server as server_module
+from repro.core.config import XCleanConfig
+from repro.core.server import CircuitBreaker, SuggestionService
+from repro.exceptions import ConfigurationError, Overloaded
+from repro.index.corpus import build_corpus_index
+from repro.obs import MetricsRegistry
+from repro.xmltree.builder import paper_example_tree
+from repro.xmltree.document import XMLDocument
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus_index(XMLDocument(paper_example_tree()))
+
+
+def make_service(corpus, **kwargs):
+    return SuggestionService(
+        corpus, config=XCleanConfig(max_errors=1), **kwargs
+    )
+
+
+def _rows(batches):
+    return [
+        [(s.tokens, s.result_type) for s in suggestions]
+        for suggestions in batches
+    ]
+
+
+# Module-level so they pickle by reference; the pool forks after the
+# monkeypatch, so workers inherit the stand-in.
+def _crashy_worker(task):
+    raise RuntimeError("worker crash (injected)")
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=10.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=10.0)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_cycle(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.retry_after() == pytest.approx(5.0)
+        clock.now = 4.0
+        assert not breaker.allow()
+        clock.now = 5.0
+        assert breaker.allow()  # this dispatch IS the probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # one probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.retry_after() == pytest.approx(5.0)
+
+    def test_retry_after_none_when_not_open(self):
+        breaker = CircuitBreaker()
+        assert breaker.retry_after() is None
+
+    def test_transitions_visible_in_metrics(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            threshold=1, cooldown=0.0, metrics=registry, clock=clock
+        )
+        breaker.record_failure()
+        breaker.allow()
+        breaker.record_success()
+        counters = registry.snapshot().as_dict()["counters"]
+        assert counters['breaker_transitions_total{to="open"}'] == 1
+        assert counters['breaker_transitions_total{to="half_open"}'] == 1
+        assert counters['breaker_transitions_total{to="closed"}'] == 1
+
+    def test_validates_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(cooldown=-1.0)
+
+
+class TestAdmissionControl:
+    def test_oversized_batch_shed_whole(self, corpus):
+        service = make_service(corpus, max_pending=2)
+        with pytest.raises(Overloaded):
+            service.suggest_batch(["tree icdt", "databas", "icde"], 5)
+        assert service.stats.shed_queries == 3
+        assert service.stats.queries_served == 0
+
+    def test_shed_releases_nothing(self, corpus):
+        # A shed batch must not leak reserved slots: a batch that fits
+        # afterwards is admitted and answered.
+        service = make_service(corpus, max_pending=2)
+        with pytest.raises(Overloaded):
+            service.suggest_batch(["a b", "c d", "e f"], 5)
+        batch = service.suggest_batch(["tree icdt", "databas"], 5)
+        assert len(batch) == 2
+        assert service._inflight == 0
+
+    def test_shed_counter_exported(self, corpus):
+        service = make_service(corpus, max_pending=1)
+        with pytest.raises(Overloaded):
+            service.suggest_batch(["tree icdt", "databas"], 5)
+        counters = service.metrics().as_dict()["counters"]
+        assert counters["shed_queries_total"] == 2
+
+    def test_unbounded_by_default(self, corpus):
+        service = make_service(corpus)
+        batch = service.suggest_batch(["tree icdt"] * 50, 5)
+        assert len(batch) == 50
+        assert service.stats.shed_queries == 0
+
+    def test_max_pending_validated(self, corpus):
+        with pytest.raises(ConfigurationError):
+            make_service(corpus, max_pending=0)
+
+
+class TestBreakerInService:
+    def test_crashing_pool_opens_breaker_then_recovers(
+        self, corpus, monkeypatch
+    ):
+        reference = make_service(corpus).suggest_batch(
+            ["tree icdt", "databas", "tree icde"], 5
+        )
+        monkeypatch.setattr(
+            server_module, "_worker_suggest", _crashy_worker
+        )
+        with make_service(
+            corpus, breaker_threshold=1, breaker_cooldown=60.0
+        ) as service:
+            # Batch 1: the worker crashes, the answer degrades to the
+            # parent (still correct), and the breaker opens.
+            first = service.suggest_batch(["tree icdt"], 5, workers=2)
+            assert _rows(first) == _rows(reference[:1])
+            assert service.breaker.state == "open"
+            assert service.stats.worker_failures >= 1
+            assert service.stats.degraded_queries >= 1
+
+            # Batch 2 (fresh query, open breaker): shed with a typed
+            # error before any work, retry_after tells callers when.
+            with pytest.raises(Overloaded) as excinfo:
+                service.suggest_batch(["databas"], 5, workers=2)
+            assert excinfo.value.retry_after is not None
+            assert excinfo.value.retry_after <= 60.0
+            assert service.stats.shed_queries == 1
+
+            # Cached answers still flow while the breaker is open.
+            cached = service.suggest_batch(["tree icdt"], 5, workers=2)
+            assert _rows(cached) == _rows(reference[:1])
+
+            # Cooldown over + healthy workers again: the next batch is
+            # the half-open probe; success closes the breaker.
+            monkeypatch.undo()
+            service.breaker.cooldown = 0.0
+            third = service.suggest_batch(["tree icde"], 5, workers=2)
+            assert _rows(third) == _rows(reference[2:])
+            assert service.breaker.state == "closed"
+
+    def test_open_breaker_sheds_whole_batch(self, corpus, monkeypatch):
+        monkeypatch.setattr(
+            server_module, "_worker_suggest", _crashy_worker
+        )
+        with make_service(
+            corpus, breaker_threshold=1, breaker_cooldown=60.0
+        ) as service:
+            service.suggest_batch(["tree icdt"], 5, workers=2)
+            with pytest.raises(Overloaded):
+                service.suggest_batch(
+                    ["databas", "tree icde"], 5, workers=2
+                )
+            # The whole batch was shed: nothing served, both counted.
+            assert service.stats.shed_queries == 2
+            assert service.stats.queries_served == 1
+
+
+class TestWorkerFaultPlans:
+    """Fault plans travel to pool workers through the config."""
+
+    def test_worker_query_raise_degrades_to_correct_answer(self, corpus):
+        reference = make_service(corpus).suggest_batch(["tree icdt"], 5)
+        config = XCleanConfig(
+            max_errors=1, fault_plan="worker.query:raise"
+        )
+        with SuggestionService(corpus, config=config) as service:
+            batch = service.suggest_batch(["tree icdt"], 5, workers=2)
+        assert _rows(batch) == _rows(reference)
+        assert service.stats.worker_failures >= 1
+        assert service.stats.degraded_queries == 1
+
+    def test_worker_init_raise_degrades_to_correct_answer(self, corpus):
+        reference = make_service(corpus).suggest_batch(["tree icdt"], 5)
+        config = XCleanConfig(
+            max_errors=1, fault_plan="worker.init:raise"
+        )
+        with SuggestionService(corpus, config=config) as service:
+            batch = service.suggest_batch(["tree icdt"], 5, workers=2)
+        assert _rows(batch) == _rows(reference)
+        assert service.stats.degraded_queries == 1
+
+    def test_worker_delay_past_timeout_retries_then_degrades(
+        self, corpus
+    ):
+        reference = make_service(corpus).suggest_batch(["tree icdt"], 5)
+        config = XCleanConfig(
+            max_errors=1, fault_plan="worker.query:delay=0.5"
+        )
+        with SuggestionService(
+            corpus,
+            config=config,
+            worker_timeout=0.1,
+            close_grace=0.2,
+        ) as service:
+            batch = service.suggest_batch(["tree icdt"], 5, workers=2)
+            assert _rows(batch) == _rows(reference)
+            assert service.stats.worker_timeouts == 2
+            assert service.stats.degraded_queries == 1
+            assert service.stats.pool_recycles == 1
+
+
+class TestCloseUnderFailure:
+    def test_close_with_hung_worker_neither_deadlocks_nor_leaks(
+        self, corpus
+    ):
+        # A worker sleeping far past close() must be terminated within
+        # the grace budget, not joined forever and not left running.
+        config = XCleanConfig(
+            max_errors=1, fault_plan="worker.query:delay=30"
+        )
+        service = SuggestionService(
+            corpus,
+            config=config,
+            worker_timeout=0.1,
+            close_grace=0.2,
+        )
+        batch = service.suggest_batch(["tree icdt"], 5, workers=2)
+        assert batch[0]  # degraded in-process, still answered
+        # The suspect pool was torn down without waiting; its hung
+        # workers are tracked for reaping.
+        hung = list(service._orphans)
+        assert any(p.is_alive() for p in hung)
+        began = time.perf_counter()
+        service.close()
+        elapsed = time.perf_counter() - began
+        assert elapsed < 5.0  # bounded, not a 30s join
+        for process in hung:
+            process.join(1.0)
+            assert not process.is_alive()
+        assert service._orphans == []
+
+    def test_close_idempotent_after_forced_teardown(self, corpus):
+        config = XCleanConfig(
+            max_errors=1, fault_plan="worker.query:delay=30"
+        )
+        service = SuggestionService(
+            corpus,
+            config=config,
+            worker_timeout=0.1,
+            close_grace=0.2,
+        )
+        service.suggest_batch(["tree icdt"], 5, workers=2)
+        service.close()
+        service.close()  # second close: nothing left, returns at once
+        batch = service.suggest_batch(["databas"], 5, workers=2)
+        assert len(batch) == 1  # degraded serving still works
+
+    def test_close_with_open_breaker(self, corpus, monkeypatch):
+        monkeypatch.setattr(
+            server_module, "_worker_suggest", _crashy_worker
+        )
+        service = make_service(
+            corpus, breaker_threshold=1, breaker_cooldown=60.0
+        )
+        service.suggest_batch(["tree icdt"], 5, workers=2)
+        assert service.breaker.state == "open"
+        began = time.perf_counter()
+        service.close()
+        assert time.perf_counter() - began < 5.0
+        assert service._pool is None

@@ -1,0 +1,84 @@
+"""Hostile-input hardening of the XML parser (typed errors, no hangs)."""
+
+import pytest
+
+from repro.exceptions import XMLParseError
+from repro.xmltree.document import XMLDocument
+from repro.xmltree.parser import MAX_ELEMENT_DEPTH, parse_document
+
+
+def _nested(depth):
+    opens = "".join(f"<n{i}>" for i in range(depth))
+    closes = "".join(f"</n{i}>" for i in reversed(range(depth)))
+    return f"{opens}x{closes}"
+
+
+class TestDepthGuard:
+    def test_depth_at_limit_parses(self):
+        root = parse_document(_nested(MAX_ELEMENT_DEPTH))
+        assert root.label == "n0"
+
+    def test_depth_past_limit_raises_typed(self):
+        with pytest.raises(XMLParseError) as excinfo:
+            parse_document(_nested(MAX_ELEMENT_DEPTH + 1))
+        assert "depth" in str(excinfo.value)
+
+    def test_custom_limit(self):
+        parse_document(_nested(3), max_depth=3)
+        with pytest.raises(XMLParseError):
+            parse_document(_nested(4), max_depth=3)
+
+    def test_siblings_do_not_accumulate_depth(self):
+        # Depth is nesting, not element count: many siblings are fine.
+        body = "".join(f"<c>{i}</c>" for i in range(MAX_ELEMENT_DEPTH * 2))
+        root = parse_document(f"<root>{body}</root>")
+        assert len(root.children) == MAX_ELEMENT_DEPTH * 2
+
+
+class TestBytesInput:
+    def test_utf8_bytes_parse(self):
+        root = parse_document("<a>héllo</a>".encode("utf-8"))
+        assert root.text == "héllo"
+
+    def test_invalid_utf8_raises_typed_with_offset(self):
+        with pytest.raises(XMLParseError) as excinfo:
+            parse_document(b"<a>\xff\xfe</a>")
+        message = str(excinfo.value)
+        assert "UTF-8" in message
+        assert "byte 3" in message
+
+    def test_str_input_unchanged(self):
+        assert parse_document("<a>x</a>").text == "x"
+
+
+class TestTruncatedDocuments:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a><b>x</b>",
+            "<a",
+            "<a><b></a>",
+            "<a>text",
+        ],
+    )
+    def test_truncated_raises_typed(self, text):
+        with pytest.raises(XMLParseError):
+            parse_document(text)
+
+
+class TestDocumentFileLoading:
+    def test_from_file_non_utf8_raises_typed(self, tmp_path):
+        path = tmp_path / "latin.xml"
+        path.write_bytes("<a>caf\xe9</a>".encode("latin-1"))
+        with pytest.raises(XMLParseError):
+            XMLDocument.from_file(str(path))
+
+    def test_from_file_utf8_loads(self, tmp_path):
+        path = tmp_path / "ok.xml"
+        path.write_bytes("<a>café</a>".encode("utf-8"))
+        document = XMLDocument.from_file(str(path))
+        assert document.root.text == "café"
+
+    def test_from_string_accepts_bytes(self):
+        document = XMLDocument.from_string(b"<a>x</a>")
+        assert document.root.text == "x"
