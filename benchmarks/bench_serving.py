@@ -45,6 +45,7 @@ from repro.index.storage_binary import (
     save_index_binary,
 )
 from repro.obs import INDEX_LOAD_STAGE, MetricsRegistry, faults
+from repro.obs.trace import NULL_TRACER, Tracer
 
 #: Alternating timed passes per configuration (best-of wins).
 PASSES = 7
@@ -64,12 +65,13 @@ def workload_queries(setting):
     ]
 
 
-def make_suggester(setting, metrics=None):
+def make_suggester(setting, metrics=None, tracer=None):
     return XCleanSuggester(
         setting.corpus,
         generator=setting.generator.fresh_cache(),
         config=XCleanConfig(max_errors=2, beta=5.0, gamma=1000),
         metrics=metrics,
+        tracer=tracer,
     )
 
 
@@ -103,6 +105,43 @@ def bench_overhead(setting, queries):
         "enabled_best_s": best_instrumented,
         "overhead_ratio": best_instrumented / best_plain,
         "stages": stages,
+    }
+
+
+def bench_trace_overhead(setting, queries):
+    """Hot-path cost of the tracing hooks.
+
+    Three configurations, timed with alternating passes: a plain
+    suggester (the implicit ``NULL_TRACER`` default), one carrying an
+    explicit ``NULL_TRACER`` (the disabled path every instrumented
+    call site pays), and one with a live ``Tracer`` building a full
+    span tree per query.  The disabled ratio must stay inside the
+    instrumentation ceiling; the enabled ratio is recorded for the
+    artifact but not asserted — span capture is opt-in and priced
+    separately.
+    """
+    plain = make_suggester(setting)
+    disabled = make_suggester(setting, tracer=NULL_TRACER)
+    traced = make_suggester(setting, tracer=Tracer())
+    for suggester in (plain, disabled, traced):
+        for query in queries:  # warm variant/merged/type caches
+            suggester.suggest(query, 10)
+    plain_times, disabled_times, traced_times = [], [], []
+    for _ in range(PASSES):
+        plain_times.append(timed_pass(plain, queries))
+        disabled_times.append(timed_pass(disabled, queries))
+        traced_times.append(timed_pass(traced, queries))
+    best_plain = min(plain_times)
+    best_disabled = min(disabled_times)
+    best_traced = min(traced_times)
+    return {
+        "queries_per_pass": len(queries),
+        "passes": PASSES,
+        "plain_best_s": best_plain,
+        "disabled_best_s": best_disabled,
+        "enabled_best_s": best_traced,
+        "disabled_ratio": best_disabled / best_plain,
+        "enabled_ratio": best_traced / best_plain,
     }
 
 
@@ -224,6 +263,7 @@ def test_serving(benchmark):
     queries = workload_queries(setting)
 
     overhead = bench_overhead(setting, queries)
+    trace_overhead = bench_trace_overhead(setting, queries)
     fault_overhead = bench_fault_overhead(setting, queries)
     service = bench_service(setting, queries)
     pool = bench_pool_reuse(setting, queries)
@@ -236,6 +276,7 @@ def test_serving(benchmark):
         "dataset": "DBLP",
         "corpus": setting.corpus.describe(),
         "overhead": {**overhead, "ceiling": ceiling},
+        "trace_overhead": {**trace_overhead, "ceiling": ceiling},
         "fault_overhead": {**fault_overhead, "ceiling": ceiling},
         "service": service,
         "pool": pool,
@@ -263,6 +304,24 @@ def test_serving(benchmark):
         ],
         title=f"Instrumentation overhead ({scale} scale)",
     )
+    trace_table = format_table(
+        ("Configuration", "best pass (ms)", "per query (us)"),
+        [
+            (
+                name,
+                1e3 * trace_overhead[key],
+                1e6
+                * trace_overhead[key]
+                / trace_overhead["queries_per_pass"],
+            )
+            for name, key in (
+                ("no tracer (default)", "plain_best_s"),
+                ("NULL_TRACER explicit", "disabled_best_s"),
+                ("live Tracer", "enabled_best_s"),
+            )
+        ],
+        title=f"Tracing overhead ({scale} scale)",
+    )
     stage_table = format_table(
         ("Stage", "count", "mean ms", "p95 ms"),
         [
@@ -277,10 +336,17 @@ def test_serving(benchmark):
         title="Stage timers (instrumented run)",
     )
     fault_ratio = fault_overhead["overhead_ratio"]
+    trace_disabled = trace_overhead["disabled_ratio"]
+    trace_enabled = trace_overhead["enabled_ratio"]
     checks = [
         shape_check(
             f"instrumentation overhead {ratio:.3f}x <= {ceiling}x",
             ratio <= ceiling,
+        ),
+        shape_check(
+            f"tracing-disabled overhead {trace_disabled:.3f}x <= "
+            f"{ceiling}x (enabled recorded: {trace_enabled:.3f}x)",
+            trace_disabled <= ceiling,
         ),
         shape_check(
             f"fault-hook overhead {fault_ratio:.3f}x <= {ceiling}x "
@@ -305,6 +371,8 @@ def test_serving(benchmark):
     emit(
         "serving",
         table
+        + "\n"
+        + trace_table
         + "\n"
         + stage_table
         + "\n"

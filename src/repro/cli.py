@@ -5,6 +5,8 @@ Installed as the ``xclean`` console script::
     xclean generate --dataset dblp --out dblp.xml
     xclean index --xml dblp.xml --out dblp.xci [--format binary]
     xclean suggest --index dblp.xci --query "keywrod serach" -k 5
+    xclean explain --index dblp.xci --query "keywrod serach" -k 5
+    xclean trace --index dblp.xci --query "keywrod serach" --format chrome
     xclean batch --index dblp.xci --queries queries.txt --workers 4
     xclean metrics --index dblp.xci --queries queries.txt --format prometheus
     xclean search --index dblp.xci --query "keyword search" --xml dblp.xml
@@ -16,6 +18,7 @@ Installed as the ``xclean`` console script::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Sequence
@@ -40,6 +43,8 @@ from repro.index.storage import save_index
 from repro.index.storage_binary import save_index_binary
 from repro.obs import MetricsRegistry
 from repro.obs import faults
+from repro.obs.export import chrome_trace, trace_to_json_line
+from repro.obs.trace import Tracer, format_trace
 from repro.xmltree.document import XMLDocument
 
 
@@ -108,6 +113,61 @@ def build_parser() -> argparse.ArgumentParser:
         "reference tuple lists (identical output)",
     )
 
+    explain = sub.add_parser(
+        "explain",
+        help="show full score provenance for each suggested candidate "
+        "(error factors, per-entity contributions, U(C,p) table, "
+        "pruning events)",
+    )
+    explain.add_argument("--index", required=True, help="index path")
+    explain.add_argument("--query", required=True)
+    explain.add_argument("-k", type=int, default=5)
+    explain.add_argument("--beta", type=float, default=5.0)
+    explain.add_argument("--max-errors", type=int, default=2)
+    explain.add_argument("--gamma", type=int, default=1000)
+    explain.add_argument(
+        "--prior", choices=("uniform", "length"), default="uniform"
+    )
+    explain.add_argument(
+        "--engine", choices=("packed", "tuple"), default="packed"
+    )
+    explain.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="human-readable tables or the full provenance as JSON",
+    )
+    explain.add_argument(
+        "--max-entities", type=int, default=5,
+        help="entity contributions shown per candidate (table format)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one query under a live tracer and export its span "
+        "tree",
+    )
+    trace.add_argument("--index", required=True, help="index path")
+    trace.add_argument("--query", required=True)
+    trace.add_argument("-k", type=int, default=5)
+    trace.add_argument("--beta", type=float, default=5.0)
+    trace.add_argument("--max-errors", type=int, default=2)
+    trace.add_argument("--gamma", type=int, default=1000)
+    trace.add_argument(
+        "--engine", choices=("packed", "tuple"), default="packed"
+    )
+    trace.add_argument(
+        "--format",
+        choices=("text", "chrome", "jsonl"),
+        default="text",
+        help="text outline, Chrome trace event JSON "
+        "(chrome://tracing / Perfetto), or one-line JSON",
+    )
+    trace.add_argument(
+        "--out", default=None,
+        help="write the export to this path instead of stdout",
+    )
+
     batch = sub.add_parser(
         "batch", help="answer a file of queries through the service"
     )
@@ -135,6 +195,14 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--recycle-after", type=int, default=None,
         help="recycle pool workers after this many dispatched queries",
+    )
+    batch.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="table prints top suggestions; json carries per-query "
+        "stats (partial flag, cache counters, trace id) — json "
+        "attaches a live tracer so trace ids are populated",
     )
 
     metrics = sub.add_parser(
@@ -310,6 +378,57 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    corpus = _load_any_index(args.index)
+    config = XCleanConfig(
+        max_errors=args.max_errors,
+        beta=args.beta,
+        gamma=args.gamma,
+        prior=args.prior,
+        engine=args.engine,
+    )
+    suggester = XCleanSuggester(corpus, config=config)
+    explanation = suggester.suggest_explained(args.query, args.k)
+    if args.format == "json":
+        print(json.dumps(
+            explanation.as_dict(), indent=2, sort_keys=True
+        ))
+    else:
+        print(explanation.render(max_entities=args.max_entities))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    corpus = _load_any_index(args.index)
+    config = XCleanConfig(
+        max_errors=args.max_errors,
+        beta=args.beta,
+        gamma=args.gamma,
+        engine=args.engine,
+    )
+    tracer = Tracer()
+    suggester = XCleanSuggester(corpus, config=config, tracer=tracer)
+    suggestions = suggester.suggest(args.query, args.k)
+    root = tracer.last_trace
+    if root is None:  # pragma: no cover - begin/end always pair
+        print("error: no trace recorded", file=sys.stderr)
+        return 1
+    if args.format == "chrome":
+        payload = json.dumps(chrome_trace(root), indent=2)
+    elif args.format == "jsonl":
+        payload = trace_to_json_line(root)
+    else:
+        best = suggestions[0].text if suggestions else "(none)"
+        payload = format_trace(root) + f"\ntop suggestion: {best}"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(payload)
+    return 0
+
+
 def _read_queries(path: str) -> list[str]:
     with open(path, "r", encoding="utf-8") as handle:
         return [line.strip() for line in handle if line.strip()]
@@ -325,6 +444,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     service_kwargs = {}
     if args.recycle_after is not None:
         service_kwargs["worker_recycle_after"] = args.recycle_after
+    if args.format == "json":
+        # JSON output carries trace ids, so it runs under a tracer.
+        service_kwargs["tracer"] = Tracer()
     with SuggestionService(
         corpus,
         config=XCleanConfig(
@@ -338,12 +460,50 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         **service_kwargs,
     ) as service:
         started = time.perf_counter()
-        batches = service.suggest_batch(
+        detailed = service.suggest_batch_detailed(
             queries, args.k, workers=args.workers
         )
         elapsed = time.perf_counter() - started
+    stats = service.stats
+    qps = len(queries) / elapsed if elapsed > 0 else float("inf")
+    if args.format == "json":
+        payload = {
+            "queries": [
+                {
+                    "query": query,
+                    "suggestions": [
+                        {
+                            "text": s.text,
+                            "score": s.score,
+                            "result_type": s.result_type,
+                        }
+                        for s in suggestions
+                    ],
+                    "partial": query_stats.partial,
+                    "result_cache_hits":
+                        query_stats.result_cache_hits,
+                    "result_cache_misses":
+                        query_stats.result_cache_misses,
+                    "trace_id": query_stats.trace_id,
+                }
+                for query, (suggestions, query_stats)
+                in zip(queries, detailed)
+            ],
+            "elapsed_s": elapsed,
+            "qps": qps,
+            "service": {
+                "queries_served": stats.queries_served,
+                "result_cache_hits": stats.result_cache_hits,
+                "result_cache_misses": stats.result_cache_misses,
+                "partial_results": stats.partial_results,
+                "degraded_queries": stats.degraded_queries,
+                "unanswerable": stats.unanswerable,
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     rows = []
-    for query, suggestions in zip(queries, batches):
+    for query, (suggestions, _stats) in zip(queries, detailed):
         best = suggestions[0] if suggestions else None
         rows.append(
             (
@@ -353,12 +513,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             )
         )
     print(format_table(("query", "top suggestion", "score"), rows))
-    qps = len(queries) / elapsed if elapsed > 0 else float("inf")
-    stats = service.stats
     print(
         f"{len(queries)} queries in {elapsed:.3f}s ({qps:.1f} q/s), "
         f"cache hits {stats.result_cache_hits}, "
         f"misses {stats.result_cache_misses}, "
+        f"partial {stats.partial_results}, "
         f"degraded {stats.degraded_queries}"
     )
     return 0
@@ -521,6 +680,8 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "index": _cmd_index,
     "suggest": _cmd_suggest,
+    "explain": _cmd_explain,
+    "trace": _cmd_trace,
     "batch": _cmd_batch,
     "metrics": _cmd_metrics,
     "search": _cmd_search,

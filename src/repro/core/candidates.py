@@ -46,11 +46,17 @@ class CandidateSpace:
         generator: VariantGenerator,
         error_model: ErrorModel,
         max_errors: int | None = None,
+        tracer=None,
     ):
         self.keywords = tuple(keywords)
         self.per_keyword: list[KeywordVariants] = []
         for keyword in self.keywords:
-            variants = generator.variants(keyword, max_errors)
+            if tracer is None:
+                variants = generator.variants(keyword, max_errors)
+            else:
+                with tracer.span("variant", keyword=keyword):
+                    variants = generator.variants(keyword, max_errors)
+                    tracer.annotate(variants=len(variants))
             weights = error_model.variant_weights(keyword, variants)
             self.per_keyword.append(
                 KeywordVariants(keyword, tuple(variants), weights)

@@ -54,9 +54,18 @@ from repro.index.merged_list import (
     PackedEntry,
     PackedMergedList,
 )
+from repro.obs.explain import (
+    EntityContribution,
+    GroupContribution,
+    PruningObserver,
+    ScoreRecorder,
+    TermFactor,
+    build_explanation,
+)
 from repro.obs.faults import active as _active_faults
 from repro.obs.metrics import NULL_METRICS
-from repro.xmltree.dewey import DeweyCode
+from repro.obs.trace import NULL_TRACER, Span
+from repro.xmltree.dewey import DeweyCode, format_code
 
 
 logger = logging.getLogger(__name__)
@@ -72,6 +81,7 @@ class XCleanSuggester:
         error_model: ErrorModel | None = None,
         config: XCleanConfig | None = None,
         metrics=None,
+        tracer=None,
     ):
         self.corpus = corpus
         self.config = config or XCleanConfig()
@@ -97,6 +107,12 @@ class XCleanSuggester:
         #: Observability hooks; NULL_METRICS (no-op, near-zero cost)
         #: unless a serving layer hands in a live registry.
         self.metrics = metrics or NULL_METRICS
+        #: Per-query span tracer; NULL_TRACER (no-op) by default.
+        self.tracer = tracer or NULL_TRACER
+        #: Score-provenance recorder, attached only for the duration
+        #: of a ``suggest_explained`` call; the hot path pays one
+        #: ``is None`` check per scored candidate.
+        self._recorder: ScoreRecorder | None = None
         #: Scoring time of the current query, summed over the many
         #: per-group scoring calls and observed once per query.
         self._score_seconds = 0.0
@@ -113,6 +129,7 @@ class XCleanSuggester:
             ),
             metrics=self.metrics,
         )
+        self.type_finder.tracer = self.tracer
         self.last_stats = CleaningStats()
 
     # ------------------------------------------------------------------
@@ -141,13 +158,50 @@ class XCleanSuggester:
         """Scores of all surviving candidates (oracle-equivalence tests)."""
         return self._run(query).final_scores()
 
+    def suggest_explained(self, query: str, k: int = 10):
+        """Top-k suggestions with full score provenance.
+
+        Runs the exact same Algorithm 1 pass as :meth:`suggest` with a
+        :class:`~repro.obs.explain.ScoreRecorder` attached and folds
+        the record into an :class:`~repro.obs.explain.Explanation`
+        whose per-candidate ``reconstructed_score`` re-derives the
+        engine's score bit for bit from the logged Eq. 4–9 factors.
+        """
+        recorder = ScoreRecorder()
+        self._recorder = recorder
+        try:
+            pool = self._run(query)
+        finally:
+            self._recorder = None
+        return build_explanation(query, self, recorder, pool, k)
+
+    def bind_tracer(self, tracer) -> None:
+        """Swap the tracer (serving layer / pool workers)."""
+        self.tracer = tracer or NULL_TRACER
+        self.type_finder.tracer = self.tracer
+
     # ------------------------------------------------------------------
     # Algorithm 1
     # ------------------------------------------------------------------
 
     def _run(self, query: str) -> AccumulatorPool:
+        tracer = self.tracer
+        if tracer.enabled and tracer.current() is None:
+            # No service owns a trace for this query: the suggester
+            # roots its own (in-process / direct API use).
+            tracer.begin(
+                "suggest", query=query, engine=self.config.engine
+            )
+            try:
+                return self._run_inner(query)
+            finally:
+                tracer.end()
+        return self._run_inner(query)
+
+    def _run_inner(self, query: str) -> AccumulatorPool:
         metrics = self.metrics
-        with metrics.stage("tokenize"):
+        tracer = self.tracer
+        with metrics.stage("tokenize"), tracer.span("tokenize"):
             keywords = self.corpus.tokenizer.tokenize(query)
         if not keywords:
             raise QueryError(f"query {query!r} has no usable keywords")
@@ -168,21 +222,35 @@ class XCleanSuggester:
         type_finder = self.type_finder
         type_hits = type_finder.cache_hits
         type_misses = type_finder.cache_misses
-        with metrics.stage("variant_gen"):
+        with metrics.stage("variant_gen"), tracer.span("variant_gen"):
             space = CandidateSpace(
                 keywords, self.generator, self.error_model,
                 self.config.max_errors,
+                tracer=tracer if tracer.enabled else None,
             )
+            if tracer.enabled:
+                tracer.annotate(space_size=space.space_size())
         stats = CleaningStats(
             keywords=len(keywords), space_size=space.space_size()
         )
+        if tracer.enabled:
+            stats.trace_id = tracer.trace_id
         self.last_stats = stats
-        pool = AccumulatorPool(self.config.gamma)
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.space = space
+        if recorder is not None or tracer.enabled:
+            observer = PruningObserver(
+                recorder, tracer if tracer.enabled else None
+            )
+        else:
+            observer = None
+        pool = AccumulatorPool(self.config.gamma, observer=observer)
         self._score_seconds = 0.0
         if space.is_viable:
             # The merge stage covers the whole Algorithm 1 loop, entity
             # scoring included; "score" reports the scoring share.
-            with metrics.stage("merge"):
+            with metrics.stage("merge"), tracer.span("merge"):
                 if self.config.engine == "packed":
                     merged: list = [
                         self.corpus.merged_list_packed(
@@ -197,10 +265,27 @@ class XCleanSuggester:
                         for i in range(len(keywords))
                     ]
                     self._merge_loop_tuple(merged, space, pool, stats)
+                if tracer.enabled:
+                    tracer.annotate(
+                        groups=stats.groups_processed,
+                        candidates=stats.candidates_evaluated,
+                        entities=stats.entities_scored,
+                    )
             stats.postings_read = sum(ml.total_reads for ml in merged)
             stats.postings_skipped = sum(ml.total_skips for ml in merged)
             if metrics.enabled and self._score_seconds:
                 metrics.observe_stage("score", self._score_seconds)
+            if tracer.enabled and self._score_seconds:
+                # Scoring happens inside the merge loop in many small
+                # bursts; expose the total as one aggregated span so
+                # the tree shows where the merge time actually went.
+                tracer.attach(
+                    Span(
+                        "score",
+                        duration=self._score_seconds,
+                        attributes={"aggregated": True},
+                    )
+                )
         stats.accumulator_evictions = pool.evictions
         # Per-query deltas: on a long-lived service the finder's
         # counters (and cache) span many queries.
@@ -254,6 +339,7 @@ class XCleanSuggester:
                 # Anytime exit: the accumulator already holds the best
                 # answer derivable from the groups processed so far.
                 stats.partial = True
+                self.tracer.event("deadline_expired", stage="merge")
                 return
             if faults_enabled:
                 faults.hit("merge.step")
@@ -376,12 +462,14 @@ class XCleanSuggester:
             return counts
 
         deadline = self._deadline
+        recorder = self._recorder
         present = [list(by_token) for by_token in occurrences]
         for candidate in space.enumerate_present(present):
             if deadline is not None and deadline.expired():
                 # Accumulator boundary: stop scoring further candidates
                 # of this group; whatever was added already is valid.
                 stats.partial = True
+                self.tracer.event("deadline_expired", stage="score")
                 break
             stats.candidates_evaluated += 1
             pid = self.type_finder.find(candidate)
@@ -421,15 +509,80 @@ class XCleanSuggester:
                 )
             else:
                 normalizer = float(self.corpus.entity_count(pid))
-            pool.add(
-                candidate,
-                mass,
-                space.error_weight(candidate),
-                normalizer,
-                pid,
-            )
+            error_weight = space.error_weight(candidate)
+            if recorder is not None:
+                recorder.group(
+                    candidate,
+                    pid,
+                    error_weight,
+                    normalizer,
+                    self._group_contribution(
+                        format_code(group),
+                        candidate,
+                        sorted(entities),
+                        per_keyword,
+                        length_prior,
+                        mass,
+                        self.corpus.subtree_length,
+                        self.language_model.probability,
+                        format_code,
+                    ),
+                )
+            pool.add(candidate, mass, error_weight, normalizer, pid)
         if metrics.enabled:
             self._score_seconds += perf_counter() - score_began
+
+    def _group_contribution(
+        self,
+        group_label: str,
+        candidate: CandidateQuery,
+        roots: list,
+        per_keyword: list[dict],
+        length_prior: bool,
+        mass: float,
+        length_of,
+        probability,
+        format_root,
+    ) -> GroupContribution:
+        """Recompute one group's per-entity factors for the recorder.
+
+        Off the hot path (explain runs only).  The per-entity products
+        repeat the scoring loop's float operations in the same order,
+        so the recorded masses re-sum to the engine's group mass bit
+        for bit.
+        """
+        entities = []
+        for root in roots:
+            length = length_of(root)
+            factors = []
+            product = 1.0
+            for position, token in enumerate(candidate):
+                count = per_keyword[position][root]
+                p = probability(token, count, length)
+                product *= p
+                factors.append(
+                    TermFactor(
+                        position=position,
+                        token=token,
+                        count=count,
+                        probability=p,
+                    )
+                )
+            prior_weight = (length if length_prior else 1.0)
+            entities.append(
+                EntityContribution(
+                    entity=format_root(root),
+                    length=length,
+                    prior_weight=prior_weight,
+                    factors=tuple(factors),
+                    mass=prior_weight * product,
+                )
+            )
+        return GroupContribution(
+            group=group_label,
+            entities=tuple(entities),
+            mass=mass,
+        )
 
     # ------------------------------------------------------------------
     # Algorithm 1 — packed engine
@@ -487,6 +640,9 @@ class XCleanSuggester:
                     # Anytime exit; the finally block writes the
                     # cursor state back, so counters stay honest.
                     stats.partial = True
+                    self.tracer.event(
+                        "deadline_expired", stage="merge"
+                    )
                     return
                 if faults_enabled:
                     faults.hit("merge.step")
@@ -551,7 +707,7 @@ class XCleanSuggester:
                             found.append(entry)
                     occurrences.append(by_token)
                 stats.groups_processed += 1
-                score_group(occurrences, space, pool, stats, view)
+                score_group(occurrences, space, pool, stats, view, group)
         finally:
             for i in indices:
                 ml = merged[i]
@@ -578,6 +734,7 @@ class XCleanSuggester:
         while True:
             if deadline is not None and deadline.expired():
                 stats.partial = True
+                self.tracer.event("deadline_expired", stage="merge")
                 return
             if faults_enabled:
                 faults.hit("merge.step")
@@ -603,7 +760,7 @@ class XCleanSuggester:
                 continue
             stats.groups_processed += 1
             self._score_group_packed(
-                occurrences, space, pool, stats, view
+                occurrences, space, pool, stats, view, group
             )
 
     def _consume_shallow_packed(
@@ -660,6 +817,7 @@ class XCleanSuggester:
         pool: AccumulatorPool,
         stats: CleaningStats,
         view,
+        group: int | None = None,
     ) -> None:
         """Enumerate and score the group's candidates (Lines 12–15)."""
         metrics = self.metrics
@@ -694,12 +852,14 @@ class XCleanSuggester:
             return counts
 
         deadline = self._deadline
+        recorder = self._recorder
         present = [list(by_token) for by_token in occurrences]
         for candidate in space.enumerate_present(present):
             if deadline is not None and deadline.expired():
                 # Accumulator boundary (same contract as the tuple
                 # engine's score loop).
                 stats.partial = True
+                self.tracer.event("deadline_expired", stage="score")
                 break
             stats.candidates_evaluated += 1
             pid = self.type_finder.find(candidate)
@@ -738,12 +898,30 @@ class XCleanSuggester:
                 )
             else:
                 normalizer = float(self.corpus.entity_count(pid))
-            pool.add(
-                candidate,
-                mass,
-                space.error_weight(candidate),
-                normalizer,
-                pid,
-            )
+            error_weight = space.error_weight(candidate)
+            if recorder is not None:
+                unpack = packer.unpack
+                recorder.group(
+                    candidate,
+                    pid,
+                    error_weight,
+                    normalizer,
+                    self._group_contribution(
+                        (
+                            format_code(unpack(group))
+                            if group is not None
+                            else "?"
+                        ),
+                        candidate,
+                        sorted(entities),
+                        per_keyword,
+                        length_prior,
+                        mass,
+                        lambda root: subtree_lengths.get(root, 0),
+                        probability,
+                        lambda root: format_code(unpack(root)),
+                    ),
+                )
+            pool.add(candidate, mass, error_weight, normalizer, pid)
         if metrics.enabled:
             self._score_seconds += perf_counter() - score_began

@@ -69,6 +69,12 @@ class XCleanConfig:
     #: Seed for the fault plan's deterministic choices (corrupt-byte
     #: offsets); ignored when ``fault_plan`` is ``None``.
     fault_seed: int = 0
+    #: Override for the latency-histogram bucket bounds (seconds,
+    #: strictly increasing).  ``None`` uses
+    #: ``repro.obs.DEFAULT_LATENCY_BUCKETS``.  Carried in the config so
+    #: pool workers build their registries with the same layout as the
+    #: parent — a requirement for exact cross-process histogram merging.
+    latency_buckets: tuple[float, ...] | None = None
 
     def __post_init__(self):
         if self.max_errors < 0:
@@ -89,6 +95,25 @@ class XCleanConfig:
             raise ConfigurationError(
                 "deadline_seconds must be > 0 or None"
             )
+        if self.latency_buckets is not None:
+            bounds = tuple(self.latency_buckets)
+            if not bounds:
+                raise ConfigurationError(
+                    "latency_buckets must be non-empty or None"
+                )
+            if any(bound <= 0 for bound in bounds):
+                raise ConfigurationError(
+                    "latency_buckets bounds must be > 0"
+                )
+            if any(
+                later <= earlier
+                for earlier, later in zip(bounds, bounds[1:])
+            ):
+                raise ConfigurationError(
+                    "latency_buckets must be strictly increasing"
+                )
+            # Frozen dataclass: normalize lists to a hashable tuple.
+            object.__setattr__(self, "latency_buckets", bounds)
         if self.fault_plan is not None:
             # Parse for validation only; installation is the caller's
             # (service / worker initializer) responsibility.

@@ -72,6 +72,9 @@ class Accumulator:
     error_weight: float
     normalizer: float
     result_type: int
+    #: Mass additions so far — the n of the Hoeffding bound backing
+    #: the eviction estimate (surfaced in pruning explanations).
+    samples: int = 1
 
     def estimate(self) -> float:
         """Estimated final score from the mass observed so far."""
@@ -88,11 +91,16 @@ class AccumulatorPool:
     naive scorer bit-for-bit.
     """
 
-    def __init__(self, capacity: int | None = None):
+    def __init__(self, capacity: int | None = None, observer=None):
         if capacity is not None and capacity < 1:
             raise ConfigurationError("capacity must be >= 1 or None")
         self.capacity = capacity
         self.evictions = 0
+        #: Optional pruning observer (``repro.obs.explain``): notified
+        #: of evictions and rejected newcomers.  ``None`` (the
+        #: default) keeps the hot path free of any callback checks
+        #: outside the already-cold eviction branch.
+        self.observer = observer
         self._table: dict[CandidateQuery, Accumulator] = {}
 
     def __len__(self) -> int:
@@ -118,23 +126,23 @@ class AccumulatorPool:
         entry = self._table.get(candidate)
         if entry is not None:
             entry.mass += mass
+            entry.samples += 1
             return
         if (
             self.capacity is not None
             and len(self._table) >= self.capacity
         ):
-            self._evict_lowest_estimate(
-                incoming_estimate=(
-                    error_weight * mass / normalizer
-                    if normalizer
-                    else 0.0
-                )
+            incoming_estimate = (
+                error_weight * mass / normalizer if normalizer else 0.0
             )
+            self._evict_lowest_estimate(candidate, incoming_estimate)
             if (
                 self.capacity is not None
                 and len(self._table) >= self.capacity
             ):
                 # The incoming candidate itself was the weakest; drop it.
+                if self.observer is not None:
+                    self.observer.rejected(candidate, incoming_estimate)
                 return
         self._table[candidate] = Accumulator(
             mass=mass,
@@ -143,7 +151,11 @@ class AccumulatorPool:
             result_type=result_type,
         )
 
-    def _evict_lowest_estimate(self, incoming_estimate: float) -> None:
+    def _evict_lowest_estimate(
+        self,
+        incoming: CandidateQuery,
+        incoming_estimate: float,
+    ) -> None:
         """Remove the weakest current entry if weaker than the newcomer.
 
         Linear scan: γ is at most a few thousand in every configuration
@@ -151,15 +163,21 @@ class AccumulatorPool:
         saturated.
         """
         victim: CandidateQuery | None = None
+        victim_entry: Accumulator | None = None
         victim_estimate = float("inf")
         for candidate, entry in self._table.items():
             estimate = entry.estimate()
             if estimate < victim_estimate:
                 victim = candidate
+                victim_entry = entry
                 victim_estimate = estimate
         if victim is not None and victim_estimate <= incoming_estimate:
             del self._table[victim]
             self.evictions += 1
+            if self.observer is not None:
+                self.observer.evicted(
+                    victim, victim_entry, incoming, incoming_estimate
+                )
 
     def final_scores(self) -> dict[CandidateQuery, float]:
         """P(C|Q,T) (up to the shared κ) for every surviving candidate.

@@ -27,6 +27,7 @@ from typing import Sequence
 from repro.exceptions import ConfigurationError
 from repro.index.corpus import CorpusIndex
 from repro.obs.metrics import NULL_METRICS
+from repro.obs.trace import NULL_TRACER
 
 #: The paper's depth reduction factor in the worked example (Example 3).
 DEFAULT_REDUCTION = 0.8
@@ -82,6 +83,9 @@ class ResultTypeFinder:
         self.corpus = corpus
         self.config = config or ResultTypeConfig()
         self.metrics = metrics or NULL_METRICS
+        #: Optional tracer (``repro.obs.trace``); inference misses emit
+        #: a ``type_infer`` event on the current span when enabled.
+        self.tracer = NULL_TRACER
         self._cache: OrderedDict[tuple[str, ...], int | None] = (
             OrderedDict()
         )
@@ -123,6 +127,17 @@ class ResultTypeFinder:
             metrics.observe_stage("type_infer", perf_counter() - began)
         else:
             best = self._compute(key)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.event(
+                "type_infer",
+                candidate=" ".join(key),
+                result_type=(
+                    self.corpus.path_table.string_of(best)
+                    if best is not None
+                    else None
+                ),
+            )
         cache[key] = best
         capacity = self.config.cache_size
         if capacity is not None and len(cache) > capacity:
@@ -130,25 +145,32 @@ class ResultTypeFinder:
             self.cache_evictions += 1
         return best
 
-    def _compute(self, candidate: tuple[str, ...]) -> int | None:
-        # Intersect the path sets, starting from the keyword with the
-        # fewest distinct paths.
+    def _shared_paths(self, candidate: tuple[str, ...]) -> list[int]:
+        """Path ids containing every keyword at depth >= min_depth.
+
+        Intersects the path sets, starting from the keyword with the
+        fewest distinct paths.
+        """
         count_maps = [
             self.corpus.path_index.counts_for(token) for token in candidate
         ]
         if not count_maps or any(not m for m in count_maps):
-            return None
+            return []
         count_maps.sort(key=len)
         table = self.corpus.path_table
         min_depth = self.config.min_depth
-        shared = [
+        return [
             pid
             for pid in count_maps[0]
             if table.depth_of(pid) >= min_depth
             and all(pid in m for m in count_maps[1:])
         ]
+
+    def _compute(self, candidate: tuple[str, ...]) -> int | None:
+        shared = self._shared_paths(candidate)
         if not shared:
             return None
+        table = self.corpus.path_table
         best_pid: int | None = None
         best_score = -1.0
         best_path = ""
@@ -161,6 +183,31 @@ class ResultTypeFinder:
             if best_pid is None or better:
                 best_pid, best_score, best_path = pid, score, path
         return best_pid
+
+    def explain_paths(
+        self, candidate: Sequence[str]
+    ) -> list[tuple[int, str, int, float]]:
+        """The full U(C, p) table of Eq. 7 for a candidate.
+
+        Rows are ``(path_id, path_string, depth, utility)`` sorted by
+        utility descending (path string ascending on ties — the same
+        order :meth:`find` effectively ranks by).  This is the table
+        the winner "won against" in explain output; it bypasses the
+        result cache and is not part of the hot path.
+        """
+        key = tuple(candidate)
+        table = self.corpus.path_table
+        rows = [
+            (
+                pid,
+                table.string_of(pid),
+                table.depth_of(pid),
+                self.utility(key, pid),
+            )
+            for pid in self._shared_paths(key)
+        ]
+        rows.sort(key=lambda row: (-row[3], row[1]))
+        return rows
 
     def cached_candidates(self) -> int:
         """Number of candidates currently held in the LRU cache."""

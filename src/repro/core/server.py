@@ -33,7 +33,18 @@ cannot provide:
 * **observability**: per-stage timers, counters, and latency
   histograms collected in a :class:`~repro.obs.MetricsRegistry`,
   snapshotted by :meth:`SuggestionService.metrics` as JSON or
-  Prometheus text.
+  Prometheus text.  Pool workers keep their own registries and ship
+  per-query stage-timer *deltas* back in the result payload; the
+  parent merges them tally-for-tally, so ``metrics()`` covers pool
+  work too.  With a live :class:`~repro.obs.Tracer` attached every
+  request gets a span tree — batch fan-out included: each worker runs
+  a per-task tracer under the parent's trace id, returns the finished
+  subtree, and the parent stitches it under a ``pool.task`` span —
+  and a :class:`~repro.obs.FlightRecorder` retains the last N traces
+  plus every slow/partial/degraded/faulted one, dumped on demand
+  (:meth:`SuggestionService.dump_flight_record`) or automatically
+  when the circuit breaker opens or a snapshot is quarantined (see
+  ``docs/observability.md``).
 
 The service keeps the :class:`CleaningStats` contract on *both* batch
 paths: after every served query ``last_stats`` describes the work done
@@ -49,13 +60,16 @@ simply degrade to in-process execution.
 from __future__ import annotations
 
 import logging
+import os
 import pickle
+import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
+from contextlib import contextmanager
 from dataclasses import dataclass
 from time import monotonic, perf_counter
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.core.cleaner import XCleanSuggester
 from repro.core.config import XCleanConfig
@@ -71,6 +85,8 @@ from repro.index.corpus import CorpusIndex
 from repro.obs import MetricsRegistry, MetricsSnapshot
 from repro.obs.faults import active as _active_faults
 from repro.obs.metrics import NULL_METRICS
+from repro.obs.recorder import FlightEntry, FlightRecorder
+from repro.obs.trace import NULL_TRACER, Span, Tracer
 
 logger = logging.getLogger(__name__)
 
@@ -136,6 +152,9 @@ class CircuitBreaker:
     Transitions are recorded in the ``breaker_transitions_total``
     counter, labeled by destination state, so the current state is
     reconstructible from metrics.  ``clock`` is injectable for tests.
+    ``on_open`` is an optional zero-argument callback invoked whenever
+    the breaker transitions *to* open — the service uses it to dump
+    the flight record while the evidence is still retained.
     """
 
     def __init__(
@@ -144,6 +163,7 @@ class CircuitBreaker:
         cooldown: float = DEFAULT_BREAKER_COOLDOWN,
         metrics: MetricsRegistry | None = None,
         clock=monotonic,
+        on_open=None,
     ):
         if threshold < 1:
             raise ConfigurationError("breaker threshold must be >= 1")
@@ -153,6 +173,7 @@ class CircuitBreaker:
         self.cooldown = cooldown
         self.state = "closed"
         self.failures = 0
+        self.on_open = on_open
         self._metrics = metrics or NULL_METRICS
         self._clock = clock
         self._opened_at = 0.0
@@ -201,6 +222,11 @@ class CircuitBreaker:
         self.state = to
         if self._metrics.enabled:
             self._metrics.inc("breaker_transitions_total", to=to)
+        if to == "open" and self.on_open is not None:
+            try:
+                self.on_open()
+            except Exception:  # pragma: no cover - diagnostics only
+                logger.exception("breaker on_open callback failed")
 
 
 # ----------------------------------------------------------------------
@@ -210,6 +236,11 @@ class CircuitBreaker:
 # ----------------------------------------------------------------------
 
 _WORKER_SUGGESTER: XCleanSuggester | None = None
+
+#: Worker-local registry; per-task stage-timer *deltas* are shipped
+#: back in the result payload and merged into the parent's registry,
+#: so pool work shows up in ``SuggestionService.metrics()``.
+_WORKER_METRICS: MetricsRegistry | None = None
 
 
 def _enter_worker(config: XCleanConfig) -> None:
@@ -230,9 +261,12 @@ def _enter_worker(config: XCleanConfig) -> None:
 
 
 def _init_worker(corpus: CorpusIndex, config: XCleanConfig) -> None:
-    global _WORKER_SUGGESTER
+    global _WORKER_SUGGESTER, _WORKER_METRICS
     _enter_worker(config)
-    _WORKER_SUGGESTER = XCleanSuggester(corpus, config=config)
+    _WORKER_METRICS = MetricsRegistry(buckets=config.latency_buckets)
+    _WORKER_SUGGESTER = XCleanSuggester(
+        corpus, config=config, metrics=_WORKER_METRICS
+    )
 
 
 def _init_worker_snapshot(
@@ -244,24 +278,31 @@ def _init_worker_snapshot(
     in the OS page cache no matter how many workers the pool runs —
     the init payload is a path string instead of a pickled corpus.
     """
-    global _WORKER_SUGGESTER
+    global _WORKER_SUGGESTER, _WORKER_METRICS
     from repro.index.snapshot import load_snapshot
 
     _enter_worker(config)
+    _WORKER_METRICS = MetricsRegistry(buckets=config.latency_buckets)
     _WORKER_SUGGESTER = XCleanSuggester(
-        load_snapshot(snapshot_path), config=config
+        load_snapshot(snapshot_path), config=config,
+        metrics=_WORKER_METRICS,
     )
 
 
-def _worker_suggest(task: tuple[str, int]):
+def _worker_suggest(task: tuple[str, int, dict | None]):
     """Answer one query in a worker.
 
-    Returns ``(suggestions, stats)`` so the parent can keep the
-    ``last_stats`` contract, or ``None`` for an unanswerable query —
-    the parent must *not* cache that (the serial path re-raises per
-    occurrence, so a cached empty answer would diverge).
+    ``task`` is ``(query, k, trace_ctx)`` where ``trace_ctx`` is a
+    small picklable dict carrying the parent's trace id (or ``None``
+    when tracing is off).  Returns ``(suggestions, stats, extras)`` so
+    the parent can keep the ``last_stats`` contract — ``extras`` holds
+    the worker's per-query stage-timer deltas and, when traced, the
+    finished ``worker`` span subtree for the parent to stitch.
+    Returns ``None`` for an unanswerable query — the parent must *not*
+    cache that (the serial path re-raises per occurrence, so a cached
+    empty answer would diverge).
     """
-    query, k = task
+    query, k, trace_ctx = task
     assert _WORKER_SUGGESTER is not None, "worker not initialized"
     faults = _active_faults()
     if faults.enabled:
@@ -269,11 +310,40 @@ def _worker_suggest(task: tuple[str, int]):
         # ``delay`` past the worker timeout exercises the retry →
         # degrade ladder.
         faults.hit("worker.query")
+    registry = _WORKER_METRICS
+    before = registry.stage_states() if registry is not None else {}
+    tracer = None
+    worker_span = None
+    if trace_ctx is not None:
+        tracer = Tracer()
+        tracer.begin(
+            "worker",
+            trace_id=trace_ctx.get("trace_id"),
+            query=query,
+            pid=os.getpid(),
+        )
+        _WORKER_SUGGESTER.bind_tracer(tracer)
     try:
-        suggestions = _WORKER_SUGGESTER.suggest(query, k)
-    except QueryError:
-        return None
-    return tuple(suggestions), _WORKER_SUGGESTER.last_stats
+        try:
+            suggestions = _WORKER_SUGGESTER.suggest(query, k)
+        except QueryError:
+            return None
+    finally:
+        if tracer is not None:
+            worker_span = tracer.end()
+            _WORKER_SUGGESTER.bind_tracer(None)
+    extras: dict = {}
+    if registry is not None:
+        deltas = registry.stage_deltas(before)
+        if deltas:
+            extras["stages"] = deltas
+    if worker_span is not None:
+        extras["span"] = worker_span
+    return (
+        tuple(suggestions),
+        _WORKER_SUGGESTER.last_stats,
+        extras or None,
+    )
 
 
 class SuggestionService:
@@ -293,6 +363,10 @@ class SuggestionService:
         breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
         breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
         close_grace: float = DEFAULT_CLOSE_GRACE,
+        tracer: Tracer | None = None,
+        flight_recorder: FlightRecorder | None = None,
+        flight_record_path: str | None = None,
+        slow_threshold: float | None = None,
     ):
         if max_pending is not None and max_pending < 1:
             raise ConfigurationError(
@@ -300,7 +374,9 @@ class SuggestionService:
             )
         self.corpus = corpus
         self.config = config or XCleanConfig()
-        self.metrics_registry = metrics or MetricsRegistry()
+        self.metrics_registry = metrics or MetricsRegistry(
+            buckets=self.config.latency_buckets
+        )
         corpus.bind_metrics(self.metrics_registry)
         self._installed_faults = False
         if self.config.fault_plan is not None:
@@ -310,12 +386,35 @@ class SuggestionService:
                 self.config.fault_plan, seed=self.config.fault_seed
             )
             self._installed_faults = True
+        self.tracer = tracer or NULL_TRACER
         self.suggester = XCleanSuggester(
             corpus,
             generator=generator,
             config=self.config,
             metrics=self.metrics_registry,
+            tracer=self.tracer,
         )
+        #: Retention of finished request traces; created automatically
+        #: when a live tracer is attached (pass an explicit recorder to
+        #: control capacities).  ``None`` when tracing is off.
+        if flight_recorder is not None:
+            self.flight_recorder: FlightRecorder | None = (
+                flight_recorder
+            )
+        elif self.tracer.enabled:
+            self.flight_recorder = FlightRecorder(
+                slow_threshold=slow_threshold
+            )
+        else:
+            self.flight_recorder = None
+        if (
+            self.flight_recorder is not None
+            and slow_threshold is not None
+        ):
+            self.flight_recorder.slow_threshold = slow_threshold
+        #: When set, automatic dumps (breaker open, snapshot
+        #: quarantine) write JSONL here; on-demand dumps default to it.
+        self.flight_record_path = flight_record_path
         self.result_cache_size = result_cache_size
         self._result_cache: OrderedDict[
             tuple[tuple[str, ...], int], tuple[Suggestion, ...]
@@ -336,7 +435,11 @@ class SuggestionService:
             threshold=breaker_threshold,
             cooldown=breaker_cooldown,
             metrics=self.metrics_registry,
+            on_open=self._on_breaker_open,
         )
+        #: Per-query stats sink used by ``suggest_batch_detailed`` to
+        #: collect one :class:`CleaningStats` per served query.
+        self._stats_sink: list[CleaningStats] | None = None
         self._inflight = 0
         self._pool: ProcessPoolExecutor | None = None
         self._pool_workers = 0
@@ -390,11 +493,147 @@ class SuggestionService:
         Includes per-stage latency histograms (``stage_seconds``:
         tokenize, variant_gen, merge, score, type_infer), request
         latencies, cache counters, and pool lifecycle counters —
-        everything recorded in :attr:`metrics_registry`.  Worker
-        processes keep their own registries; only parent-side work
-        appears here.
+        everything recorded in :attr:`metrics_registry`.  Pool workers
+        keep their own registries but ship per-query stage deltas back
+        with every answer; the parent merges them, so pool work
+        appears here too.
         """
         return self.metrics_registry.snapshot()
+
+    # ------------------------------------------------------------------
+    # Tracing & the flight recorder
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _traced_request(self, name: str, query: str,
+                        **attributes) -> Iterator[None]:
+        """Root span + flight-recorder entry around one request.
+
+        Owns the trace only when no span is already open (so a traced
+        ``suggest_batch`` does not nest request roots under itself).
+        On close, the service-level verdict flags (partial / degraded
+        / faulted / error) are derived from :attr:`stats` deltas and
+        the finished trace is retained by the flight recorder.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            yield
+            return
+        owns = tracer.current() is None
+        if not owns:
+            with tracer.span(name, query=query, **attributes):
+                yield
+            return
+        stats = self.stats
+        partial0 = stats.partial_results
+        degraded0 = stats.degraded_queries
+        faults = _active_faults()
+        fired0 = sum(faults.fired().values()) if faults.enabled else 0
+        tracer.begin(name, query=query, **attributes)
+        error: str | None = None
+        try:
+            yield
+        except BaseException as exc:
+            error = type(exc).__name__
+            tracer.annotate(error=error)
+            raise
+        finally:
+            root = tracer.end()
+            recorder = self.flight_recorder
+            if root is not None and recorder is not None:
+                fired = (
+                    sum(faults.fired().values())
+                    if faults.enabled else 0
+                )
+                recorder.record(FlightEntry(
+                    root,
+                    query=query,
+                    latency_s=root.duration,
+                    partial=stats.partial_results > partial0,
+                    degraded=stats.degraded_queries > degraded0,
+                    faulted=fired > fired0,
+                    error=error,
+                ))
+
+    def _note_stats(self, stats: CleaningStats) -> None:
+        """One query served: publish ``last_stats`` (and sink it)."""
+        self.last_stats = stats
+        sink = self._stats_sink
+        if sink is not None:
+            sink.append(stats)
+
+    def _note_unanswerable(self) -> None:
+        """One unanswerable query: sink empty stats, keep last_stats.
+
+        ``last_stats`` has never described unanswerable queries (the
+        serial path raises instead of serving them), so only the
+        detailed-batch sink records a placeholder.
+        """
+        sink = self._stats_sink
+        if sink is not None:
+            sink.append(CleaningStats())
+
+    def dump_flight_record(
+        self, path: str | None = None, reason: str = "on_demand"
+    ) -> str:
+        """Dump retained traces as JSONL; returns path or payload.
+
+        With ``path`` (or a configured ``flight_record_path``) the
+        dump is written there and the path returned; otherwise the
+        JSONL payload itself is returned.
+
+        Raises:
+            ConfigurationError: when no flight recorder is attached
+                (tracing is off and none was passed explicitly).
+        """
+        recorder = self.flight_recorder
+        if recorder is None:
+            raise ConfigurationError(
+                "no flight recorder attached — construct the service "
+                "with a live tracer or an explicit flight_recorder"
+            )
+        destination = path or self.flight_record_path
+        if destination is None:
+            return recorder.dump_jsonl(reason)
+        return recorder.dump_to(destination, reason)
+
+    def _on_breaker_open(self) -> None:
+        self._auto_dump("breaker_open")
+
+    def _auto_dump(self, reason: str) -> None:
+        """Preserve the flight record at a moment of failure.
+
+        Writes to ``flight_record_path`` when configured; otherwise
+        just logs what is retained (the in-memory rings survive for
+        :meth:`dump_flight_record`).  Never raises: dumping is
+        diagnostics, not serving.
+        """
+        recorder = self.flight_recorder
+        if recorder is None:
+            return
+        if self.metrics_registry.enabled:
+            self.metrics_registry.inc(
+                "flight_dumps_total", reason=reason
+            )
+        path = self.flight_record_path
+        if path is None:
+            logger.warning(
+                "flight record (%s): %d traces retained in memory; "
+                "set flight_record_path for automatic dumps",
+                reason, len(recorder),
+            )
+            return
+        try:
+            recorder.dump_to(path, reason)
+        except OSError as error:  # pragma: no cover - disk trouble
+            logger.warning(
+                "flight record dump to %s failed: %s", path, error
+            )
+        else:
+            logger.warning(
+                "flight record dumped to %s (%d traces, reason: %s)",
+                path, len(recorder), reason,
+            )
 
     # ------------------------------------------------------------------
     # Single-query path
@@ -447,11 +686,12 @@ class SuggestionService:
                 that prefer empty answers should use ``suggest_batch``).
             Overloaded: when admission control is over ``max_pending``.
         """
-        self._admit(1)
-        try:
-            return self._suggest_one(query, k)
-        finally:
-            self._release(1)
+        with self._traced_request("request", query):
+            self._admit(1)
+            try:
+                return self._suggest_one(query, k)
+            finally:
+                self._release(1)
 
     def _suggest_one(self, query: str, k: int) -> list[Suggestion]:
         """The single-query path, past admission control."""
@@ -465,7 +705,11 @@ class SuggestionService:
         if cached is not None:
             self._result_cache.move_to_end(key)
             self.stats.result_cache_hits += 1
-            self.last_stats = CleaningStats(result_cache_hits=1)
+            self._note_stats(CleaningStats(
+                result_cache_hits=1, trace_id=self.tracer.trace_id,
+            ))
+            if self.tracer.enabled:
+                self.tracer.event("result_cache_hit", query=query)
             if metrics.enabled:
                 metrics.inc("result_cache_hits_total")
                 metrics.observe(
@@ -479,7 +723,7 @@ class SuggestionService:
         self.stats.result_cache_misses += 1
         stats = self.suggester.last_stats
         stats.result_cache_misses += 1
-        self.last_stats = stats
+        self._note_stats(stats)
         if stats.partial:
             # A deadline-truncated answer is served but never cached —
             # a transient overload must not become a permanently
@@ -521,24 +765,66 @@ class SuggestionService:
         metrics = self.metrics_registry
         if metrics.enabled:
             metrics.inc("batches_total")
-        self._admit(len(queries))
+        tracer = self.tracer
+        with self._traced_request(
+            "batch", f"<batch of {len(queries)}>",
+            queries=len(queries),
+        ):
+            self._admit(len(queries))
+            try:
+                if workers is None:
+                    workers = self.workers
+                if workers is not None and workers > 1:
+                    return self._suggest_batch_parallel(
+                        queries, k, workers
+                    )
+                out: list[list[Suggestion]] = []
+                for query in queries:
+                    try:
+                        if tracer.enabled:
+                            with tracer.span("query", query=query):
+                                out.append(
+                                    self._suggest_one(query, k)
+                                )
+                        else:
+                            out.append(self._suggest_one(query, k))
+                    except QueryError:
+                        self.stats.unanswerable += 1
+                        self._note_unanswerable()
+                        if metrics.enabled:
+                            metrics.inc("unanswerable_total")
+                        out.append([])
+                return out
+            finally:
+                self._release(len(queries))
+
+    def suggest_batch_detailed(
+        self,
+        queries: Sequence[str],
+        k: int = 10,
+        workers: int | None = None,
+    ) -> list[tuple[list[Suggestion], CleaningStats]]:
+        """:meth:`suggest_batch` plus one ``CleaningStats`` per query.
+
+        The stats carry what batch callers cannot otherwise see per
+        answer: the ``partial`` flag, cache hit/miss counters, and the
+        ``trace_id`` when tracing is on (unanswerable queries get a
+        fresh empty ``CleaningStats``).  This is what ``xclean batch
+        --format json`` surfaces.
+        """
+        sink: list[CleaningStats] = []
+        previous = self._stats_sink
+        self._stats_sink = sink
         try:
-            if workers is None:
-                workers = self.workers
-            if workers is not None and workers > 1:
-                return self._suggest_batch_parallel(queries, k, workers)
-            out: list[list[Suggestion]] = []
-            for query in queries:
-                try:
-                    out.append(self._suggest_one(query, k))
-                except QueryError:
-                    self.stats.unanswerable += 1
-                    if metrics.enabled:
-                        metrics.inc("unanswerable_total")
-                    out.append([])
-            return out
+            answers = self.suggest_batch(queries, k, workers)
         finally:
-            self._release(len(queries))
+            self._stats_sink = previous
+        if len(sink) != len(answers):  # pragma: no cover - invariant
+            raise AssertionError(
+                f"stats sink out of step: {len(sink)} stats for "
+                f"{len(answers)} answers"
+            )
+        return list(zip(answers, sink))
 
     def _suggest_batch_parallel(
         self, queries: Sequence[str], k: int, workers: int
@@ -570,7 +856,13 @@ class SuggestionService:
                     "worker pool circuit breaker is open",
                     retry_after=self.breaker.retry_after(),
                 )
-            tasks = [(query, k) for query in pending.values()]
+            trace_ctx = (
+                {"trace_id": self.tracer.trace_id}
+                if self.tracer.enabled else None
+            )
+            tasks = [
+                (query, k, trace_ctx) for query in pending.values()
+            ]
             answers = self._run_on_pool(tasks, workers)
             for key, answer in zip(pending, answers):
                 if answer is None:
@@ -600,12 +892,15 @@ class SuggestionService:
                     self.stats.result_cache_misses += 1
                     stats = fresh[key][1]
                     stats.result_cache_misses += 1
-                    self.last_stats = stats
+                    self._note_stats(stats)
                     if metrics.enabled:
                         metrics.inc("result_cache_misses_total")
                 else:
                     self.stats.result_cache_hits += 1
-                    self.last_stats = CleaningStats(result_cache_hits=1)
+                    self._note_stats(CleaningStats(
+                        result_cache_hits=1,
+                        trace_id=self.tracer.trace_id,
+                    ))
                     if metrics.enabled:
                         metrics.inc("result_cache_hits_total")
                 out.append(list(cached))
@@ -618,7 +913,7 @@ class SuggestionService:
                 suggestions, stats = entry
                 self.stats.result_cache_misses += 1
                 self.stats.partial_results += 1
-                self.last_stats = stats
+                self._note_stats(stats)
                 if metrics.enabled:
                     metrics.inc("result_cache_misses_total")
                     metrics.inc("partial_results_total")
@@ -627,6 +922,7 @@ class SuggestionService:
             # Empty token tuple or a failed/unanswerable worker
             # answer: unanswerable, never cached.
             self.stats.unanswerable += 1
+            self._note_unanswerable()
             if metrics.enabled:
                 metrics.inc("unanswerable_total")
             out.append([])
@@ -637,7 +933,7 @@ class SuggestionService:
     # ------------------------------------------------------------------
 
     def _run_on_pool(
-        self, tasks: list[tuple[str, int]], workers: int
+        self, tasks: list[tuple[str, int, dict | None]], workers: int
     ) -> list:
         """Answer ``tasks`` on the pool, degrading where necessary."""
         pool = self._acquire_pool(workers)
@@ -646,6 +942,7 @@ class SuggestionService:
             # everything runs in-process.
             return [self._degrade(task) for task in tasks]
         futures = []
+        submitted_at = time.time()
         for task in tasks:
             try:
                 futures.append(pool.submit(_worker_suggest, task))
@@ -656,7 +953,9 @@ class SuggestionService:
                 futures.append(None)
         self._pool_tasks += len(tasks)
         answers = [
-            self._await_worker(task, future)
+            self._absorb_worker_answer(
+                task, self._await_worker(task, future), submitted_at
+            )
             for task, future in zip(tasks, futures)
         ]
         if self._pool_suspect:
@@ -702,12 +1001,47 @@ class SuggestionService:
             quarantine_snapshot(path, metrics=self.metrics_registry)
             self.stats.snapshot_quarantined += 1
             self._snapshot_degraded = True
+            self._auto_dump("snapshot_quarantine")
         except OSError:
             # File already rotated/removed: nothing to verify, but
             # workers cannot init from it either.
             self._snapshot_degraded = True
 
-    def _await_worker(self, task: tuple[str, int], future):
+    def _absorb_worker_answer(self, task, answer, submitted_at: float):
+        """Fold a worker's extras into the parent; normalize the shape.
+
+        Worker answers arrive as ``(suggestions, stats, extras)``;
+        degraded (in-process) answers and unanswerable ``None``s pass
+        through untouched.  ``extras`` carries the worker's per-query
+        stage-timer deltas (merged into :attr:`metrics_registry`) and,
+        when the task was traced, the finished ``worker`` span subtree
+        — stitched under a parent-side ``pool.task`` span whose window
+        covers submit → result, so worker time nests inside it on one
+        coherent timeline.
+        """
+        if answer is None or len(answer) != 3:
+            return answer
+        suggestions, stats, extras = answer
+        if extras:
+            stages = extras.get("stages")
+            if stages:
+                self.metrics_registry.merge_stage_deltas(stages)
+            worker_span = extras.get("span")
+            tracer = self.tracer
+            if worker_span is not None and tracer.enabled:
+                elapsed = time.time() - submitted_at
+                task_span = Span(
+                    "pool.task",
+                    start=submitted_at,
+                    duration=max(elapsed, worker_span.duration),
+                    attributes={"query": task[0]},
+                )
+                task_span.children.append(worker_span)
+                tracer.attach(task_span)
+        return suggestions, stats
+
+    def _await_worker(self, task: tuple[str, int, dict | None],
+                      future):
         """One worker answer: timeout → retry once → degrade.
 
         Every final outcome feeds the circuit breaker: a served answer
@@ -748,7 +1082,7 @@ class SuggestionService:
                 self.breaker.record_failure()
         return self._degrade(task)
 
-    def _resubmit(self, task: tuple[str, int]):
+    def _resubmit(self, task: tuple[str, int, dict | None]):
         pool = self._pool
         if pool is None:
             return None
@@ -757,13 +1091,14 @@ class SuggestionService:
         except Exception:
             return None
 
-    def _degrade(self, task: tuple[str, int]):
-        """In-process fallback with the same answer shape as a worker."""
+    def _degrade(self, task: tuple[str, int, dict | None]):
+        """In-process fallback, normalized to ``(suggestions, stats)``."""
         self.stats.degraded_queries += 1
         self.metrics_registry.inc("degraded_queries_total")
-        query, k = task
+        query, k = task[0], task[1]
         try:
-            suggestions = self.suggester.suggest(query, k)
+            with self.tracer.span("degrade", query=query):
+                suggestions = self.suggester.suggest(query, k)
         except QueryError:
             return None
         return tuple(suggestions), self.suggester.last_stats

@@ -77,4 +77,8 @@ class CleaningStats:
     #: contract of ``core/deadline.py``).  Partial results are served
     #: but never cached.
     partial: bool = False
+    #: Trace id of the span tree covering this query, when a live
+    #: tracer was attached (``repro.obs.trace``); correlates batch
+    #: output, flight-recorder entries, and exported traces.
+    trace_id: str | None = None
     extra: dict[str, float] = field(default_factory=dict)

@@ -1,6 +1,19 @@
-"""Observability for the serving layer: metrics, timers, faults."""
+"""Observability for the serving layer: metrics, faults, traces."""
 
-from repro.obs.export import MetricsSnapshot
+from repro.obs.explain import (
+    EvictionNote,
+    Explanation,
+    PruningObserver,
+    ScoreRecorder,
+    build_explanation,
+)
+from repro.obs.export import (
+    MetricsSnapshot,
+    chrome_trace,
+    trace_from_json_line,
+    trace_to_json_line,
+    validate_chrome_trace,
+)
 from repro.obs.faults import (
     NULL_FAULTS,
     FaultAction,
@@ -20,22 +33,48 @@ from repro.obs.metrics import (
     NullMetrics,
     STAGE_HISTOGRAM,
 )
+from repro.obs.recorder import FlightEntry, FlightRecorder
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    format_trace,
+    new_trace_id,
+)
 
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "EvictionNote",
+    "Explanation",
     "FaultAction",
     "FaultPlan",
+    "FlightEntry",
+    "FlightRecorder",
     "Histogram",
     "INDEX_LOAD_STAGE",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NULL_FAULTS",
     "NULL_METRICS",
+    "NULL_TRACER",
     "NullFaultPlan",
     "NullMetrics",
+    "NullTracer",
+    "PruningObserver",
     "SITES",
     "STAGE_HISTOGRAM",
+    "ScoreRecorder",
+    "Span",
+    "Tracer",
+    "build_explanation",
+    "chrome_trace",
+    "format_trace",
     "injected",
     "install_spec",
+    "new_trace_id",
+    "trace_from_json_line",
+    "trace_to_json_line",
+    "validate_chrome_trace",
 ]

@@ -1,4 +1,4 @@
-"""Metric snapshots and their export formats (JSON, Prometheus text).
+"""Export formats for metrics and traces (JSON, Prometheus, Chrome).
 
 A :class:`MetricsSnapshot` is a frozen copy of a registry's state,
 decoupled from the live objects so exports are consistent even while
@@ -11,6 +11,16 @@ queries keep landing.  Two renderings:
   exposition format (``# HELP``/``# TYPE`` headers, cumulative
   ``_bucket{le=...}`` series, ``_sum``/``_count``), ready to serve
   from a ``/metrics`` endpoint or push through a textfile collector.
+
+Trace exporters turn :class:`~repro.obs.trace.Span` trees into:
+
+* **JSONL** — one trace per line (:func:`trace_to_json_line` /
+  :func:`trace_from_json_line`), the flight-recorder dump format;
+* **Chrome trace event JSON** (:func:`chrome_trace`) — loadable in
+  ``chrome://tracing`` / Perfetto; spans become ``"X"`` complete
+  events with microsecond timestamps, span events become instants.
+  :func:`validate_chrome_trace` is the schema check CI's trace-smoke
+  job runs against ``xclean trace`` output.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from __future__ import annotations
 import json
 
 from repro.obs.metrics import STAGE_HISTOGRAM
+from repro.obs.trace import Span
 
 #: (name, labels, value, help)
 CounterState = tuple[str, dict[str, str], float, str]
@@ -159,3 +170,124 @@ class MetricsSnapshot:
                 f"{full}_count{_render_labels(labels)} {count}"
             )
         return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Trace exporters
+# ----------------------------------------------------------------------
+
+
+def trace_to_json_line(root: Span) -> str:
+    """One span tree as a single JSON line (the JSONL record format)."""
+    return json.dumps(
+        root.as_dict(), separators=(",", ":"), sort_keys=True
+    )
+
+
+def trace_from_json_line(line: str) -> Span:
+    """Parse one JSONL record back into a span tree."""
+    return Span.from_dict(json.loads(line))
+
+
+def _chrome_args(attributes: dict) -> dict:
+    """Attribute values coerced to JSON-safe scalars."""
+    return {
+        key: (
+            value
+            if isinstance(value, (str, int, float, bool))
+            or value is None
+            else str(value)
+        )
+        for key, value in attributes.items()
+    }
+
+
+def chrome_trace(roots: Span | list[Span]) -> dict:
+    """Span trees as a Chrome trace event JSON object.
+
+    Every span becomes an ``"X"`` (complete) event with microsecond
+    ``ts``/``dur`` relative to the earliest root start; span events
+    become ``"i"`` (instant) events.  Spans carrying a ``pid``
+    attribute (worker subtrees) keep it as the track id so pool
+    fan-out renders as parallel rows in Perfetto.
+    """
+    if isinstance(roots, Span):
+        roots = [roots]
+    if not roots:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    origin = min(root.start for root in roots)
+    events: list[dict] = []
+
+    def emit(span: Span, track: int) -> None:
+        track = span.attributes.get("pid", track)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "xclean",
+                "ph": "X",
+                "ts": (span.start - origin) * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": 1,
+                "tid": track,
+                "args": _chrome_args(span.attributes),
+            }
+        )
+        for name, when, attrs in span.events:
+            events.append(
+                {
+                    "name": name,
+                    "cat": "xclean",
+                    "ph": "i",
+                    "ts": (when - origin) * 1e6,
+                    "pid": 1,
+                    "tid": track,
+                    "s": "t",
+                    "args": _chrome_args(attrs or {}),
+                }
+            )
+        for child in span.children:
+            emit(child, track)
+
+    for root in roots:
+        emit(root, 1)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+#: Fields every Chrome trace event must carry, by phase.
+_CHROME_REQUIRED = {"name", "cat", "ph", "ts", "pid", "tid"}
+
+
+def validate_chrome_trace(data: dict) -> list[str]:
+    """Schema check of a Chrome trace object; returns problem strings.
+
+    An empty list means the object is loadable by ``chrome://tracing``
+    / Perfetto: a ``traceEvents`` array whose members carry the
+    required fields, numeric non-negative timestamps, and ``dur`` on
+    every complete (``"X"``) event.
+    """
+    problems: list[str] = []
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index}: not an object")
+            continue
+        missing = _CHROME_REQUIRED - event.keys()
+        if missing:
+            problems.append(
+                f"event {index}: missing {sorted(missing)}"
+            )
+            continue
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            problems.append(
+                f"event {index}: ts must be a non-negative number"
+            )
+        if event["ph"] == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                problems.append(
+                    f"event {index}: complete event needs "
+                    f"non-negative dur"
+                )
+    return problems

@@ -28,8 +28,13 @@ from bisect import bisect_left
 from time import perf_counter
 
 #: Upper bounds (seconds) of the default latency histogram; an +Inf
-#: overflow bucket is implicit.  Spans 100µs .. 5s, log-ish spacing.
+#: overflow bucket is implicit.  Spans 1µs .. 5s, log-ish spacing —
+#: the µs end exists for the mmap snapshot path, whose ~0.2 ms loads
+#: all collapsed into one bucket under the old 100µs floor.  Override
+#: per deployment with ``XCleanConfig.latency_buckets`` (threaded into
+#: pool workers) or per registry via ``MetricsRegistry(buckets=...)``.
 DEFAULT_LATENCY_BUCKETS = (
+    0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005,
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
     0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
 )
@@ -135,6 +140,35 @@ class Histogram:
             "p95": self.quantile(0.95),
         }
 
+    # -- cross-process merging ----------------------------------------
+
+    def state(self) -> tuple[tuple[int, ...], float, int]:
+        """``(tallies, sum, count)`` — the mergeable raw state.
+
+        Picklable and cheap; a pool worker snapshots its histograms as
+        states, ships the deltas in its result payload, and the parent
+        folds them in with :meth:`merge_state`.
+        """
+        return (tuple(self._tallies), self.sum, self.count)
+
+    def merge_state(self, tallies, total: float, count: int) -> None:
+        """Fold another histogram's raw state into this one.
+
+        The other histogram must share this one's bucket layout — a
+        mismatched tally vector is rejected so a worker built with
+        different ``latency_buckets`` cannot silently skew the parent.
+        """
+        if len(tallies) != len(self._tallies):
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge state with "
+                f"{len(tallies)} tallies into {len(self._tallies)} "
+                f"buckets"
+            )
+        for index, tally in enumerate(tallies):
+            self._tallies[index] += tally
+        self.sum += total
+        self.count += count
+
 
 class _StageTimer:
     """Context manager observing its lifetime into a histogram."""
@@ -159,11 +193,15 @@ class MetricsRegistry:
 
     enabled = True
 
-    __slots__ = ("namespace", "_counters", "_histograms",
+    __slots__ = ("namespace", "buckets", "_counters", "_histograms",
                  "_stage_histograms")
 
-    def __init__(self, namespace: str = "xclean"):
+    def __init__(self, namespace: str = "xclean",
+                 buckets: tuple[float, ...] | None = None):
         self.namespace = namespace
+        #: Default bucket bounds for histograms created by this
+        #: registry (``XCleanConfig.latency_buckets`` lands here).
+        self.buckets = tuple(buckets or DEFAULT_LATENCY_BUCKETS)
         self._counters: dict[tuple, Counter] = {}
         self._histograms: dict[tuple, Histogram] = {}
         # Hot-path shortcut: stage name -> its stage_seconds series,
@@ -185,13 +223,14 @@ class MetricsRegistry:
         self,
         name: str,
         help: str = "",
-        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        buckets: tuple[float, ...] | None = None,
         **labels: str,
     ) -> Histogram:
         key = (name, _label_key(labels))
         found = self._histograms.get(key)
         if found is None:
-            found = Histogram(name, help, buckets, labels)
+            found = Histogram(name, help, buckets or self.buckets,
+                              labels)
             self._histograms[key] = found
         return found
 
@@ -218,6 +257,59 @@ class MetricsRegistry:
     def stage(self, name: str) -> _StageTimer:
         """Context manager timing a named pipeline stage."""
         return _StageTimer(self._stage_histogram(name))
+
+    # -- worker-side stage aggregation --------------------------------
+
+    def stage_states(self) -> dict[str, tuple]:
+        """Raw state of every stage-timer series, keyed by stage name.
+
+        The mergeable counterpart of the ``stages`` snapshot view —
+        see :meth:`stage_deltas` / :meth:`merge_stage_deltas`.
+        """
+        return {
+            stage: histogram.state()
+            for stage, histogram in self._stage_histograms.items()
+        }
+
+    def stage_deltas(self, before: dict[str, tuple]) -> dict[str, tuple]:
+        """Stage-state changes since a prior :meth:`stage_states`.
+
+        Returns only stages that moved; the result is picklable and
+        travels in the pool-worker answer payload.
+        """
+        deltas: dict[str, tuple] = {}
+        for stage, (tallies, total, count) in self.stage_states().items():
+            prior = before.get(stage)
+            if prior is None:
+                if count:
+                    deltas[stage] = (tallies, total, count)
+                continue
+            prior_tallies, prior_total, prior_count = prior
+            if count == prior_count:
+                continue
+            deltas[stage] = (
+                tuple(
+                    tally - old
+                    for tally, old in zip(tallies, prior_tallies)
+                ),
+                total - prior_total,
+                count - prior_count,
+            )
+        return deltas
+
+    def merge_stage_deltas(self, deltas: dict[str, tuple]) -> None:
+        """Fold worker-side stage deltas into this registry.
+
+        Stages whose bucket layout disagrees (worker configured with
+        different ``latency_buckets``) are skipped rather than merged
+        wrongly — the parent's own latency series stay exact.
+        """
+        for stage, (tallies, total, count) in deltas.items():
+            histogram = self._stage_histogram(stage)
+            try:
+                histogram.merge_state(tallies, total, count)
+            except ValueError:
+                continue
 
     # -- export -------------------------------------------------------
 
@@ -295,13 +387,14 @@ class NullMetrics:
     __slots__ = ()
 
     namespace = "xclean"
+    buckets = DEFAULT_LATENCY_BUCKETS
 
     def counter(self, name: str, help: str = "",
                 **labels: str) -> _NullCounter:
         return _NULL_COUNTER
 
     def histogram(self, name: str, help: str = "",
-                  buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+                  buckets: tuple[float, ...] | None = None,
                   **labels: str) -> _NullHistogram:
         return _NULL_HISTOGRAM
 
@@ -317,6 +410,15 @@ class NullMetrics:
 
     def stage(self, name: str) -> _NullTimer:
         return _NULL_TIMER
+
+    def stage_states(self) -> dict[str, tuple]:
+        return {}
+
+    def stage_deltas(self, before: dict[str, tuple]) -> dict[str, tuple]:
+        return {}
+
+    def merge_stage_deltas(self, deltas: dict[str, tuple]) -> None:
+        pass
 
     def snapshot(self):
         from repro.obs.export import MetricsSnapshot

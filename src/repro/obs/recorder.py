@@ -1,0 +1,220 @@
+"""The flight recorder: a bounded ring buffer of recent query traces.
+
+``SuggestionService`` keeps one of these when tracing is on.  Two
+ring buffers:
+
+* ``recent`` — the last N traces, whatever happened to them;
+* ``notable`` — every slow / partial / degraded / faulted / errored
+  query, retained separately so a burst of healthy traffic cannot
+  push the interesting traces out before anyone looks.
+
+Entries are :class:`FlightEntry` records — the stitched span tree plus
+the flags and latency the service observed.  The recorder dumps to
+JSONL (one entry per line, ``repro.obs.export`` record format plus a
+small envelope) either on demand (``SuggestionService.
+dump_flight_record`` / the ``xclean trace`` CLI) or automatically when
+the circuit breaker opens or a snapshot is quarantined — the moments
+when "what just happened" matters most and the evidence is about to
+age out.
+
+Append cost is O(1) with no allocation beyond the entry itself;
+bounded ``deque``s do the retention.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Iterator
+
+from repro.obs.export import chrome_trace, trace_to_json_line
+from repro.obs.trace import Span
+
+#: Default retention of the two rings.
+DEFAULT_CAPACITY = 64
+DEFAULT_NOTABLE_CAPACITY = 128
+
+
+class FlightEntry:
+    """One recorded query: its trace plus the service's verdict."""
+
+    __slots__ = (
+        "trace", "trace_id", "query", "latency_s", "slow", "partial",
+        "degraded", "faulted", "error", "recorded_at",
+    )
+
+    def __init__(
+        self,
+        trace: Span,
+        query: str = "",
+        latency_s: float = 0.0,
+        slow: bool = False,
+        partial: bool = False,
+        degraded: bool = False,
+        faulted: bool = False,
+        error: str | None = None,
+    ):
+        self.trace = trace
+        self.trace_id = trace.attributes.get("trace_id")
+        self.query = query
+        self.latency_s = latency_s
+        self.slow = slow
+        self.partial = partial
+        self.degraded = degraded
+        self.faulted = faulted
+        self.error = error
+        self.recorded_at = time.time()
+
+    @property
+    def notable(self) -> bool:
+        return (
+            self.slow
+            or self.partial
+            or self.degraded
+            or self.faulted
+            or self.error is not None
+        )
+
+    def flags(self) -> list[str]:
+        out = []
+        if self.slow:
+            out.append("slow")
+        if self.partial:
+            out.append("partial")
+        if self.degraded:
+            out.append("degraded")
+        if self.faulted:
+            out.append("faulted")
+        if self.error is not None:
+            out.append("error")
+        return out
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "query": self.query,
+            "latency_s": self.latency_s,
+            "flags": self.flags(),
+            "error": self.error,
+            "recorded_at": self.recorded_at,
+            "trace": self.trace.as_dict(),
+        }
+
+    def to_json_line(self) -> str:
+        return json.dumps(
+            self.as_dict(), separators=(",", ":"), sort_keys=True
+        )
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "FlightEntry":
+        data = json.loads(line)
+        entry = cls(
+            Span.from_dict(data["trace"]),
+            query=data.get("query", ""),
+            latency_s=data.get("latency_s", 0.0),
+            error=data.get("error"),
+        )
+        flags = set(data.get("flags", ()))
+        entry.slow = "slow" in flags
+        entry.partial = "partial" in flags
+        entry.degraded = "degraded" in flags
+        entry.faulted = "faulted" in flags
+        entry.recorded_at = data.get("recorded_at", entry.recorded_at)
+        return entry
+
+
+class FlightRecorder:
+    """Bounded retention of recent + notable traces (module docstring).
+
+    ``slow_threshold`` (seconds) marks entries above it as slow;
+    ``None`` disables the check.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        notable_capacity: int = DEFAULT_NOTABLE_CAPACITY,
+        slow_threshold: float | None = None,
+    ):
+        self.capacity = capacity
+        self.notable_capacity = notable_capacity
+        self.slow_threshold = slow_threshold
+        self.recorded = 0
+        self.dumps = 0
+        self._recent: deque[FlightEntry] = deque(maxlen=capacity)
+        self._notable: deque[FlightEntry] = deque(
+            maxlen=notable_capacity
+        )
+
+    def __len__(self) -> int:
+        return len(self._recent) + len(self._notable)
+
+    def record(self, entry: FlightEntry) -> FlightEntry:
+        """Retain one finished query's entry (O(1))."""
+        if (
+            self.slow_threshold is not None
+            and entry.latency_s > self.slow_threshold
+        ):
+            entry.slow = True
+        self.recorded += 1
+        if entry.notable:
+            self._notable.append(entry)
+        else:
+            self._recent.append(entry)
+        return entry
+
+    def entries(self) -> Iterator[FlightEntry]:
+        """All retained entries, oldest first, notable ones included."""
+        merged = list(self._recent) + list(self._notable)
+        merged.sort(key=lambda entry: entry.recorded_at)
+        return iter(merged)
+
+    def notable_entries(self) -> list[FlightEntry]:
+        return list(self._notable)
+
+    def find(self, trace_id: str) -> FlightEntry | None:
+        """Look an entry up by trace id (newest wins on collision)."""
+        found = None
+        for entry in self.entries():
+            if entry.trace_id == trace_id:
+                found = entry
+        return found
+
+    # -- dumping ------------------------------------------------------
+
+    def dump_jsonl(self, reason: str = "on_demand") -> str:
+        """All retained entries as JSONL, first line an envelope."""
+        envelope = {
+            "flight_record": True,
+            "reason": reason,
+            "dumped_at": time.time(),
+            "recorded_total": self.recorded,
+            "retained": len(self),
+        }
+        lines = [json.dumps(envelope, sort_keys=True)]
+        lines.extend(
+            entry.to_json_line() for entry in self.entries()
+        )
+        self.dumps += 1
+        return "\n".join(lines) + "\n"
+
+    def dump_to(self, path: str, reason: str = "on_demand") -> str:
+        """Write :meth:`dump_jsonl` to ``path``; returns the path."""
+        payload = self.dump_jsonl(reason)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        return path
+
+    def chrome_trace(self) -> dict:
+        """All retained traces as one Chrome trace object."""
+        return chrome_trace(
+            [entry.trace for entry in self.entries()]
+        )
+
+    def traces_jsonl(self) -> str:
+        """Bare span trees as JSONL (no envelope; export round-trips)."""
+        return "".join(
+            trace_to_json_line(entry.trace) + "\n"
+            for entry in self.entries()
+        )

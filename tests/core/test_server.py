@@ -43,7 +43,7 @@ _real_worker_suggest = server_module._worker_suggest
 
 def _sleepy_worker(task):
     """Hang on one marked query, answer everything else normally."""
-    query, _k = task
+    query = task[0]
     if "databas" in query:
         time.sleep(1.0)
     return _real_worker_suggest(task)

@@ -1,8 +1,11 @@
 """Tests for the xclean command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs.export import validate_chrome_trace
 
 
 class TestParser:
@@ -126,6 +129,128 @@ class TestPipeline:
         out = capsys.readouterr().out
         assert "MRR" in out
         assert "DBLP-CLEAN" in out or "CLEAN" in out
+
+
+@pytest.fixture(scope="module")
+def built_index(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli_obs")
+    xml_path = str(root / "corpus.xml")
+    index_path = str(root / "corpus.xci")
+    assert main(
+        ["generate", "--dataset", "dblp", "--out", xml_path,
+         "--size", "80"]
+    ) == 0
+    assert main(["index", "--xml", xml_path, "--out", index_path]) == 0
+    return index_path
+
+
+class TestExplainCommand:
+    def test_explain_table(self, built_index, capsys):
+        capsys.readouterr()
+        assert main(
+            ["explain", "--index", built_index, "--query", "datt",
+             "-k", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "P(Q|C)" in out
+        assert "U(C," in out
+
+    def test_explain_json_reconstructs(self, built_index, capsys):
+        capsys.readouterr()
+        assert main(
+            ["explain", "--index", built_index, "--query", "datt",
+             "-k", "3", "--format", "json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["query"] == "datt"
+        assert data["suggestions"], "expected candidates"
+        top = data["suggestions"][0]
+        assert top["reconstructed_score"] == pytest.approx(
+            top["score"], rel=1e-9
+        )
+
+    def test_explain_tuple_engine(self, built_index, capsys):
+        capsys.readouterr()
+        assert main(
+            ["explain", "--index", built_index, "--query", "datt",
+             "--engine", "tuple", "--format", "json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["engine"] == "tuple"
+
+
+class TestTraceCommand:
+    def test_trace_text(self, built_index, capsys):
+        capsys.readouterr()
+        assert main(
+            ["trace", "--index", built_index, "--query", "datt"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "suggest" in out
+        assert "ms" in out
+
+    def test_trace_chrome_validates(self, built_index, capsys):
+        capsys.readouterr()
+        assert main(
+            ["trace", "--index", built_index, "--query", "datt",
+             "--format", "chrome"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert validate_chrome_trace(data) == []
+        assert any(
+            e["name"] == "suggest" for e in data["traceEvents"]
+        )
+
+    def test_trace_jsonl_to_file(self, built_index, tmp_path, capsys):
+        out_path = tmp_path / "trace.jsonl"
+        capsys.readouterr()
+        assert main(
+            ["trace", "--index", built_index, "--query", "datt",
+             "--format", "jsonl", "--out", str(out_path)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        record = json.loads(out_path.read_text().splitlines()[0])
+        assert record["name"] == "suggest"
+
+
+class TestBatchCommand:
+    def make_queries(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text("datt\njournal\ndatt\n")
+        return str(path)
+
+    def test_batch_table_reports_partials(
+        self, built_index, tmp_path, capsys
+    ):
+        capsys.readouterr()
+        assert main(
+            ["batch", "--index", built_index, "--queries",
+             self.make_queries(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "partial" in out
+        assert "q/s" in out
+
+    def test_batch_json_per_query_stats(
+        self, built_index, tmp_path, capsys
+    ):
+        capsys.readouterr()
+        assert main(
+            ["batch", "--index", built_index, "--queries",
+             self.make_queries(tmp_path), "--format", "json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["queries"]) == 3
+        for entry in data["queries"]:
+            assert {"query", "suggestions", "partial",
+                    "result_cache_hits", "result_cache_misses",
+                    "trace_id"} <= set(entry)
+        first, _, third = data["queries"]
+        assert first["result_cache_misses"] == 1
+        assert third["result_cache_hits"] == 1  # duplicate of first
+        assert first["trace_id"]
+        assert data["service"]["queries_served"] == 3
+        assert data["elapsed_s"] >= 0.0
+        assert data["qps"] >= 0.0
 
 
 class TestSearchCommand:

@@ -1,0 +1,112 @@
+"""Tests for the flight recorder (repro.obs.recorder)."""
+
+import json
+
+from repro.obs.export import validate_chrome_trace
+from repro.obs.recorder import FlightEntry, FlightRecorder
+from repro.obs.trace import Span
+
+
+def make_entry(name="request", **kwargs) -> FlightEntry:
+    span = Span(
+        name, start=100.0, duration=0.002,
+        attributes={"trace_id": kwargs.pop("trace_id", "t-" + name)},
+    )
+    return FlightEntry(span, query=name, latency_s=0.002, **kwargs)
+
+
+class TestFlightEntry:
+    def test_flags_and_notability(self):
+        assert make_entry().notable is False
+        assert make_entry(partial=True).flags() == ["partial"]
+        assert make_entry(degraded=True).notable is True
+        assert make_entry(faulted=True).flags() == ["faulted"]
+        entry = make_entry(slow=True, error="Overloaded")
+        assert entry.flags() == ["slow", "error"]
+
+    def test_trace_id_comes_from_root_attributes(self):
+        assert make_entry(trace_id="abc").trace_id == "abc"
+
+    def test_json_line_round_trip(self):
+        entry = make_entry(partial=True, error="QueryError")
+        clone = FlightEntry.from_json_line(entry.to_json_line())
+        assert clone.query == entry.query
+        assert clone.partial and clone.error == "QueryError"
+        assert clone.recorded_at == entry.recorded_at
+        assert clone.trace.as_dict() == entry.trace.as_dict()
+
+
+class TestFlightRecorder:
+    def test_healthy_entries_ride_the_recent_ring(self):
+        recorder = FlightRecorder(capacity=2)
+        for index in range(5):
+            recorder.record(make_entry(f"q{index}"))
+        retained = [e.query for e in recorder.entries()]
+        assert retained == ["q3", "q4"]
+        assert recorder.recorded == 5
+        assert len(recorder) == 2
+
+    def test_notable_entries_survive_healthy_bursts(self):
+        recorder = FlightRecorder(capacity=2, notable_capacity=4)
+        recorder.record(make_entry("bad", degraded=True))
+        for index in range(10):
+            recorder.record(make_entry(f"ok{index}"))
+        queries = [e.query for e in recorder.entries()]
+        assert "bad" in queries
+        assert recorder.notable_entries()[0].query == "bad"
+
+    def test_slow_threshold_marks_entries(self):
+        recorder = FlightRecorder(slow_threshold=0.001)
+        entry = recorder.record(make_entry("slowpoke"))
+        assert entry.slow is True
+        assert recorder.notable_entries() == [entry]
+        fast = FlightRecorder(slow_threshold=1.0).record(
+            make_entry("fast")
+        )
+        assert fast.slow is False
+
+    def test_find_by_trace_id(self):
+        recorder = FlightRecorder()
+        recorder.record(make_entry("a", trace_id="t1"))
+        wanted = recorder.record(make_entry("b", trace_id="t2"))
+        assert recorder.find("t2") is wanted
+        assert recorder.find("missing") is None
+
+    def test_dump_jsonl_envelope_and_entries(self):
+        recorder = FlightRecorder()
+        recorder.record(make_entry("a"))
+        recorder.record(make_entry("b", partial=True))
+        lines = recorder.dump_jsonl("unit_test").strip().splitlines()
+        envelope = json.loads(lines[0])
+        assert envelope["flight_record"] is True
+        assert envelope["reason"] == "unit_test"
+        assert envelope["retained"] == 2
+        entries = [json.loads(line) for line in lines[1:]]
+        assert {e["query"] for e in entries} == {"a", "b"}
+        assert recorder.dumps == 1
+
+    def test_dump_to_writes_file(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record(make_entry("a"))
+        path = tmp_path / "flight.jsonl"
+        assert recorder.dump_to(str(path), "crash") == str(path)
+        lines = path.read_text().strip().splitlines()
+        assert json.loads(lines[0])["reason"] == "crash"
+        restored = FlightEntry.from_json_line(lines[1])
+        assert restored.query == "a"
+
+    def test_chrome_trace_over_all_entries(self):
+        recorder = FlightRecorder()
+        recorder.record(make_entry("a"))
+        recorder.record(make_entry("b", degraded=True))
+        data = recorder.chrome_trace()
+        assert validate_chrome_trace(data) == []
+        assert {e["name"] for e in data["traceEvents"]} == {"a", "b"}
+
+    def test_traces_jsonl_round_trips_via_export(self):
+        from repro.obs.export import trace_from_json_line
+
+        recorder = FlightRecorder()
+        recorder.record(make_entry("a"))
+        lines = recorder.traces_jsonl().strip().splitlines()
+        assert trace_from_json_line(lines[0]).name == "a"
