@@ -6,6 +6,12 @@ Measures, on the synthetic DBLP dataset:
   (seed, reference) and packed (columnar, int-keyed) engines, with warm
   variant/merged-list caches — queries/sec, p50/p95 latency, and
   postings consumed per second;
+* **merge-stage time** of the batch merge kernel (galloping
+  intersection + plan cache + in-loop γ-pruning) against the classic
+  per-group bisect loop, isolated via the stage metrics (merge-stage
+  seconds minus the score share measured inside it), after first
+  asserting that the kernel's top-k is *byte-identical* to the classic
+  loop on every workload query — both engines, pruning on and off;
 * batch throughput of ``SuggestionService.suggest_batch`` (packed
   engine + result cache) against the tuple engine serving the same
   trace query by query.  The trace repeats each workload query
@@ -13,24 +19,36 @@ Measures, on the synthetic DBLP dataset:
   production query log (head queries recur).
 
 Shapes asserted at the ``default`` scale: the packed engine answers
-single queries >= 2x faster, and the serving layer sustains >= 4x the
-tuple engine's batch throughput.  At ``small`` smoke scale the corpus
+single queries >= 2x faster, the merge kernel spends <= 1/2 the
+classic loop's merge-stage time, and the serving layer sustains >= 4x
+the tuple engine's batch throughput.  At the smoke scales the corpus
 is tiny, per-query fixed costs dominate, and only relaxed bounds are
 asserted.
 
 Results are emitted both as text (``out/hotpath.txt``) and as
-machine-readable JSON (``out/BENCH_hotpath.json``).
+machine-readable JSON (``out/BENCH_hotpath.json``).  Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --scale smoke
+
+or through pytest (scale from ``REPRO_BENCH_SCALE``).
 """
 
+import argparse
 import json
 import random
+import sys
 import time
+from pathlib import Path
+
+if __package__ is None or __package__ == "":
+    sys.path.insert(0, str(Path(__file__).parent))
 
 from _common import OUT_DIR, bench_scale, emit
 
 from repro.core.server import SuggestionService
 from repro.eval.experiments import dblp_setting
 from repro.eval.reporting import format_table, shape_check
+from repro.obs.metrics import MetricsRegistry
 
 #: Timed passes over the workload per engine (latencies are pooled).
 REPETITIONS = 3
@@ -40,6 +58,12 @@ TRACE_REPEATS = 3
 
 #: Speedup floors asserted per scale: (single-query, batch throughput).
 FLOORS = {"default": (2.0, 4.0), "small": (1.1, 2.0)}
+
+#: Merge-stage speedup floor (classic loop time / kernel time) per
+#: scale.  The 2x bar is the kernel's acceptance criterion at the
+#: default scale; the smoke corpora spend microseconds in the merge
+#: stage and only a sanity bound is asserted.
+MERGE_FLOORS = {"default": 2.0, "small": 1.05, "smoke": 1.05}
 
 
 def percentile(values, fraction):
@@ -80,6 +104,113 @@ def bench_single(setting, engine, queries):
     }
 
 
+def _stage_totals(registry):
+    """Cumulative seconds per stage from a registry's stage states."""
+    return {
+        stage: state[1]
+        for stage, state in registry.stage_states().items()
+    }
+
+
+def verify_kernel_outputs(setting, queries):
+    """Kernel == classic (byte-identical), == tuple (1e-9), on every
+    workload query, pruning on and off.  Raises on any mismatch."""
+    checked = 0
+    reference = setting.xclean(engine="tuple")
+    ref_out = {
+        query: [
+            (s.tokens, s.score, s.result_type)
+            for s in reference.suggest(query, 10)
+        ]
+        for query in queries
+    }
+    for pruning in (True, False):
+        kernel = setting.xclean(kernel_pruning=pruning)
+        classic = setting.xclean(
+            merge_kernel=False, kernel_pruning=pruning
+        )
+        for query in queries:
+            got = [
+                (s.tokens, s.score, s.result_type)
+                for s in kernel.suggest(query, 10)
+            ]
+            want = [
+                (s.tokens, s.score, s.result_type)
+                for s in classic.suggest(query, 10)
+            ]
+            if got != want:
+                raise AssertionError(
+                    f"kernel output differs from classic loop for "
+                    f"{query!r} (kernel_pruning={pruning})"
+                )
+            ref = ref_out[query]
+            if [g[0] for g in got] != [r[0] for r in ref]:
+                raise AssertionError(
+                    f"kernel top-k differs from tuple engine for "
+                    f"{query!r}"
+                )
+            for g, r in zip(got, ref):
+                if abs(g[1] - r[1]) > 1e-9 * max(1.0, abs(r[1])):
+                    raise AssertionError(
+                        f"kernel score drifted from tuple engine for "
+                        f"{query!r}: {g} vs {r}"
+                    )
+            checked += 1
+    return checked
+
+
+def bench_merge(setting, queries):
+    """Merge-stage seconds: batch kernel vs the classic bisect loop.
+
+    The merge stage timer covers the whole Algorithm 1 loop with the
+    scoring share reported separately (``score`` is observed from
+    inside it), so ``merge - score`` isolates exactly the work the
+    kernel replaces: anchor scans, skips, group drains, and entry
+    materialization.  Both variants get the same warm start and cache
+    bounds sized to the workload, so the comparison is intersect vs
+    replay — the kernel's intended steady state.
+    """
+    plan_capacity = max(64, 4 * len(queries))
+    results = {}
+    for label, overrides in (
+        ("classic", {"merge_kernel": False}),
+        ("kernel", {}),
+    ):
+        registry = MetricsRegistry()
+        suggester = setting.xclean(
+            merged_cache_size=plan_capacity,
+            intersection_cache_size=plan_capacity,
+            **overrides,
+        )
+        suggester.metrics = registry
+        for query in queries:  # warm: variants, columns, plans, types
+            suggester.suggest(query, 10)
+        before = _stage_totals(registry)
+        pruned = plan_hits = 0
+        for _ in range(REPETITIONS):
+            for query in queries:
+                suggester.suggest(query, 10)
+                pruned += suggester.last_stats.kernel_pruned
+                plan_hits += (
+                    suggester.last_stats.intersection_cache_hits
+                )
+        after = _stage_totals(registry)
+        merge_s = after.get("merge", 0.0) - before.get("merge", 0.0)
+        score_s = after.get("score", 0.0) - before.get("score", 0.0)
+        results[label] = {
+            "merge_stage_s": merge_s,
+            "score_share_s": score_s,
+            "merge_only_s": merge_s - score_s,
+            "plan_cache_hits": plan_hits,
+            "kernel_pruned": pruned,
+        }
+    results["speedup"] = (
+        results["classic"]["merge_only_s"]
+        / max(results["kernel"]["merge_only_s"], 1e-9)
+    )
+    return results
+
+
 def bench_batch(setting, queries):
     """Batch throughput: packed serving layer vs tuple query-by-query."""
     trace = queries * TRACE_REPEATS
@@ -117,11 +248,11 @@ def bench_batch(setting, queries):
     }
 
 
-def test_hotpath(benchmark):
-    scale = bench_scale()
-    setting = dblp_setting(scale)
+def run(scale):
+    setting = dblp_setting("small" if scale == "smoke" else scale)
     queries = workload_queries(setting)
 
+    identical = verify_kernel_outputs(setting, queries)
     single = {
         engine: bench_single(setting, engine, queries)
         for engine in ("tuple", "packed")
@@ -130,6 +261,7 @@ def test_hotpath(benchmark):
         single["packed"]["queries_per_sec"]
         / single["tuple"]["queries_per_sec"]
     )
+    merge = bench_merge(setting, queries)
     batch = bench_batch(setting, queries)
     batch_ratio = (
         batch["service_queries_per_sec"]
@@ -143,7 +275,9 @@ def test_hotpath(benchmark):
         "corpus": setting.corpus.describe(),
         "workload_queries": len(queries),
         "repetitions": REPETITIONS,
+        "kernel_identical_outputs_checked": identical,
         "single": {**single, "speedup": single_speedup},
+        "merge": merge,
         "batch": {**batch, "throughput_ratio": batch_ratio},
     }
     OUT_DIR.mkdir(exist_ok=True)
@@ -168,11 +302,28 @@ def test_hotpath(benchmark):
         title=f"Hot path — single queries ({scale} scale)",
     )
     single_floor, batch_floor = FLOORS.get(scale, FLOORS["small"])
+    merge_floor = MERGE_FLOORS.get(scale, MERGE_FLOORS["small"])
+    merge_speedup = merge["speedup"]
     checks = [
         shape_check(
             f"packed engine >= {single_floor}x faster per query "
             f"({single_speedup:.2f}x)",
             single_speedup >= single_floor,
+        ),
+        shape_check(
+            f"kernel outputs byte-identical to classic loop "
+            f"({identical} query evaluations)",
+            identical == 2 * len(queries),
+        ),
+        shape_check(
+            f"merge kernel >= {merge_floor}x faster on the merge "
+            f"stage ({merge_speedup:.2f}x)",
+            merge_speedup >= merge_floor,
+        ),
+        shape_check(
+            "plan cache absorbed the warm merge passes",
+            merge["kernel"]["plan_cache_hits"]
+            >= REPETITIONS * len(queries) * 0.9,
         ),
         shape_check(
             f"batch serving >= {batch_floor}x tuple throughput "
@@ -185,9 +336,28 @@ def test_hotpath(benchmark):
             >= (TRACE_REPEATS - 1) * batch["unique_queries"] * 0.9,
         ),
     ]
+    merge_table = format_table(
+        ("Merge loop", "merge-only ms", "score ms", "plan hits"),
+        [
+            (
+                label,
+                round(1e3 * merge[label]["merge_only_s"], 2),
+                round(1e3 * merge[label]["score_share_s"], 2),
+                merge[label]["plan_cache_hits"],
+            )
+            for label in ("classic", "kernel")
+        ],
+        title=(
+            f"Merge stage — {REPETITIONS} warm passes, "
+            f"{len(queries)} queries, "
+            f"speedup {merge_speedup:.2f}x"
+        ),
+    )
     emit(
         "hotpath",
         table
+        + "\n"
+        + merge_table
         + "\n"
         + format_table(
             ("Serving mode", "q/s"),
@@ -206,6 +376,12 @@ def test_hotpath(benchmark):
         + "\n".join(checks),
     )
     assert all("[OK ]" in check for check in checks)
+    return report
+
+
+def test_hotpath(benchmark):
+    setting = dblp_setting(bench_scale())
+    run(bench_scale())
 
     record = setting.workloads["RAND"][0]
     packed = setting.xclean(engine="packed")
@@ -214,3 +390,21 @@ def test_hotpath(benchmark):
         rounds=3,
         iterations=1,
     )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Hot-path benchmark (packed engine, merge kernel)"
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("smoke", "small", "default"),
+        default=bench_scale(),
+    )
+    args = parser.parse_args(argv)
+    run(args.scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,7 @@ from repro.core.suggestion import CleaningStats, Suggestion
 from repro.exceptions import QueryError
 from repro.fastss.generator import VariantGenerator
 from repro.index.corpus import CorpusIndex
+from repro.index.merge_kernel import GroupRun, MergePlan, gallop_left
 from repro.index.merged_list import (
     MergedEntry,
     MergedList,
@@ -85,6 +86,16 @@ class XCleanSuggester:
     ):
         self.corpus = corpus
         self.config = config or XCleanConfig()
+        if hasattr(corpus, "configure_query_caches"):
+            # Apply the config's cache bounds to the shared corpus
+            # caches (idempotent: same bounds touch nothing, so many
+            # suggesters over one corpus keep each other's warm state).
+            corpus.configure_query_caches(
+                merged_cache_size=self.config.merged_cache_size,
+                intersection_cache_size=(
+                    self.config.intersection_cache_size
+                ),
+            )
         if generator is None:
             # Snapshot-backed corpora serve FastSS buckets straight
             # from the mapped file; building a fresh index would read
@@ -271,8 +282,11 @@ class XCleanSuggester:
                         candidates=stats.candidates_evaluated,
                         entities=stats.entities_scored,
                     )
-            stats.postings_read = sum(ml.total_reads for ml in merged)
-            stats.postings_skipped = sum(ml.total_skips for ml in merged)
+            # postings_read/postings_skipped are set *inside* the merge
+            # loops, atomically with the cursor write-back at loop exit
+            # — re-summing here (after the stage timer closed) could
+            # observe a half-consumed list on a deadline-expired
+            # partial, inconsistent with groups_processed.
             if metrics.enabled and self._score_seconds:
                 metrics.observe_stage("score", self._score_seconds)
             if tracer.enabled and self._score_seconds:
@@ -334,38 +348,45 @@ class XCleanSuggester:
         deadline = self._deadline
         faults = _active_faults()
         faults_enabled = faults.enabled
-        while True:
-            if deadline is not None and deadline.expired():
-                # Anytime exit: the accumulator already holds the best
-                # answer derivable from the groups processed so far.
-                stats.partial = True
-                self.tracer.event("deadline_expired", stage="merge")
-                return
-            if faults_enabled:
-                faults.hit("merge.step")
-            anchor = None
-            exhausted = False
-            for ml in merged:
-                head = ml.head_dewey()
-                if head is None:
-                    # Some keyword exhausted: no further group helps.
-                    exhausted = True
-                    break
-                if anchor is None or head > anchor:
-                    anchor = head
-            if exhausted or anchor is None:
-                return
-            if len(anchor) < min_depth:
-                # Occurrence too shallow to sit under any valid entity:
-                # consume it wherever it is and move on.
-                self._consume_shallow(merged, anchor)
-                continue
-            group = anchor[:min_depth]
-            occurrences = self._collect_group(merged, group, stats)
-            if occurrences is None:
-                continue
-            stats.groups_processed += 1
-            self._score_group(group, occurrences, space, pool, stats)
+        try:
+            while True:
+                if deadline is not None and deadline.expired():
+                    # Anytime exit: the accumulator already holds the
+                    # best answer derivable from the groups processed
+                    # so far.
+                    stats.partial = True
+                    self.tracer.event("deadline_expired", stage="merge")
+                    return
+                if faults_enabled:
+                    faults.hit("merge.step")
+                anchor = None
+                exhausted = False
+                for ml in merged:
+                    head = ml.head_dewey()
+                    if head is None:
+                        # Some keyword exhausted: no group helps.
+                        exhausted = True
+                        break
+                    if anchor is None or head > anchor:
+                        anchor = head
+                if exhausted or anchor is None:
+                    return
+                if len(anchor) < min_depth:
+                    # Occurrence too shallow to sit under any valid
+                    # entity: consume it wherever it is and move on.
+                    self._consume_shallow(merged, anchor)
+                    continue
+                group = anchor[:min_depth]
+                occurrences = self._collect_group(merged, group, stats)
+                if occurrences is None:
+                    continue
+                stats.groups_processed += 1
+                self._score_group(group, occurrences, space, pool, stats)
+        finally:
+            # Atomic with loop exit (normal, deadline, or fault): the
+            # counters always describe exactly the work done so far.
+            stats.postings_read = sum(ml.total_reads for ml in merged)
+            stats.postings_skipped = sum(ml.total_skips for ml in merged)
 
     def _consume_shallow(
         self, merged: list[MergedList], anchor: DeweyCode
@@ -603,6 +624,32 @@ class XCleanSuggester:
     ) -> None:
         """Algorithm 1 over the columnar packed merged lists.
 
+        Dispatches between three loop bodies with identical output:
+        the batch merge kernel (galloping intersection, plan cache,
+        in-loop γ-pruning — the default), the classic per-group bisect
+        loop (``merge_kernel=False``; the kernel's equivalence
+        baseline), and the generic cursor loop (``use_skipping=False``
+        ablation: every posting read linearly).
+        """
+        if not self.config.use_skipping:
+            # Ablation path: read entries one by one via the generic
+            # cursor methods so skipped-vs-read counters stay honest.
+            self._merge_loop_packed_generic(merged, space, pool, stats)
+            return
+        if self.config.merge_kernel:
+            self._merge_loop_kernel(merged, space, pool, stats)
+            return
+        self._merge_loop_packed_classic(merged, space, pool, stats)
+
+    def _merge_loop_packed_classic(
+        self,
+        merged: list[PackedMergedList],
+        space: CandidateSpace,
+        pool: AccumulatorPool,
+        stats: CleaningStats,
+    ) -> None:
+        """The pre-kernel packed merge loop (``merge_kernel=False``).
+
         The cursor state (position, reads, skips) of every merged list
         is hoisted into locals for the duration of the loop and written
         back on exit: the loop body then runs on plain ints, list
@@ -611,11 +658,6 @@ class XCleanSuggester:
         ``[group, upper)`` where ``upper`` bumps the group's prefix —
         so skipping to the group and draining it are two bisects.
         """
-        if not self.config.use_skipping:
-            # Ablation path: read entries one by one via the generic
-            # cursor methods so skipped-vs-read counters stay honest.
-            self._merge_loop_packed_generic(merged, space, pool, stats)
-            return
         view = self.corpus.packed_view()
         packer = view.packer
         min_depth = self.config.min_depth
@@ -714,6 +756,256 @@ class XCleanSuggester:
                 ml.position = positions[i]
                 ml.reads += reads[i]
                 ml.skips += skips[i]
+            stats.postings_read = sum(ml.total_reads for ml in merged)
+            stats.postings_skipped = sum(ml.total_skips for ml in merged)
+
+    def _merge_loop_kernel(
+        self,
+        merged: list[PackedMergedList],
+        space: CandidateSpace,
+        pool: AccumulatorPool,
+        stats: CleaningStats,
+    ) -> None:
+        """Batch merge kernel: Algorithm 1 as whole-group runs.
+
+        Three changes over the classic loop, none visible in the
+        output:
+
+        * **Galloping intersection** — cursors advance by exponential
+          probe from the current position plus a bisect in the probed
+          bracket (``merge_kernel.gallop_left``), so the cost per skip
+          is O(log distance-moved) rather than O(log remaining), which
+          compounds across the many short hops of clustered postings.
+        * **Plan cache** — the sequence of subtree-group runs for a
+          variant-set combination is deterministic per snapshot
+          generation, so it is recorded on first evaluation and
+          replayed from the corpus's ``IntersectionCache`` afterwards
+          (``_replay_plan``), skipping the intersection entirely.
+        * **In-loop γ-pruning** — scoring runs with ``prune=True``:
+          once the accumulator table is saturated, candidates whose
+          score upper bound falls strictly below the table's floor are
+          dropped before materializing entity counts (see
+          ``_score_group_packed``).
+
+        Counter contract: per-run read/skip *deltas* are recorded in
+        the plan so a replay — even one cut short by a deadline —
+        reports exactly the postings a live run would have consumed up
+        to the same group.
+        """
+        corpus = self.corpus
+        view = corpus.packed_view()
+        packer = view.packer
+        min_depth = self.config.min_depth
+        depth_mask = (1 << packer.depth_bits) - 1
+        num = len(merged)
+        columns = [ml.columns for ml in merged]
+        cache = getattr(corpus, "intersection_cache", None)
+        plan_key = None
+        if (
+            cache is not None
+            and cache.enabled
+            and not any(ml.position for ml in merged)
+        ):
+            # Plans always start at position 0; a cursor mid-list
+            # (defensive — _run_inner builds fresh lists) is simply
+            # not cacheable.  Column uids name the variant sets in
+            # O(#keywords); the generation is embedded anyway so a
+            # hot-swap invalidates plans even if uids survived.
+            plan_key = (
+                corpus.generation,
+                min_depth,
+                tuple(c.uid for c in columns),
+            )
+            plan = cache.get(plan_key)
+            if plan is not None:
+                stats.intersection_cache_hits += 1
+                self.metrics.inc("intersection_cache_hits_total")
+                self._replay_plan(plan, merged, space, pool, stats, view)
+                return
+            stats.intersection_cache_misses += 1
+            self.metrics.inc("intersection_cache_misses_total")
+        group_bounds = packer.group_bounds
+        key_columns = [c.keys for c in columns]
+        lengths = [c.length for c in columns]
+        positions = [ml.position for ml in merged]
+        reads = [0] * num
+        skips = [0] * num
+        starts = [0] * num
+        # Deltas since the last *complete* group: shallow heads and
+        # groups some keyword missed are charged to the next run.
+        run_reads = [0] * num
+        run_skips = [0] * num
+        runs: list[GroupRun] = []
+        score_group = self._score_group_packed
+        indices = range(num)
+        deadline = self._deadline
+        faults = _active_faults()
+        faults_enabled = faults.enabled
+        try:
+            while True:
+                if deadline is not None and deadline.expired():
+                    stats.partial = True
+                    self.tracer.event(
+                        "deadline_expired", stage="merge"
+                    )
+                    return
+                if faults_enabled:
+                    faults.hit("merge.step")
+                anchor = -1
+                exhausted = False
+                for i in indices:
+                    position = positions[i]
+                    if position >= lengths[i]:
+                        # Some keyword exhausted: no group helps.
+                        exhausted = True
+                        break
+                    head = key_columns[i][position]
+                    if head > anchor:
+                        anchor = head
+                if exhausted:
+                    break
+                if (anchor & depth_mask) < min_depth:
+                    # Shallow head: it is some list's head by
+                    # construction; consume it and move on.
+                    for i in indices:
+                        if key_columns[i][positions[i]] == anchor:
+                            positions[i] += 1
+                            reads[i] += 1
+                            run_reads[i] += 1
+                            break
+                    continue
+                group, upper = group_bounds(anchor, min_depth)
+                missing = False
+                for i in indices:
+                    keys = key_columns[i]
+                    start = gallop_left(
+                        keys, group, positions[i], lengths[i]
+                    )
+                    end = gallop_left(keys, upper, start, lengths[i])
+                    skipped = start - positions[i]
+                    consumed = end - start
+                    skips[i] += skipped
+                    run_skips[i] += skipped
+                    reads[i] += consumed
+                    run_reads[i] += consumed
+                    starts[i] = start
+                    positions[i] = end
+                    if end == start:
+                        missing = True
+                if missing:
+                    # Some keyword absent from the group: no candidate
+                    # can form here; never materialize the entries.
+                    continue
+                occurrences = [
+                    columns[i].slice_by_token(starts[i], positions[i])
+                    for i in indices
+                ]
+                if plan_key is not None:
+                    runs.append(
+                        GroupRun(
+                            group,
+                            tuple(positions),
+                            tuple(run_reads),
+                            tuple(run_skips),
+                            tuple(occurrences),
+                        )
+                    )
+                    run_reads = [0] * num
+                    run_skips = [0] * num
+                stats.groups_processed += 1
+                score_group(
+                    occurrences, space, pool, stats, view, group,
+                    prune=True,
+                )
+            if plan_key is not None and not stats.partial:
+                # Only cleanly exhausted intersections are cached; a
+                # deadline or fault exit leaves the loop via return or
+                # raise and never reaches this line.
+                cache.put(
+                    plan_key,
+                    MergePlan(
+                        runs,
+                        tuple(positions),
+                        tuple(run_reads),
+                        tuple(run_skips),
+                    ),
+                )
+        finally:
+            for i in indices:
+                ml = merged[i]
+                ml.position = positions[i]
+                ml.reads += reads[i]
+                ml.skips += skips[i]
+            stats.postings_read = sum(ml.total_reads for ml in merged)
+            stats.postings_skipped = sum(ml.total_skips for ml in merged)
+
+    def _replay_plan(
+        self,
+        plan: MergePlan,
+        merged: list[PackedMergedList],
+        space: CandidateSpace,
+        pool: AccumulatorPool,
+        stats: CleaningStats,
+        view,
+    ) -> None:
+        """Re-run a cached merge plan against the accumulator pool.
+
+        The intersection is already done: each recorded run carries its
+        subtree-group key, materialized occurrences, and the cursor
+        deltas the live loop accrued producing it, so replay is a walk
+        over the runs with the same deadline/fault checks at group
+        granularity.  Counters advance run by run — a deadline that
+        fires after run *j* leaves exactly the postings_read/skipped a
+        live run stopped at the same group would report.
+        """
+        num = len(merged)
+        indices = range(num)
+        positions = [ml.position for ml in merged]
+        reads = [0] * num
+        skips = [0] * num
+        score_group = self._score_group_packed
+        deadline = self._deadline
+        faults = _active_faults()
+        faults_enabled = faults.enabled
+        try:
+            for run in plan.runs:
+                if deadline is not None and deadline.expired():
+                    stats.partial = True
+                    self.tracer.event(
+                        "deadline_expired", stage="merge"
+                    )
+                    return
+                if faults_enabled:
+                    faults.hit("merge.step")
+                run_ends = run.ends
+                run_reads = run.reads
+                run_skips = run.skips
+                for i in indices:
+                    reads[i] += run_reads[i]
+                    skips[i] += run_skips[i]
+                    positions[i] = run_ends[i]
+                stats.groups_processed += 1
+                score_group(
+                    list(run.occurrences), space, pool, stats, view,
+                    run.key, prune=True,
+                )
+            # Trailing entries past the last complete group (shallow
+            # heads, partial groups, exhaustion tail).
+            tail_ends = plan.tail_ends
+            tail_reads = plan.tail_reads
+            tail_skips = plan.tail_skips
+            for i in indices:
+                reads[i] += tail_reads[i]
+                skips[i] += tail_skips[i]
+                positions[i] = tail_ends[i]
+        finally:
+            for i in indices:
+                ml = merged[i]
+                ml.position = positions[i]
+                ml.reads += reads[i]
+                ml.skips += skips[i]
+            stats.postings_read = sum(ml.total_reads for ml in merged)
+            stats.postings_skipped = sum(ml.total_skips for ml in merged)
 
     def _merge_loop_packed_generic(
         self,
@@ -731,37 +1023,41 @@ class XCleanSuggester:
         deadline = self._deadline
         faults = _active_faults()
         faults_enabled = faults.enabled
-        while True:
-            if deadline is not None and deadline.expired():
-                stats.partial = True
-                self.tracer.event("deadline_expired", stage="merge")
-                return
-            if faults_enabled:
-                faults.hit("merge.step")
-            anchor = None
-            exhausted = False
-            for ml in merged:
-                head = ml.head_key()
-                if head is None:
-                    exhausted = True
-                    break
-                if anchor is None or head > anchor:
-                    anchor = head
-            if exhausted or anchor is None:
-                return
-            if (anchor & depth_mask) < min_depth:
-                self._consume_shallow_packed(merged, anchor)
-                continue
-            group = packer.prefix(anchor, min_depth)
-            occurrences = self._collect_group_packed(
-                merged, group, group_shift
-            )
-            if occurrences is None:
-                continue
-            stats.groups_processed += 1
-            self._score_group_packed(
-                occurrences, space, pool, stats, view, group
-            )
+        try:
+            while True:
+                if deadline is not None and deadline.expired():
+                    stats.partial = True
+                    self.tracer.event("deadline_expired", stage="merge")
+                    return
+                if faults_enabled:
+                    faults.hit("merge.step")
+                anchor = None
+                exhausted = False
+                for ml in merged:
+                    head = ml.head_key()
+                    if head is None:
+                        exhausted = True
+                        break
+                    if anchor is None or head > anchor:
+                        anchor = head
+                if exhausted or anchor is None:
+                    return
+                if (anchor & depth_mask) < min_depth:
+                    self._consume_shallow_packed(merged, anchor)
+                    continue
+                group = packer.prefix(anchor, min_depth)
+                occurrences = self._collect_group_packed(
+                    merged, group, group_shift
+                )
+                if occurrences is None:
+                    continue
+                stats.groups_processed += 1
+                self._score_group_packed(
+                    occurrences, space, pool, stats, view, group
+                )
+        finally:
+            stats.postings_read = sum(ml.total_reads for ml in merged)
+            stats.postings_skipped = sum(ml.total_skips for ml in merged)
 
     def _consume_shallow_packed(
         self, merged: list[PackedMergedList], anchor: int
@@ -818,8 +1114,26 @@ class XCleanSuggester:
         stats: CleaningStats,
         view,
         group: int | None = None,
+        prune: bool = False,
     ) -> None:
-        """Enumerate and score the group's candidates (Lines 12–15)."""
+        """Enumerate and score the group's candidates (Lines 12–15).
+
+        With ``prune=True`` (kernel path only) the γ-bound of Section
+        V-D is applied *before* materializing entity counts: once the
+        accumulator table is saturated, its floor — the minimal
+        estimate among resident candidates, a monotone non-decreasing
+        quantity — is a permanent lower bound on admission.  A
+        non-resident candidate whose score upper bound
+
+            error_weight(C) × min_k |occurrences[k][c_k]| / N_p
+
+        is strictly below the floor would be scanned and rejected by
+        ``pool.add`` without changing the table, so it is skipped
+        outright.  Valid under the uniform prior only (each Dirichlet
+        term and each entity's tf-sum bound ≤ 1 per posting); the
+        length prior weights entities by subtree size, so the bound
+        does not hold and pruning self-disables.
+        """
         metrics = self.metrics
         score_began = perf_counter() if metrics.enabled else 0.0
         table = self.corpus.path_table
@@ -853,6 +1167,14 @@ class XCleanSuggester:
 
         deadline = self._deadline
         recorder = self._recorder
+        kernel_pruning = (
+            prune
+            and self.config.kernel_pruning
+            and pool.capacity is not None
+            and self.config.prior == "uniform"
+        )
+        entity_count = self.corpus.entity_count
+        error_weight_of = space.error_weight
         present = [list(by_token) for by_token in occurrences]
         for candidate in space.enumerate_present(present):
             if deadline is not None and deadline.expired():
@@ -865,6 +1187,33 @@ class XCleanSuggester:
             pid = self.type_finder.find(candidate)
             if pid is None:
                 continue
+            if (
+                kernel_pruning
+                and pool.at_capacity
+                and candidate not in pool
+            ):
+                floor = pool.prune_floor()
+                if floor > 0.0:
+                    normalizer_bound = float(entity_count(pid))
+                    if normalizer_bound > 0.0:
+                        posting_bound = min(
+                            len(occurrences[position][token])
+                            for position, token in enumerate(candidate)
+                        )
+                        upper = (
+                            error_weight_of(candidate)
+                            * posting_bound
+                            / normalizer_bound
+                        )
+                        if upper < floor:
+                            # Guaranteed rejection: never materialize
+                            # the entity counts or score a thing.
+                            stats.kernel_pruned += 1
+                            if recorder is not None:
+                                recorder.kernel_pruned(
+                                    candidate, upper, floor
+                                )
+                            continue
             depth = table.depth_of(pid)
             per_keyword = [
                 entity_counts(position, token, pid, depth)

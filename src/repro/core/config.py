@@ -51,6 +51,29 @@ class XCleanConfig:
     use_skipping: bool = True
     prior: str = "uniform"
     engine: str = "packed"
+    #: Run the packed engine through the batch merge kernel (galloping
+    #: intersection + generation-keyed plan cache, ``index/
+    #: merge_kernel``).  ``False`` keeps the classic per-group bisect
+    #: loop — the reference for the kernel's byte-identical-output
+    #: guarantee and the baseline of ``bench_hotpath``'s merge-stage
+    #: floor.  Only effective with ``engine="packed"`` and
+    #: ``use_skipping=True``.
+    merge_kernel: bool = True
+    #: In-loop γ-pruning: candidates whose score upper bound falls
+    #: strictly below the saturated accumulator table's floor are never
+    #: materialized or scored (provably the same table the pool would
+    #: have produced, so top-k and scores are unchanged).  Effective
+    #: only on the kernel path, with finite ``gamma``, under the
+    #: uniform prior.
+    kernel_pruning: bool = True
+    #: LRU bound of the corpus's merged-columns memo (physically merged
+    #: per-variant-set posting columns); ``None`` removes the bound.
+    merged_cache_size: int | None = 256
+    #: LRU bound of the corpus's intersection (merge-plan) cache;
+    #: ``None`` disables plan caching entirely.  Must cover the query
+    #: log's working set of distinct variant-set combinations — a
+    #: sequentially scanned LRU smaller than the working set hits 0%.
+    intersection_cache_size: int | None = 256
     #: LRU bound of the per-candidate result-type cache; ``None``
     #: disables the bound (offline workloads only — a long-lived
     #: service must keep it finite).
@@ -87,6 +110,17 @@ class XCleanConfig:
             )
         if self.min_depth < 1:
             raise ConfigurationError("min_depth must be >= 1")
+        if self.merged_cache_size is not None and self.merged_cache_size < 1:
+            raise ConfigurationError(
+                "merged_cache_size must be >= 1 or None"
+            )
+        if (
+            self.intersection_cache_size is not None
+            and self.intersection_cache_size < 1
+        ):
+            raise ConfigurationError(
+                "intersection_cache_size must be >= 1 or None"
+            )
         if self.prior not in ("uniform", "length"):
             raise ConfigurationError(f"unknown prior {self.prior!r}")
         if self.engine not in ("packed", "tuple"):

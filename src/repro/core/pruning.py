@@ -102,12 +102,48 @@ class AccumulatorPool:
         #: outside the already-cold eviction branch.
         self.observer = observer
         self._table: dict[CandidateQuery, Accumulator] = {}
+        #: Cached lower bound on the minimum estimate in the table
+        #: while saturated (see :meth:`prune_floor`); ``None`` until a
+        #: full scan has established one.
+        self._floor: float | None = None
 
     def __len__(self) -> int:
         return len(self._table)
 
     def __contains__(self, candidate: CandidateQuery) -> bool:
         return candidate in self._table
+
+    @property
+    def at_capacity(self) -> bool:
+        """True when the table is saturated (γ entries live)."""
+        return (
+            self.capacity is not None
+            and len(self._table) >= self.capacity
+        )
+
+    def prune_floor(self) -> float:
+        """A lower bound on the minimum estimate in the table.
+
+        Only meaningful while :attr:`at_capacity`.  The true minimum is
+        monotone non-decreasing once the table saturates — masses only
+        grow, and an eviction replaces the minimum with a newcomer
+        whose estimate is at least as large — so any past full-scan
+        minimum stays a valid bound forever.  Eviction scans refresh
+        the cached value for free; the first call pays one O(γ) scan.
+
+        The merge kernel uses this as the γ-pruning threshold: a
+        newcomer whose score *upper bound* is strictly below the floor
+        is guaranteed to be rejected by :meth:`add`, so its entities
+        are never materialized or scored.
+        """
+        floor = self._floor
+        if floor is None:
+            floor = min(
+                (entry.estimate() for entry in self._table.values()),
+                default=0.0,
+            )
+            self._floor = floor
+        return floor
 
     def add(
         self,
@@ -171,6 +207,11 @@ class AccumulatorPool:
                 victim = candidate
                 victim_entry = entry
                 victim_estimate = estimate
+        # The scan just computed the true minimum; whether or not the
+        # victim goes, every future minimum is >= it (monotonicity),
+        # so it becomes the kernel's pruning floor.
+        if victim is not None:
+            self._floor = victim_estimate
         if victim is not None and victim_estimate <= incoming_estimate:
             del self._table[victim]
             self.evictions += 1

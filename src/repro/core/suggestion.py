@@ -68,6 +68,16 @@ class CleaningStats:
     #: Variant-set → posting-list resolution memo (CorpusIndex).
     merged_cache_hits: int = 0
     merged_cache_misses: int = 0
+    #: Merge-kernel intersection (plan) cache: a hit replays the
+    #: precomputed group runs for this query's variant sets instead of
+    #: re-intersecting the packed columns (``index/merge_kernel``).
+    intersection_cache_hits: int = 0
+    intersection_cache_misses: int = 0
+    #: Candidates the kernel's in-loop γ-pruning skipped because their
+    #: score upper bound fell below the saturated accumulator floor —
+    #: never materialized, never scored, and provably the same adds the
+    #: pool would have rejected.
+    kernel_pruned: int = 0
     #: Whole-result LRU of the serving layer (SuggestionService); a hit
     #: means Algorithm 1 never ran for the query.
     result_cache_hits: int = 0

@@ -94,6 +94,7 @@ class DatasetSetting:
         use_skipping: bool = True,
         max_errors: int = EVAL_MAX_ERRORS,
         engine: str = "packed",
+        **overrides,
     ) -> XCleanSuggester:
         return XCleanSuggester(
             self.corpus,
@@ -105,6 +106,7 @@ class DatasetSetting:
                 min_depth=min_depth,
                 use_skipping=use_skipping,
                 engine=engine,
+                **overrides,
             ),
         )
 

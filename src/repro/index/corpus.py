@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import itertools
 import sys
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -25,6 +26,10 @@ from repro.index.inverted import (
     InvertedIndex,
     InvertedList,
     PackedInvertedList,
+)
+from repro.index.merge_kernel import (
+    DEFAULT_INTERSECTION_CACHE_SIZE,
+    IntersectionCache,
 )
 from repro.index.merged_list import (
     MergedList,
@@ -39,6 +44,10 @@ from repro.xmltree.dewey import DeweyCode
 from repro.xmltree.dewey_packed import DeweyPacker
 from repro.xmltree.document import XMLDocument
 from repro.xmltree.labelpath import PathTable
+
+
+#: Default LRU bound of the merged-columns memo (per variant set).
+DEFAULT_MERGED_CACHE_SIZE = 256
 
 
 class PackedIndex:
@@ -106,16 +115,73 @@ class QueryEngineMixin:
 
     def _init_query_caches(self) -> None:
         # Query-time caches; `= None` sentinels keep CorpusIndex
-        # picklable and the packed view lazily built.
-        self._merged_cache: dict[
-            tuple[str, ...], list[InvertedList]
-        ] = {}
-        self._packed_merged_cache: dict[
-            tuple[str, ...], PackedMergedColumns
-        ] = {}
+        # picklable and the packed view lazily built.  Both merged-list
+        # memos are LRU-bounded and keyed by (generation, variant set),
+        # so a snapshot hot-swap that bumps the generation can never
+        # serve stale columns.
+        self._merged_cache: OrderedDict[
+            tuple, list[InvertedList]
+        ] = OrderedDict()
+        self._packed_merged_cache: OrderedDict[
+            tuple, PackedMergedColumns
+        ] = OrderedDict()
+        self.merged_cache_size: int | None = DEFAULT_MERGED_CACHE_SIZE
         self.merged_cache_hits = 0
         self.merged_cache_misses = 0
+        self.merged_cache_evictions = 0
+        #: Generation number of the data this index serves.  Bumped on
+        #: a snapshot hot-swap (see ``bump_generation``); every
+        #: generation-keyed cache entry from before the bump becomes
+        #: unreachable.
+        self.generation = 0
+        #: Merge-kernel plan cache (``index/merge_kernel``): the
+        #: precomputed group runs per variant-set intersection.
+        self.intersection_cache = IntersectionCache(
+            DEFAULT_INTERSECTION_CACHE_SIZE
+        )
         self._metrics = NULL_METRICS
+
+    def configure_query_caches(
+        self,
+        merged_cache_size: int | None = DEFAULT_MERGED_CACHE_SIZE,
+        intersection_cache_size: int | None = (
+            DEFAULT_INTERSECTION_CACHE_SIZE
+        ),
+    ) -> None:
+        """Apply cache bounds from an :class:`XCleanConfig`.
+
+        Idempotent: re-applying the current bounds touches nothing, so
+        several suggesters sharing one corpus (the normal serving
+        arrangement) do not thrash each other's warm caches.  Shrinking
+        trims LRU-first; the last caller's bounds win.
+        """
+        if merged_cache_size != self.merged_cache_size:
+            self.merged_cache_size = merged_cache_size
+            self._trim_merged_caches()
+        if intersection_cache_size != self.intersection_cache.capacity:
+            self.intersection_cache.resize(intersection_cache_size)
+
+    def bump_generation(self) -> None:
+        """Invalidate every generation-keyed cache (snapshot hot-swap).
+
+        The old entries are dropped eagerly — they are unreachable
+        anyway (all lookups embed the new generation) and holding them
+        would pin the previous snapshot's columns in memory.
+        """
+        self.generation += 1
+        self._merged_cache.clear()
+        self._packed_merged_cache.clear()
+        self.intersection_cache.clear()
+
+    def _trim_merged_caches(self) -> None:
+        cap = self.merged_cache_size
+        if cap is None:
+            return
+        for cache in (self._merged_cache, self._packed_merged_cache):
+            while len(cache) > cap:
+                cache.popitem(last=False)
+                self.merged_cache_evictions += 1
+                self._metrics.inc("merged_cache_evictions_total")
 
     def bind_metrics(self, metrics) -> None:
         """Attach a MetricsRegistry to the cache hooks.
@@ -144,18 +210,21 @@ class QueryEngineMixin:
         query is measurable.  Cursor state lives in the MergedList, so
         sharing the underlying immutable lists is safe.
         """
-        key = tuple(tokens)
-        lists = self._merged_cache.get(key)
+        cache = self._merged_cache
+        key = (self.generation, tuple(tokens))
+        lists = cache.get(key)
         if lists is None:
             self.merged_cache_misses += 1
             self._metrics.inc("merged_cache_misses_total")
             lists = []
-            for token in key:
+            for token in key[1]:
                 found = self.inverted.get(token)
                 if found is not None:
                     lists.append(found)
-            self._merged_cache[key] = lists
+            cache[key] = lists
+            self._trim_merged_caches()
         else:
+            cache.move_to_end(key)
             self.merged_cache_hits += 1
             self._metrics.inc("merged_cache_hits_total")
         return MergedList(lists)
@@ -168,20 +237,23 @@ class QueryEngineMixin:
         and re-merging costs O(postings log postings) while a cursor
         over cached columns costs O(1).
         """
-        key = tuple(tokens)
-        columns = self._packed_merged_cache.get(key)
+        cache = self._packed_merged_cache
+        key = (self.generation, tuple(tokens))
+        columns = cache.get(key)
         if columns is None:
             self.merged_cache_misses += 1
             self._metrics.inc("merged_cache_misses_total")
             view = self.packed_view()
             lists = []
-            for token in key:
+            for token in key[1]:
                 found = view.get(token)
                 if found is not None:
                     lists.append(found)
             columns = PackedMergedColumns(lists)
-            self._packed_merged_cache[key] = columns
+            cache[key] = columns
+            self._trim_merged_caches()
         else:
+            cache.move_to_end(key)
             self.merged_cache_hits += 1
             self._metrics.inc("merged_cache_hits_total")
         return PackedMergedList(columns=columns)
@@ -378,12 +450,19 @@ def approximate_index_bytes(index, generator=None) -> dict[str, int]:
             + len(counts) * _DICT_ENTRY_BYTES
         )
 
+    # Merge-kernel plan cache (bounded LRU; zero until queries populate
+    # it) — surfaced so its budget is auditable next to the structures
+    # it shadows.
+    plan_cache = getattr(index, "intersection_cache", None)
     breakdown = {
         "postings_tuple": postings_tuple,
         "postings_packed": postings_packed,
         "vocabulary": vocabulary,
         "subtree_lengths": subtree_lengths,
         "path_index": path_index_bytes,
+        "merge_plans": (
+            plan_cache.approx_bytes() if plan_cache is not None else 0
+        ),
     }
     if generator is not None:
         breakdown["fastss_buckets"] = fastss_bucket_bytes(generator)

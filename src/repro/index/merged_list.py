@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import heapq
 from array import array
-from bisect import bisect_left
 from typing import Iterable
 
 from repro.index.inverted import (
@@ -27,6 +26,7 @@ from repro.index.inverted import (
     ListCursor,
     PackedInvertedList,
 )
+from repro.index.merge_kernel import gallop_left
 from repro.xmltree.dewey import DeweyCode
 
 #: An entry of the merged list: (dewey, path_id, tf, token).
@@ -34,6 +34,14 @@ MergedEntry = tuple[DeweyCode, int, int, str]
 
 #: An entry of the packed merged list: (packed_key, path_id, tf, token).
 PackedEntry = tuple[int, int, int, str]
+
+
+def _next_columns_uid(_counter=iter(range(1, 1 << 62)).__next__) -> int:
+    """Process-wide unique id for PackedMergedColumns instances.
+
+    Monotonic and never reused (unlike ``id()``), so a cache keyed on
+    uids can never alias a dead columns object with a new one."""
+    return _counter()
 
 
 class MergedList:
@@ -164,11 +172,17 @@ class PackedMergedColumns:
     """
 
     __slots__ = ("keys", "path_ids", "tfs", "token_ids", "tokens",
-                 "length")
+                 "length", "uid")
 
     def __init__(self, lists: Iterable[PackedInvertedList]):
         members = list(lists)
         self.tokens = [lst.token for lst in members]
+        #: Never-reused identity for plan-cache keys: the corpus memoizes
+        #: columns per variant set, so while an instance stays cached its
+        #: uid names that variant set in O(1) — no token-tuple hashing on
+        #: the query path.  A rebuilt instance gets a fresh uid and the
+        #: old plans simply age out of the LRU.
+        self.uid = _next_columns_uid()
         rows = [
             (lst.keys[i], member, lst.path_ids[i], lst.tfs[i])
             for member, lst in enumerate(members)
@@ -192,6 +206,33 @@ class PackedMergedColumns:
         self.path_ids = array("i", (row[2] for row in rows))
         self.tfs = array("i", (row[3] for row in rows))
         self.length = len(rows)
+
+    def slice_by_token(
+        self, start: int, end: int
+    ) -> dict[str, list[PackedEntry]]:
+        """Materialize ``[start, end)`` grouped by originating token.
+
+        The group-collection step of Algorithm 1 (Lines 9-11) in one
+        call: entries come out in column (document) order within each
+        token list, which is what keeps candidate enumeration — and
+        hence score accumulation — deterministic across the classic
+        loop, the kernel, and plan replays.
+        """
+        keys = self.keys
+        path_ids = self.path_ids
+        tfs = self.tfs
+        token_ids = self.token_ids
+        tokens = self.tokens
+        by_token: dict[str, list[PackedEntry]] = {}
+        for j in range(start, end):
+            token = tokens[token_ids[j]]
+            entry = (keys[j], path_ids[j], tfs[j], token)
+            found = by_token.get(token)
+            if found is None:
+                by_token[token] = [entry]
+            else:
+                found.append(entry)
+        return by_token
 
 
 class PackedMergedList:
@@ -269,7 +310,7 @@ class PackedMergedList:
             keys[position] >> shift
         ) != prefix:
             return []
-        end = bisect_left(
+        end = gallop_left(
             keys, (prefix + 1) << shift, position, columns.length
         )
         path_ids = columns.path_ids
@@ -285,9 +326,14 @@ class PackedMergedList:
         return out
 
     def skip_to(self, key: int) -> PackedEntry | None:
-        """Discard all entries with key < ``key``; return the new head."""
+        """Discard all entries with key < ``key``; return the new head.
+
+        Galloping (exponential probe + bisect) from the cursor: skips
+        in Algorithm 1 are local, so the probe window is usually a few
+        entries wide regardless of how much list remains.
+        """
         columns = self.columns
-        new_position = bisect_left(
+        new_position = gallop_left(
             columns.keys, key, self.position, columns.length
         )
         self.skips += new_position - self.position

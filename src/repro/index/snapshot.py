@@ -1244,6 +1244,11 @@ class SnapshotCorpusIndex(QueryEngineMixin):
                 **section_bytes,
                 "total": len(self._mapped),
             },
+            # Query-time heap caches on top of the mapping (bounded
+            # LRUs; zero until queries populate them).
+            "cache_bytes": {
+                "merge_plans": self.intersection_cache.approx_bytes(),
+            },
         }
 
     def close(self) -> None:

@@ -170,6 +170,30 @@ class EvictionNote:
         }
 
 
+@dataclass(frozen=True)
+class KernelPruneNote:
+    """One in-loop γ-prune of the batch merge kernel.
+
+    The kernel skipped the candidate before scoring because its score
+    upper bound was strictly below the saturated accumulator floor —
+    a guaranteed rejection, so the table (and the top-k) are provably
+    what they would have been without the skip.
+    """
+
+    candidate: tuple[str, ...]
+    #: error_weight × min-postings bound / normalizer at skip time.
+    upper_bound: float
+    #: The accumulator floor the bound failed to reach.
+    floor: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "candidate": list(self.candidate),
+            "upper_bound": self.upper_bound,
+            "floor": self.floor,
+        }
+
+
 # ----------------------------------------------------------------------
 # The recorder the engines feed
 # ----------------------------------------------------------------------
@@ -203,9 +227,25 @@ class ScoreRecorder:
     def __init__(self):
         self.candidates: dict[tuple[str, ...], _CandidateRecord] = {}
         self.events: list[EvictionNote] = []
+        self.kernel_prunes: list[KernelPruneNote] = []
         #: The query's CandidateSpace (set by the engine) — source of
         #: the per-keyword variant distances and error weights.
         self.space = None
+
+    def kernel_pruned(
+        self,
+        candidate: tuple[str, ...],
+        upper_bound: float,
+        floor: float,
+    ) -> None:
+        """The merge kernel skipped ``candidate`` before scoring."""
+        self.kernel_prunes.append(
+            KernelPruneNote(
+                candidate=candidate,
+                upper_bound=upper_bound,
+                floor=floor,
+            )
+        )
 
     def group(
         self,
@@ -376,6 +416,9 @@ class Explanation:
     suggestions: tuple[CandidateExplanation, ...]
     #: Every pruning decision of the run, in decision order.
     events: tuple[EvictionNote, ...]
+    #: Candidates the merge kernel's in-loop γ-pruning skipped before
+    #: scoring (empty off the kernel path).
+    kernel_prunes: tuple[KernelPruneNote, ...]
     stats: dict[str, Any]
 
     def as_dict(self) -> dict[str, Any]:
@@ -388,6 +431,9 @@ class Explanation:
                 s.as_dict() for s in self.suggestions
             ],
             "events": [e.as_dict() for e in self.events],
+            "kernel_prunes": [
+                p.as_dict() for p in self.kernel_prunes
+            ],
             "stats": self.stats,
         }
 
@@ -468,6 +514,24 @@ class Explanation:
                         f"estimate {event.estimate:.3e} below every "
                         f"accumulator"
                     )
+        hits = self.stats.get("intersection_cache_hits", 0)
+        misses = self.stats.get("intersection_cache_misses", 0)
+        pruned = self.stats.get("kernel_pruned", 0)
+        if hits or misses or pruned:
+            lines.append("")
+            lines.append(
+                f"merge kernel: plan cache {hits} hit(s) / "
+                f"{misses} miss(es), {pruned} candidate(s) pruned "
+                f"in-loop"
+            )
+        if self.kernel_prunes:
+            for note in self.kernel_prunes:
+                target = " ".join(note.candidate)
+                lines.append(
+                    f"    {target!r} skipped before scoring: upper "
+                    f"bound {note.upper_bound:.3e} < floor "
+                    f"{note.floor:.3e}"
+                )
         return "\n".join(lines)
 
 
@@ -547,6 +611,7 @@ def build_explanation(
         partial=stats.partial,
         suggestions=tuple(candidates),
         events=tuple(recorder.events),
+        kernel_prunes=tuple(recorder.kernel_prunes),
         stats=_stats_dict(stats),
     )
 

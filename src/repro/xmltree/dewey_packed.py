@@ -150,3 +150,18 @@ class DeweyPacker:
         """True iff ``key`` is ``group`` or one of its descendants."""
         shift = self.shift_for(group & self._depth_mask)
         return (key >> shift) == (group >> shift)
+
+    def group_bounds(self, key: int, depth: int) -> tuple[int, int]:
+        """Packed key range of the depth-``depth`` subtree around ``key``.
+
+        Returns ``(group, upper)``: ``group`` is the packed prefix of
+        ``key`` truncated to ``depth`` (Alg. 1 Line 7) and every
+        descendant-or-self of that prefix packs into ``[group, upper)``
+        — the contiguity that lets the merge kernel drain a whole
+        subtree with one bisect per column.
+        """
+        shift = self.depth_bits + (self.max_depth - depth) * (
+            self.component_bits
+        )
+        prefix = key >> shift
+        return ((prefix << shift) | depth, (prefix + 1) << shift)

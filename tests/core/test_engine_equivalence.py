@@ -94,12 +94,19 @@ class TestSyntheticDBLP:
     def setting(self):
         return dblp_setting("small")
 
+    # merge_kernel=True routes the packed engine through the batch
+    # merge kernel (galloping intersection + plan cache), False through
+    # the classic per-group bisect loop — both must match the tuple
+    # reference on every workload query.
+    @pytest.mark.parametrize("merge_kernel", [True, False])
     @pytest.mark.parametrize("kind", ["CLEAN", "RAND", "RULE"])
-    def test_workload_equivalence(self, setting, kind):
+    def test_workload_equivalence(self, setting, kind, merge_kernel):
         packed = XCleanSuggester(
             setting.corpus,
             generator=setting.generator.fresh_cache(),
-            config=XCleanConfig(engine="packed"),
+            config=XCleanConfig(
+                engine="packed", merge_kernel=merge_kernel
+            ),
         )
         tuple_engine = XCleanSuggester(
             setting.corpus,
