@@ -13,6 +13,7 @@ Installed as the ``xclean`` console script::
     xclean evaluate --dataset dblp --scale small
     xclean chaos --index dblp.xci --queries queries.txt \
         --plan "worker.query:raise@2;merge.step:delay=0.001"
+    xclean serve --index dblp.xci --port 8080 --max-pending 64
 """
 
 from __future__ import annotations
@@ -295,6 +296,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-pending", type=int, default=None,
         help="admission-control bound; excess queries are shed with "
         "a typed Overloaded error",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio HTTP front-end over an index "
+        "(see docs/http_api.md)",
+    )
+    serve.add_argument("--index", required=True, help="index path")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port; 0 binds an ephemeral port",
+    )
+    serve.add_argument(
+        "--threads", type=int, default=4,
+        help="executor threads running service calls",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=64,
+        help="admission-control bound; excess requests get HTTP 503 "
+        "with a Retry-After header (pass 0 for unbounded)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-query deadline in seconds; an expired query is "
+        "answered with its best-so-far top-k and \"partial\": true",
+    )
+    serve.add_argument("-k", type=int, default=10,
+                       help="default k when a request omits it")
+    serve.add_argument("--beta", type=float, default=5.0)
+    serve.add_argument("--max-errors", type=int, default=2)
+    serve.add_argument("--gamma", type=int, default=1000)
+    serve.add_argument(
+        "--engine", choices=("packed", "tuple"), default="packed"
+    )
+    serve.add_argument(
+        "--result-cache-size", type=int, default=None,
+        help="whole-result LRU capacity (default: service default; "
+        "0 disables caching)",
+    )
+    serve.add_argument(
+        "--no-single-flight", action="store_true",
+        help="disable coalescing of concurrent identical requests",
+    )
+    serve.add_argument(
+        "--keep-alive-timeout", type=float, default=30.0,
+        help="seconds an idle keep-alive connection is retained",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=10.0,
+        help="seconds a SIGTERM drain waits for in-flight requests",
+    )
+    serve.add_argument(
+        "--max-body-bytes", type=int, default=64 * 1024,
+        help="reject request bodies larger than this (HTTP 413)",
     )
     return parser
 
@@ -676,6 +732,59 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.net.server import HTTPFrontEnd, ServeConfig
+
+    registry = MetricsRegistry()
+    corpus = _load_any_index(args.index, metrics=registry)
+    service_kwargs = {}
+    if args.result_cache_size is not None:
+        service_kwargs["result_cache_size"] = args.result_cache_size
+    service = SuggestionService(
+        corpus,
+        config=XCleanConfig(
+            max_errors=args.max_errors,
+            beta=args.beta,
+            gamma=args.gamma,
+            engine=args.engine,
+            deadline_seconds=args.deadline,
+        ),
+        metrics=registry,
+        max_pending=args.max_pending or None,
+        **service_kwargs,
+    )
+    front_end = HTTPFrontEnd(
+        service,
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            threads=args.threads,
+            default_k=args.k,
+            max_body_bytes=args.max_body_bytes,
+            keep_alive_timeout=args.keep_alive_timeout,
+            drain_grace=args.drain_grace,
+            single_flight=not args.no_single_flight,
+        ),
+    )
+
+    async def _serve() -> None:
+        await front_end.start()
+        # The exact line load harnesses wait for before sending
+        # traffic (the port matters when --port 0 picked one).
+        print(
+            f"listening on http://{front_end.host}:{front_end.port}",
+            flush=True,
+        )
+        await front_end.run()
+
+    with service:
+        asyncio.run(_serve())
+    print("drained; exiting", flush=True)
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "index": _cmd_index,
@@ -687,6 +796,7 @@ _COMMANDS = {
     "search": _cmd_search,
     "evaluate": _cmd_evaluate,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
 }
 
 

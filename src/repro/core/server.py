@@ -62,6 +62,7 @@ from __future__ import annotations
 import logging
 import os
 import pickle
+import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
@@ -109,6 +110,16 @@ DEFAULT_BREAKER_COOLDOWN = 30.0
 #: before escalating to ``terminate``/``kill`` — a hung worker must
 #: never turn close() into a deadlock or a leaked process.
 DEFAULT_CLOSE_GRACE = 1.0
+
+#: Floor (seconds) of the ``retry_after`` hint attached to admission
+#: rejections.  Before the service has latency samples this is the
+#: whole hint; afterwards the hint tracks the request-latency EWMA —
+#: roughly the time for one in-flight slot to free up.
+DEFAULT_RETRY_AFTER = 0.05
+
+#: Smoothing factor of the request-latency EWMA behind
+#: :meth:`SuggestionService.retry_after_hint`.
+_LATENCY_EWMA_ALPHA = 0.2
 
 
 @dataclass
@@ -437,9 +448,26 @@ class SuggestionService:
             metrics=self.metrics_registry,
             on_open=self._on_breaker_open,
         )
+        #: Bookkeeping lock: guards admission (``_inflight``), the
+        #: result-cache OrderedDict, :attr:`stats`, :attr:`last_stats`
+        #: and the latency EWMA.  Reentrant so helpers can be called
+        #: both standalone and from already-locked sections.  Never
+        #: held across query computation.
+        self._lock = threading.RLock()
+        #: Serializes in-process use of :attr:`suggester`, whose
+        #: internal caches (variant memo, accumulators, ``last_stats``)
+        #: are not thread-safe.  Under the GIL pure-Python computation
+        #: does not parallelize across threads anyway — concurrency
+        #: comes from the process pool and from overlapping the I/O
+        #: around this lock, never from concurrent suggester entry.
+        self._compute_lock = threading.Lock()
         #: Per-query stats sink used by ``suggest_batch_detailed`` to
         #: collect one :class:`CleaningStats` per served query.
-        self._stats_sink: list[CleaningStats] | None = None
+        #: Thread-local so a detailed batch on one thread cannot
+        #: absorb stats of queries served concurrently on another.
+        self._sink_local = threading.local()
+        #: EWMA of recent request latency (seconds); 0.0 = no samples.
+        self._latency_ewma = 0.0
         self._inflight = 0
         self._pool: ProcessPoolExecutor | None = None
         self._pool_workers = 0
@@ -555,9 +583,19 @@ class SuggestionService:
                     error=error,
                 ))
 
+    @property
+    def _stats_sink(self) -> list[CleaningStats] | None:
+        """The calling thread's detailed-batch stats sink (or None)."""
+        return getattr(self._sink_local, "sink", None)
+
+    @_stats_sink.setter
+    def _stats_sink(self, value: list[CleaningStats] | None) -> None:
+        self._sink_local.sink = value
+
     def _note_stats(self, stats: CleaningStats) -> None:
         """One query served: publish ``last_stats`` (and sink it)."""
-        self.last_stats = stats
+        with self._lock:
+            self.last_stats = stats
         sink = self._stats_sink
         if sink is not None:
             sink.append(stats)
@@ -650,33 +688,72 @@ class SuggestionService:
         key: tuple[tuple[str, ...], int],
         suggestions: Sequence[Suggestion],
     ) -> None:
-        cache = self._result_cache
-        cache[key] = tuple(suggestions)
-        if len(cache) > self.result_cache_size:
-            cache.popitem(last=False)
+        with self._lock:
+            cache = self._result_cache
+            cache[key] = tuple(suggestions)
+            while len(cache) > self.result_cache_size:
+                cache.popitem(last=False)
 
     # -- admission control ---------------------------------------------
 
-    def _admit(self, cost: int) -> None:
+    def retry_after_hint(self) -> float:
+        """Backpressure-derived retry hint (seconds) for shed callers.
+
+        Tracks the request-latency EWMA — roughly the time for one
+        admitted slot to free — floored at :data:`DEFAULT_RETRY_AFTER`
+        so the hint is always usable, even before the first sample.
+        """
+        with self._lock:
+            return max(DEFAULT_RETRY_AFTER, self._latency_ewma)
+
+    def _observe_latency(self, seconds: float) -> None:
+        with self._lock:
+            if self._latency_ewma == 0.0:
+                self._latency_ewma = seconds
+            else:
+                self._latency_ewma += _LATENCY_EWMA_ALPHA * (
+                    seconds - self._latency_ewma
+                )
+
+    def admit(self, cost: int = 1) -> None:
         """Reserve ``cost`` slots of in-flight work or shed typed.
+
+        Thread-safe; front-ends call this *before* handing work to an
+        executor so backpressure applies at arrival, not at dispatch.
+        Every successful ``admit`` must be paired with
+        :meth:`release`.
 
         Raises:
             Overloaded: when the reservation would exceed
-                ``max_pending``; nothing is reserved in that case.
+                ``max_pending``; nothing is reserved in that case, and
+                ``retry_after`` carries the backpressure hint.
         """
-        limit = self.max_pending
-        if limit is not None and self._inflight + cost > limit:
-            self.stats.shed_queries += cost
-            if self.metrics_registry.enabled:
-                self.metrics_registry.inc("shed_queries_total", cost)
-            raise Overloaded(
-                f"admission queue full ({self._inflight} in flight + "
-                f"{cost} requested > limit {limit})"
-            )
-        self._inflight += cost
+        with self._lock:
+            limit = self.max_pending
+            if limit is not None and self._inflight + cost > limit:
+                self.stats.shed_queries += cost
+                if self.metrics_registry.enabled:
+                    self.metrics_registry.inc(
+                        "shed_queries_total", cost
+                    )
+                raise Overloaded(
+                    f"admission queue full ({self._inflight} in "
+                    f"flight + {cost} requested > limit {limit})",
+                    retry_after=max(
+                        DEFAULT_RETRY_AFTER, self._latency_ewma
+                    ),
+                )
+            self._inflight += cost
 
-    def _release(self, cost: int) -> None:
-        self._inflight -= cost
+    def release(self, cost: int = 1) -> None:
+        """Return ``cost`` previously admitted slots.  Thread-safe."""
+        with self._lock:
+            self._inflight -= cost
+
+    # Internal spellings, kept for the call sites that predate the
+    # public pair.
+    _admit = admit
+    _release = release
 
     def suggest(self, query: str, k: int = 10) -> list[Suggestion]:
         """Top-k suggestions, served from the result cache when possible.
@@ -686,57 +763,96 @@ class SuggestionService:
                 that prefer empty answers should use ``suggest_batch``).
             Overloaded: when admission control is over ``max_pending``.
         """
+        return self.suggest_detailed(query, k)[0]
+
+    def suggest_detailed(
+        self, query: str, k: int = 10, *, pre_admitted: bool = False
+    ) -> tuple[list[Suggestion], CleaningStats]:
+        """:meth:`suggest` plus this call's own :class:`CleaningStats`.
+
+        The thread-safe per-call contract: concurrent callers each get
+        the stats describing *their* answer (``partial`` flag, cache
+        counters), which the shared :attr:`last_stats` cannot promise
+        under concurrency.  With ``pre_admitted=True`` the caller has
+        already reserved its admission slot via :meth:`admit` (the
+        HTTP front-end does, so shedding happens before the request
+        ever occupies an executor thread) and keeps the obligation to
+        :meth:`release` it.
+        """
         with self._traced_request("request", query):
-            self._admit(1)
+            if not pre_admitted:
+                self._admit(1)
             try:
-                return self._suggest_one(query, k)
+                return self._suggest_one_detailed(query, k)
             finally:
-                self._release(1)
+                if not pre_admitted:
+                    self._release(1)
 
     def _suggest_one(self, query: str, k: int) -> list[Suggestion]:
         """The single-query path, past admission control."""
+        return self._suggest_one_detailed(query, k)[0]
+
+    def _suggest_one_detailed(
+        self, query: str, k: int
+    ) -> tuple[list[Suggestion], CleaningStats]:
+        """The single-query path, past admission control.
+
+        Bookkeeping (stats, the result LRU) happens under
+        :attr:`_lock`; the computation itself runs outside it, on
+        :attr:`_compute_lock`.  Two threads racing on the same cold
+        key may both compute — wasteful but correct (the HTTP tier's
+        single-flight layer is what prevents it); both puts are
+        idempotent.
+        """
         metrics = self.metrics_registry
-        began = perf_counter() if metrics.enabled else 0.0
-        self.stats.queries_served += 1
-        if metrics.enabled:
-            metrics.inc("queries_total")
+        began = perf_counter()
         key = self._cache_key(query, k)
-        cached = self._result_cache.get(key)
-        if cached is not None:
-            self._result_cache.move_to_end(key)
-            self.stats.result_cache_hits += 1
-            self._note_stats(CleaningStats(
-                result_cache_hits=1, trace_id=self.tracer.trace_id,
-            ))
-            if self.tracer.enabled:
-                self.tracer.event("result_cache_hit", query=query)
+        with self._lock:
+            self.stats.queries_served += 1
             if metrics.enabled:
-                metrics.inc("result_cache_hits_total")
-                metrics.observe(
-                    "request_seconds", perf_counter() - began
+                metrics.inc("queries_total")
+            cached = self._result_cache.get(key)
+            if cached is not None:
+                self._result_cache.move_to_end(key)
+                self.stats.result_cache_hits += 1
+                stats = CleaningStats(
+                    result_cache_hits=1,
+                    trace_id=self.tracer.trace_id,
                 )
-            return list(cached)
+                self._note_stats(stats)
+                if self.tracer.enabled:
+                    self.tracer.event("result_cache_hit", query=query)
+                if metrics.enabled:
+                    metrics.inc("result_cache_hits_total")
+                    metrics.observe(
+                        "request_seconds", perf_counter() - began
+                    )
+                return list(cached), stats
         # Count the miss only once the suggester answers: unanswerable
         # queries raise and are tallied separately, exactly as in the
         # batch paths.
-        suggestions = self.suggester.suggest(query, k)
-        self.stats.result_cache_misses += 1
-        stats = self.suggester.last_stats
-        stats.result_cache_misses += 1
-        self._note_stats(stats)
-        if stats.partial:
-            # A deadline-truncated answer is served but never cached —
-            # a transient overload must not become a permanently
-            # incomplete top-k for this query.
-            self.stats.partial_results += 1
+        with self._compute_lock:
+            suggestions = self.suggester.suggest(query, k)
+            stats = self.suggester.last_stats
+        with self._lock:
+            self.stats.result_cache_misses += 1
+            stats.result_cache_misses += 1
+            self._note_stats(stats)
+            if stats.partial:
+                # A deadline-truncated answer is served but never
+                # cached — a transient overload must not become a
+                # permanently incomplete top-k for this query.
+                self.stats.partial_results += 1
+                if metrics.enabled:
+                    metrics.inc("partial_results_total")
+            else:
+                self._cache_put(key, suggestions)
+            elapsed = perf_counter() - began
+            self._observe_latency(elapsed)
             if metrics.enabled:
-                metrics.inc("partial_results_total")
-        else:
-            self._cache_put(key, suggestions)
-        if metrics.enabled:
-            metrics.inc("result_cache_misses_total")
-            metrics.observe("request_seconds", perf_counter() - began)
-        return list(suggestions)
+                metrics.inc("result_cache_misses_total")
+                metrics.observe("request_seconds", elapsed)
+        return list(suggestions), stats
 
     # ------------------------------------------------------------------
     # Batch path
@@ -789,7 +905,8 @@ class SuggestionService:
                         else:
                             out.append(self._suggest_one(query, k))
                     except QueryError:
-                        self.stats.unanswerable += 1
+                        with self._lock:
+                            self.stats.unanswerable += 1
                         self._note_unanswerable()
                         if metrics.enabled:
                             metrics.inc("unanswerable_total")
@@ -836,9 +953,10 @@ class SuggestionService:
         # usable tokens never reach a worker: they are unanswerable by
         # construction.
         pending: dict[tuple[tuple[str, ...], int], str] = {}
-        for key, query in zip(keys, queries):
-            if key not in cache and key not in pending and key[0]:
-                pending[key] = query
+        with self._lock:
+            for key, query in zip(keys, queries):
+                if key not in cache and key not in pending and key[0]:
+                    pending[key] = query
         # Freshly computed (suggestions, stats) by key; partial answers
         # live only here — they are served below but never cached.
         fresh: dict[
@@ -849,7 +967,8 @@ class SuggestionService:
             if not self._closed and not self.breaker.allow():
                 # Shed before any work: the pool keeps failing and the
                 # parent must not absorb the whole batch in-process.
-                self.stats.shed_queries += len(queries)
+                with self._lock:
+                    self.stats.shed_queries += len(queries)
                 if metrics.enabled:
                     metrics.inc("shed_queries_total", len(queries))
                 raise Overloaded(
@@ -875,57 +994,59 @@ class SuggestionService:
                     self._cache_put(key, suggestions)
                 fresh[key] = (tuple(suggestions), stats)
         out: list[list[Suggestion]] = []
-        computed = {key for key in fresh if key in cache}
-        for key in keys:
-            self.stats.queries_served += 1
-            if metrics.enabled:
-                metrics.inc("queries_total")
-            cached = cache.get(key)
-            if cached is not None:
-                cache.move_to_end(key)
-                if key in computed:
-                    # First service of a freshly computed answer is a
-                    # miss; duplicates later in the batch hit the
-                    # cache.  The worker's stats become last_stats,
-                    # mirroring the serial path's per-query contract.
-                    computed.discard(key)
+        with self._lock:
+            computed = {key for key in fresh if key in cache}
+            for key in keys:
+                self.stats.queries_served += 1
+                if metrics.enabled:
+                    metrics.inc("queries_total")
+                cached = cache.get(key)
+                if cached is not None:
+                    cache.move_to_end(key)
+                    if key in computed:
+                        # First service of a freshly computed answer
+                        # is a miss; duplicates later in the batch hit
+                        # the cache.  The worker's stats become
+                        # last_stats, mirroring the serial path's
+                        # per-query contract.
+                        computed.discard(key)
+                        self.stats.result_cache_misses += 1
+                        stats = fresh[key][1]
+                        stats.result_cache_misses += 1
+                        self._note_stats(stats)
+                        if metrics.enabled:
+                            metrics.inc("result_cache_misses_total")
+                    else:
+                        self.stats.result_cache_hits += 1
+                        self._note_stats(CleaningStats(
+                            result_cache_hits=1,
+                            trace_id=self.tracer.trace_id,
+                        ))
+                        if metrics.enabled:
+                            metrics.inc("result_cache_hits_total")
+                    out.append(list(cached))
+                    continue
+                entry = fresh.get(key)
+                if entry is not None:
+                    # Deadline-truncated answer: served on every
+                    # occurrence as an uncached miss, so a later retry
+                    # can still get (and cache) the exact top-k.
+                    suggestions, stats = entry
                     self.stats.result_cache_misses += 1
-                    stats = fresh[key][1]
-                    stats.result_cache_misses += 1
+                    self.stats.partial_results += 1
                     self._note_stats(stats)
                     if metrics.enabled:
                         metrics.inc("result_cache_misses_total")
-                else:
-                    self.stats.result_cache_hits += 1
-                    self._note_stats(CleaningStats(
-                        result_cache_hits=1,
-                        trace_id=self.tracer.trace_id,
-                    ))
-                    if metrics.enabled:
-                        metrics.inc("result_cache_hits_total")
-                out.append(list(cached))
-                continue
-            entry = fresh.get(key)
-            if entry is not None:
-                # Deadline-truncated answer: served on every occurrence
-                # as an uncached miss, so a later retry can still get
-                # (and cache) the exact top-k.
-                suggestions, stats = entry
-                self.stats.result_cache_misses += 1
-                self.stats.partial_results += 1
-                self._note_stats(stats)
+                        metrics.inc("partial_results_total")
+                    out.append(list(suggestions))
+                    continue
+                # Empty token tuple or a failed/unanswerable worker
+                # answer: unanswerable, never cached.
+                self.stats.unanswerable += 1
+                self._note_unanswerable()
                 if metrics.enabled:
-                    metrics.inc("result_cache_misses_total")
-                    metrics.inc("partial_results_total")
-                out.append(list(suggestions))
-                continue
-            # Empty token tuple or a failed/unanswerable worker
-            # answer: unanswerable, never cached.
-            self.stats.unanswerable += 1
-            self._note_unanswerable()
-            if metrics.enabled:
-                metrics.inc("unanswerable_total")
-            out.append([])
+                    metrics.inc("unanswerable_total")
+                out.append([])
         return out
 
     # ------------------------------------------------------------------
@@ -942,7 +1063,11 @@ class SuggestionService:
             # everything runs in-process.
             return [self._degrade(task) for task in tasks]
         futures = []
+        # Wall clock anchors the pool.task span on the cross-process
+        # timeline; the monotonic stamp measures its duration (a
+        # wall-clock step — NTP, DST — must not yield a nonsense span).
         submitted_at = time.time()
+        submitted_perf = perf_counter()
         for task in tasks:
             try:
                 futures.append(pool.submit(_worker_suggest, task))
@@ -954,7 +1079,8 @@ class SuggestionService:
         self._pool_tasks += len(tasks)
         answers = [
             self._absorb_worker_answer(
-                task, self._await_worker(task, future), submitted_at
+                task, self._await_worker(task, future),
+                submitted_at, submitted_perf,
             )
             for task, future in zip(tasks, futures)
         ]
@@ -962,7 +1088,8 @@ class SuggestionService:
             # A hung or crashed worker poisons the whole pool; tear it
             # down without waiting and re-fork on the next batch.
             self._shutdown_pool(wait=False)
-            self.stats.pool_recycles += 1
+            with self._lock:
+                self.stats.pool_recycles += 1
             self.metrics_registry.inc("pool_recycles_total")
             # Pool trouble on a snapshot-backed corpus may mean the
             # file went bad under us (workers re-map it at init; the
@@ -999,7 +1126,8 @@ class SuggestionService:
                 "quarantining and degrading to in-process", error
             )
             quarantine_snapshot(path, metrics=self.metrics_registry)
-            self.stats.snapshot_quarantined += 1
+            with self._lock:
+                self.stats.snapshot_quarantined += 1
             self._snapshot_degraded = True
             self._auto_dump("snapshot_quarantine")
         except OSError:
@@ -1007,7 +1135,8 @@ class SuggestionService:
             # workers cannot init from it either.
             self._snapshot_degraded = True
 
-    def _absorb_worker_answer(self, task, answer, submitted_at: float):
+    def _absorb_worker_answer(self, task, answer, submitted_at: float,
+                              submitted_perf: float):
         """Fold a worker's extras into the parent; normalize the shape.
 
         Worker answers arrive as ``(suggestions, stats, extras)``;
@@ -1017,7 +1146,9 @@ class SuggestionService:
         when the task was traced, the finished ``worker`` span subtree
         — stitched under a parent-side ``pool.task`` span whose window
         covers submit → result, so worker time nests inside it on one
-        coherent timeline.
+        coherent timeline.  ``submitted_at`` (wall clock) is the span's
+        start timestamp; ``submitted_perf`` (monotonic) is what the
+        duration is measured against.
         """
         if answer is None or len(answer) != 3:
             return answer
@@ -1029,7 +1160,7 @@ class SuggestionService:
             worker_span = extras.get("span")
             tracer = self.tracer
             if worker_span is not None and tracer.enabled:
-                elapsed = time.time() - submitted_at
+                elapsed = perf_counter() - submitted_perf
                 task_span = Span(
                     "pool.task",
                     start=submitted_at,
@@ -1055,7 +1186,8 @@ class SuggestionService:
                 self.breaker.record_success()
                 return answer
             except (TimeoutError, _FuturesTimeout):
-                self.stats.worker_timeouts += 1
+                with self._lock:
+                    self.stats.worker_timeouts += 1
                 metrics.inc("worker_timeouts_total")
                 future.cancel()
                 retry = self._resubmit(task)
@@ -1065,18 +1197,21 @@ class SuggestionService:
                         self.breaker.record_success()
                         return answer
                     except (TimeoutError, _FuturesTimeout):
-                        self.stats.worker_timeouts += 1
+                        with self._lock:
+                            self.stats.worker_timeouts += 1
                         metrics.inc("worker_timeouts_total")
                         retry.cancel()
                     except Exception:
-                        self.stats.worker_failures += 1
+                        with self._lock:
+                            self.stats.worker_failures += 1
                         metrics.inc("worker_failures_total")
                 self._pool_suspect = True
                 self.breaker.record_failure()
             except Exception:
                 # Worker crash / broken pool: degrade this answer and
                 # let the batch finish.
-                self.stats.worker_failures += 1
+                with self._lock:
+                    self.stats.worker_failures += 1
                 metrics.inc("worker_failures_total")
                 self._pool_suspect = True
                 self.breaker.record_failure()
@@ -1093,15 +1228,18 @@ class SuggestionService:
 
     def _degrade(self, task: tuple[str, int, dict | None]):
         """In-process fallback, normalized to ``(suggestions, stats)``."""
-        self.stats.degraded_queries += 1
+        with self._lock:
+            self.stats.degraded_queries += 1
         self.metrics_registry.inc("degraded_queries_total")
         query, k = task[0], task[1]
         try:
-            with self.tracer.span("degrade", query=query):
-                suggestions = self.suggester.suggest(query, k)
+            with self._compute_lock:
+                with self.tracer.span("degrade", query=query):
+                    suggestions = self.suggester.suggest(query, k)
+                stats = self.suggester.last_stats
         except QueryError:
             return None
-        return tuple(suggestions), self.suggester.last_stats
+        return tuple(suggestions), stats
 
     def _acquire_pool(
         self, workers: int
@@ -1117,7 +1255,8 @@ class SuggestionService:
             or self._pool_tasks >= self.worker_recycle_after
         ):
             self._shutdown_pool()
-            self.stats.pool_recycles += 1
+            with self._lock:
+                self.stats.pool_recycles += 1
             self.metrics_registry.inc("pool_recycles_total")
         if self._pool is None:
             initializer, initargs = self._pool_init()
@@ -1132,7 +1271,8 @@ class SuggestionService:
             self._pool_workers = workers
             self._pool_tasks = 0
             self._pool_suspect = False
-            self.stats.pool_starts += 1
+            with self._lock:
+                self.stats.pool_starts += 1
             self.metrics_registry.inc("pool_starts_total")
         return self._pool
 

@@ -1,0 +1,35 @@
+"""The network serving tier: a stdlib-``asyncio`` HTTP front-end.
+
+Layering (see ``docs/http_api.md``):
+
+* :mod:`repro.net.http` — HTTP/1.1 request parsing and response
+  formatting, pure functions over bytes (no I/O, unit-testable);
+* :mod:`repro.net.singleflight` — coalescing of concurrent identical
+  computations on one event loop;
+* :mod:`repro.net.server` — :class:`HTTPFrontEnd`, the asyncio
+  listener that runs :class:`~repro.core.server.SuggestionService`
+  calls on a bounded thread executor, reusing the service's admission
+  control / deadlines / circuit breaker as backpressure and draining
+  gracefully on SIGTERM.
+"""
+
+from repro.net.http import (
+    BadRequest,
+    HTTPRequest,
+    build_response,
+    json_body,
+    parse_request_head,
+)
+from repro.net.server import HTTPFrontEnd, ServeConfig
+from repro.net.singleflight import SingleFlight
+
+__all__ = [
+    "BadRequest",
+    "HTTPFrontEnd",
+    "HTTPRequest",
+    "ServeConfig",
+    "SingleFlight",
+    "build_response",
+    "json_body",
+    "parse_request_head",
+]

@@ -1,0 +1,80 @@
+"""Single-flight coalescing for one asyncio event loop.
+
+Real query traffic is bursty *and* skewed: when a hot query misses the
+result cache, many identical requests are typically in flight at once,
+and without coalescing each would run the full computation.  A
+:class:`SingleFlight` keyed on the normalized query collapses them:
+the first arrival (the *leader*) computes; every concurrent identical
+arrival (a *follower*) awaits the leader's future and receives the
+very same result object — for the HTTP tier, the same response bytes,
+so fan-out is byte-identical by construction.
+
+The map holds only in-flight keys: the moment the leader finishes
+(successfully or not) the key is removed, so a *later* request starts
+a fresh flight — coalescing is about concurrency, caching is the
+result LRU's job.
+
+Failures propagate: a follower coalesced onto a flight that raises
+gets the same exception.  Results are stored as ``(ok, value)``
+envelopes rather than ``Future.set_exception`` so an un-awaited
+failure never triggers asyncio's "exception was never retrieved" log
+noise.
+
+Single-loop only — the dict is touched exclusively from event-loop
+callbacks, which is what makes it lock-free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Hashable, TypeVar
+
+T = TypeVar("T")
+
+
+class SingleFlight:
+    """Coalesce concurrent identical computations (see module doc)."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[Hashable, asyncio.Future] = {}
+        #: Lifetime counters, mirrored into the front-end's metrics.
+        self.leaders = 0
+        self.coalesced = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    async def run(
+        self,
+        key: Hashable,
+        compute: Callable[[], Awaitable[T]],
+    ) -> tuple[T, bool]:
+        """Run ``compute`` once per concurrent ``key``; share the result.
+
+        Returns ``(result, coalesced)`` — ``coalesced`` is True when
+        this caller rode an already-in-flight computation instead of
+        starting its own.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            ok, value = await existing
+            if not ok:
+                raise value
+            return value, True
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        self.leaders += 1
+        try:
+            value = await compute()
+        except BaseException as error:
+            future.set_result((False, error))
+            raise
+        else:
+            future.set_result((True, value))
+            return value, False
+        finally:
+            # Remove *before* followers wake: anything arriving after
+            # this point is a new flight, not a stale coalesce.
+            del self._inflight[key]

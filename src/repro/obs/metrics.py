@@ -1,6 +1,6 @@
 """Serving-layer metrics: counters, latency histograms, stage timers.
 
-The registry is deliberately tiny — plain Python objects, no locks, no
+The registry is deliberately tiny — plain Python objects, no
 background threads — because it sits on the query hot path.  Two
 implementations share one interface:
 
@@ -20,10 +20,20 @@ format; see :mod:`repro.obs.export`.
 Counters and histograms are process-local: worker processes of the
 serving pool keep their own registries, and only parent-side metrics
 appear in :meth:`SuggestionService.metrics`.
+
+Thread safety: every mutation (``inc``, ``observe``, state merges) and
+every read-out (``snapshot``) runs under a per-object lock, so the
+asyncio HTTP front-end's executor threads and the serving code can
+share one registry without dropping increments (``value += x`` is not
+atomic under the GIL — a thread switch between the load and the store
+loses an update).  The lock is uncontended in single-threaded use and
+costs nanoseconds next to a ``perf_counter`` call; the serving
+benchmark's instrumentation-overhead ceiling keeps that honest.
 """
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from time import perf_counter
 
@@ -57,17 +67,29 @@ def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
 class Counter:
     """A monotonically increasing counter (one label set)."""
 
-    __slots__ = ("name", "help", "labels", "value")
+    __slots__ = ("name", "help", "labels", "value", "_lock")
 
     def __init__(self, name: str, help: str = "",
-                 labels: dict[str, str] | None = None):
+                 labels: dict[str, str] | None = None,
+                 lock: threading.Lock | None = None):
         self.name = name
         self.help = help
         self.labels = dict(labels or {})
         self.value = 0.0
+        self._lock = lock or threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
+
+    # Locks are not picklable; a counter travelling to a pool worker
+    # (inside a pickled corpus/registry) re-creates its own.
+    def __getstate__(self):
+        return (self.name, self.help, self.labels, self.value)
+
+    def __setstate__(self, state) -> None:
+        self.name, self.help, self.labels, self.value = state
+        self._lock = threading.Lock()
 
 
 class Histogram:
@@ -81,11 +103,12 @@ class Histogram:
     """
 
     __slots__ = ("name", "help", "labels", "buckets", "_tallies",
-                 "sum", "count")
+                 "sum", "count", "_lock")
 
     def __init__(self, name: str, help: str = "",
                  buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
-                 labels: dict[str, str] | None = None):
+                 labels: dict[str, str] | None = None,
+                 lock: threading.Lock | None = None):
         self.name = name
         self.help = help
         self.labels = dict(labels or {})
@@ -94,18 +117,23 @@ class Histogram:
         self._tallies = [0] * (len(self.buckets) + 1)
         self.sum = 0.0
         self.count = 0
+        # Reentrant: summary() reads quantiles under the same lock.
+        self._lock = lock or threading.RLock()
 
     def observe(self, value: float) -> None:
-        self.sum += value
-        self.count += 1
-        self._tallies[bisect_left(self.buckets, value)] += 1
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            self._tallies[bisect_left(self.buckets, value)] += 1
 
     @property
     def counts(self) -> list[int]:
         """Cumulative bucket counts (the ``_bucket{le=...}`` view)."""
         out = []
         running = 0
-        for tally in self._tallies[:-1]:
+        with self._lock:
+            tallies = list(self._tallies)
+        for tally in tallies[:-1]:
             running += tally
             out.append(running)
         return out
@@ -119,26 +147,31 @@ class Histogram:
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
-        if self.count == 0:
+        with self._lock:
+            count = self.count
+            tallies = list(self._tallies)
+        if count == 0:
             return 0.0
-        threshold = q * self.count
+        threshold = q * count
         cumulative = 0
-        for bound, tally in zip(self.buckets, self._tallies):
+        for bound, tally in zip(self.buckets, tallies):
             cumulative += tally
             if cumulative >= threshold:
                 return bound
         return float("inf")
 
     def summary(self) -> dict[str, float]:
-        """Count/sum/mean plus bucket-resolution p50/p95."""
-        mean = self.sum / self.count if self.count else 0.0
-        return {
-            "count": self.count,
-            "sum": self.sum,
-            "mean": mean,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-        }
+        """Count/sum/mean plus bucket-resolution p50/p95/p99."""
+        with self._lock:
+            mean = self.sum / self.count if self.count else 0.0
+            return {
+                "count": self.count,
+                "sum": self.sum,
+                "mean": mean,
+                "p50": self.quantile(0.50),
+                "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99),
+            }
 
     # -- cross-process merging ----------------------------------------
 
@@ -149,7 +182,8 @@ class Histogram:
         states, ships the deltas in its result payload, and the parent
         folds them in with :meth:`merge_state`.
         """
-        return (tuple(self._tallies), self.sum, self.count)
+        with self._lock:
+            return (tuple(self._tallies), self.sum, self.count)
 
     def merge_state(self, tallies, total: float, count: int) -> None:
         """Fold another histogram's raw state into this one.
@@ -164,10 +198,20 @@ class Histogram:
                 f"{len(tallies)} tallies into {len(self._tallies)} "
                 f"buckets"
             )
-        for index, tally in enumerate(tallies):
-            self._tallies[index] += tally
-        self.sum += total
-        self.count += count
+        with self._lock:
+            for index, tally in enumerate(tallies):
+                self._tallies[index] += tally
+            self.sum += total
+            self.count += count
+
+    def __getstate__(self):
+        return (self.name, self.help, self.labels, self.buckets,
+                self._tallies, self.sum, self.count)
+
+    def __setstate__(self, state) -> None:
+        (self.name, self.help, self.labels, self.buckets,
+         self._tallies, self.sum, self.count) = state
+        self._lock = threading.RLock()
 
 
 class _StageTimer:
@@ -194,7 +238,7 @@ class MetricsRegistry:
     enabled = True
 
     __slots__ = ("namespace", "buckets", "_counters", "_histograms",
-                 "_stage_histograms")
+                 "_stage_histograms", "_lock")
 
     def __init__(self, namespace: str = "xclean",
                  buckets: tuple[float, ...] | None = None):
@@ -202,6 +246,10 @@ class MetricsRegistry:
         #: Default bucket bounds for histograms created by this
         #: registry (``XCleanConfig.latency_buckets`` lands here).
         self.buckets = tuple(buckets or DEFAULT_LATENCY_BUCKETS)
+        # Guards series *creation* and snapshotting; each series owns
+        # its own lock for recording, so hot-path increments on
+        # existing series never contend with one another here.
+        self._lock = threading.Lock()
         self._counters: dict[tuple, Counter] = {}
         self._histograms: dict[tuple, Histogram] = {}
         # Hot-path shortcut: stage name -> its stage_seconds series,
@@ -215,8 +263,11 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         found = self._counters.get(key)
         if found is None:
-            found = Counter(name, help, labels)
-            self._counters[key] = found
+            with self._lock:
+                found = self._counters.get(key)
+                if found is None:
+                    found = Counter(name, help, labels)
+                    self._counters[key] = found
         return found
 
     def histogram(
@@ -229,9 +280,13 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         found = self._histograms.get(key)
         if found is None:
-            found = Histogram(name, help, buckets or self.buckets,
-                              labels)
-            self._histograms[key] = found
+            with self._lock:
+                found = self._histograms.get(key)
+                if found is None:
+                    found = Histogram(
+                        name, help, buckets or self.buckets, labels
+                    )
+                    self._histograms[key] = found
         return found
 
     # -- recording shortcuts ------------------------------------------
@@ -247,6 +302,8 @@ class MetricsRegistry:
         found = self._stage_histograms.get(stage)
         if found is None:
             found = self.histogram(STAGE_HISTOGRAM, stage=stage)
+            # dict assignment is atomic; racing threads store the same
+            # object (histogram() deduplicates under the lock).
             self._stage_histograms[stage] = found
         return found
 
@@ -317,9 +374,12 @@ class MetricsRegistry:
         """Point-in-time :class:`~repro.obs.export.MetricsSnapshot`."""
         from repro.obs.export import MetricsSnapshot
 
+        with self._lock:
+            all_counters = list(self._counters.values())
+            all_histograms = list(self._histograms.values())
         counters = [
             (c.name, dict(c.labels), c.value, c.help)
-            for c in self._counters.values()
+            for c in all_counters
         ]
         histograms = [
             (
@@ -331,7 +391,7 @@ class MetricsRegistry:
                 h.count,
                 h.help,
             )
-            for h in self._histograms.values()
+            for h in all_histograms
         ]
         return MetricsSnapshot(self.namespace, counters, histograms)
 
@@ -340,6 +400,15 @@ class MetricsRegistry:
 
     def to_prometheus(self) -> str:
         return self.snapshot().to_prometheus()
+
+    def __getstate__(self):
+        return (self.namespace, self.buckets, self._counters,
+                self._histograms, self._stage_histograms)
+
+    def __setstate__(self, state) -> None:
+        (self.namespace, self.buckets, self._counters,
+         self._histograms, self._stage_histograms) = state
+        self._lock = threading.Lock()
 
 
 class _NullTimer:

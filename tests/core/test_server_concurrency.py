@@ -1,0 +1,164 @@
+"""Thread-safety of the serving core.
+
+The HTTP front-end calls one :class:`SuggestionService` from many
+executor threads at once, so admission bookkeeping, the result cache,
+and the service counters must hold exact invariants under concurrency:
+``_inflight`` returns to zero, and every submitted query is accounted
+for as either served or shed — no lost or double-counted requests.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.config import XCleanConfig
+from repro.core.server import SuggestionService
+from repro.exceptions import Overloaded
+from repro.index.corpus import build_corpus_index
+from repro.xmltree.builder import paper_example_tree
+from repro.xmltree.document import XMLDocument
+
+THREADS = 8
+QUERIES_PER_THREAD = 64  # 8 * 64 = 512 total submissions
+
+#: A mix of cache-hitting repeats, distinct misses, and unanswerables.
+QUERY_MIX = [
+    "tree icdt",
+    "trie icde",
+    "databas",
+    "tree icdt",
+    "xyzzy quux",
+    "icdt",
+    "tree icdt",
+    "trie",
+]
+
+
+@pytest.fixture()
+def corpus():
+    return build_corpus_index(XMLDocument(paper_example_tree()))
+
+
+def hammer(service, *, threads=THREADS, per_thread=QUERIES_PER_THREAD):
+    """Drive ``service.suggest`` from many threads; return tallies."""
+    barrier = threading.Barrier(threads)
+    served = []
+    shed = []
+    failures = []
+
+    def worker(worker_id):
+        barrier.wait()  # maximize overlap
+        for i in range(per_thread):
+            query = QUERY_MIX[(worker_id + i) % len(QUERY_MIX)]
+            try:
+                suggestions = service.suggest(query, 5)
+            except Overloaded as error:
+                shed.append(error)
+            except Exception as error:  # noqa: BLE001 - tallied below
+                failures.append(error)
+            else:
+                served.append((query, suggestions))
+
+    pool = [
+        threading.Thread(target=worker, args=(n,))
+        for n in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    return served, shed, failures
+
+
+class TestThreadedSuggest:
+    def test_unbounded_service_serves_everything(self, corpus):
+        with SuggestionService(
+            corpus, config=XCleanConfig(max_errors=1)
+        ) as service:
+            served, shed, failures = hammer(service)
+            assert failures == []
+            assert shed == []
+            assert len(served) == THREADS * QUERIES_PER_THREAD
+            assert service._inflight == 0
+            stats = service.stats
+            assert stats.queries_served == THREADS * QUERIES_PER_THREAD
+            assert stats.shed_queries == 0
+            # Every query was either a cache hit or a miss — and the
+            # counters were not torn by concurrent increments.
+            assert (
+                stats.result_cache_hits + stats.result_cache_misses
+                == stats.queries_served
+            )
+
+    def test_bounded_service_accounts_for_every_query(self, corpus):
+        with SuggestionService(
+            corpus,
+            config=XCleanConfig(max_errors=1),
+            max_pending=2,
+        ) as service:
+            served, shed, failures = hammer(service)
+            assert failures == []
+            submitted = THREADS * QUERIES_PER_THREAD
+            assert len(served) + len(shed) == submitted
+            assert service._inflight == 0
+            stats = service.stats
+            assert stats.queries_served == len(served)
+            assert stats.shed_queries == len(shed)
+            assert stats.queries_served + stats.shed_queries == submitted
+            # Shed errors carry an actionable backoff hint (the
+            # admission path must not leave retry_after unset).
+            for error in shed:
+                assert error.retry_after is not None
+                assert error.retry_after > 0
+
+    def test_concurrent_results_match_serial_reference(self, corpus):
+        config = XCleanConfig(max_errors=1)
+        with SuggestionService(corpus, config=config) as reference:
+            expected = {
+                query: reference.suggest(query, 5)
+                for query in QUERY_MIX
+            }
+        with SuggestionService(corpus, config=config) as service:
+            served, shed, failures = hammer(service)
+            assert failures == [] and shed == []
+            for query, suggestions in served:
+                assert suggestions == expected[query], query
+
+    def test_cache_stays_bounded_under_concurrency(self, corpus):
+        with SuggestionService(
+            corpus,
+            config=XCleanConfig(max_errors=1),
+            result_cache_size=2,
+        ) as service:
+            hammer(service)
+            assert len(service._result_cache) <= 2
+            assert service._inflight == 0
+
+
+class TestAdmissionHint:
+    def test_admission_shed_carries_retry_after(self, corpus):
+        with SuggestionService(
+            corpus,
+            config=XCleanConfig(max_errors=1),
+            max_pending=1,
+        ) as service:
+            service.admit(1)  # occupy the only slot
+            try:
+                with pytest.raises(Overloaded) as excinfo:
+                    service.suggest("tree icdt", 5)
+            finally:
+                service.release(1)
+            assert excinfo.value.retry_after is not None
+            assert excinfo.value.retry_after > 0
+
+    def test_hint_tracks_observed_latency(self, corpus):
+        with SuggestionService(
+            corpus, config=XCleanConfig(max_errors=1)
+        ) as service:
+            floor = service.retry_after_hint()
+            assert floor > 0
+            # Feed the EWMA slow observations; the hint must rise.
+            for _ in range(50):
+                service._observe_latency(2.0)
+            assert service.retry_after_hint() > floor
+            assert service.retry_after_hint() <= 2.0

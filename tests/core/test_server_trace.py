@@ -309,3 +309,79 @@ class TestFlightRecorder:
             service.suggest("icdt tre", 5)
             recorder = service.flight_recorder
         assert recorder.notable_entries()[0].slow is True
+
+
+class TestPoolTaskClock:
+    """The pool.task span anchors on wall clock but measures duration
+    monotonically — a wall-clock step between submit and absorb (NTP
+    slew, DST, a VM resume) must not produce an hours-long span."""
+
+    def test_duration_ignores_wall_clock_steps(self, corpus):
+        import time as real_time
+        from time import perf_counter
+
+        from repro.core.suggestion import CleaningStats
+        from repro.obs.trace import Span
+
+        with make_service(corpus) as service:
+            tracer = service.tracer
+            # Simulate: the wall clock stepped forward a full hour
+            # after submission, while only ~0.2 monotonic seconds of
+            # real work elapsed.
+            submitted_at = real_time.time() - 3600.0
+            submitted_perf = perf_counter() - 0.2
+            worker_span = Span(
+                "worker", start=submitted_at, duration=0.05
+            )
+            answer = (
+                [],
+                CleaningStats(),
+                {"span": worker_span},
+            )
+            tracer.begin("request")
+            try:
+                result = service._absorb_worker_answer(
+                    ("icdt tre", 5, None), answer,
+                    submitted_at, submitted_perf,
+                )
+            finally:
+                root = tracer.end()
+            assert result == ([], answer[1])
+            task_span = root.find("pool.task")
+            assert task_span is not None
+            # Start stays on the wall-clock timeline...
+            assert task_span.start == submitted_at
+            # ...but the duration is monotonic elapsed time, not the
+            # hour the wall clock claims passed.
+            assert 0.05 <= task_span.duration < 10.0
+
+    def test_duration_at_least_covers_worker_span(self, corpus):
+        from time import perf_counter
+
+        import time as real_time
+
+        from repro.core.suggestion import CleaningStats
+        from repro.obs.trace import Span
+
+        with make_service(corpus) as service:
+            tracer = service.tracer
+            submitted_at = real_time.time()
+            submitted_perf = perf_counter()
+            # Worker claims more time than the parent measured (its
+            # perf_counter is a different clock domain): the span must
+            # still contain its child.
+            worker_span = Span(
+                "worker", start=submitted_at, duration=123.0
+            )
+            answer = ([], CleaningStats(), {"span": worker_span})
+            tracer.begin("request")
+            try:
+                service._absorb_worker_answer(
+                    ("icdt tre", 5, None), answer,
+                    submitted_at, submitted_perf,
+                )
+            finally:
+                root = tracer.end()
+            task_span = root.find("pool.task")
+            assert task_span.duration >= 123.0
+            assert task_span.children == [worker_span]

@@ -1,0 +1,132 @@
+"""Single-flight coalescing semantics on one event loop."""
+
+import asyncio
+
+import pytest
+
+from repro.net.singleflight import SingleFlight
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_concurrent_identical_keys_compute_once(self):
+        async def main():
+            flight = SingleFlight()
+            calls = 0
+            release = asyncio.Event()
+
+            async def compute():
+                nonlocal calls
+                calls += 1
+                await release.wait()
+                return object()
+
+            async def one():
+                return await flight.run("key", compute)
+
+            tasks = [asyncio.ensure_future(one()) for _ in range(8)]
+            await asyncio.sleep(0)  # let every waiter reach the flight
+            release.set()
+            results = await asyncio.gather(*tasks)
+            return calls, results, flight
+
+        calls, results, flight = run(main())
+        assert calls == 1
+        values = [value for value, _ in results]
+        # Followers receive the *same object*, not a copy.
+        assert all(value is values[0] for value in values)
+        coalesced_flags = sorted(flag for _, flag in results)
+        assert coalesced_flags == [False] + [True] * 7
+        assert flight.leaders == 1
+        assert flight.coalesced == 7
+        assert len(flight) == 0
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def main():
+            flight = SingleFlight()
+            calls = []
+
+            async def compute(key):
+                calls.append(key)
+                await asyncio.sleep(0)
+                return key
+
+            results = await asyncio.gather(
+                flight.run("a", lambda: compute("a")),
+                flight.run("b", lambda: compute("b")),
+            )
+            return calls, results
+
+        calls, results = run(main())
+        assert sorted(calls) == ["a", "b"]
+        assert [flag for _, flag in results] == [False, False]
+
+    def test_sequential_calls_are_fresh_flights(self):
+        async def main():
+            flight = SingleFlight()
+            calls = 0
+
+            async def compute():
+                nonlocal calls
+                calls += 1
+                return calls
+
+            first, _ = await flight.run("key", compute)
+            second, coalesced = await flight.run("key", compute)
+            return first, second, coalesced, flight
+
+        first, second, coalesced, flight = run(main())
+        # Coalescing is concurrency-only: a later request computes anew.
+        assert (first, second) == (1, 2)
+        assert not coalesced
+        assert flight.leaders == 2
+        assert flight.coalesced == 0
+
+
+class TestFailures:
+    def test_leader_failure_propagates_to_followers(self):
+        async def main():
+            flight = SingleFlight()
+            release = asyncio.Event()
+
+            async def compute():
+                await release.wait()
+                raise ValueError("boom")
+
+            async def one():
+                return await flight.run("key", compute)
+
+            tasks = [asyncio.ensure_future(one()) for _ in range(3)]
+            await asyncio.sleep(0)
+            release.set()
+            results = await asyncio.gather(
+                *tasks, return_exceptions=True
+            )
+            return results, flight
+
+        results, flight = run(main())
+        assert len(results) == 3
+        assert all(isinstance(r, ValueError) for r in results)
+        assert len(flight) == 0
+
+    def test_failure_does_not_poison_later_flights(self):
+        async def main():
+            flight = SingleFlight()
+
+            async def bad():
+                raise ValueError("boom")
+
+            async def good():
+                return "ok"
+
+            with pytest.raises(ValueError):
+                await flight.run("key", bad)
+            value, coalesced = await flight.run("key", good)
+            return value, coalesced
+
+        value, coalesced = run(main())
+        assert value == "ok"
+        assert not coalesced
