@@ -4,10 +4,13 @@ Installed as the ``xclean`` console script::
 
     xclean generate --dataset dblp --out dblp.xml
     xclean index --xml dblp.xml --out dblp.xci [--format binary]
+    xclean index --xml dblp.xml --out shards/ --shards 4
+    xclean verify --index shards/            # or a single .xcs3 path
     xclean suggest --index dblp.xci --query "keywrod serach" -k 5
     xclean explain --index dblp.xci --query "keywrod serach" -k 5
     xclean trace --index dblp.xci --query "keywrod serach" --format chrome
     xclean batch --index dblp.xci --queries queries.txt --workers 4
+    xclean batch --index shards/ --queries queries.txt --replicas 2
     xclean metrics --index dblp.xci --queries queries.txt --format prometheus
     xclean search --index dblp.xci --query "keyword search" --xml dblp.xml
     xclean evaluate --dataset dblp --scale small
@@ -83,6 +86,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="parallel workers for the v3 snapshot build "
         "(default: serial; output is byte-identical either way)",
+    )
+    index.add_argument(
+        "--shards", type=int, default=0,
+        help="partition into this many v3 snapshot shards under "
+        "--out (a directory) with a CRC-checked manifest; 0 builds "
+        "a single index in --format",
+    )
+    index.add_argument(
+        "--partition-depth", type=int, default=None,
+        help="subtree depth of the shard partition boundary "
+        "(default: 2; must not exceed the query-time min_depth)",
+    )
+    index.add_argument(
+        "--strategy", choices=("range", "hash"), default="range",
+        help="entity-to-shard assignment: token-balanced contiguous "
+        "ranges or crc32 hashing",
     )
 
     suggest = sub.add_parser(
@@ -172,7 +191,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch = sub.add_parser(
         "batch", help="answer a file of queries through the service"
     )
-    batch.add_argument("--index", required=True, help="index path")
+    batch.add_argument(
+        "--index", required=True,
+        help="index path or shard-manifest directory",
+    )
     batch.add_argument(
         "--queries", required=True,
         help="text file with one query per line",
@@ -196,6 +218,16 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--recycle-after", type=int, default=None,
         help="recycle pool workers after this many dispatched queries",
+    )
+    batch.add_argument(
+        "--replicas", type=int, default=0,
+        help="replica pools per shard when --index is a shard "
+        "manifest (0 = in-process scatter)",
+    )
+    batch.add_argument(
+        "--routing", choices=("round-robin", "least-loaded"),
+        default="round-robin",
+        help="replica routing policy (shard manifest only)",
     )
     batch.add_argument(
         "--format",
@@ -303,7 +335,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the asyncio HTTP front-end over an index "
         "(see docs/http_api.md)",
     )
-    serve.add_argument("--index", required=True, help="index path")
+    serve.add_argument(
+        "--index", required=True,
+        help="index path or shard-manifest directory",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=0,
+        help="replica pools per shard when --index is a shard "
+        "manifest (0 = in-process scatter)",
+    )
+    serve.add_argument(
+        "--routing", choices=("round-robin", "least-loaded"),
+        default="round-robin",
+        help="replica routing policy (shard manifest only)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port", type=int, default=8080,
@@ -352,6 +397,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-body-bytes", type=int, default=64 * 1024,
         help="reject request bodies larger than this (HTTP 413)",
     )
+
+    verify = sub.add_parser(
+        "verify",
+        help="deep-verify a v3 snapshot or every shard of a manifest "
+        "(per-section CRCs, manifest checksums); non-zero exit on "
+        "any failure",
+    )
+    verify.add_argument(
+        "--index", required=True,
+        help="v3 snapshot path or shard-manifest directory",
+    )
     return parser
 
 
@@ -383,6 +439,24 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_index(args: argparse.Namespace) -> int:
     document = XMLDocument.from_file(args.xml)
     corpus = build_corpus_index(document)
+    if args.shards:
+        from repro.index.sharding import build_sharded_snapshot
+
+        kwargs = {}
+        if args.partition_depth is not None:
+            kwargs["partition_depth"] = args.partition_depth
+        manifest = build_sharded_snapshot(
+            corpus, args.out, args.shards,
+            strategy=args.strategy, workers=args.workers, **kwargs,
+        )
+        print(
+            f"wrote {args.out}: {len(manifest.shards)} shards, "
+            f"{manifest.entities} entities, "
+            f"{manifest.postings} postings "
+            f"({args.strategy} assignment at depth "
+            f"{manifest.partition_depth})"
+        )
+        return 0
     if args.format == "v3":
         build_snapshot(corpus, args.out, workers=args.workers)
     elif args.format == "binary":
@@ -405,6 +479,34 @@ def _load_any_index(path: str, metrics=None):
     the same ``stage_seconds`` family as the query stages.
     """
     return snapshot_or_corpus(path, metrics=metrics)
+
+
+def _open_service(args, registry, config, **kwargs):
+    """The serving object behind ``--index``: single or sharded.
+
+    A shard-manifest path (directory or ``manifest.json``) opens a
+    :class:`~repro.core.shards.ShardedSuggestionService`; anything
+    else loads as a single index behind :class:`SuggestionService`.
+    Both expose the same serving surface, so callers don't branch.
+    """
+    from repro.index.sharding import is_manifest, resolve_manifest_path
+
+    if is_manifest(args.index):
+        from repro.core.shards import ShardedSuggestionService
+
+        kwargs.pop("worker_recycle_after", None)
+        return ShardedSuggestionService(
+            resolve_manifest_path(args.index),
+            config=config,
+            replicas=getattr(args, "replicas", 0),
+            routing=getattr(args, "routing", "round-robin"),
+            metrics=registry,
+            **kwargs,
+        )
+    corpus = _load_any_index(args.index, metrics=registry)
+    return SuggestionService(
+        corpus, config=config, metrics=registry, **kwargs
+    )
 
 
 def _cmd_suggest(args: argparse.Namespace) -> int:
@@ -492,7 +594,6 @@ def _read_queries(path: str) -> list[str]:
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
-    corpus = _load_any_index(args.index, metrics=registry)
     queries = _read_queries(args.queries)
     if not queries:
         print("(no queries)")
@@ -503,16 +604,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.format == "json":
         # JSON output carries trace ids, so it runs under a tracer.
         service_kwargs["tracer"] = Tracer()
-    with SuggestionService(
-        corpus,
-        config=XCleanConfig(
+    with _open_service(
+        args,
+        registry,
+        XCleanConfig(
             max_errors=args.max_errors,
             beta=args.beta,
             gamma=args.gamma,
             engine=args.engine,
         ),
         worker_timeout=args.worker_timeout,
-        metrics=registry,
         **service_kwargs,
     ) as service:
         started = time.perf_counter()
@@ -738,20 +839,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.net.server import HTTPFrontEnd, ServeConfig
 
     registry = MetricsRegistry()
-    corpus = _load_any_index(args.index, metrics=registry)
     service_kwargs = {}
     if args.result_cache_size is not None:
         service_kwargs["result_cache_size"] = args.result_cache_size
-    service = SuggestionService(
-        corpus,
-        config=XCleanConfig(
+    service = _open_service(
+        args,
+        registry,
+        XCleanConfig(
             max_errors=args.max_errors,
             beta=args.beta,
             gamma=args.gamma,
             engine=args.engine,
             deadline_seconds=args.deadline,
         ),
-        metrics=registry,
         max_pending=args.max_pending or None,
         **service_kwargs,
     )
@@ -785,6 +885,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.index.sharding import (
+        is_manifest,
+        resolve_manifest_path,
+        verify_sharded,
+    )
+
+    if is_manifest(args.index):
+        reports = verify_sharded(resolve_manifest_path(args.index))
+        rows = [
+            (
+                report["shard_id"],
+                report["path"],
+                "ok" if report["ok"] else "FAIL",
+                report["bytes"],
+                report["error"] or "",
+            )
+            for report in reports
+        ]
+        print(format_table(
+            ("shard", "path", "status", "bytes", "error"), rows
+        ))
+        failed = sum(1 for report in reports if not report["ok"])
+        if failed:
+            print(
+                f"{failed} of {len(reports)} shards failed "
+                "verification",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{len(reports)} shards verified")
+        return 0
+    from repro.index.snapshot import verify_snapshot
+
+    verify_snapshot(args.index)
+    print(f"{args.index}: ok")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "index": _cmd_index,
@@ -797,6 +936,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,
+    "verify": _cmd_verify,
 }
 
 

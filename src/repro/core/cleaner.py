@@ -169,6 +169,39 @@ class XCleanSuggester:
         """Scores of all surviving candidates (oracle-equivalence tests)."""
         return self._run(query).final_scores()
 
+    def partial_rows(self, query: str):
+        """The full γ-bounded accumulator table, serialized for gather.
+
+        Runs the same Algorithm 1 pass as :meth:`suggest` but returns
+        every surviving accumulator as a picklable row
+
+            ``(candidate, partials, error_weight, normalizer,
+               result_type, samples)``
+
+        where ``partials`` is the accumulator's exact-summation
+        expansion (see ``core/pruning.add_partial``).  A scatter-gather
+        coordinator concatenates the per-shard expansions and recovers
+        score masses bit-identical to a single-index run — candidates
+        may hold mass on several shards, so shipping whole tables (not
+        per-shard top-k) is what makes the merged top-k exact.
+        ``result_type`` travels as the path *string* so the gather side
+        needs no shard-local path table.
+        """
+        pool = self._run(query)
+        table = self.corpus.path_table
+        rows = tuple(
+            (
+                candidate,
+                tuple(entry.partials),
+                entry.error_weight,
+                entry.normalizer,
+                table.string_of(entry.result_type),
+                entry.samples,
+            )
+            for candidate, entry in pool.items()
+        )
+        return rows, self.last_stats
+
     def suggest_explained(self, query: str, k: int = 10):
         """Top-k suggestions with full score provenance.
 

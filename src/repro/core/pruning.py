@@ -12,15 +12,45 @@ inequality — is lowest:
 An evicted candidate loses its accumulated mass; if it reappears later
 it restarts from zero.  This is exactly why suggestion quality degrades
 for small γ and saturates near γ = 1000 (Table V).
+
+Exact summation: each accumulator keeps its mass as a Shewchuk
+non-overlapping expansion (a short list of floats whose mathematical
+sum is the *exact* real sum of every addend) rather than a single
+running float.  ``math.fsum`` over the expansion then yields the
+correctly rounded total, and — crucially for sharded serving — the
+total is independent of the order in which the addends arrived.  A
+scatter-gather coordinator can therefore concatenate per-shard partial
+expansions and recover a mass bit-identical to the single-index run.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 from repro.core.candidates import CandidateQuery
 from repro.exceptions import ConfigurationError
+
+
+def add_partial(partials: list[float], value: float) -> None:
+    """Grow a Shewchuk expansion in place by one addend.
+
+    Invariant: ``sum(partials)`` (as exact reals) equals the exact sum
+    of every value ever added, and the list stays short in practice
+    (one or two floats for well-scaled inputs).  This is the same
+    error-free transformation behind ``math.fsum``.
+    """
+    i = 0
+    x = value
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
 
 
 def hoeffding_confidence(samples: int, epsilon: float) -> float:
@@ -59,22 +89,54 @@ def samples_for_confidence(confidence: float, epsilon: float) -> int:
     return max(0, math.ceil(needed))
 
 
-@dataclass
 class Accumulator:
     """Per-candidate running state in the score table S.
 
     ``normalizer`` generalizes Eq. 8's N: it is N (the entity count)
     under the uniform prior, or the total prior weight W_p of the
     candidate's result type under a non-uniform prior.
+
+    Mass lives in :attr:`partials`, a Shewchuk expansion (see
+    :func:`add_partial`): :attr:`mass` is the correctly rounded total,
+    independent of addition order, so per-shard partial accumulators
+    merge bit-identically to a single-index run.
     """
 
-    mass: float
-    error_weight: float
-    normalizer: float
-    result_type: int
-    #: Mass additions so far — the n of the Hoeffding bound backing
-    #: the eviction estimate (surfaced in pruning explanations).
-    samples: int = 1
+    __slots__ = (
+        "partials", "error_weight", "normalizer", "result_type",
+        "samples",
+    )
+
+    def __init__(
+        self,
+        mass: float,
+        error_weight: float,
+        normalizer: float,
+        result_type: int,
+        samples: int = 1,
+    ):
+        #: Non-overlapping expansion whose exact sum is the mass.
+        self.partials: list[float] = [mass]
+        self.error_weight = error_weight
+        self.normalizer = normalizer
+        self.result_type = result_type
+        #: Mass additions so far — the n of the Hoeffding bound backing
+        #: the eviction estimate (surfaced in pruning explanations).
+        self.samples = samples
+
+    @property
+    def mass(self) -> float:
+        """The correctly rounded total mass (order-independent)."""
+        return math.fsum(self.partials)
+
+    def add_mass(self, value: float) -> None:
+        """Fold one group's mass into the expansion (exact)."""
+        add_partial(self.partials, value)
+
+    def extend_mass(self, values) -> None:
+        """Fold another expansion's floats in (scatter-gather merge)."""
+        for value in values:
+            add_partial(self.partials, value)
 
     def estimate(self) -> float:
         """Estimated final score from the mass observed so far."""
@@ -161,7 +223,7 @@ class AccumulatorPool:
         """
         entry = self._table.get(candidate)
         if entry is not None:
-            entry.mass += mass
+            entry.add_mass(mass)
             entry.samples += 1
             return
         if (
@@ -234,10 +296,24 @@ class AccumulatorPool:
         """The accumulator of a candidate (inspection/testing)."""
         return self._table.get(candidate)
 
+    def items(self):
+        """Iterate ``(candidate, accumulator)`` pairs (shard gather)."""
+        return self._table.items()
+
     def top_k(
         self, k: int
     ) -> list[tuple[CandidateQuery, float, Accumulator]]:
-        """The k best candidates by final score, ties lexicographic."""
+        """The k best candidates by final score.
+
+        Ties are broken by the candidate's token tuple ascending —
+        which (tokens contain no spaces, and a space sorts before
+        every token character) is exactly the space-joined suggestion
+        string ascending.  This total order is part of the public
+        contract: it makes suggestion lists reproducible across runs,
+        engines, and shard counts, so a scatter-gather merge sorted by
+        the same ``(-score, candidate)`` key is byte-identical to a
+        single-index run.
+        """
         scored = [
             (candidate, entry.estimate(), entry)
             for candidate, entry in self._table.items()

@@ -91,6 +91,11 @@ from repro.obs.trace import NULL_TRACER, Span, Tracer
 
 logger = logging.getLogger(__name__)
 
+#: Result-LRU key: (index identity+generation, normalized tokens, k).
+#: The identity component makes answers computed against a replaced or
+#: invalidated snapshot unreachable instead of stale.
+_CacheKey = tuple[tuple[int, int], tuple[str, ...], int]
+
 #: Default bound of the whole-result LRU.
 DEFAULT_RESULT_CACHE_SIZE = 4096
 
@@ -428,7 +433,7 @@ class SuggestionService:
         self.flight_record_path = flight_record_path
         self.result_cache_size = result_cache_size
         self._result_cache: OrderedDict[
-            tuple[tuple[str, ...], int], tuple[Suggestion, ...]
+            _CacheKey, tuple[Suggestion, ...]
         ] = OrderedDict()
         self.stats = ServiceStats()
         self.last_stats = CleaningStats()
@@ -677,15 +682,37 @@ class SuggestionService:
     # Single-query path
     # ------------------------------------------------------------------
 
+    def _index_identity(self) -> tuple[int, int]:
+        """Which index (and which generation of it) answers are from.
+
+        ``id(corpus)`` separates distinct index objects a long-lived
+        service might be pointed at; ``generation`` (bumped by
+        ``QueryEngineMixin.bump_generation`` on a snapshot hot-swap)
+        separates epochs of the *same* object.  Cached results keyed on
+        a previous identity become unreachable rather than stale.
+        """
+        return (
+            id(self.corpus), getattr(self.corpus, "generation", 0)
+        )
+
     def _cache_key(
         self, query: str, k: int
-    ) -> tuple[tuple[str, ...], int]:
-        """Normalize the query so trivial rewrites share a cache slot."""
-        return (tuple(self.corpus.tokenizer.tokenize(query)), k)
+    ) -> tuple[tuple[int, int], tuple[str, ...], int]:
+        """Normalize the query so trivial rewrites share a cache slot.
+
+        The key embeds the snapshot identity/generation so a service
+        whose index was swapped or invalidated can never serve answers
+        computed against the old data.
+        """
+        return (
+            self._index_identity(),
+            tuple(self.corpus.tokenizer.tokenize(query)),
+            k,
+        )
 
     def _cache_put(
         self,
-        key: tuple[tuple[str, ...], int],
+        key: _CacheKey,
         suggestions: Sequence[Suggestion],
     ) -> None:
         with self._lock:
@@ -952,15 +979,15 @@ class SuggestionService:
         # Unique cache misses, first-occurrence order.  Keys with no
         # usable tokens never reach a worker: they are unanswerable by
         # construction.
-        pending: dict[tuple[tuple[str, ...], int], str] = {}
+        pending: dict[_CacheKey, str] = {}
         with self._lock:
             for key, query in zip(keys, queries):
-                if key not in cache and key not in pending and key[0]:
+                if key not in cache and key not in pending and key[1]:
                     pending[key] = query
         # Freshly computed (suggestions, stats) by key; partial answers
         # live only here — they are served below but never cached.
         fresh: dict[
-            tuple[tuple[str, ...], int],
+            _CacheKey,
             tuple[tuple[Suggestion, ...], CleaningStats],
         ] = {}
         if pending:

@@ -1,0 +1,1317 @@
+"""Scatter-gather serving over a sharded v3 index (``docs/sharding.md``).
+
+:class:`ShardedSuggestionService` is the coordinator in front of a
+shard manifest written by ``repro.index.sharding``: every query fans
+out to one replica pool per shard, each shard answers with its full
+γ-bounded partial accumulator table, and the gather side folds the
+per-shard Shewchuk expansions back together — producing a top-k that
+is **byte-identical** to a single-index run (same scores to the last
+bit, same deterministic ``(-score, candidate)`` order).
+
+Why whole tables and not k candidates per shard: a candidate's Eq. 8
+mass is a *sum over entities*, and its entities are spread across
+shards.  A candidate ranked k+1 everywhere can still be global top-1,
+so per-shard top-k truncation is not exact.  Shipping the (γ-bounded)
+partial tables is — see ``docs/sharding.md`` for the full argument
+and the γ/no-eviction caveat.
+
+Replication: each shard runs R single-worker process pools mapping
+the same snapshot file (page cache shared).  Routing is round-robin
+or least-loaded; every replica has its own circuit breaker, so a
+tripped replica is skipped.  When a replica fails mid-query the
+coordinator fails over to the next one, then (by default) degrades to
+an in-process run of that shard, and only as a last resort omits the
+shard and flags the answer ``partial``.
+
+The public surface mirrors :class:`~repro.core.server.SuggestionService`
+— ``suggest`` / ``suggest_detailed`` / ``suggest_batch`` /
+``suggest_batch_detailed``, admission control, the result LRU keyed on
+manifest identity + generation, metrics, tracing, and the flight
+recorder — so the HTTP front-end and the CLI drive either one.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import os
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from contextlib import contextmanager
+from dataclasses import dataclass
+from time import monotonic, perf_counter
+from typing import Iterator, Sequence
+
+from repro.core.cleaner import XCleanSuggester
+from repro.core.config import XCleanConfig
+from repro.core.pruning import add_partial
+from repro.core.server import (
+    DEFAULT_BREAKER_COOLDOWN,
+    DEFAULT_BREAKER_THRESHOLD,
+    DEFAULT_CLOSE_GRACE,
+    DEFAULT_RESULT_CACHE_SIZE,
+    DEFAULT_RETRY_AFTER,
+    _LATENCY_EWMA_ALPHA,
+    CircuitBreaker,
+    _enter_worker,
+)
+from repro.core.suggestion import CleaningStats, Suggestion
+from repro.exceptions import (
+    ConfigurationError,
+    Overloaded,
+    QueryError,
+    StorageError,
+)
+from repro.index.sharding import ShardManifest, load_manifest
+from repro.obs import MetricsRegistry, MetricsSnapshot
+from repro.obs.faults import active as _active_faults
+from repro.obs.recorder import FlightEntry, FlightRecorder
+from repro.obs.trace import NULL_TRACER, Span, Tracer
+
+logger = logging.getLogger(__name__)
+
+#: Result-LRU key: ((manifest crc, generation), normalized tokens, k) —
+#: same shape as the single-index service's key, with the manifest CRC
+#: standing in for the index identity.
+_CacheKey = tuple[tuple[int, int], tuple[str, ...], int]
+
+#: Replica routing policies.
+ROUTING_POLICIES = ("round-robin", "least-loaded")
+
+DEFAULT_ROUTING = "round-robin"
+
+
+# ----------------------------------------------------------------------
+# Shard-worker plumbing.  Module-level so the worker side is picklable;
+# each replica process builds its shard suggester once in the
+# initializer and reuses it for every query it is handed.
+# ----------------------------------------------------------------------
+
+_SHARD_SUGGESTER: XCleanSuggester | None = None
+_SHARD_METRICS: MetricsRegistry | None = None
+
+
+def _init_shard_worker(snapshot_path: str, config: XCleanConfig) -> None:
+    """Initializer of a single-shard replica process.
+
+    Maps the shard's v3 snapshot; every replica of the shard maps the
+    same file, so its bytes live once in the OS page cache no matter
+    how many replicas serve it.
+    """
+    global _SHARD_SUGGESTER, _SHARD_METRICS
+    from repro.index.snapshot import load_snapshot
+
+    _enter_worker(config)
+    _SHARD_METRICS = MetricsRegistry(buckets=config.latency_buckets)
+    _SHARD_SUGGESTER = XCleanSuggester(
+        load_snapshot(snapshot_path), config=config,
+        metrics=_SHARD_METRICS,
+    )
+
+
+def _worker_shard_partials(task: tuple[str, dict | None, int]):
+    """Answer one scatter leg: this shard's partial accumulator table.
+
+    ``task`` is ``(query, trace_ctx, shard_id)``.  Returns
+    ``(rows, stats, extras)`` where ``rows`` is the shard's full
+    partial table (``XCleanSuggester.partial_rows``), or ``None`` for
+    an unanswerable query — tokenization is global, so one shard's
+    ``QueryError`` means every shard's, and the coordinator re-raises.
+    ``extras`` carries the worker's per-query stage-timer deltas and,
+    when traced, the finished ``shard.worker`` span subtree.
+    """
+    query, trace_ctx, shard_id = task
+    assert _SHARD_SUGGESTER is not None, "shard worker not initialized"
+    faults = _active_faults()
+    if faults.enabled:
+        # ``raise`` surfaces in the coordinator as a replica failure
+        # (failover → degrade ladder); ``delay`` past worker_timeout
+        # exercises the timeout leg of the same ladder.
+        faults.hit("shard.query")
+    registry = _SHARD_METRICS
+    before = registry.stage_states() if registry is not None else {}
+    tracer = None
+    worker_span = None
+    if trace_ctx is not None:
+        tracer = Tracer()
+        tracer.begin(
+            "shard.worker",
+            trace_id=trace_ctx.get("trace_id"),
+            query=query,
+            shard=shard_id,
+            pid=os.getpid(),
+        )
+        _SHARD_SUGGESTER.bind_tracer(tracer)
+    try:
+        try:
+            rows, stats = _SHARD_SUGGESTER.partial_rows(query)
+        except QueryError:
+            return None
+    finally:
+        if tracer is not None:
+            worker_span = tracer.end()
+            _SHARD_SUGGESTER.bind_tracer(None)
+    extras: dict = {}
+    if registry is not None:
+        deltas = registry.stage_deltas(before)
+        if deltas:
+            extras["stages"] = deltas
+    if worker_span is not None:
+        extras["span"] = worker_span
+    return rows, stats, extras or None
+
+
+# ----------------------------------------------------------------------
+# The gather merge
+# ----------------------------------------------------------------------
+
+
+def merge_partial_tables(
+    tables: Sequence, k: int
+) -> tuple[list[Suggestion], int]:
+    """Fold per-shard partial tables into the exact global top-k.
+
+    Each table is a sequence of rows ``(candidate, partials,
+    error_weight, normalizer, result_type, samples)`` as produced by
+    ``XCleanSuggester.partial_rows``.  Candidates appearing on several
+    shards have their Shewchuk expansions concatenated through
+    :func:`~repro.core.pruning.add_partial`, so ``math.fsum`` over the
+    merged expansion is the correctly rounded total of every entity
+    mass regardless of which shard contributed it or in what order —
+    the resulting score is bit-identical to a single-index run.
+
+    ``error_weight``, ``normalizer`` and ``result_type`` depend only
+    on global statistics (replicated into every shard), so the first
+    occurrence wins.  The final sort uses the same ``(-score,
+    candidate)`` total order as ``AccumulatorPool.top_k`` — ties break
+    by candidate ascending — which is what makes the merged list
+    stable across shard counts.
+
+    Returns ``(top_k_suggestions, merged_candidate_count)``.
+    """
+    merged: dict[tuple[str, ...], list] = {}
+    for rows in tables:
+        for candidate, partials, weight, normalizer, rtype, _ in rows:
+            entry = merged.get(candidate)
+            if entry is None:
+                merged[candidate] = [
+                    list(partials), weight, normalizer, rtype,
+                ]
+            else:
+                acc = entry[0]
+                for value in partials:
+                    add_partial(acc, value)
+    scored = [
+        (
+            candidate,
+            (weight * math.fsum(partials) / normalizer
+             if normalizer else 0.0),
+            rtype,
+        )
+        for candidate, (partials, weight, normalizer, rtype)
+        in merged.items()
+    ]
+    scored.sort(key=lambda item: (-item[1], item[0]))
+    return (
+        [
+            Suggestion(tokens=candidate, score=score, result_type=rtype)
+            for candidate, score, rtype in scored[:k]
+        ],
+        len(merged),
+    )
+
+
+#: CleaningStats counters that sum across shards (work actually done).
+_SUMMED_FIELDS = (
+    "groups_processed",
+    "candidates_evaluated",
+    "entities_scored",
+    "postings_read",
+    "postings_skipped",
+    "accumulator_evictions",
+    "result_types_computed",
+    "result_type_cache_hits",
+    "result_type_cache_misses",
+    "variant_cache_hits",
+    "variant_cache_misses",
+    "merged_cache_hits",
+    "merged_cache_misses",
+    "intersection_cache_hits",
+    "intersection_cache_misses",
+    "kernel_pruned",
+)
+
+
+def fold_cleaning_stats(
+    per_shard: Sequence[CleaningStats],
+    trace_id: str | None = None,
+) -> CleaningStats:
+    """One query's :class:`CleaningStats` from its per-shard legs.
+
+    Work counters sum; ``keywords`` and ``space_size`` are global
+    properties (identical on every shard — the candidate space is
+    derived from the replicated global vocabulary) so the max is just
+    defensive; ``partial`` is sticky.
+    """
+    folded = CleaningStats(trace_id=trace_id)
+    for stats in per_shard:
+        folded.keywords = max(folded.keywords, stats.keywords)
+        folded.space_size = max(folded.space_size, stats.space_size)
+        for field in _SUMMED_FIELDS:
+            setattr(
+                folded, field,
+                getattr(folded, field) + getattr(stats, field),
+            )
+        if stats.partial:
+            folded.partial = True
+    return folded
+
+
+@dataclass
+class ShardedServiceStats:
+    """Cumulative coordinator counters (whole service lifetime)."""
+
+    queries_served: int = 0
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
+    unanswerable: int = 0
+    shed_queries: int = 0
+    #: Answers missing at least one shard (all replicas and the
+    #: in-process fallback failed); served flagged, never cached.
+    partial_results: int = 0
+    #: Shard legs that fell back to in-process execution.
+    degraded_queries: int = 0
+    #: Scatter legs handed to a replica pool.
+    shard_dispatches: int = 0
+    #: Legs answered by a later replica after an earlier one failed.
+    replica_failovers: int = 0
+    worker_timeouts: int = 0
+    worker_failures: int = 0
+    pool_starts: int = 0
+    #: Shard legs dropped entirely (the ``partial`` answers' cause).
+    shards_omitted: int = 0
+
+
+class _Replica:
+    """One single-worker process pool serving one shard replica.
+
+    The pool is started lazily on first dispatch and *retired*
+    (shut down without waiting, restarted on next use) when its worker
+    times out or crashes — with one process per pool, a hung worker
+    poisons the whole pool, so retirement is the recycle policy.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        replica_id: int,
+        snapshot_path: str,
+        config: XCleanConfig,
+        breaker: CircuitBreaker,
+        on_start=None,
+    ):
+        self.shard_id = shard_id
+        self.replica_id = replica_id
+        self.snapshot_path = snapshot_path
+        self.breaker = breaker
+        self.inflight = 0
+        self._config = config
+        self._on_start = on_start
+        self._lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+        #: Workers of retired pools, reaped by ``shutdown``.
+        self._orphans: list = []
+
+    def submit(self, task):
+        """Dispatch one task; pairs with :meth:`done`."""
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_init_shard_worker,
+                    initargs=(self.snapshot_path, self._config),
+                )
+                if self._on_start is not None:
+                    self._on_start()
+            pool = self._pool
+            self.inflight += 1
+        try:
+            return pool.submit(_worker_shard_partials, task)
+        except Exception:
+            with self._lock:
+                self.inflight -= 1
+            raise
+
+    def done(self) -> None:
+        with self._lock:
+            self.inflight -= 1
+
+    def retire(self) -> None:
+        """Tear the pool down without waiting; next submit restarts it."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            if pool is None:
+                return
+            processes = list(
+                (getattr(pool, "_processes", None) or {}).values()
+            )
+        pool.shutdown(wait=False, cancel_futures=True)
+        with self._lock:
+            self._orphans.extend(p for p in processes if p.is_alive())
+
+    def drain(self) -> list:
+        """Shut down; returns processes for the caller to grace-join."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            processes = list(self._orphans)
+            self._orphans = []
+        if pool is not None:
+            processes.extend(
+                (getattr(pool, "_processes", None) or {}).values()
+            )
+            pool.shutdown(wait=False, cancel_futures=True)
+        return processes
+
+
+class ShardedSuggestionService:
+    """Scatter-gather query serving over a shard manifest."""
+
+    def __init__(
+        self,
+        manifest: ShardManifest | str,
+        config: XCleanConfig | None = None,
+        replicas: int = 0,
+        routing: str = DEFAULT_ROUTING,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        workers: int | None = None,
+        worker_timeout: float | None = None,
+        metrics: MetricsRegistry | None = None,
+        max_pending: int | None = None,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
+        close_grace: float = DEFAULT_CLOSE_GRACE,
+        tracer: Tracer | None = None,
+        flight_recorder: FlightRecorder | None = None,
+        flight_record_path: str | None = None,
+        slow_threshold: float | None = None,
+        degrade_in_process: bool = True,
+    ):
+        if isinstance(manifest, str):
+            manifest = load_manifest(manifest)
+        if routing not in ROUTING_POLICIES:
+            raise ConfigurationError(
+                f"unknown routing policy {routing!r}; "
+                f"expected one of {ROUTING_POLICIES}"
+            )
+        if replicas < 0:
+            raise ConfigurationError("replicas must be >= 0")
+        if max_pending is not None and max_pending < 1:
+            raise ConfigurationError(
+                "max_pending must be >= 1 or None (unbounded)"
+            )
+        self.manifest = manifest
+        self.config = config or XCleanConfig()
+        if manifest.partition_depth > self.config.min_depth:
+            # Groups are rooted at min_depth; a coarser partition depth
+            # keeps every group (hence every entity fold) on one shard.
+            raise ConfigurationError(
+                f"manifest partition_depth {manifest.partition_depth} "
+                f"exceeds min_depth {self.config.min_depth}: subtree "
+                "groups would span shards and the merge would not be "
+                "exact"
+            )
+        self.metrics_registry = metrics or MetricsRegistry(
+            buckets=self.config.latency_buckets
+        )
+        self._installed_faults = False
+        if self.config.fault_plan is not None:
+            from repro.obs import faults
+
+            faults.install_spec(
+                self.config.fault_plan, seed=self.config.fault_seed
+            )
+            self._installed_faults = True
+        self.tracer = tracer or NULL_TRACER
+        if flight_recorder is not None:
+            self.flight_recorder: FlightRecorder | None = (
+                flight_recorder
+            )
+        elif self.tracer.enabled:
+            self.flight_recorder = FlightRecorder(
+                slow_threshold=slow_threshold
+            )
+        else:
+            self.flight_recorder = None
+        if (
+            self.flight_recorder is not None
+            and slow_threshold is not None
+        ):
+            self.flight_recorder.slow_threshold = slow_threshold
+        self.flight_record_path = flight_record_path
+        self.replicas = replicas
+        self.routing = routing
+        self.workers = workers
+        self.worker_timeout = worker_timeout
+        self.max_pending = max_pending
+        self.close_grace = close_grace
+        self.degrade_in_process = degrade_in_process
+        self.result_cache_size = result_cache_size
+        self._result_cache: OrderedDict[
+            _CacheKey, tuple[Suggestion, ...]
+        ] = OrderedDict()
+        self.stats = ShardedServiceStats()
+        self.last_stats = CleaningStats()
+        self._shard_paths = manifest.shard_paths()
+        self.shard_count = len(self._shard_paths)
+        #: Bookkeeping lock (stats, cache, admission, EWMA, routing
+        #: cursors).  Reentrant; never held across computation.
+        self._lock = threading.RLock()
+        #: Serializes in-process shard suggesters (their caches and
+        #: ``last_stats`` are not thread-safe).
+        self._compute_lock = threading.Lock()
+        self._sink_local = threading.local()
+        self._latency_ewma = 0.0
+        self._inflight = 0
+        self._generation = 0
+        self._closed = False
+        #: Lazily built in-process suggesters, one per shard — the
+        #: replicas=0 serving mode and the degrade fallback.
+        self._local: dict[int, XCleanSuggester] = {}
+        self._local_lock = threading.Lock()
+        #: Per-shard replica pools and round-robin cursors.
+        self._pools: list[list[_Replica]] = []
+        self._rr = [0] * self.shard_count
+        for shard_id, path in enumerate(self._shard_paths):
+            row = []
+            for replica_id in range(replicas):
+                breaker = CircuitBreaker(
+                    threshold=breaker_threshold,
+                    cooldown=breaker_cooldown,
+                    metrics=self.metrics_registry,
+                    on_open=self._on_breaker_open,
+                )
+                row.append(_Replica(
+                    shard_id, replica_id, path, self.config,
+                    breaker, on_start=self._note_pool_start,
+                ))
+            self._pools.append(row)
+        # Shard 0 eagerly: its corpus provides the tokenizer for cache
+        # keys and the HTTP front-end, and validates the manifest's
+        # first snapshot up front.
+        self.corpus = self._local_suggester(0).corpus
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut every replica pool down.  Idempotent.
+
+        The service stays usable in-process afterwards.  Mirrors
+        ``SuggestionService.close``: workers get ``close_grace``
+        seconds (one shared deadline) to exit, then are terminated
+        and, as a last resort, killed.
+        """
+        self._closed = True
+        processes: list = []
+        for row in self._pools:
+            for replica in row:
+                processes.extend(replica.drain())
+        processes = [p for p in processes if p.is_alive()]
+        if processes:
+            grace_ends = monotonic() + max(0.0, self.close_grace)
+            for process in processes:
+                process.join(max(0.0, grace_ends - monotonic()))
+            stragglers = [p for p in processes if p.is_alive()]
+            for process in stragglers:
+                logger.warning(
+                    "shard worker %s did not exit within %.1fs; "
+                    "terminating", process.pid, self.close_grace,
+                )
+                process.terminate()
+            for process in stragglers:
+                process.join(1.0)
+                if process.is_alive():  # pragma: no cover
+                    process.kill()
+                    process.join(1.0)
+        if self._installed_faults:
+            from repro.obs import faults
+
+            faults.uninstall()
+            self._installed_faults = False
+
+    def __enter__(self) -> "ShardedSuggestionService":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def metrics(self) -> MetricsSnapshot:
+        """Metrics snapshot; includes per-shard stage-timer labels.
+
+        Replica workers ship per-query stage deltas back with every
+        answer; the coordinator merges them into the global stage
+        timers *and* re-records each stage total under
+        ``shard_stage_seconds_total{shard=..., stage=...}`` so hot
+        shards are visible per stage.
+        """
+        return self.metrics_registry.snapshot()
+
+    def bump_generation(self) -> None:
+        """Invalidate every cached answer (snapshot set replaced)."""
+        with self._lock:
+            self._generation += 1
+
+    # ------------------------------------------------------------------
+    # Tracing & the flight recorder (mirrors SuggestionService)
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _traced_request(self, name: str, query: str,
+                        **attributes) -> Iterator[None]:
+        tracer = self.tracer
+        if not tracer.enabled:
+            yield
+            return
+        owns = tracer.current() is None
+        if not owns:
+            with tracer.span(name, query=query, **attributes):
+                yield
+            return
+        stats = self.stats
+        partial0 = stats.partial_results
+        degraded0 = stats.degraded_queries
+        faults = _active_faults()
+        fired0 = sum(faults.fired().values()) if faults.enabled else 0
+        tracer.begin(name, query=query, **attributes)
+        error: str | None = None
+        try:
+            yield
+        except BaseException as exc:
+            error = type(exc).__name__
+            tracer.annotate(error=error)
+            raise
+        finally:
+            root = tracer.end()
+            recorder = self.flight_recorder
+            if root is not None and recorder is not None:
+                fired = (
+                    sum(faults.fired().values())
+                    if faults.enabled else 0
+                )
+                recorder.record(FlightEntry(
+                    root,
+                    query=query,
+                    latency_s=root.duration,
+                    partial=stats.partial_results > partial0,
+                    degraded=stats.degraded_queries > degraded0,
+                    faulted=fired > fired0,
+                    error=error,
+                ))
+
+    @property
+    def _stats_sink(self) -> list[CleaningStats] | None:
+        return getattr(self._sink_local, "sink", None)
+
+    @_stats_sink.setter
+    def _stats_sink(self, value: list[CleaningStats] | None) -> None:
+        self._sink_local.sink = value
+
+    def _note_stats(self, stats: CleaningStats) -> None:
+        with self._lock:
+            self.last_stats = stats
+        sink = self._stats_sink
+        if sink is not None:
+            sink.append(stats)
+
+    def _note_unanswerable(self) -> None:
+        sink = self._stats_sink
+        if sink is not None:
+            sink.append(CleaningStats())
+
+    def _note_pool_start(self) -> None:
+        with self._lock:
+            self.stats.pool_starts += 1
+        if self.metrics_registry.enabled:
+            self.metrics_registry.inc("pool_starts_total")
+
+    def dump_flight_record(
+        self, path: str | None = None, reason: str = "on_demand"
+    ) -> str:
+        recorder = self.flight_recorder
+        if recorder is None:
+            raise ConfigurationError(
+                "no flight recorder attached — construct the service "
+                "with a live tracer or an explicit flight_recorder"
+            )
+        destination = path or self.flight_record_path
+        if destination is None:
+            return recorder.dump_jsonl(reason)
+        return recorder.dump_to(destination, reason)
+
+    def _on_breaker_open(self) -> None:
+        recorder = self.flight_recorder
+        if recorder is None:
+            return
+        if self.metrics_registry.enabled:
+            self.metrics_registry.inc(
+                "flight_dumps_total", reason="breaker_open"
+            )
+        path = self.flight_record_path
+        if path is None:
+            logger.warning(
+                "flight record (breaker_open): %d traces retained in "
+                "memory", len(recorder),
+            )
+            return
+        try:
+            recorder.dump_to(path, "breaker_open")
+        except OSError as error:  # pragma: no cover - disk trouble
+            logger.warning(
+                "flight record dump to %s failed: %s", path, error
+            )
+
+    # ------------------------------------------------------------------
+    # Result cache & admission control (mirrors SuggestionService)
+    # ------------------------------------------------------------------
+
+    def _cache_key(self, query: str, k: int) -> _CacheKey:
+        return (
+            (self.manifest.crc, self._generation),
+            tuple(self.corpus.tokenizer.tokenize(query)),
+            k,
+        )
+
+    def _cache_put(
+        self, key: _CacheKey, suggestions: Sequence[Suggestion]
+    ) -> None:
+        with self._lock:
+            cache = self._result_cache
+            cache[key] = tuple(suggestions)
+            while len(cache) > self.result_cache_size:
+                cache.popitem(last=False)
+
+    def retry_after_hint(self) -> float:
+        with self._lock:
+            return max(DEFAULT_RETRY_AFTER, self._latency_ewma)
+
+    def _observe_latency(self, seconds: float) -> None:
+        with self._lock:
+            if self._latency_ewma == 0.0:
+                self._latency_ewma = seconds
+            else:
+                self._latency_ewma += _LATENCY_EWMA_ALPHA * (
+                    seconds - self._latency_ewma
+                )
+
+    def admit(self, cost: int = 1) -> None:
+        with self._lock:
+            limit = self.max_pending
+            if limit is not None and self._inflight + cost > limit:
+                self.stats.shed_queries += cost
+                if self.metrics_registry.enabled:
+                    self.metrics_registry.inc(
+                        "shed_queries_total", cost
+                    )
+                raise Overloaded(
+                    f"admission queue full ({self._inflight} in "
+                    f"flight + {cost} requested > limit {limit})",
+                    retry_after=max(
+                        DEFAULT_RETRY_AFTER, self._latency_ewma
+                    ),
+                )
+            self._inflight += cost
+
+    def release(self, cost: int = 1) -> None:
+        with self._lock:
+            self._inflight -= cost
+
+    # ------------------------------------------------------------------
+    # Single-query path
+    # ------------------------------------------------------------------
+
+    def suggest(self, query: str, k: int = 10) -> list[Suggestion]:
+        """Exact global top-k, byte-identical to a single-index run.
+
+        Raises:
+            QueryError: when the query has no usable keywords.
+            Overloaded: when admission control is over ``max_pending``.
+        """
+        return self.suggest_detailed(query, k)[0]
+
+    def suggest_detailed(
+        self, query: str, k: int = 10, *, pre_admitted: bool = False
+    ) -> tuple[list[Suggestion], CleaningStats]:
+        """:meth:`suggest` plus this call's own :class:`CleaningStats`."""
+        with self._traced_request(
+            "request", query, shards=self.shard_count
+        ):
+            if not pre_admitted:
+                self.admit(1)
+            try:
+                return self._suggest_one_detailed(query, k)
+            finally:
+                if not pre_admitted:
+                    self.release(1)
+
+    def _suggest_one_detailed(
+        self, query: str, k: int, traced: bool = True
+    ) -> tuple[list[Suggestion], CleaningStats]:
+        metrics = self.metrics_registry
+        began = perf_counter()
+        key = self._cache_key(query, k)
+        with self._lock:
+            self.stats.queries_served += 1
+            if metrics.enabled:
+                metrics.inc("queries_total")
+            cached = self._result_cache.get(key)
+            if cached is not None:
+                self._result_cache.move_to_end(key)
+                self.stats.result_cache_hits += 1
+                stats = CleaningStats(
+                    result_cache_hits=1,
+                    trace_id=self.tracer.trace_id,
+                )
+                self._note_stats(stats)
+                if metrics.enabled:
+                    metrics.inc("result_cache_hits_total")
+                    metrics.observe(
+                        "request_seconds", perf_counter() - began
+                    )
+                return list(cached), stats
+        suggestions, stats = self._compute(query, k, traced=traced)
+        with self._lock:
+            self.stats.result_cache_misses += 1
+            stats.result_cache_misses += 1
+            self._note_stats(stats)
+            if stats.partial:
+                # A shard was omitted: serve the best-effort answer
+                # but never cache it — a transient replica outage must
+                # not become a permanently incomplete top-k.
+                self.stats.partial_results += 1
+                if metrics.enabled:
+                    metrics.inc("partial_results_total")
+            else:
+                self._cache_put(key, suggestions)
+            elapsed = perf_counter() - began
+            self._observe_latency(elapsed)
+            if metrics.enabled:
+                metrics.inc("result_cache_misses_total")
+                metrics.observe("request_seconds", elapsed)
+        return list(suggestions), stats
+
+    # ------------------------------------------------------------------
+    # Scatter / gather
+    # ------------------------------------------------------------------
+
+    def _compute(
+        self, query: str, k: int, traced: bool = True
+    ) -> tuple[list[Suggestion], CleaningStats]:
+        """One full scatter-gather pass (no caching, no admission).
+
+        ``traced=False`` (the threaded batch path) suppresses all
+        coordinator-side span work: the live :class:`Tracer` keeps a
+        single span stack and is not safe to drive from the batch's
+        worker threads.
+        """
+        tracer = self.tracer if traced else NULL_TRACER
+        trace_ctx = (
+            {"trace_id": tracer.trace_id} if tracer.enabled else None
+        )
+        with tracer.span("scatter", shards=self.shard_count):
+            if self.replicas > 0 and not self._closed:
+                legs = self._scatter_pooled(query, trace_ctx, tracer)
+            else:
+                legs = [
+                    self._query_shard_local(sid, query, tracer)
+                    for sid in range(self.shard_count)
+                ]
+        if any(kind == "unanswerable" for kind, _, _ in legs):
+            raise QueryError(
+                f"query {query!r} has no usable keywords"
+            )
+        tables = [rows for kind, rows, _ in legs if kind == "ok"]
+        omitted = sum(1 for kind, _, _ in legs if kind == "omitted")
+        if not tables:
+            raise StorageError(
+                f"all {self.shard_count} shards failed; no answer "
+                "possible"
+            )
+        with tracer.span("gather", tables=len(tables)):
+            suggestions, merged = merge_partial_tables(tables, k)
+        stats = fold_cleaning_stats(
+            [leg_stats for kind, _, leg_stats in legs
+             if kind == "ok"],
+            trace_id=tracer.trace_id,
+        )
+        stats.extra = dict(
+            stats.extra or {},
+            shards=self.shard_count,
+            shards_omitted=omitted,
+            merged_candidates=merged,
+        )
+        if omitted:
+            stats.partial = True
+        return suggestions, stats
+
+    def _scatter_pooled(
+        self, query: str, trace_ctx: dict | None, tracer
+    ) -> list:
+        """Fan one query to every shard's replicas; gather in order.
+
+        Phase 1 dispatches one leg per shard so the shards overlap;
+        phase 2 gathers each leg, walking that shard's failover ladder
+        (next replica → in-process → omit) serially — failover is the
+        cold path.
+        """
+        metrics = self.metrics_registry
+        orders = [
+            self._replica_order(sid)
+            for sid in range(self.shard_count)
+        ]
+        primaries: list[tuple | None] = []
+        for sid, order in enumerate(orders):
+            primary = None
+            for replica in list(order):
+                if not replica.breaker.allow():
+                    continue
+                order.remove(replica)
+                primary = self._dispatch(
+                    replica, (query, trace_ctx, sid), metrics
+                )
+                break
+            primaries.append(primary)
+        return [
+            self._gather_shard(
+                sid, query, trace_ctx, orders[sid], primaries[sid],
+                tracer,
+            )
+            for sid in range(self.shard_count)
+        ]
+
+    def _dispatch(
+        self, replica: _Replica, task, metrics
+    ) -> tuple | None:
+        """Submit one leg; returns (replica, future, wall, perf)."""
+        wall, perf = time.time(), perf_counter()
+        try:
+            future = replica.submit(task)
+        except Exception:
+            self._replica_failed(replica, "worker_failures")
+            return None
+        with self._lock:
+            self.stats.shard_dispatches += 1
+        if metrics.enabled:
+            metrics.inc(
+                "shard_dispatches_total",
+                shard=str(replica.shard_id),
+            )
+        return replica, future, wall, perf
+
+    def _replica_failed(self, replica: _Replica, counter: str) -> None:
+        with self._lock:
+            setattr(
+                self.stats, counter,
+                getattr(self.stats, counter) + 1,
+            )
+        if self.metrics_registry.enabled:
+            self.metrics_registry.inc(f"{counter}_total")
+        replica.breaker.record_failure()
+        # One process per pool: a failed or hung worker poisons it, so
+        # retire the pool and re-fork lazily on the next dispatch.
+        replica.retire()
+
+    def _gather_shard(
+        self,
+        sid: int,
+        query: str,
+        trace_ctx: dict | None,
+        order: list,
+        primary: tuple | None,
+        tracer,
+    ) -> tuple:
+        """One shard's answer: replica ladder → in-process → omitted."""
+        metrics = self.metrics_registry
+        task = (query, trace_ctx, sid)
+        attempts = 0
+        pending = primary
+        while True:
+            if pending is None:
+                replica = None
+                while order:
+                    head = order.pop(0)
+                    if head.breaker.allow():
+                        replica = head
+                        break
+                if replica is None:
+                    break
+                pending = self._dispatch(replica, task, metrics)
+                if pending is None:
+                    continue
+            replica, future, wall, perf = pending
+            pending = None
+            attempts += 1
+            try:
+                answer = future.result(self.worker_timeout)
+            except (TimeoutError, _FuturesTimeout):
+                future.cancel()
+                replica.done()
+                self._replica_failed(replica, "worker_timeouts")
+                continue
+            except Exception:
+                replica.done()
+                self._replica_failed(replica, "worker_failures")
+                continue
+            replica.done()
+            replica.breaker.record_success()
+            if attempts > 1:
+                with self._lock:
+                    self.stats.replica_failovers += attempts - 1
+                if metrics.enabled:
+                    metrics.inc(
+                        "replica_failovers_total", attempts - 1,
+                        shard=str(sid),
+                    )
+            if answer is None:
+                return ("unanswerable", None, None)
+            rows, stats, extras = answer
+            self._absorb_extras(
+                sid, replica.replica_id, query, extras, wall, perf,
+                tracer,
+            )
+            return ("ok", rows, stats)
+        # Every replica refused or failed.
+        if self.degrade_in_process:
+            with self._lock:
+                self.stats.degraded_queries += 1
+            if metrics.enabled:
+                metrics.inc("degraded_queries_total")
+            try:
+                return self._query_shard_local(sid, query, tracer)
+            except StorageError as error:
+                logger.warning(
+                    "in-process fallback for shard %d failed: %s",
+                    sid, error,
+                )
+        with self._lock:
+            self.stats.shards_omitted += 1
+        if metrics.enabled:
+            metrics.inc("shards_omitted_total", shard=str(sid))
+        logger.warning(
+            "shard %d omitted from %r: every replica failed",
+            sid, query,
+        )
+        return ("omitted", None, None)
+
+    def _query_shard_local(
+        self, sid: int, query: str, tracer
+    ) -> tuple:
+        """One shard leg computed in-process (serial mode / fallback).
+
+        The local suggester shares :attr:`metrics_registry`, so its
+        stage timers land in the global histograms directly; only the
+        per-shard labeled totals are recorded from the deltas here
+        (merging them back would double-count).
+        """
+        suggester = self._local_suggester(sid)
+        metrics = self.metrics_registry
+        with self._compute_lock:
+            before = (
+                metrics.stage_states() if metrics.enabled else {}
+            )
+            bound = tracer.enabled and tracer is self.tracer
+            if bound:
+                suggester.bind_tracer(tracer)
+            try:
+                with tracer.span("shard.local", shard=sid):
+                    try:
+                        rows, stats = suggester.partial_rows(query)
+                    except QueryError:
+                        return ("unanswerable", None, None)
+            finally:
+                if bound:
+                    suggester.bind_tracer(None)
+            if metrics.enabled:
+                self._label_stage_deltas(
+                    sid, metrics.stage_deltas(before)
+                )
+        return ("ok", rows, stats)
+
+    def _local_suggester(self, sid: int) -> XCleanSuggester:
+        with self._local_lock:
+            suggester = self._local.get(sid)
+            if suggester is None:
+                from repro.index.snapshot import load_snapshot
+
+                suggester = XCleanSuggester(
+                    load_snapshot(
+                        self._shard_paths[sid],
+                        metrics=self.metrics_registry,
+                    ),
+                    config=self.config,
+                    metrics=self.metrics_registry,
+                )
+                self._local[sid] = suggester
+            return suggester
+
+    def _label_stage_deltas(self, sid: int, deltas: dict) -> None:
+        """Record per-shard stage totals under a labeled counter."""
+        metrics = self.metrics_registry
+        for stage, (_tallies, total, _count) in deltas.items():
+            metrics.inc(
+                "shard_stage_seconds_total", total,
+                shard=str(sid), stage=stage,
+            )
+
+    def _absorb_extras(
+        self,
+        sid: int,
+        replica_id: int,
+        query: str,
+        extras: dict | None,
+        submitted_wall: float,
+        submitted_perf: float,
+        tracer,
+    ) -> None:
+        """Fold a replica worker's extras into the coordinator.
+
+        Stage deltas merge into the global timers and re-record as
+        per-shard labeled totals; a returned span subtree is stitched
+        under a ``shard.task`` span covering submit → result, so the
+        scatter legs appear as siblings in one trace tree.
+        """
+        if not extras:
+            return
+        stages = extras.get("stages")
+        if stages:
+            self.metrics_registry.merge_stage_deltas(stages)
+            self._label_stage_deltas(sid, stages)
+        worker_span = extras.get("span")
+        if worker_span is not None and tracer.enabled:
+            elapsed = perf_counter() - submitted_perf
+            task_span = Span(
+                "shard.task",
+                start=submitted_wall,
+                duration=max(elapsed, worker_span.duration),
+                attributes={
+                    "query": query,
+                    "shard": sid,
+                    "replica": replica_id,
+                },
+            )
+            task_span.children.append(worker_span)
+            tracer.attach(task_span)
+
+    def _replica_order(self, sid: int) -> list:
+        """Replica preference order for one leg, per routing policy."""
+        row = self._pools[sid]
+        if not row:
+            return []
+        if self.routing == "least-loaded":
+            return sorted(
+                row, key=lambda r: (r.inflight, r.replica_id)
+            )
+        with self._lock:
+            start = self._rr[sid]
+            self._rr[sid] = (start + 1) % len(row)
+        return row[start:] + row[:start]
+
+    # ------------------------------------------------------------------
+    # Batch path
+    # ------------------------------------------------------------------
+
+    def suggest_batch(
+        self,
+        queries: Sequence[str],
+        k: int = 10,
+        workers: int | None = None,
+    ) -> list[list[Suggestion]]:
+        """Answer every query; order and length match ``queries``.
+
+        Unusable queries yield empty lists instead of raising.  With
+        replica pools attached, unique cache misses are computed by
+        ``workers`` coordinator threads (default ``replicas + 1``),
+        each scattering to the shard pools — so distinct queries
+        overlap on distinct replicas.
+
+        Raises:
+            Overloaded: when the whole batch does not fit under
+                ``max_pending`` (all-or-nothing, before any work).
+        """
+        metrics = self.metrics_registry
+        if metrics.enabled:
+            metrics.inc("batches_total")
+        tracer = self.tracer
+        with self._traced_request(
+            "batch", f"<batch of {len(queries)}>",
+            queries=len(queries), shards=self.shard_count,
+        ):
+            self.admit(len(queries))
+            try:
+                if workers is None:
+                    workers = self.workers
+                if workers is None and self.replicas > 0:
+                    workers = self.replicas + 1
+                if (
+                    workers is not None and workers > 1
+                    and self.replicas > 0 and not self._closed
+                ):
+                    return self._suggest_batch_threaded(
+                        queries, k, workers
+                    )
+                out: list[list[Suggestion]] = []
+                for query in queries:
+                    try:
+                        if tracer.enabled:
+                            with tracer.span("query", query=query):
+                                answer, _ = (
+                                    self._suggest_one_detailed(
+                                        query, k
+                                    )
+                                )
+                        else:
+                            answer, _ = self._suggest_one_detailed(
+                                query, k
+                            )
+                        out.append(answer)
+                    except QueryError:
+                        with self._lock:
+                            self.stats.unanswerable += 1
+                        self._note_unanswerable()
+                        if metrics.enabled:
+                            metrics.inc("unanswerable_total")
+                        out.append([])
+                return out
+            finally:
+                self.release(len(queries))
+
+    def suggest_batch_detailed(
+        self,
+        queries: Sequence[str],
+        k: int = 10,
+        workers: int | None = None,
+    ) -> list[tuple[list[Suggestion], CleaningStats]]:
+        """:meth:`suggest_batch` plus one ``CleaningStats`` per query."""
+        sink: list[CleaningStats] = []
+        previous = self._stats_sink
+        self._stats_sink = sink
+        try:
+            answers = self.suggest_batch(queries, k, workers)
+        finally:
+            self._stats_sink = previous
+        if len(sink) != len(answers):  # pragma: no cover - invariant
+            raise AssertionError(
+                f"stats sink out of step: {len(sink)} stats for "
+                f"{len(answers)} answers"
+            )
+        return list(zip(answers, sink))
+
+    def _suggest_batch_threaded(
+        self, queries: Sequence[str], k: int, workers: int
+    ) -> list[list[Suggestion]]:
+        """Unique cache misses on coordinator threads, then serve.
+
+        Accounting mirrors ``SuggestionService._suggest_batch_parallel``:
+        computation happens first (untraced — the live tracer is not
+        thread-safe), then every occurrence is served through the
+        cache under the lock on the calling thread, keeping the
+        per-query ``last_stats``/sink contract single-threaded.
+        """
+        metrics = self.metrics_registry
+        keys = [self._cache_key(query, k) for query in queries]
+        cache = self._result_cache
+        # Unique cache misses, first-occurrence order.  Keys with no
+        # usable tokens are unanswerable by construction and never
+        # reach a scatter.
+        pending: dict[_CacheKey, str] = {}
+        with self._lock:
+            for key, query in zip(keys, queries):
+                if (
+                    key not in cache and key not in pending
+                    and key[1]
+                ):
+                    pending[key] = query
+        fresh: dict[
+            _CacheKey,
+            tuple[tuple[Suggestion, ...], CleaningStats],
+        ] = {}
+        if pending:
+            width = min(workers, len(pending))
+
+            def compute(item):
+                key, query = item
+                try:
+                    return key, self._compute(
+                        query, k, traced=False
+                    )
+                except QueryError:
+                    return key, None
+                except StorageError:
+                    return key, None
+
+            with ThreadPoolExecutor(max_workers=width) as executor:
+                for key, answer in executor.map(
+                    compute, list(pending.items())
+                ):
+                    if answer is None:
+                        continue
+                    suggestions, stats = answer
+                    fresh[key] = (tuple(suggestions), stats)
+                    if not stats.partial:
+                        self._cache_put(key, fresh[key][0])
+        out: list[list[Suggestion]] = []
+        with self._lock:
+            computed = {key for key in fresh if key in cache}
+            for key in keys:
+                self.stats.queries_served += 1
+                if metrics.enabled:
+                    metrics.inc("queries_total")
+                cached = cache.get(key)
+                if cached is not None:
+                    cache.move_to_end(key)
+                    if key in computed:
+                        # First service of a freshly computed answer
+                        # is a miss; later duplicates hit the cache.
+                        computed.discard(key)
+                        self.stats.result_cache_misses += 1
+                        stats = fresh[key][1]
+                        stats.result_cache_misses += 1
+                        self._note_stats(stats)
+                        if metrics.enabled:
+                            metrics.inc("result_cache_misses_total")
+                    else:
+                        self.stats.result_cache_hits += 1
+                        self._note_stats(CleaningStats(
+                            result_cache_hits=1,
+                            trace_id=self.tracer.trace_id,
+                        ))
+                        if metrics.enabled:
+                            metrics.inc("result_cache_hits_total")
+                    out.append(list(cached))
+                    continue
+                entry = fresh.get(key)
+                if entry is not None:
+                    # Partial (shard-omitted) answer: served on every
+                    # occurrence as an uncached miss so a retry can
+                    # still get (and cache) the exact top-k.
+                    suggestions, stats = entry
+                    self.stats.result_cache_misses += 1
+                    self.stats.partial_results += 1
+                    self._note_stats(stats)
+                    if metrics.enabled:
+                        metrics.inc("result_cache_misses_total")
+                        metrics.inc("partial_results_total")
+                    out.append(list(suggestions))
+                    continue
+                # Empty token tuple or a failed/unanswerable scatter:
+                # unanswerable, never cached.
+                self.stats.unanswerable += 1
+                self._note_unanswerable()
+                if metrics.enabled:
+                    metrics.inc("unanswerable_total")
+                out.append([])
+        return out

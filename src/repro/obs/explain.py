@@ -21,10 +21,11 @@ nothing else.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-from repro.core.pruning import hoeffding_confidence
+from repro.core.pruning import add_partial, hoeffding_confidence
 
 #: ε at which eviction notes report their Hoeffding confidence.
 EXPLAIN_EPSILON = 0.05
@@ -545,10 +546,11 @@ def build_explanation(
     """Fold a finished run's record into an :class:`Explanation`.
 
     ``reconstructed_score`` re-derives each candidate's score purely
-    from the recorded factors: the epoch's group masses are summed in
-    arrival order (exactly how ``Accumulator.mass`` accumulated) and
-    scaled by the recorded error weight and normalizer — the same
-    float operations the engine performed, hence bit-identical.
+    from the recorded factors: the epoch's group masses are folded
+    through the same exact-summation expansion ``Accumulator.mass``
+    uses (``add_partial`` + ``fsum``) and scaled by the recorded error
+    weight and normalizer — the same float operations the engine
+    performed, hence bit-identical.
     """
     stats = suggester.last_stats
     space = recorder.space
@@ -562,9 +564,10 @@ def build_explanation(
         evictions = rejections = 0
         if record is not None:
             groups = tuple(record.epochs[-1])
-            mass = 0.0
+            partials: list[float] = []
             for group in groups:
-                mass += group.mass
+                add_partial(partials, group.mass)
+            mass = math.fsum(partials)
             error_weight = record.error_weight
             normalizer = record.normalizer
             reconstructed = (

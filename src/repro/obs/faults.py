@@ -68,6 +68,7 @@ SITES = (
     "worker.query",
     "merge.step",
     "variant.gen",
+    "shard.query",
 )
 
 #: Sites that receive a file path and therefore support ``corrupt``.

@@ -150,3 +150,65 @@ class TestTopK:
         pool = AccumulatorPool(None)
         pool.add(("a",), 1.0, 1.0, 0, 0)
         assert pool.final_scores()[("a",)] == 0.0
+
+
+class TestShewchukPartials:
+    """The expansion arithmetic behind the scatter-gather merge."""
+
+    def _values(self):
+        import random
+
+        rng = random.Random(417)
+        return [
+            rng.uniform(0.0, 1.0) * 10.0 ** rng.randint(-14, 2)
+            for _ in range(200)
+        ]
+
+    def test_expansion_fsum_is_correctly_rounded(self):
+        import math
+
+        from repro.core.pruning import add_partial
+
+        values = self._values()
+        partials: list[float] = []
+        for value in values:
+            add_partial(partials, value)
+        assert math.fsum(partials) == math.fsum(values)
+
+    def test_fold_order_independence(self):
+        import math
+
+        from repro.core.pruning import add_partial
+
+        values = self._values()
+        forward: list[float] = []
+        for value in values:
+            add_partial(forward, value)
+        backward: list[float] = []
+        for value in reversed(values):
+            add_partial(backward, value)
+        assert math.fsum(forward) == math.fsum(backward)
+
+    def test_split_expansions_concatenate_exactly(self):
+        """Per-shard expansions merged via extend_mass match one pool.
+
+        This is the exactness argument of the sharded gather: entity
+        masses folded on separate shards, then concatenated, give the
+        bit-identical total of a single-index fold.
+        """
+        import math
+
+        from repro.core.pruning import Accumulator, add_partial
+
+        values = self._values()
+        whole: list[float] = []
+        for value in values:
+            add_partial(whole, value)
+        left = Accumulator(values[0], 1.0, 4.0, 0)
+        right = Accumulator(values[97], 1.0, 4.0, 0)
+        for value in values[1:97]:
+            left.add_mass(value)
+        for value in values[98:]:
+            right.add_mass(value)
+        left.extend_mass(right.partials)
+        assert left.mass == math.fsum(whole)

@@ -113,6 +113,22 @@ class TestResultCache:
         with pytest.raises(QueryError):
             service.suggest("!!", 5)
 
+    def test_cache_keyed_on_index_generation(self):
+        # Entries are keyed on (index identity, generation): bumping
+        # the corpus generation must invalidate every cached answer.
+        service = SuggestionService(
+            build_corpus_index(XMLDocument(paper_example_tree())),
+            config=XCleanConfig(max_errors=1),
+        )
+        first = service.suggest("tree icdt", 5)
+        service.suggest("tree icdt", 5)
+        assert service.stats.result_cache_hits == 1
+        service.corpus.bump_generation()
+        again = service.suggest("tree icdt", 5)
+        assert service.stats.result_cache_hits == 1
+        assert service.stats.result_cache_misses == 2
+        assert [s.tokens for s in first] == [s.tokens for s in again]
+
 
 class TestBatch:
     def test_batch_matches_singles(self, corpus):

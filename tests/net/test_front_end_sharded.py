@@ -1,0 +1,134 @@
+"""The HTTP front-end mounted on a ShardedSuggestionService.
+
+The front-end only touches the shared service surface (``admit`` /
+``suggest_detailed`` / ``release`` / ``stats`` / ``corpus``), so a
+shard coordinator must serve byte-identical responses to a
+single-index service behind the same routes.
+"""
+
+import asyncio
+import contextlib
+import http.client
+import json
+
+import pytest
+
+from repro.core.config import XCleanConfig
+from repro.core.server import SuggestionService
+from repro.core.shards import ShardedSuggestionService
+from repro.index.corpus import build_corpus_index
+from repro.index.sharding import build_sharded_snapshot
+from repro.net.server import HTTPFrontEnd, ServeConfig
+from repro.xmltree.builder import paper_example_tree
+from repro.xmltree.document import XMLDocument
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus_index(XMLDocument(paper_example_tree()))
+
+
+@pytest.fixture(scope="module")
+def manifest(corpus, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("fe-shards")
+    return build_sharded_snapshot(corpus, str(directory), 2)
+
+
+@contextlib.asynccontextmanager
+async def front_end(service, **config):
+    config.setdefault("port", 0)
+    config.setdefault("drain_grace", 5.0)
+    fe = HTTPFrontEnd(service, ServeConfig(**config))
+    await fe.start()
+    runner = asyncio.ensure_future(fe.run())
+    try:
+        yield fe
+    finally:
+        fe.initiate_drain()
+        await runner
+
+
+def get(port: int, target: str):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", target)
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+def serve_one(service, target: str):
+    async def main():
+        with service:
+            async with front_end(service) as fe:
+                return await asyncio.to_thread(get, fe.port, target)
+
+    return asyncio.run(main())
+
+
+class TestShardedFrontEnd:
+    def test_suggest_happy_path(self, manifest):
+        service = ShardedSuggestionService(
+            manifest, config=XCleanConfig(max_errors=1)
+        )
+        status, headers, body = serve_one(
+            service, "/suggest?q=tree+icdt&k=3"
+        )
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["query"] == "tree icdt"
+        assert payload["partial"] is False
+        assert payload["suggestions"]
+
+    def test_body_matches_single_index_front_end(
+        self, corpus, manifest
+    ):
+        target = "/suggest?q=tree+icdt&k=5"
+        single = serve_one(
+            SuggestionService(
+                corpus, config=XCleanConfig(max_errors=1)
+            ),
+            target,
+        )
+        sharded = serve_one(
+            ShardedSuggestionService(
+                manifest, config=XCleanConfig(max_errors=1)
+            ),
+            target,
+        )
+        assert single[0] == sharded[0] == 200
+        assert single[2] == sharded[2]  # byte-identical payload
+
+    def test_stats_endpoint_exposes_shard_counters(self, manifest):
+        service = ShardedSuggestionService(
+            manifest, config=XCleanConfig(max_errors=1)
+        )
+
+        async def main():
+            with service:
+                async with front_end(service) as fe:
+                    port = fe.port
+                    await asyncio.to_thread(
+                        get, port, "/suggest?q=tree+icdt"
+                    )
+                    return await asyncio.gather(
+                        asyncio.to_thread(get, port, "/stats"),
+                        asyncio.to_thread(get, port, "/metrics"),
+                    )
+
+        stats, prom = asyncio.run(main())
+        assert stats[0] == 200
+        payload = json.loads(stats[2])
+        assert payload["service"]["queries_served"] == 1
+        assert payload["service"]["shard_dispatches"] == 0
+        assert payload["service"]["shards_omitted"] == 0
+        assert b"shard_stage_seconds_total" in prom[2]
+
+    def test_unanswerable_is_client_error(self, manifest):
+        service = ShardedSuggestionService(
+            manifest, config=XCleanConfig(max_errors=1)
+        )
+        status, _, body = serve_one(service, "/suggest?q=%21%21")
+        assert status == 400
+        assert "error" in json.loads(body)
