@@ -1,0 +1,270 @@
+"""Live-update benchmark — ack latency, compaction, swap downtime.
+
+Measures, on the synthetic DBLP dataset:
+
+* **update-visibility latency** — wall time of
+  ``SuggestionService.apply_updates`` for a single subtree add (the
+  WAL fsync + delta fold + overlay install), and the cost of the very
+  next query proving the new content is both findable and
+  *misspellable*;
+* **compaction wall time** — folding the acknowledged updates into a
+  fresh snapshot generation (a full rebuild through the atomic
+  writer) while queries keep being served from the overlay;
+* **swap downtime** — a concurrent query stream runs across an
+  update → compact → snapshot-swap storm; every request must complete
+  (zero errors, zero drops) and every answer must equal one of the
+  two legal generations' answers (no mixed-generation results).
+
+Shapes asserted: every update is query-visible within one request;
+acknowledging an update is cheaper than a compaction (the reason the
+WAL + delta overlay exists — rebuilding per update would cost the
+compaction price every time); the racing stream completes with zero
+errors and zero mixed-generation answers.
+
+Results are emitted as text (``out/update.txt``) and JSON
+(``out/BENCH_update.json``).
+"""
+
+import dataclasses
+import json
+import string
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from _common import OUT_DIR, bench_scale, emit
+
+from repro.core.config import XCleanConfig
+from repro.core.server import SuggestionService
+from repro.eval.experiments import dblp_setting
+from repro.eval.reporting import format_table, shape_check
+from repro.index.snapshot import build_snapshot, load_snapshot
+from repro.index.wal import WalRecord
+from repro.xmltree.node import XMLNode
+
+#: Updates applied one by one (each timed as its own ack).
+UPDATE_COUNTS = {"default": 12, "small": 4}
+
+#: Concurrent readers racing the generation swap.
+STREAM_THREADS = 3
+
+
+def unique_token(i: int) -> str:
+    a, b = divmod(i, len(string.ascii_lowercase))
+    return "zanzibar" + string.ascii_lowercase[a] + string.ascii_lowercase[b]
+
+
+def misspell(token: str) -> str:
+    # One substitution: zanzibar.. -> zanziber..
+    return token.replace("zanzibar", "zanziber", 1)
+
+
+def book_record(token: str) -> WalRecord:
+    from repro.index.delta import node_to_json
+
+    node = XMLNode("book")
+    title = XMLNode("title", text=f"{token} consistency")
+    author = XMLNode("author", text="spanner")
+    node.add_child(title)
+    node.add_child(author)
+    return WalRecord(op="add", dewey=(1,), subtree=node_to_json(node))
+
+
+def answers(suggestions):
+    return tuple(dataclasses.astuple(s) for s in suggestions)
+
+
+def bench_ack_latency(service, count):
+    """Apply ``count`` single-record updates, timing each ack."""
+    clock = time.perf_counter
+    acks, visibility, all_visible = [], [], True
+    for i in range(count):
+        token = unique_token(i)
+        began = clock()
+        service.apply_updates([book_record(token)])
+        acks.append(clock() - began)
+        began = clock()
+        found = service.suggest(misspell(token), 5)
+        visibility.append(clock() - began)
+        if not (found and token in found[0].tokens[0]):
+            all_visible = False
+    acks.sort()
+    return {
+        "updates": count,
+        "ack_mean_ms": 1e3 * sum(acks) / len(acks),
+        "ack_p50_ms": 1e3 * acks[len(acks) // 2],
+        "ack_max_ms": 1e3 * acks[-1],
+        "first_query_mean_ms": 1e3 * sum(visibility) / len(visibility),
+        "all_visible_within_one_request": all_visible,
+    }
+
+
+def bench_compaction(service):
+    clock = time.perf_counter
+    pending = len(service.live.delta.records)
+    began = clock()
+    generation = service.compact()
+    wall = clock() - began
+    return {
+        "records_folded": pending,
+        "generation": generation,
+        "wall_s": wall,
+        "serving_generation": service.data_generation,
+    }
+
+
+def bench_swap_stream(service, count):
+    """Readers race one more update → compact → swap storm."""
+    token = unique_token(count)
+    query = misspell(token)
+    legal = {answers(service.suggest(query, 5))}
+    stop = threading.Event()
+    errors: list = []
+    observed: list = []
+
+    def hammer():
+        while not stop.is_set():
+            try:
+                observed.append(answers(service.suggest(query, 5)))
+            except Exception as exc:  # noqa: BLE001 - recorded below
+                errors.append(repr(exc))
+                return
+
+    threads = [
+        threading.Thread(target=hammer) for _ in range(STREAM_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    clock = time.perf_counter
+    began = clock()
+    try:
+        service.apply_updates([book_record(token)])
+        service.compact()
+        service.swap_snapshot()
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(60.0)
+    storm = clock() - began
+    legal.add(answers(service.suggest(query, 5)))
+    mixed = [o for o in observed if o not in legal]
+    return {
+        "storm_wall_s": storm,
+        "stream_threads": STREAM_THREADS,
+        "completed_requests": len(observed),
+        "errors": errors,
+        "distinct_answers": len(set(observed)),
+        "mixed_generation_answers": len(mixed),
+    }
+
+
+def test_update(benchmark):
+    scale = bench_scale()
+    setting = dblp_setting(scale)
+    count = UPDATE_COUNTS.get(scale, UPDATE_COUNTS["small"])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = str(Path(tmp) / "live.xcs3")
+        build_snapshot(setting.corpus, path)
+        with SuggestionService(
+            load_snapshot(path),
+            config=XCleanConfig(max_errors=2, beta=5.0, gamma=1000),
+        ) as service:
+            service.enable_live_updates(setting.document)
+            ack = bench_ack_latency(service, count)
+            compaction = bench_compaction(service)
+            stream = bench_swap_stream(service, count)
+            swaps = service.stats.generation_swaps
+            applied = service.stats.updates_applied
+
+            report = {
+                "benchmark": "update",
+                "scale": scale,
+                "dataset": "DBLP",
+                "corpus": setting.corpus.describe(),
+                "ack": ack,
+                "compaction": compaction,
+                "stream": stream,
+                "generation_swaps": swaps,
+                "updates_applied": applied,
+            }
+            OUT_DIR.mkdir(exist_ok=True)
+            (OUT_DIR / "BENCH_update.json").write_text(
+                json.dumps(report, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+
+            table = format_table(
+                ("Live-update stage", "value"),
+                [
+                    ("updates applied", applied),
+                    ("ack p50 (ms)", ack["ack_p50_ms"]),
+                    ("ack max (ms)", ack["ack_max_ms"]),
+                    (
+                        "first query after ack (ms)",
+                        ack["first_query_mean_ms"],
+                    ),
+                    (
+                        "compaction wall (ms)",
+                        1e3 * compaction["wall_s"],
+                    ),
+                    ("records folded", compaction["records_folded"]),
+                    ("generation swaps", swaps),
+                ],
+                title=f"Live updates ({scale} scale)",
+            )
+            stream_table = format_table(
+                ("Swap-storm stream", "value"),
+                [
+                    ("threads", stream["stream_threads"]),
+                    ("completed", stream["completed_requests"]),
+                    ("errors", len(stream["errors"])),
+                    ("distinct answers", stream["distinct_answers"]),
+                    (
+                        "mixed-generation answers",
+                        stream["mixed_generation_answers"],
+                    ),
+                    ("storm wall (ms)", 1e3 * stream["storm_wall_s"]),
+                ],
+                title="Query stream across update+compact+swap",
+            )
+            checks = [
+                shape_check(
+                    "every update query-visible within one request",
+                    ack["all_visible_within_one_request"],
+                ),
+                shape_check(
+                    f"update ack ({ack['ack_mean_ms']:.1f} ms mean) "
+                    f"cheaper than compaction "
+                    f"({1e3 * compaction['wall_s']:.1f} ms)",
+                    ack["ack_mean_ms"] < 1e3 * compaction["wall_s"],
+                ),
+                shape_check(
+                    "compacted generation is the one being served",
+                    compaction["serving_generation"]
+                    == compaction["generation"],
+                ),
+                shape_check(
+                    "swap storm: zero query errors or drops",
+                    not stream["errors"]
+                    and stream["completed_requests"] > 0,
+                ),
+                shape_check(
+                    "swap storm: no mixed-generation answers",
+                    stream["mixed_generation_answers"] == 0,
+                ),
+            ]
+            emit(
+                "update",
+                table + "\n" + stream_table + "\n" + "\n".join(checks),
+            )
+            assert all("[OK ]" in check for check in checks)
+
+            warm = misspell(unique_token(0))
+            service.suggest(warm, 5)
+            benchmark.pedantic(
+                lambda: service.suggest(warm, 5),
+                rounds=3,
+                iterations=1,
+            )

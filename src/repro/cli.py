@@ -17,6 +17,8 @@ Installed as the ``xclean`` console script::
     xclean chaos --index dblp.xci --queries queries.txt \
         --plan "worker.query:raise@2;merge.step:delay=0.001"
     xclean serve --index dblp.xci --port 8080 --max-pending 64
+    xclean update --index dblp.xci --ops updates.json --source dblp.xml
+    xclean compact --index dblp.xci
 """
 
 from __future__ import annotations
@@ -301,7 +303,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault plan spec, e.g. "
         "'worker.query:raise@2;merge.step:delay=0.01x3' "
         "(sites: snapshot.load, worker.init, worker.query, "
-        "merge.step, variant.gen)",
+        "merge.step, variant.gen, shard.query, wal.append, "
+        "delta.apply, compact.swap)",
     )
     chaos.add_argument(
         "--seed", type=int, default=0,
@@ -407,6 +410,70 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--index", required=True,
         help="v3 snapshot path or shard-manifest directory",
+    )
+
+    update = sub.add_parser(
+        "update",
+        help="durably apply live subtree updates to an index "
+        "(WAL-acknowledged; see docs/index_format.md, Live updates)",
+    )
+    update.add_argument(
+        "--index", required=True,
+        help="v3 snapshot path or shard-manifest directory",
+    )
+    update.add_argument(
+        "--ops", required=True,
+        help="JSON file with a list of update records "
+        '({"op": "add"|"update"|"delete", "dewey": [...], '
+        '"subtree": {...}})',
+    )
+    update.add_argument(
+        "--source", default=None,
+        help="the XML file the index was built from; required only "
+        "on the first update of an index (seeds the live-source "
+        "sidecar)",
+    )
+    update.add_argument(
+        "--compact", action="store_true",
+        help="fold into a fresh snapshot generation immediately "
+        "after applying",
+    )
+    update.add_argument(
+        "--plan", default=None,
+        help="fault plan spec to arm while applying (chaos testing); "
+        "same grammar as 'xclean chaos --plan'",
+    )
+    update.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for deterministic fault corruption offsets",
+    )
+
+    compact = sub.add_parser(
+        "compact",
+        help="fold WAL'd live updates into a fresh snapshot "
+        "generation (atomic swap; bumps the generation stamp)",
+    )
+    compact.add_argument(
+        "--index", required=True,
+        help="v3 snapshot path or shard-manifest directory",
+    )
+    compact.add_argument(
+        "--source", default=None,
+        help="the XML file the index was built from (first-open "
+        "seeding only; normally recovered from the sidecar)",
+    )
+    compact.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel shard build width (manifest indexes only)",
+    )
+    compact.add_argument(
+        "--plan", default=None,
+        help="fault plan spec to arm while compacting (chaos "
+        "testing)",
+    )
+    compact.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for deterministic fault corruption offsets",
     )
     return parser
 
@@ -924,6 +991,69 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_update(args: argparse.Namespace) -> int:
+    from repro.index.compaction import LiveIndexManager
+
+    if args.plan:
+        faults.install_spec(args.plan, seed=args.seed)
+    try:
+        document = (
+            XMLDocument.from_file(args.source) if args.source else None
+        )
+        with open(args.ops, encoding="utf-8") as handle:
+            ops = json.load(handle)
+        if isinstance(ops, dict):
+            ops = [ops]
+        with LiveIndexManager(args.index, document=document) as live:
+            if live.recovered_records:
+                print(
+                    f"recovered {live.recovered_records} "
+                    f"acknowledged record(s) from the WAL"
+                )
+            applied = live.apply(ops)
+            line = (
+                f"applied {applied} update(s) against generation "
+                f"{live.generation}"
+            )
+            if args.compact:
+                generation = live.compact()
+                line += f"; compacted to generation {generation}"
+            elif live.sharded:
+                line += (
+                    " (pending: run 'xclean compact' to fold into "
+                    "the shards)"
+                )
+            print(line)
+        return 0
+    finally:
+        if args.plan:
+            faults.uninstall()
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.index.compaction import LiveIndexManager
+
+    if args.plan:
+        faults.install_spec(args.plan, seed=args.seed)
+    try:
+        document = (
+            XMLDocument.from_file(args.source) if args.source else None
+        )
+        began = time.perf_counter()
+        with LiveIndexManager(args.index, document=document) as live:
+            pending = live.recovered_records
+            generation = live.compact(workers=args.workers)
+        elapsed = time.perf_counter() - began
+        print(
+            f"compacted {args.index} to generation {generation} "
+            f"({pending} WAL record(s) folded, {elapsed:.2f}s)"
+        )
+        return 0
+    finally:
+        if args.plan:
+            faults.uninstall()
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "index": _cmd_index,
@@ -937,6 +1067,8 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,
     "verify": _cmd_verify,
+    "update": _cmd_update,
+    "compact": _cmd_compact,
 }
 
 

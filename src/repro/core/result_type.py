@@ -86,9 +86,12 @@ class ResultTypeFinder:
         #: Optional tracer (``repro.obs.trace``); inference misses emit
         #: a ``type_infer`` event on the current span when enabled.
         self.tracer = NULL_TRACER
-        self._cache: OrderedDict[tuple[str, ...], int | None] = (
-            OrderedDict()
-        )
+        #: Keyed on (corpus generation, candidate) so a hot-swap or
+        #: live-update bump (``QueryEngineMixin.bump_generation``)
+        #: makes pre-swap types unreachable instead of stale.
+        self._cache: OrderedDict[
+            tuple[int, tuple[str, ...]], int | None
+        ] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
@@ -112,7 +115,10 @@ class ResultTypeFinder:
         Ties break on the lexicographically smallest path string so the
         choice — and everything downstream — is deterministic.
         """
-        key = tuple(candidate)
+        candidate_key = tuple(candidate)
+        key = (
+            getattr(self.corpus, "generation", 0), candidate_key
+        )
         cache = self._cache
         found = cache.get(key, _MISSING)
         if found is not _MISSING:
@@ -123,15 +129,15 @@ class ResultTypeFinder:
         metrics = self.metrics
         if metrics.enabled:
             began = perf_counter()
-            best = self._compute(key)
+            best = self._compute(candidate_key)
             metrics.observe_stage("type_infer", perf_counter() - began)
         else:
-            best = self._compute(key)
+            best = self._compute(candidate_key)
         tracer = self.tracer
         if tracer.enabled:
             tracer.event(
                 "type_infer",
-                candidate=" ".join(key),
+                candidate=" ".join(candidate_key),
                 result_type=(
                     self.corpus.path_table.string_of(best)
                     if best is not None

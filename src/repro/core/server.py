@@ -93,8 +93,10 @@ logger = logging.getLogger(__name__)
 
 #: Result-LRU key: (index identity+generation, normalized tokens, k).
 #: The identity component makes answers computed against a replaced or
-#: invalidated snapshot unreachable instead of stale.
-_CacheKey = tuple[tuple[int, int], tuple[str, ...], int]
+#: invalidated snapshot unreachable instead of stale.  The leading
+#: swap-epoch counter covers corpus *replacement* (id() can be reused
+#: by the allocator once the old index is collected).
+_CacheKey = tuple[tuple[int, int, int], tuple[str, ...], int]
 
 #: Default bound of the whole-result LRU.
 DEFAULT_RESULT_CACHE_SIZE = 4096
@@ -147,6 +149,11 @@ class ServiceStats:
     #: Answers served with ``CleaningStats.partial = True`` (deadline
     #: expired mid-query; best-so-far top-k, never cached).
     partial_results: int = 0
+    #: Live-update records durably applied via :meth:`apply_updates`.
+    updates_applied: int = 0
+    #: Generation swaps: overlay installs, compactions, and snapshot
+    #: hot-swaps (each one bumps the result-cache epoch).
+    generation_swaps: int = 0
     #: Corrupt snapshot files moved aside (see ``index/snapshot.py``).
     snapshot_quarantined: int = 0
     #: Pickled size of the worker initializer payload (bytes).  With a
@@ -487,6 +494,23 @@ class SuggestionService:
         #: corpus is not picklable), so the service stays in-process on
         #: the parent's still-valid mapping.
         self._snapshot_degraded = False
+        #: Monotonic swap-epoch counter; bumped on every corpus
+        #: install (:meth:`swap_snapshot`, overlay installs,
+        #: :meth:`compact`).  Part of :meth:`_index_identity` so the
+        #: result LRU can never serve a pre-swap answer even if the
+        #: allocator reuses the old corpus's ``id()``.
+        self._swap_epoch = 0
+        #: The :class:`~repro.index.compaction.LiveIndexManager` once
+        #: :meth:`enable_live_updates` ran; ``None`` otherwise.
+        self._live = None
+        #: True while the serving corpus is a delta overlay: the
+        #: overlay is not picklable and has no snapshot file, so the
+        #: worker pool is pinned off until the next compaction swap.
+        self._live_pinned = False
+        #: Serializes writers (apply/compact) against each other while
+        #: letting queries keep flowing during a compaction build.
+        #: Lock order: ``_update_lock`` → ``_compute_lock`` → ``_lock``.
+        self._update_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -507,6 +531,8 @@ class SuggestionService:
         """
         self._closed = True
         self._shutdown_pool(wait=True)
+        if self._live is not None:
+            self._live.close()
         if self._installed_faults:
             from repro.obs import faults
 
@@ -682,22 +708,25 @@ class SuggestionService:
     # Single-query path
     # ------------------------------------------------------------------
 
-    def _index_identity(self) -> tuple[int, int]:
+    def _index_identity(self) -> tuple[int, int, int]:
         """Which index (and which generation of it) answers are from.
 
-        ``id(corpus)`` separates distinct index objects a long-lived
-        service might be pointed at; ``generation`` (bumped by
-        ``QueryEngineMixin.bump_generation`` on a snapshot hot-swap)
-        separates epochs of the *same* object.  Cached results keyed on
-        a previous identity become unreachable rather than stale.
+        ``_swap_epoch`` separates installs over the service lifetime
+        (``id()`` alone can be reused by the allocator after the old
+        index is collected); ``id(corpus)`` separates distinct index
+        objects a long-lived service might be pointed at;
+        ``generation`` (bumped by ``QueryEngineMixin.bump_generation``
+        on a live-update refresh) separates epochs of the *same*
+        object.  Cached results keyed on a previous identity become
+        unreachable rather than stale.
         """
         return (
-            id(self.corpus), getattr(self.corpus, "generation", 0)
+            self._swap_epoch,
+            id(self.corpus),
+            getattr(self.corpus, "generation", 0),
         )
 
-    def _cache_key(
-        self, query: str, k: int
-    ) -> tuple[tuple[int, int], tuple[str, ...], int]:
+    def _cache_key(self, query: str, k: int) -> _CacheKey:
         """Normalize the query so trivial rewrites share a cache slot.
 
         The key embeds the snapshot identity/generation so a service
@@ -1272,10 +1301,12 @@ class SuggestionService:
         self, workers: int
     ) -> ProcessPoolExecutor | None:
         """The persistent pool, started lazily and recycled when due."""
-        if self._closed or self._snapshot_degraded:
-            # Closed, or the backing snapshot was quarantined (workers
-            # cannot re-map it; the mapped corpus is not picklable):
-            # permanent in-process execution on the parent's mapping.
+        if self._closed or self._snapshot_degraded or self._live_pinned:
+            # Closed, the backing snapshot was quarantined (workers
+            # cannot re-map it; the mapped corpus is not picklable), or
+            # the service is serving a live delta overlay (in-memory
+            # only — nothing on disk for a worker to map until the next
+            # compaction): in-process execution on the parent's state.
             return None
         if self._pool is not None and (
             self._pool_workers != workers
@@ -1381,3 +1412,208 @@ class SuggestionService:
             if process.is_alive():  # pragma: no cover - last resort
                 process.kill()
                 process.join(1.0)
+
+    # ------------------------------------------------------------------
+    # Live updates & the generation swap
+    # ------------------------------------------------------------------
+    #
+    # Serving follows the generation lifecycle of
+    # ``index/compaction.py`` (build → serve → compact → swap →
+    # retire).  Acknowledged updates become query-visible by swapping
+    # the serving corpus to the delta overlay; a compaction folds them
+    # into a fresh snapshot generation and swaps back to mapped
+    # serving.  Every install happens under ``_compute_lock``, so no
+    # in-process query ever straddles a swap: each answer is computed
+    # entirely against exactly one generation.  In-flight *pooled*
+    # queries ride the existing degrade ladder — the old pool is shut
+    # down without waiting, running futures finish on the generation
+    # they were admitted against, and cancelled ones re-run in-process
+    # on the new one.  Zero queries are dropped either way.
+
+    @property
+    def data_generation(self) -> int:
+        """The data generation currently being served."""
+        if self._live is not None:
+            return self._live.generation
+        return getattr(self.corpus, "data_generation", 0)
+
+    @property
+    def live(self):
+        """The live-index manager, or ``None`` before enablement."""
+        return self._live
+
+    def enable_live_updates(
+        self,
+        document=None,
+        *,
+        index_path: str | None = None,
+        max_records: int | None = None,
+        fastss_max_errors: int | None = 3,
+    ):
+        """Attach a crash-safe live-update pipeline to this service.
+
+        Opens (or recovers) the WAL and live-source sidecar next to
+        the backing snapshot.  ``document`` seeds the logical document
+        on the very first call against a fresh index; recovery-time
+        opens need only the on-disk state.  When WAL replay finds
+        acknowledged-but-unfolded records, the recovered overlay is
+        installed immediately so those updates are query-visible from
+        the first request.  Idempotent: repeat calls return the
+        existing manager.
+        """
+        if self._live is not None:
+            return self._live
+        from repro.index.compaction import LiveIndexManager
+
+        path = index_path or getattr(
+            self.corpus, "snapshot_path", None
+        )
+        if path is None:
+            raise ConfigurationError(
+                "live updates need a snapshot-backed corpus (or an "
+                "explicit index_path)"
+            )
+        kwargs: dict = {"fastss_max_errors": fastss_max_errors}
+        if max_records is not None:
+            kwargs["max_records"] = max_records
+        base = (
+            self.corpus
+            if getattr(self.corpus, "snapshot_path", None) == path
+            else None
+        )
+        live = LiveIndexManager(
+            path,
+            document=document,
+            base=base,
+            metrics=self.metrics_registry,
+            **kwargs,
+        )
+        self._live = live
+        if live.delta.dirty:
+            # Recovery replayed acknowledged records into the delta:
+            # serve them now, not after the next apply.
+            with self._compute_lock:
+                self._install_locked(live.overlay, pin=True)
+            self._after_swap()
+        return live
+
+    def _require_live(self):
+        live = self._live
+        if live is None:
+            raise ConfigurationError(
+                "live updates are not enabled; call "
+                "enable_live_updates() first"
+            )
+        return live
+
+    def apply_updates(self, records) -> int:
+        """Durably apply subtree updates; visible once this returns.
+
+        Each record is WAL-appended with an fsync before it is folded
+        into the in-memory delta (see ``index/wal.py``), then the
+        delta overlay is (re)installed as the serving corpus with a
+        fresh suggester — so the very next request can both query and
+        *misspell* the new content.  Raises ``UpdateError`` on an
+        invalid record, in which case every record before it in
+        ``records`` is already durable and served.
+        """
+        live = self._require_live()
+        error: Exception | None = None
+        with self._update_lock:
+            with self._compute_lock:
+                version = live.delta.version
+                try:
+                    applied = live.apply(records)
+                except Exception as exc:
+                    # Records before the bad one are already durable;
+                    # install them so "acknowledged" means "served"
+                    # even on the failure path.
+                    error = exc
+                    applied = live.delta.version - version
+                if applied:
+                    self._install_locked(live.corpus, pin=live.delta.dirty)
+            if applied:
+                with self._lock:
+                    self.stats.updates_applied += applied
+                if self.metrics_registry.enabled:
+                    self.metrics_registry.inc(
+                        "updates_applied_total", applied
+                    )
+        if applied:
+            self._after_swap()
+        if error is not None:
+            raise error
+        return applied
+
+    def compact(self, workers: int | None = None) -> int:
+        """Fold pending updates into a fresh snapshot generation.
+
+        The build runs outside ``_compute_lock`` — queries keep being
+        answered from the overlay the whole time — and only the final
+        install takes the locks.  Returns the new generation number.
+        """
+        live = self._require_live()
+        with self._update_lock:
+            generation = live.compact(workers=workers)
+            with self._compute_lock:
+                self._install_locked(live.base, pin=False)
+        self._after_swap()
+        return generation
+
+    def swap_snapshot(self, path: str | None = None):
+        """Hot-swap serving onto a (new generation of a) snapshot.
+
+        Loads ``path`` (default: the current snapshot's path, picking
+        up an externally compacted generation) and installs it with
+        zero dropped queries.  Returns the newly serving corpus.
+        """
+        from repro.index.snapshot import load_snapshot
+
+        target = path or getattr(self.corpus, "snapshot_path", None)
+        if target is None:
+            raise ConfigurationError(
+                "swap_snapshot needs a snapshot-backed corpus or an "
+                "explicit path"
+            )
+        corpus = load_snapshot(target, metrics=self.metrics_registry)
+        with self._compute_lock:
+            self._install_locked(corpus, pin=False)
+        self._after_swap()
+        return corpus
+
+    def _install_locked(self, corpus, pin: bool) -> None:
+        """Swap the serving corpus.  Caller holds ``_compute_lock``.
+
+        Holding the compute lock is what makes the swap atomic from a
+        query's point of view: no in-process computation straddles it,
+        so every answer is entirely pre- or entirely post-swap.  The
+        suggester is rebuilt so its variant generator, language model
+        and type finder all read the new generation.
+        """
+        corpus.bind_metrics(self.metrics_registry)
+        suggester = XCleanSuggester(
+            corpus,
+            config=self.config,
+            metrics=self.metrics_registry,
+            tracer=self.tracer,
+        )
+        with self._lock:
+            self.corpus = corpus
+            self.suggester = suggester
+            self._swap_epoch += 1
+            self._live_pinned = pin
+            self._snapshot_degraded = False
+            self.stats.generation_swaps += 1
+        if self.metrics_registry.enabled:
+            self.metrics_registry.inc("generation_swaps_total")
+
+    def _after_swap(self) -> None:
+        """Retire the previous generation's worker pool.
+
+        Shut down without waiting: running futures complete on the
+        generation they were admitted against (a whole answer from one
+        generation — never mixed), cancelled ones degrade in-process
+        onto the new corpus.  The next pooled batch forks fresh
+        workers from the new snapshot.
+        """
+        self._shutdown_pool(wait=False)

@@ -293,6 +293,10 @@ class ShardedServiceStats:
     pool_starts: int = 0
     #: Shard legs dropped entirely (the ``partial`` answers' cause).
     shards_omitted: int = 0
+    #: Live-update records durably applied via ``apply_updates``.
+    updates_applied: int = 0
+    #: Manifest swaps onto a freshly compacted generation.
+    generation_swaps: int = 0
 
 
 class _Replica:
@@ -476,6 +480,18 @@ class ShardedSuggestionService:
         self._latency_ewma = 0.0
         self._inflight = 0
         self._generation = 0
+        #: Generation-swap gate: while True, :meth:`admit` blocks new
+        #: queries (instead of shedding) until the swap completes, and
+        #: the swap itself waits for in-flight queries to drain — so a
+        #: scatter-gather can never merge partials from two different
+        #: generations.  Queries are briefly queued, never dropped.
+        self._swapping = False
+        self._swap_gate = threading.Condition(self._lock)
+        #: The sharded live-index manager once
+        #: :meth:`enable_live_updates` ran; ``None`` otherwise.
+        self._live = None
+        #: Serializes writers (apply/compact) against each other.
+        self._update_lock = threading.Lock()
         self._closed = False
         #: Lazily built in-process suggesters, one per shard — the
         #: replicas=0 serving mode and the degrade fallback.
@@ -516,6 +532,8 @@ class ShardedSuggestionService:
         and, as a last resort, killed.
         """
         self._closed = True
+        if self._live is not None:
+            self._live.close()
         processes: list = []
         for row in self._pools:
             for replica in row:
@@ -565,6 +583,167 @@ class ShardedSuggestionService:
         """Invalidate every cached answer (snapshot set replaced)."""
         with self._lock:
             self._generation += 1
+
+    # ------------------------------------------------------------------
+    # Live updates & the generation swap
+    # ------------------------------------------------------------------
+    #
+    # The sharded tier folds updates *eagerly*: there is no per-shard
+    # delta overlay (a coordinator-side overlay would have to straddle
+    # the partition), so ``apply_updates`` WAL-acks the records against
+    # the manifest directory, rebuilds every shard at generation N+1
+    # through the atomic writer, and swaps the manifest in.  The swap
+    # gate in :meth:`admit`/:meth:`release` drains in-flight scatters
+    # first — a gathered answer always merges partials of exactly one
+    # generation, and gated arrivals are queued, never dropped.
+
+    @property
+    def data_generation(self) -> int:
+        """The data generation currently being served."""
+        if self._live is not None:
+            return self._live.generation
+        return self.manifest.generation
+
+    @property
+    def live(self):
+        """The live-index manager, or ``None`` before enablement."""
+        return self._live
+
+    def enable_live_updates(
+        self,
+        document=None,
+        *,
+        fastss_max_errors: int | None = 3,
+    ):
+        """Attach the crash-safe live-update pipeline (see
+        ``index/compaction.py``).  ``document`` seeds the logical
+        document on the very first call; recovery-time opens need only
+        the on-disk state.  When WAL replay finds acknowledged records
+        that never reached a fold, they are compacted in (and the
+        manifest swapped) before this returns.  Idempotent.
+        """
+        if self._live is not None:
+            return self._live
+        from repro.index.compaction import LiveIndexManager
+
+        if not self.manifest.directory:
+            raise ConfigurationError(
+                "live updates need a manifest loaded from disk (the "
+                "WAL and live source live next to it)"
+            )
+        live = LiveIndexManager(
+            self.manifest.directory,
+            document=document,
+            base=self.manifest,
+            metrics=self.metrics_registry,
+            fastss_max_errors=fastss_max_errors,
+        )
+        self._live = live
+        if live.recovered_records:
+            # Acknowledged updates from before the crash: fold and
+            # serve them now, not on the next apply.
+            with self._update_lock:
+                live.compact()
+                self._swap_manifest_locked(live.base)
+        return live
+
+    def _require_live(self):
+        live = self._live
+        if live is None:
+            raise ConfigurationError(
+                "live updates are not enabled; call "
+                "enable_live_updates() first"
+            )
+        return live
+
+    def apply_updates(
+        self, records, workers: int | None = None
+    ) -> int:
+        """Durably apply subtree updates; visible once this returns.
+
+        Records are WAL-appended with an fsync (the acknowledge
+        point), folded into every shard at generation N+1, and the
+        manifest swapped — so the next admitted query is answered from
+        the new generation on all shards.
+        """
+        live = self._require_live()
+        error: Exception | None = None
+        with self._update_lock:
+            acked = live.acked_records
+            try:
+                applied = live.apply(records)
+            except Exception as exc:
+                # Records before the bad one are already durable; fold
+                # and serve them so "acknowledged" means "served" even
+                # on the failure path.
+                error = exc
+                applied = live.acked_records - acked
+            if applied:
+                live.compact(workers=workers)
+                self._swap_manifest_locked(live.base)
+                with self._lock:
+                    self.stats.updates_applied += applied
+                if self.metrics_registry.enabled:
+                    self.metrics_registry.inc(
+                        "updates_applied_total", applied
+                    )
+        if error is not None:
+            raise error
+        return applied
+
+    def compact(self, workers: int | None = None) -> int:
+        """Fold any WAL'd records into a fresh generation and swap.
+
+        With no pending records this still rolls the generation
+        forward (a no-op fold), which is occasionally useful to force
+        a clean base; returns the new generation number.
+        """
+        live = self._require_live()
+        with self._update_lock:
+            generation = live.compact(workers=workers)
+            self._swap_manifest_locked(live.base)
+        return generation
+
+    def _swap_manifest_locked(self, manifest) -> None:
+        """Install a freshly built manifest; zero dropped queries.
+
+        Caller holds ``_update_lock``.  Raises the swap gate, waits
+        for in-flight scatters to drain (their answers are entirely
+        pre-swap), installs the new shard set, retires every replica
+        pool (workers re-map the new snapshot files on next dispatch),
+        and drops the in-process suggesters so the degrade path
+        re-loads too.  The result cache rolls over via the manifest
+        CRC + generation in the cache key.
+        """
+        paths = manifest.shard_paths()
+        if len(paths) != self.shard_count:
+            raise ConfigurationError(
+                f"generation swap cannot change the shard count "
+                f"({self.shard_count} -> {len(paths)})"
+            )
+        with self._lock:
+            self._swapping = True
+            while self._inflight > 0:
+                self._swap_gate.wait()
+        try:
+            with self._local_lock:
+                self._local = {}
+            for row, path in zip(self._pools, paths):
+                for replica in row:
+                    replica.snapshot_path = path
+                    replica.retire()
+            with self._lock:
+                self.manifest = manifest
+                self._shard_paths = paths
+                self._generation += 1
+                self.stats.generation_swaps += 1
+            self.corpus = self._local_suggester(0).corpus
+            if self.metrics_registry.enabled:
+                self.metrics_registry.inc("generation_swaps_total")
+        finally:
+            with self._lock:
+                self._swapping = False
+                self._swap_gate.notify_all()
 
     # ------------------------------------------------------------------
     # Tracing & the flight recorder (mirrors SuggestionService)
@@ -710,6 +889,11 @@ class ShardedSuggestionService:
 
     def admit(self, cost: int = 1) -> None:
         with self._lock:
+            while self._swapping:
+                # A generation swap is in progress: queue (don't shed)
+                # until the new manifest is installed, so no scatter
+                # straddles two generations.
+                self._swap_gate.wait()
             limit = self.max_pending
             if limit is not None and self._inflight + cost > limit:
                 self.stats.shed_queries += cost
@@ -729,6 +913,8 @@ class ShardedSuggestionService:
     def release(self, cost: int = 1) -> None:
         with self._lock:
             self._inflight -= cost
+            if self._swapping and self._inflight == 0:
+                self._swap_gate.notify_all()
 
     # ------------------------------------------------------------------
     # Single-query path

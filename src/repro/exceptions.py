@@ -64,6 +64,16 @@ class FaultInjected(StorageError):
         self.site = site
 
 
+class UpdateError(ReproError):
+    """Raised for invalid live-index update operations.
+
+    Covers malformed WAL records (unknown op, bad Dewey target) and
+    updates that violate the tree's structural invariants — e.g.
+    deleting the document root or adding a child under a node that does
+    not exist.
+    """
+
+
 class QueryError(ReproError):
     """Raised for invalid user queries (e.g. empty after tokenization)."""
 

@@ -255,6 +255,10 @@ class ShardManifest:
     entities: int
     token_total: int
     postings: int
+    #: Data generation of this build (0 for pre-live manifests;
+    #: bumped by every compaction fold, mirroring the per-shard
+    #: snapshot meta stamps).
+    generation: int = 0
     #: crc32 of the canonical payload (computed on write/load).
     crc: int = 0
     #: Directory the relative shard paths resolve against (set by
@@ -274,6 +278,7 @@ class ShardManifest:
             "format": MANIFEST_FORMAT,
             "version": MANIFEST_VERSION,
             "name": self.name,
+            "generation": self.generation,
             "partition_depth": self.partition_depth,
             "strategy": self.strategy,
             "totals": {
@@ -308,6 +313,7 @@ def write_manifest(manifest: ShardManifest, path: str) -> ShardManifest:
         entities=manifest.entities,
         token_total=manifest.token_total,
         postings=manifest.postings,
+        generation=manifest.generation,
         crc=crc,
         directory=os.path.dirname(os.path.abspath(path)),
     )
@@ -375,6 +381,7 @@ def load_manifest(path: str) -> ShardManifest:
         entities=totals["entities"],
         token_total=totals["token_total"],
         postings=totals["postings"],
+        generation=document.get("generation", 0),
         crc=stored_crc,
         directory=os.path.dirname(os.path.abspath(path)),
     )
@@ -429,6 +436,7 @@ def build_sharded_snapshot(
     fastss_max_errors: int | None = 3,
     workers: int | None = None,
     metrics=None,
+    generation: int = 0,
 ) -> ShardManifest:
     """Partition ``index`` into N v3 snapshots under ``directory``.
 
@@ -470,6 +478,7 @@ def build_sharded_snapshot(
             fastss_max_errors=fastss_max_errors,
             workers=workers,
             metrics=metrics,
+            generation=generation,
         )
         mine = sorted(
             prefix
@@ -500,6 +509,7 @@ def build_sharded_snapshot(
         entities=len(assignment),
         token_total=sum(lengths[p] for p in assignment),
         postings=index.inverted.total_postings(),
+        generation=generation,
     )
     return write_manifest(
         manifest, os.path.join(directory, MANIFEST_NAME)

@@ -294,8 +294,14 @@ def build_snapshot(
     fastss_partition_threshold: int = 9,
     workers: int | None = None,
     metrics=None,
+    generation: int = 0,
 ) -> dict:
     """Write ``index`` to ``path`` in snapshot v3 form.
+
+    ``generation`` stamps a monotonically increasing data generation
+    into the snapshot meta (see ``docs/index_format.md``); the live
+    update/compaction pipeline bumps it on every fold so serving tiers
+    can tell two builds of the same corpus apart.
 
     ``generator`` embeds an existing FastSS index (it must be built
     over the corpus vocabulary); without one, a partitioned FastSS
@@ -405,6 +411,7 @@ def build_snapshot(
     tokenizer_config = index.tokenizer.config
     meta = {
         "name": index.name,
+        "generation": generation,
         "element_doc_count": index.vocabulary.element_doc_count,
         "total_tokens": index.vocabulary.total_tokens,
         "max_path_depth": index.max_path_depth(),
@@ -1052,6 +1059,10 @@ class SnapshotCorpusIndex(QueryEngineMixin):
         self._meta = meta
         self.snapshot_path = snapshot_path
         self.name = meta["name"]
+        #: Data generation stamped at build time (0 for pre-live
+        #: snapshots; bumped by every compaction fold).  Distinct from
+        #: the mixin's in-process cache ``generation`` counter.
+        self.data_generation = meta.get("generation", 0)
 
         tok = meta["tokenizer"]
         self.tokenizer = Tokenizer(

@@ -69,10 +69,13 @@ SITES = (
     "merge.step",
     "variant.gen",
     "shard.query",
+    "wal.append",
+    "delta.apply",
+    "compact.swap",
 )
 
 #: Sites that receive a file path and therefore support ``corrupt``.
-_PATH_SITES = frozenset({"snapshot.load"})
+_PATH_SITES = frozenset({"snapshot.load", "wal.append", "compact.swap"})
 
 _KINDS = ("raise", "delay", "corrupt")
 

@@ -151,7 +151,7 @@ class TestCacheLRU:
         finder.find(("trie", "icdt"))
         assert finder.cached_candidates() == 2
         assert finder.cache_evictions == 1
-        assert ("tree", "icde") not in finder._cache
+        assert (0, ("tree", "icde")) not in finder._cache
 
     def test_hit_refreshes_recency(self, corpus):
         finder = self.bounded(corpus, 2)
@@ -159,8 +159,8 @@ class TestCacheLRU:
         finder.find(("trie", "icde"))
         finder.find(("tree", "icde"))  # hit: most recently used now
         finder.find(("trie", "icdt"))  # evicts ("trie", "icde")
-        assert ("tree", "icde") in finder._cache
-        assert ("trie", "icde") not in finder._cache
+        assert (0, ("tree", "icde")) in finder._cache
+        assert (0, ("trie", "icde")) not in finder._cache
 
     def test_evicted_candidate_recomputes(self, corpus):
         finder = self.bounded(corpus, 1)

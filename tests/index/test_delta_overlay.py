@@ -1,0 +1,330 @@
+"""The delta overlay (index/delta.py) against a from-scratch rebuild.
+
+The load-bearing invariant of live updates: after any sequence of
+subtree add/update/delete records, the overlay corpus must be
+*indistinguishable* from an index built from scratch over the applied
+logical document — same postings, same Eq. 6/8 statistics, and (the
+acceptance bar) byte-identical top-k from both engines with the merge
+kernel on and off.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.cleaner import XCleanSuggester
+from repro.core.config import XCleanConfig
+from repro.exceptions import UpdateError
+from repro.index.corpus import build_corpus_index
+from repro.index.delta import (
+    DeltaOverlayCorpus,
+    DeltaSegment,
+    apply_record,
+    document_from_json,
+    document_to_json,
+    node_to_json,
+)
+from repro.index.snapshot import build_snapshot, load_snapshot
+from repro.index.wal import WalRecord
+from repro.obs import faults
+from repro.xmltree.document import XMLDocument
+from repro.xmltree.node import XMLNode
+
+WORDS = (
+    "xml keyword search spelling suggestion database query tree "
+    "index valid clean icde entity ranking dewey"
+).split()
+
+
+def el(label, *children, text=""):
+    node = XMLNode(label, text=text)
+    for child in children:
+        node.add_child(child)
+    return node
+
+
+def book(title: str, author: str) -> XMLNode:
+    return el(
+        "book",
+        el("title", text=title),
+        el("author", text=author),
+    )
+
+
+def base_document() -> XMLDocument:
+    root = el(
+        "bib",
+        book("database systems", "codd"),
+        book("xml keyword search", "lu"),
+        book("valid spelling suggestion", "chen"),
+        book("query ranking", "salton"),
+    )
+    return XMLDocument(root, name="overlay-test")
+
+
+OPS = [
+    WalRecord(
+        op="add", dewey=(1,),
+        subtree=node_to_json(book("dewey index clean", "knuth")),
+    ),
+    WalRecord(op="delete", dewey=(1, 1)),
+    WalRecord(
+        op="update", dewey=(1, 2, 1),
+        subtree=node_to_json(el("title", text="entity tree search")),
+    ),
+    WalRecord(
+        op="add", dewey=(1, 3),
+        subtree=node_to_json(el("year", text="2011")),
+    ),
+    WalRecord(op="delete", dewey=(1, 5)),
+    WalRecord(
+        op="add", dewey=(1,),
+        subtree=node_to_json(book("icde spelling", "lu")),
+    ),
+]
+
+QUERIES = (
+    "speling sugestion",
+    "xml serach",
+    "databse",
+    "icde speling",
+    "entitee tree",
+    "dewei clean",
+)
+
+
+def applied_copy(document, records):
+    """A deep copy of ``document`` with ``records`` applied."""
+    copy = document_from_json(document_to_json(document))
+    results = []
+    for record in records:
+        results.append(apply_record(copy, record))
+    return copy, results
+
+
+def overlay_over(base, document, records):
+    copy, results = applied_copy(document, records)
+    segment = DeltaSegment()
+    for result in results:
+        segment.apply(result, base.tokenizer, base.path_table)
+    return DeltaOverlayCorpus(base, segment), copy
+
+
+def topk(corpus, query, engine, kernel, k=5):
+    config = XCleanConfig(engine=engine, merge_kernel=kernel)
+    suggester = XCleanSuggester(corpus, config=config)
+    return [
+        dataclasses.astuple(s) for s in suggester.suggest(query, k)
+    ]
+
+
+ENGINES = [("packed", True), ("packed", False), ("tuple", False)]
+
+
+class TestStatEquivalence:
+    """Raw index surfaces: postings and every scored statistic."""
+
+    def assert_equivalent(self, overlay, reference):
+        vocabulary = overlay.vocabulary
+        ref_vocab = reference.vocabulary
+        assert set(vocabulary.tokens()) == set(ref_vocab.tokens())
+        for token in sorted(ref_vocab.tokens()):
+            mine = overlay.inverted.get(token)
+            theirs = reference.inverted.get(token)
+            assert (mine is None) == (theirs is None), token
+            if mine is not None:
+                assert mine.postings == theirs.postings, token
+            assert vocabulary.collection_frequency(token) == (
+                ref_vocab.collection_frequency(token)
+            ), token
+            assert vocabulary.element_document_frequency(token) == (
+                ref_vocab.element_document_frequency(token)
+            ), token
+            assert dict(overlay.path_index.counts_for(token)) == dict(
+                reference.path_index.counts_for(token)
+            ), token
+        assert vocabulary.total_tokens == ref_vocab.total_tokens
+        assert vocabulary.element_doc_count == (
+            ref_vocab.element_doc_count
+        )
+        assert dict(overlay.path_node_counts) == dict(
+            reference.path_node_counts
+        )
+        assert dict(overlay.path_token_totals_map) == dict(
+            reference.path_token_totals_map
+        )
+        assert dict(overlay.subtree_token_counts) == dict(
+            reference.subtree_token_counts
+        )
+        assert overlay.max_path_depth() == reference.max_path_depth()
+        packed = overlay.packed_view()
+        for code, length in reference.subtree_token_counts.items():
+            key = packed.packer.pack(code)
+            assert packed.subtree_lengths.get(key, 0) == length, code
+
+    def test_scripted_sequence(self):
+        document = base_document()
+        base = build_corpus_index(document)
+        overlay, applied = overlay_over(base, document, OPS)
+        self.assert_equivalent(overlay, build_corpus_index(applied))
+
+    def test_incremental_refresh_stays_exact(self):
+        document = base_document()
+        base = build_corpus_index(document)
+        copy = document_from_json(document_to_json(document))
+        segment = DeltaSegment()
+        overlay = DeltaOverlayCorpus(base, segment)
+        for record in OPS:
+            result = apply_record(copy, record)
+            segment.apply(result, base.tokenizer, base.path_table)
+            overlay.refresh()
+            self.assert_equivalent(overlay, build_corpus_index(copy))
+
+    def test_randomized_sequences(self):
+        rng = random.Random(20110411)
+        for _ in range(5):
+            document = base_document()
+            base = build_corpus_index(document)
+            copy = document_from_json(document_to_json(document))
+            segment = DeltaSegment()
+            live = []  # deweys of live (non-placeholder) books
+            next_child = len(copy.root.children)
+            for _ in range(rng.randrange(3, 9)):
+                choice = rng.random()
+                if choice < 0.5 or not live:
+                    title = " ".join(rng.sample(WORDS, 3))
+                    record = WalRecord(
+                        op="add", dewey=(1,),
+                        subtree=node_to_json(
+                            book(title, rng.choice(WORDS))
+                        ),
+                    )
+                    next_child += 1
+                    live.append((1, next_child))
+                elif choice < 0.75:
+                    target = live.pop(rng.randrange(len(live)))
+                    record = WalRecord(op="delete", dewey=target)
+                else:
+                    target = live[rng.randrange(len(live))]
+                    title = " ".join(rng.sample(WORDS, 2))
+                    record = WalRecord(
+                        op="update", dewey=target,
+                        subtree=node_to_json(
+                            book(title, rng.choice(WORDS))
+                        ),
+                    )
+                result = apply_record(copy, record)
+                segment.apply(
+                    result, base.tokenizer, base.path_table
+                )
+            overlay = DeltaOverlayCorpus(base, segment)
+            self.assert_equivalent(overlay, build_corpus_index(copy))
+
+
+class TestSuggestionEquivalence:
+    """The acceptance bar: byte-identical top-k, all engine modes."""
+
+    @pytest.mark.parametrize("engine,kernel", ENGINES)
+    def test_memory_base(self, engine, kernel):
+        document = base_document()
+        base = build_corpus_index(document)
+        overlay, applied = overlay_over(base, document, OPS)
+        reference = build_corpus_index(applied)
+        for query in QUERIES:
+            assert topk(overlay, query, engine, kernel) == (
+                topk(reference, query, engine, kernel)
+            ), query
+
+    @pytest.mark.parametrize("engine,kernel", ENGINES)
+    def test_snapshot_base(self, tmp_path, engine, kernel):
+        document = base_document()
+        index = build_corpus_index(document)
+        path = str(tmp_path / "base.xcs3")
+        build_snapshot(index, path)
+        base = load_snapshot(path)
+        try:
+            overlay, applied = overlay_over(base, document, OPS)
+            reference = build_corpus_index(applied)
+            for query in QUERIES:
+                assert topk(overlay, query, engine, kernel) == (
+                    topk(reference, query, engine, kernel)
+                ), query
+        finally:
+            base.close()
+
+
+class TestVisibilitySemantics:
+    def test_new_tokens_are_suggestable(self):
+        document = base_document()
+        base = build_corpus_index(document)
+        record = WalRecord(
+            op="add", dewey=(1,),
+            subtree=node_to_json(book("zanzibar consistency", "pat")),
+        )
+        overlay, _ = overlay_over(base, document, [record])
+        answers = topk(overlay, "zanziber", "packed", True)
+        assert answers, "brand-new token must be reachable"
+        assert "zanzibar" in answers[0][0]
+
+    def test_deleted_content_is_masked(self):
+        document = base_document()
+        base = build_corpus_index(document)
+        # "codd" occurs only under book 1.1; delete it.
+        record = WalRecord(op="delete", dewey=(1, 1))
+        overlay, _ = overlay_over(base, document, [record])
+        assert overlay.inverted.get("codd") is None
+        assert not topk(overlay, "codd", "packed", True)
+
+    def test_base_postings_untouched_pass_through(self):
+        document = base_document()
+        base = build_corpus_index(document)
+        record = WalRecord(op="delete", dewey=(1, 1))
+        overlay, _ = overlay_over(base, document, [record])
+        # "salton" lives only under an untouched subtree: zero-copy.
+        assert overlay.inverted.get("salton") is (
+            base.inverted.get("salton")
+        )
+
+    def test_delete_keeps_sibling_deweys_stable(self):
+        document = base_document()
+        copy, results = applied_copy(
+            document, [WalRecord(op="delete", dewey=(1, 2))]
+        )
+        # The placeholder keeps ordinal addressing intact: 1.3 still
+        # resolves to the third book.
+        node = copy.node_at((1, 3))
+        assert node is not None
+        assert node.children[0].text == "valid spelling suggestion"
+
+    def test_update_of_root_rejected(self):
+        document = base_document()
+        copy = document_from_json(document_to_json(document))
+        with pytest.raises(UpdateError):
+            apply_record(
+                copy, WalRecord(op="delete", dewey=(1,))
+            )
+
+    def test_missing_target_rejected(self):
+        document = base_document()
+        copy = document_from_json(document_to_json(document))
+        with pytest.raises(UpdateError):
+            apply_record(
+                copy, WalRecord(op="delete", dewey=(1, 99))
+            )
+
+
+class TestFaultSite:
+    def test_delta_apply_site_fires(self):
+        document = base_document()
+        base = build_corpus_index(document)
+        copy, results = applied_copy(document, OPS[:1])
+        segment = DeltaSegment()
+        with faults.injected("delta.apply:raise"):
+            with pytest.raises(Exception):
+                segment.apply(
+                    results[0], base.tokenizer, base.path_table
+                )
+        # The crash window is covered by WAL replay; the segment
+        # itself must not have half-applied the record.
+        assert not segment.dirty
