@@ -1488,12 +1488,29 @@ class SuggestionService:
             metrics=self.metrics_registry,
             **kwargs,
         )
+        serving_generation = getattr(self.corpus, "data_generation", 0)
         self._live = live
         if live.delta.dirty:
             # Recovery replayed acknowledged records into the delta:
             # serve them now, not after the next apply.
+            suggester = self._prepare_install(live.overlay)
             with self._compute_lock:
-                self._install_locked(live.overlay, pin=True)
+                self._install_locked(
+                    live.overlay, pin=True, suggester=suggester
+                )
+            self._after_swap()
+        elif live.generation != serving_generation:
+            # Recovery finished an interrupted compaction during the
+            # open: the manager's base is a fresher generation than
+            # the corpus this service loaded.  Install it — otherwise
+            # the service would keep answering from the stale pre-fold
+            # snapshot while ``data_generation`` already reports the
+            # folded one.
+            suggester = self._prepare_install(live.base)
+            with self._compute_lock:
+                self._install_locked(
+                    live.base, pin=False, suggester=suggester
+                )
             self._after_swap()
         return live
 
@@ -1555,8 +1572,11 @@ class SuggestionService:
         live = self._require_live()
         with self._update_lock:
             generation = live.compact(workers=workers)
+            suggester = self._prepare_install(live.base)
             with self._compute_lock:
-                self._install_locked(live.base, pin=False)
+                self._install_locked(
+                    live.base, pin=False, suggester=suggester
+                )
         self._after_swap()
         return generation
 
@@ -1566,37 +1586,67 @@ class SuggestionService:
         Loads ``path`` (default: the current snapshot's path, picking
         up an externally compacted generation) and installs it with
         zero dropped queries.  Returns the newly serving corpus.
+
+        Runs under ``_update_lock`` so it serializes with
+        :meth:`apply_updates` / :meth:`compact`: the snapshot is never
+        read mid-replacement, and a swap can never re-install an older
+        generation over one a concurrent compaction just installed.
         """
         from repro.index.snapshot import load_snapshot
 
-        target = path or getattr(self.corpus, "snapshot_path", None)
-        if target is None:
-            raise ConfigurationError(
-                "swap_snapshot needs a snapshot-backed corpus or an "
-                "explicit path"
+        with self._update_lock:
+            target = path or getattr(
+                self.corpus, "snapshot_path", None
             )
-        corpus = load_snapshot(target, metrics=self.metrics_registry)
-        with self._compute_lock:
-            self._install_locked(corpus, pin=False)
+            if target is None:
+                raise ConfigurationError(
+                    "swap_snapshot needs a snapshot-backed corpus or "
+                    "an explicit path"
+                )
+            corpus = load_snapshot(
+                target, metrics=self.metrics_registry
+            )
+            suggester = self._prepare_install(corpus)
+            with self._compute_lock:
+                self._install_locked(
+                    corpus, pin=False, suggester=suggester
+                )
         self._after_swap()
         return corpus
 
-    def _install_locked(self, corpus, pin: bool) -> None:
-        """Swap the serving corpus.  Caller holds ``_compute_lock``.
+    def _prepare_install(self, corpus) -> XCleanSuggester:
+        """Build the per-generation serving state for ``corpus``.
 
-        Holding the compute lock is what makes the swap atomic from a
-        query's point of view: no in-process computation straddles it,
-        so every answer is entirely pre- or entirely post-swap.  The
-        suggester is rebuilt so its variant generator, language model
-        and type finder all read the new generation.
+        Constructing a suggester can be expensive (its variant
+        generator may build a deletion-neighborhood index), so writers
+        call this *outside* ``_compute_lock`` whenever the target is
+        not shared with in-flight queries and hand the result to
+        :meth:`_install_locked` — queries keep flowing on the old
+        generation during the build.
         """
         corpus.bind_metrics(self.metrics_registry)
-        suggester = XCleanSuggester(
+        return XCleanSuggester(
             corpus,
             config=self.config,
             metrics=self.metrics_registry,
             tracer=self.tracer,
         )
+
+    def _install_locked(
+        self, corpus, pin: bool, suggester: XCleanSuggester | None = None
+    ) -> None:
+        """Swap the serving corpus.  Caller holds ``_compute_lock``.
+
+        Holding the compute lock is what makes the swap atomic from a
+        query's point of view: no in-process computation straddles it,
+        so every answer is entirely pre- or entirely post-swap.  The
+        suggester is rebuilt (or swapped in pre-built) so its variant
+        generator, language model and type finder all read the new
+        generation; the overlay path keeps the in-lock rebuild cheap
+        via the incremental ``OverlayVariantGenerator``.
+        """
+        if suggester is None:
+            suggester = self._prepare_install(corpus)
         with self._lock:
             self.corpus = corpus
             self.suggester = suggester

@@ -645,6 +645,14 @@ class ShardedSuggestionService:
             with self._update_lock:
                 live.compact()
                 self._swap_manifest_locked(live.base)
+        elif live.generation != self.manifest.generation:
+            # Recovery finished an interrupted compaction during the
+            # open (no WAL records left to replay, but the manager's
+            # manifest is a fresher generation than the one this
+            # service loaded): swap it in so acknowledged updates are
+            # served now, not after the next apply.
+            with self._update_lock:
+                self._swap_manifest_locked(live.base)
         return live
 
     def _require_live(self):
@@ -670,14 +678,21 @@ class ShardedSuggestionService:
         error: Exception | None = None
         with self._update_lock:
             acked = live.acked_records
+            folded = live.applied_records
             try:
                 applied = live.apply(records)
             except Exception as exc:
                 # Records before the bad one are already durable; fold
                 # and serve them so "acknowledged" means "served" even
-                # on the failure path.
+                # on the failure path.  Count only records that
+                # actually reached the document — an acked record
+                # whose fold failed is *not* applied, and compacting
+                # now would reset the WAL and silently discard it, so
+                # leave the log intact for replay-on-reopen instead.
                 error = exc
-                applied = live.acked_records - acked
+                applied = live.applied_records - folded
+                if live.acked_records - acked != applied:
+                    applied = 0
             if applied:
                 live.compact(workers=workers)
                 self._swap_manifest_locked(live.base)

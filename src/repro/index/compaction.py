@@ -47,6 +47,7 @@ from repro.index.delta import (
     apply_record,
     document_from_json,
     document_to_json,
+    node_from_json,
 )
 from repro.index.sharding import (
     MANIFEST_NAME,
@@ -105,6 +106,13 @@ class LiveIndexManager:
         #: Monotonic count of WAL-acknowledged records this process
         #: has appended; lets callers size a partial ``apply`` failure.
         self.acked_records = 0
+        #: Monotonic count of records this process has successfully
+        #: applied to the logical document.  ``acked_records`` can run
+        #: ahead of it only when a record failed *after* its fsync-ack
+        #: — such a record lives solely in the WAL, so compacting
+        #: (which resets the log) would silently discard it;
+        #: :meth:`compact` refuses while the gap exists.
+        self.applied_records = 0
 
         self.base = base if base is not None else self._load_base()
         self.generation = self._base_generation()
@@ -247,8 +255,15 @@ class LiveIndexManager:
         """Reject structurally invalid records *before* logging them.
 
         A record is only appended once it is guaranteed to apply, so
-        WAL replay can never fail on an acknowledged record.
+        WAL replay can never fail on an acknowledged record.  That
+        guarantee covers the payload too: the subtree is fully parsed
+        here — a record whose subtree cannot round-trip through
+        ``node_from_json`` (``WalRecord`` itself only checks presence)
+        must never be fsync-acknowledged, or every later open would
+        crash replaying it.
         """
+        if record.subtree is not None:
+            node_from_json(record.subtree)
         if record.op == "add":
             if self.document.node_at(record.dewey) is None:
                 raise UpdateError(
@@ -282,6 +297,7 @@ class LiveIndexManager:
             self.wal.append(record)
             self.acked_records += 1
             result = apply_record(self.document, record)
+            self.applied_records += 1
             if not self.sharded:
                 self.delta.apply(
                     result, self.tokenizer, self.base.path_table
@@ -301,6 +317,14 @@ class LiveIndexManager:
         Returns the new generation number.  Crash-safe at every step —
         see the module docstring for the recovery classification.
         """
+        if self.acked_records > self.applied_records:
+            raise UpdateError(
+                f"refusing to compact: "
+                f"{self.acked_records - self.applied_records} "
+                f"acknowledged records never folded into the document; "
+                f"resetting the WAL would discard them — reopen the "
+                f"index to recover them by replay"
+            )
         faults = _active_faults()
         if faults.enabled:
             faults.hit("compact.swap", path=self.wal_path)

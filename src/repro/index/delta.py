@@ -36,6 +36,7 @@ overlay only ever raises it; compaction restores the exact value.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -44,6 +45,7 @@ from repro.fastss.generator import (
     DEFAULT_VARIANT_CACHE_SIZE,
     VariantGenerator,
 )
+from repro.fastss.index import FastSSIndex, Variant
 from repro.index.corpus import QueryEngineMixin
 from repro.index.inverted import InvertedList, PackedInvertedList
 from repro.index.path_index import path_counts_from_postings
@@ -643,6 +645,92 @@ class OverlayPackedView:
         return packed
 
 
+class OverlayVariantGenerator:
+    """Incremental var_ε(q) over the overlay vocabulary.
+
+    Rebuilding a deletion-neighborhood index over the merged
+    vocabulary after every update batch is O(|vocabulary|) — seconds
+    on a large corpus for a single-record delta.  Instead this wrapper
+    probes the *base* generator (typically served zero-copy from the
+    snapshot's embedded FastSS sections), drops hits whose token the
+    delta removed from the vocabulary, and merges hits from a small
+    FastSS index over only the tokens the delta *added* — O(|touched|)
+    to construct.  The merged hit set is sorted ``(distance, token)``,
+    so results are identical to a generator built from scratch over
+    the merged vocabulary.
+    """
+
+    def __init__(
+        self,
+        overlay: "DeltaOverlayCorpus",
+        base_generator: VariantGenerator,
+        max_errors: int = 2,
+        cache_size: int = DEFAULT_VARIANT_CACHE_SIZE,
+    ):
+        self.max_errors = max_errors
+        self._base = base_generator
+        self._vocabulary = overlay.vocabulary
+        base_vocabulary = overlay.base.vocabulary
+        added = sorted(
+            token
+            for token, adjust in overlay.delta.cf_delta.items()
+            if adjust > 0
+            and base_vocabulary.collection_frequency(token) == 0
+        )
+        self._added = (
+            FastSSIndex(added, max_errors=max_errors) if added else None
+        )
+        self.cache_size = cache_size
+        self._cache: OrderedDict[
+            tuple[str, int], tuple[Variant, ...]
+        ] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def variants(
+        self, keyword: str, max_errors: int | None = None
+    ) -> tuple[Variant, ...]:
+        """var_ε(q) over the merged vocabulary (shared tuple)."""
+        eps = self.max_errors if max_errors is None else max_errors
+        key = (keyword, eps)
+        cache = self._cache
+        cached = cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            cache.move_to_end(key)
+            return cached
+        self.cache_misses += 1
+        vocabulary = self._vocabulary
+        merged = [
+            variant
+            for variant in self._base.variants(keyword, eps)
+            if variant.token in vocabulary
+        ]
+        if self._added is not None:
+            merged.extend(self._added.variants(keyword, eps))
+            merged.sort()
+        cached = tuple(merged)
+        cache[key] = cached
+        if len(cache) > self.cache_size:
+            cache.popitem(last=False)
+        return cached
+
+    def variant_tokens(
+        self, keyword: str, max_errors: int | None = None
+    ) -> list[str]:
+        """Just the token strings, sorted by (distance, token)."""
+        return [v.token for v in self.variants(keyword, max_errors)]
+
+    def distance_of(
+        self, keyword: str, token: str, max_errors: int | None = None
+    ) -> int | None:
+        """Edit distance keyword→token if token ∈ var_ε(keyword)."""
+        for variant in self.variants(keyword, max_errors):
+            if variant.token == token:
+                return variant.distance
+        return None
+
+
 class DeltaOverlayCorpus(QueryEngineMixin):
     """Base corpus + delta segment behind the standard query surface.
 
@@ -755,20 +843,30 @@ class DeltaOverlayCorpus(QueryEngineMixin):
         self,
         max_errors: int = 2,
         cache_size: int = DEFAULT_VARIANT_CACHE_SIZE,
-    ) -> VariantGenerator:
+    ):
         """Variant generator over the overlay vocabulary.
 
         With no touched tokens the base generator (possibly served from
-        embedded FastSS sections) is returned; otherwise a fresh
-        deletion-neighborhood index is built over the merged
-        vocabulary, so added tokens are suggestible immediately and
-        fully deleted tokens never are.
+        embedded FastSS sections) is returned; otherwise it is wrapped
+        in an :class:`OverlayVariantGenerator` — O(|touched|) to build,
+        never O(|vocabulary|) — so added tokens are suggestible
+        immediately, fully deleted tokens never are, and installing a
+        fresh suggester after an update batch stays cheap enough to run
+        under the serving tier's compute lock.
         """
         delta = self.delta
         base = self.base
-        if not delta.touched and hasattr(base, "variant_generator"):
-            return base.variant_generator(
+        if hasattr(base, "variant_generator"):
+            base_generator = base.variant_generator(
                 max_errors=max_errors, cache_size=cache_size
+            )
+            if not delta.touched:
+                return base_generator
+            return OverlayVariantGenerator(
+                self,
+                base_generator,
+                max_errors=max_errors,
+                cache_size=cache_size,
             )
         return VariantGenerator(
             self.vocabulary.tokens(),

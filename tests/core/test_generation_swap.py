@@ -161,6 +161,51 @@ class TestServiceLiveUpdates:
         assert service.suggest(NEW_QUERY, 5)
         assert service.stats.updates_applied == 1
 
+    def test_malformed_payload_never_acknowledged(self, snapshot, service):
+        """A subtree that cannot parse must be rejected *before* the
+        fsync-ack — otherwise WAL replay would brick every reopen."""
+        path, document = snapshot
+        service.enable_live_updates(document)
+        poison = {
+            "op": "add", "dewey": [1],
+            "subtree": {"label": "book", "children": [{"text": "x"}]},
+        }
+        with pytest.raises(Exception):
+            service.apply_updates([poison])
+        assert service.live.acked_records == 0
+        service.close()
+        # Reopen from disk: recovery must not crash on a poison record.
+        with SuggestionService(
+            load_snapshot(path), config=XCleanConfig(max_errors=2)
+        ) as recovered:
+            live = recovered.enable_live_updates()
+            assert live.recovered_records == 0
+
+    def test_finished_recovery_installs_fresh_base(self, snapshot):
+        """Crash window 1 (live source ahead, snapshot build died):
+        the open finishes the fold — and the service must *serve* the
+        folded generation, not the stale snapshot it loaded."""
+        from repro.index.compaction import LiveIndexManager
+
+        path, document = snapshot
+        with LiveIndexManager(path, document=document) as live:
+            live.apply([NEW_BOOK])
+            live._write_live_source(live.document, live.generation + 1)
+        stale = load_snapshot(path)
+        assert stale.data_generation == 0
+        with SuggestionService(
+            stale, config=XCleanConfig(max_errors=2)
+        ) as service:
+            live = service.enable_live_updates()
+            assert live.generation == 1
+            assert live.recovered_records == 0
+            assert not live.delta.dirty
+            # data_generation and the serving corpus must agree.
+            assert service.data_generation == 1
+            assert getattr(service.corpus, "data_generation", None) == 1
+            found = service.suggest(NEW_QUERY, 5)
+            assert found and "zanzibar" in found[0].tokens[0]
+
 
 class TestCacheEpochs:
     """A swap must make every pre-swap cache entry unreachable."""
@@ -350,3 +395,85 @@ class TestShardedLiveUpdates:
             assert service.data_generation == 1
             found = service.suggest(NEW_QUERY, 5)
             assert found and "zanzibar" in found[0].tokens[0]
+
+    def test_finished_recovery_swaps_manifest(self, tmp_path):
+        """Crash window 1: the open finishes the interrupted fold, and
+        the service must swap onto the folded manifest, not keep
+        serving the stale shard set it loaded."""
+        from repro.index.compaction import LiveIndexManager
+
+        document = base_document()
+        directory = str(tmp_path / "shards-window1")
+        build_sharded_snapshot(
+            build_corpus_index(document), directory, shards=2
+        )
+        with LiveIndexManager(directory, document=document) as live:
+            live.apply([NEW_BOOK])
+            live._write_live_source(live.document, live.generation + 1)
+        manifest = load_manifest(
+            os.path.join(directory, MANIFEST_NAME)
+        )
+        assert manifest.generation == 0
+        with ShardedSuggestionService(
+            manifest, config=XCleanConfig(max_errors=2)
+        ) as service:
+            live = service.enable_live_updates()
+            assert live.recovered_records == 0
+            assert service.data_generation == 1
+            assert service.manifest.generation == 1
+            found = service.suggest(NEW_QUERY, 5)
+            assert found and "zanzibar" in found[0].tokens[0]
+
+    def test_acked_but_unfolded_records_survive_failed_fold(
+        self, tmp_path, monkeypatch
+    ):
+        """A record that was fsync-acked but failed to fold must not
+        be counted as applied, and compaction must not reset the WAL
+        over it — replay on reopen recovers every acked record."""
+        import repro.index.compaction as compaction_module
+        from repro.exceptions import UpdateError
+        from repro.index.compaction import LiveIndexManager
+
+        second = WalRecord(
+            op="add", dewey=(1,),
+            subtree=node_to_json(book("paxos consensus", "lamport")),
+        )
+        document = base_document()
+        directory = str(tmp_path / "shards-fold")
+        build_sharded_snapshot(
+            build_corpus_index(document), directory, shards=2
+        )
+        manifest = load_manifest(
+            os.path.join(directory, MANIFEST_NAME)
+        )
+        with ShardedSuggestionService(
+            manifest, config=XCleanConfig(max_errors=2)
+        ) as service:
+            service.enable_live_updates(document)
+            real_apply = compaction_module.apply_record
+            calls = {"n": 0}
+
+            def flaky_apply(doc, record):
+                calls["n"] += 1
+                if calls["n"] == 2:
+                    raise UpdateError("injected fold failure")
+                return real_apply(doc, record)
+
+            monkeypatch.setattr(
+                compaction_module, "apply_record", flaky_apply
+            )
+            with pytest.raises(UpdateError):
+                service.apply_updates([NEW_BOOK, second])
+            monkeypatch.undo()
+            # Both records were acked; only the first reached the
+            # document.  Nothing may be compacted (that would discard
+            # the second) and the stat counts only real folds.
+            assert service.live.acked_records == 2
+            assert service.live.applied_records == 1
+            assert service.stats.updates_applied == 0
+            assert service.data_generation == 0
+        # Replay on reopen recovers *both* acknowledged records.
+        with LiveIndexManager(directory) as recovered:
+            assert recovered.recovered_records == 2
+            assert recovered.document.node_at((1, 4)) is not None
+            assert recovered.document.node_at((1, 5)) is not None

@@ -148,6 +148,62 @@ class TestOpenAndRecovery:
             LiveIndexManager(path)
 
 
+class TestPayloadValidation:
+    """No record may be fsync-acknowledged unless replay can apply it.
+
+    A WAL-acked record that later fails ``apply_record`` would poison
+    every subsequent open (replay re-applies it and the open crashes),
+    so validation must fully parse the payload *before* the append.
+    """
+
+    POISON_CHILD = {"label": "book", "children": [{"text": "no label"}]}
+
+    @pytest.mark.parametrize("op,dewey", [("add", (1,)), ("update", (1, 1))])
+    def test_malformed_subtree_rejected_before_ack(
+        self, snapshot, op, dewey
+    ):
+        path, document = snapshot
+        poison = WalRecord(op=op, dewey=dewey, subtree=self.POISON_CHILD)
+        with LiveIndexManager(path, document=document) as manager:
+            with pytest.raises(UpdateError):
+                manager.apply([poison])
+            assert manager.acked_records == 0
+            assert manager.applied_records == 0
+        # Nothing hit the log: recovery is clean, not bricked.
+        with LiveIndexManager(path) as reopened:
+            assert reopened.recovered_records == 0
+            assert_serves_like_rebuild(reopened)
+
+    def test_compact_refuses_to_discard_acked_but_unfolded(
+        self, snapshot, monkeypatch
+    ):
+        """An acked record whose fold failed lives only in the WAL;
+        compacting would reset the log and silently discard it."""
+        import repro.index.compaction as compaction_module
+
+        path, document = snapshot
+        with LiveIndexManager(path, document=document) as manager:
+
+            def dying_apply(doc, record):
+                raise UpdateError("injected fold failure")
+
+            monkeypatch.setattr(
+                compaction_module, "apply_record", dying_apply
+            )
+            with pytest.raises(UpdateError):
+                manager.apply(OPS[:1])
+            monkeypatch.undo()
+            assert manager.acked_records == 1
+            assert manager.applied_records == 0
+            with pytest.raises(UpdateError, match="refusing to compact"):
+                manager.compact()
+        # The acknowledged record survived in the log: replay folds it.
+        with LiveIndexManager(path) as recovered:
+            assert recovered.recovered_records == 1
+            assert recovered.document.node_at((1, 4)) is not None
+            assert_serves_like_rebuild(recovered)
+
+
 class TestCompaction:
     def test_generation_stamped_everywhere(self, snapshot):
         path, document = snapshot

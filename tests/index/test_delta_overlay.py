@@ -254,6 +254,96 @@ class TestSuggestionEquivalence:
             base.close()
 
 
+class TestOverlayVariantGenerator:
+    """Incremental var_ε(q): O(|touched|) to build, exact output.
+
+    Installing a fresh suggester after every update batch must not
+    rebuild a deletion-neighborhood index over the whole merged
+    vocabulary (that build runs under the serving tier's compute lock);
+    the incremental generator wraps the base index and must return the
+    *identical* sorted variant sets a from-scratch rebuild would.
+    """
+
+    PROBES = (
+        "speling", "sugestion", "serach", "databse", "dewei",
+        "knutt", "cod", "codd", "entitee", "indx", "quer",
+    )
+
+    def overlay_on_snapshot(self, tmp_path, records):
+        document = base_document()
+        path = str(tmp_path / "vg.xcs3")
+        build_snapshot(build_corpus_index(document), path)
+        base = load_snapshot(path)
+        overlay, applied = overlay_over(base, document, records)
+        return base, overlay, applied
+
+    def test_matches_full_rebuild(self, tmp_path):
+        from repro.fastss.generator import VariantGenerator
+        from repro.index.delta import OverlayVariantGenerator
+
+        base, overlay, applied = self.overlay_on_snapshot(
+            tmp_path, OPS
+        )
+        try:
+            generator = overlay.variant_generator(max_errors=2)
+            assert isinstance(generator, OverlayVariantGenerator)
+            reference = VariantGenerator(
+                build_corpus_index(applied).vocabulary.tokens(),
+                max_errors=2,
+            )
+            for keyword in self.PROBES:
+                assert generator.variants(keyword) == (
+                    reference.variants(keyword)
+                ), keyword
+                assert generator.variant_tokens(keyword) == (
+                    reference.variant_tokens(keyword)
+                ), keyword
+        finally:
+            base.close()
+
+    def test_added_and_deleted_tokens(self, tmp_path):
+        records = [
+            WalRecord(
+                op="add", dewey=(1,),
+                subtree=node_to_json(book("zanzibar", "pat")),
+            ),
+            # Deletes book 1.1 — the only home of "codd".
+            WalRecord(op="delete", dewey=(1, 1)),
+        ]
+        base, overlay, _ = self.overlay_on_snapshot(tmp_path, records)
+        try:
+            generator = overlay.variant_generator(max_errors=2)
+            # Brand-new token: suggestible through the delta index.
+            assert "zanzibar" in generator.variant_tokens("zanziber")
+            # Fully deleted token: filtered out of base hits.
+            assert "codd" not in generator.variant_tokens("codd")
+            assert generator.distance_of("zanziber", "zanzibar") == 1
+            assert generator.distance_of("codd", "codd") is None
+        finally:
+            base.close()
+
+    def test_clean_overlay_returns_base_generator(self, tmp_path):
+        from repro.index.delta import OverlayVariantGenerator
+
+        base, overlay, _ = self.overlay_on_snapshot(tmp_path, [])
+        try:
+            generator = overlay.variant_generator(max_errors=2)
+            assert not isinstance(generator, OverlayVariantGenerator)
+        finally:
+            base.close()
+
+    def test_variant_memo_counts(self, tmp_path):
+        base, overlay, _ = self.overlay_on_snapshot(tmp_path, OPS)
+        try:
+            generator = overlay.variant_generator(max_errors=2)
+            first = generator.variants("speling")
+            assert generator.variants("speling") is first
+            assert generator.cache_hits == 1
+            assert generator.cache_misses == 1
+        finally:
+            base.close()
+
+
 class TestVisibilitySemantics:
     def test_new_tokens_are_suggestable(self):
         document = base_document()
