@@ -11,7 +11,10 @@ Heavy work (dataset builds, the standard 4-system × 6-workload
 evaluation) is memoized per process so the whole suite builds each
 corpus once.
 
-Set ``REPRO_BENCH_SCALE=small`` for a quick smoke run.
+Set ``REPRO_BENCH_SCALE=small`` for a quick smoke run, and
+``REPRO_BENCH_OUT=<dir>`` to redirect artifacts away from the
+committed ``benchmarks/out/`` baseline (the regression gate in
+``compare.py`` diffs the two).
 """
 
 from __future__ import annotations
@@ -27,7 +30,11 @@ from repro.eval.experiments import (
 )
 from repro.eval.runner import EvalResult, evaluate_suggester
 
-OUT_DIR = Path(__file__).parent / "out"
+# Artifact directory; REPRO_BENCH_OUT redirects it so CI can write
+# candidate results next to (not over) the committed baseline.
+OUT_DIR = Path(
+    os.environ.get("REPRO_BENCH_OUT", str(Path(__file__).parent / "out"))
+)
 
 WORKLOAD_KINDS = ("CLEAN", "RAND", "RULE")
 

@@ -15,12 +15,20 @@ Measures, on the synthetic DBLP dataset:
   one pool start and answer everything without degrading;
 * fault-hook overhead: the ``repro.obs.faults`` injection sites with
   no plan installed vs an armed-but-idle plan — both inside the same
-  ceiling as the metrics instrumentation.
+  ceiling as the metrics instrumentation;
+* ops-plane overhead: the per-request work the observability plane
+  adds at the HTTP edge — one SLO ring-buffer record plus one JSONL
+  access-log line per query — against the bare suggest path;
+* live-update stage timers: one apply → compact cycle through an
+  instrumented service, with the ``wal_append`` / ``delta_apply`` /
+  ``compact`` / ``swap`` stage histograms embedded in the artifact.
 
 Shapes asserted: instrumentation overhead stays under 5% at the
 ``default`` scale (per-query work dominates a handful of counter
-bumps); at the tiny ``small`` smoke scale queries take microseconds,
-fixed costs dominate, and only a relaxed bound is asserted.
+bumps); the ops-plane (SLO rings + request logging) stays inside the
+same ceiling; at the tiny ``small`` smoke scale queries take
+microseconds, fixed costs dominate, and only a relaxed bound is
+asserted.
 
 Results are emitted as text (``out/serving.txt``) and JSON
 (``out/BENCH_serving.json``).
@@ -44,8 +52,12 @@ from repro.index.storage_binary import (
     load_index_binary,
     save_index_binary,
 )
+from repro.index.wal import WalRecord
 from repro.obs import INDEX_LOAD_STAGE, MetricsRegistry, faults
+from repro.obs.logging import NULL_REQUEST_LOG, RequestLog
+from repro.obs.slo import NULL_SLO, SLOTracker
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.xmltree.node import XMLNode
 
 #: Alternating timed passes per configuration (best-of wins).
 PASSES = 7
@@ -180,6 +192,125 @@ def bench_fault_overhead(setting, queries):
     }
 
 
+def ops_pass(suggester, queries, slo, log):
+    """One timed pass through the front-end's per-request ops work.
+
+    The same loop shape runs for both configurations — only the ops
+    objects differ (live tracker + JSONL log vs their null twins), so
+    the measured delta is exactly what the ops plane adds, not harness
+    bookkeeping.  This mirrors the front-end: the SLO record is
+    unconditional, the access-log line is behind the ``enabled`` flag.
+    """
+    clock = time.perf_counter
+    began = clock()
+    for query in queries:
+        q_began = clock()
+        suggester.suggest(query, 10)
+        elapsed = clock() - q_began
+        slo.record("served", elapsed)
+        if log.enabled:
+            log.log({
+                "id": "bench", "method": "GET",
+                "path": "/suggest", "status": 200,
+                "outcome": "served",
+                "latency_s": round(elapsed, 6),
+            })
+    return clock() - began
+
+
+def bench_ops_overhead(setting, queries):
+    """Per-request cost of the ops plane: SLO ring + access-log line.
+
+    The HTTP front-end pays exactly this per answered request — one
+    ``SLOTracker.record`` (a couple of dict bumps in a per-second
+    ring cell) and one JSONL line (dict → json.dumps → buffered write
+    + flush).  Passes alternate between the null-ops path and the
+    live-ops path so clock drift and cache effects hit both equally;
+    the best-of-N ratio must stay inside the instrumentation ceiling.
+    """
+    plain = make_suggester(setting)
+    instrumented = make_suggester(setting)
+    for suggester in (plain, instrumented):
+        for query in queries:  # warm variant/merged/type caches
+            suggester.suggest(query, 10)
+    plain_times, ops_times = [], []
+    with tempfile.TemporaryDirectory() as tmp:
+        log = RequestLog(str(Path(tmp) / "access.jsonl"))
+        slo = SLOTracker()
+        try:
+            for _ in range(PASSES):
+                plain_times.append(
+                    ops_pass(plain, queries, NULL_SLO, NULL_REQUEST_LOG)
+                )
+                ops_times.append(
+                    ops_pass(instrumented, queries, slo, log)
+                )
+        finally:
+            log.close()
+    best_plain = min(plain_times)
+    best_ops = min(ops_times)
+    return {
+        "queries_per_pass": len(queries),
+        "passes": PASSES,
+        "disabled_best_s": best_plain,
+        "enabled_best_s": best_ops,
+        "overhead_ratio": best_ops / best_plain,
+        "slo_availability_1m": slo.window_report(60)["availability"],
+    }
+
+
+def _book_record(token: str) -> WalRecord:
+    from repro.index.delta import node_to_json
+
+    node = XMLNode("book")
+    node.add_child(XMLNode("title", text=f"{token} consistency"))
+    node.add_child(XMLNode("author", text="spanner"))
+    return WalRecord(op="add", dewey=(1,), subtree=node_to_json(node))
+
+
+def bench_live_update_stages(setting):
+    """One apply → compact cycle, read back through the stage timers.
+
+    Runs the live-update pipeline against a throwaway snapshot with a
+    live registry attached, then reports the per-stage histograms the
+    pipeline now emits (``wal_append``, ``delta_apply``, ``compact``,
+    ``swap``) plus the WAL/compaction counters — the numbers
+    ``xclean metrics --ops`` and ``/statusz`` surface in production.
+    """
+    registry = MetricsRegistry()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = str(Path(tmp) / "live.xcs3")
+        build_snapshot(setting.corpus, path)
+        with SuggestionService(
+            load_snapshot(path),
+            config=XCleanConfig(max_errors=2, beta=5.0, gamma=1000),
+            metrics=registry,
+        ) as service:
+            service.enable_live_updates(setting.document)
+            for i in range(3):
+                service.apply_updates([_book_record(f"zanzibar{i}x")])
+            service.compact()
+            live_status = service.live.status()
+    snapshot = registry.snapshot().as_dict()
+    stages = {
+        name: stats
+        for name, stats in snapshot["stages"].items()
+        if name in ("wal_append", "delta_apply", "compact", "swap")
+    }
+    counters = {
+        key: value
+        for key, value in snapshot["counters"].items()
+        if key.startswith(("wal_", "compactions_",
+                           "generation_swaps"))
+    }
+    return {
+        "updates_applied": 3,
+        "stages": stages,
+        "counters": counters,
+        "last_compaction": live_status["last_compaction"],
+    }
+
+
 def bench_service(setting, queries):
     """Instrumented batch serving over a skewed trace."""
     trace = queries * TRACE_REPEATS
@@ -265,9 +396,11 @@ def test_serving(benchmark):
     overhead = bench_overhead(setting, queries)
     trace_overhead = bench_trace_overhead(setting, queries)
     fault_overhead = bench_fault_overhead(setting, queries)
+    ops_overhead = bench_ops_overhead(setting, queries)
     service = bench_service(setting, queries)
     pool = bench_pool_reuse(setting, queries)
     index_load = bench_index_load(setting)
+    live_update = bench_live_update_stages(setting)
 
     ceiling = OVERHEAD_CEILINGS.get(scale, OVERHEAD_CEILINGS["small"])
     report = {
@@ -278,9 +411,11 @@ def test_serving(benchmark):
         "overhead": {**overhead, "ceiling": ceiling},
         "trace_overhead": {**trace_overhead, "ceiling": ceiling},
         "fault_overhead": {**fault_overhead, "ceiling": ceiling},
+        "ops_overhead": {**ops_overhead, "ceiling": ceiling},
         "service": service,
         "pool": pool,
         "index_load": index_load,
+        "live_update": live_update,
     }
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / "BENCH_serving.json").write_text(
@@ -335,9 +470,41 @@ def test_serving(benchmark):
         ],
         title="Stage timers (instrumented run)",
     )
+    ops_table = format_table(
+        ("Configuration", "best pass (ms)", "per query (us)"),
+        [
+            (
+                name,
+                1e3 * ops_overhead[key],
+                1e6
+                * ops_overhead[key]
+                / ops_overhead["queries_per_pass"],
+            )
+            for name, key in (
+                ("bare suggest", "disabled_best_s"),
+                ("suggest + SLO + access log", "enabled_best_s"),
+            )
+        ],
+        title=f"Ops-plane overhead ({scale} scale)",
+    )
+    live_table = format_table(
+        ("Live-update stage", "count", "mean ms", "p95 ms"),
+        [
+            (
+                name,
+                stats["count"],
+                1e3 * stats["mean"],
+                1e3 * stats["p95"],
+            )
+            for name, stats in sorted(live_update["stages"].items())
+        ],
+        title="Live-update stage timers (apply x3 + compact)",
+    )
     fault_ratio = fault_overhead["overhead_ratio"]
+    ops_ratio = ops_overhead["overhead_ratio"]
     trace_disabled = trace_overhead["disabled_ratio"]
     trace_enabled = trace_overhead["enabled_ratio"]
+    live_stage_names = set(live_update["stages"])
     checks = [
         shape_check(
             f"instrumentation overhead {ratio:.3f}x <= {ceiling}x",
@@ -352,6 +519,18 @@ def test_serving(benchmark):
             f"fault-hook overhead {fault_ratio:.3f}x <= {ceiling}x "
             f"(armed idle plan vs no plan)",
             fault_ratio <= ceiling,
+        ),
+        shape_check(
+            f"ops-plane overhead {ops_ratio:.3f}x <= {ceiling}x "
+            f"(SLO ring + access-log line per query)",
+            ops_ratio <= ceiling,
+        ),
+        shape_check(
+            "live-update stage timers recorded "
+            "(wal_append, delta_apply, compact, swap)",
+            live_stage_names
+            >= {"wal_append", "delta_apply", "compact", "swap"}
+            and live_update["last_compaction"]["outcome"] == "ok",
         ),
         shape_check(
             "result cache absorbed the repeated trace queries",
@@ -375,6 +554,10 @@ def test_serving(benchmark):
         + trace_table
         + "\n"
         + stage_table
+        + "\n"
+        + ops_table
+        + "\n"
+        + live_table
         + "\n"
         + format_table(
             ("Serving trace", "value"),

@@ -16,7 +16,8 @@ Installed as the ``xclean`` console script::
     xclean evaluate --dataset dblp --scale small
     xclean chaos --index dblp.xci --queries queries.txt \
         --plan "worker.query:raise@2;merge.step:delay=0.001"
-    xclean serve --index dblp.xci --port 8080 --max-pending 64
+    xclean serve --index dblp.xci --port 8080 --access-log access.jsonl
+    xclean status --index dblp.xci [--watch]
     xclean update --index dblp.xci --ops updates.json --source dblp.xml
     xclean compact --index dblp.xci
 """
@@ -266,6 +267,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="json",
         help="export format: JSON snapshot or Prometheus text",
     )
+    metrics.add_argument(
+        "--ops", default=None,
+        help="JSON update-ops file to apply first, so the live-update "
+        "stage timers (wal_append, delta_apply, compact) land in the "
+        "same export as the query stages",
+    )
+    metrics.add_argument(
+        "--source", default=None,
+        help="XML source backing --ops subtree inserts",
+    )
+    metrics.add_argument(
+        "--compact", action="store_true",
+        help="fold the applied --ops into a new generation before "
+        "serving, timing the compact stage",
+    )
 
     search = sub.add_parser(
         "search", help="execute a keyword query (no spell correction)"
@@ -399,6 +415,53 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-body-bytes", type=int, default=64 * 1024,
         help="reject request bodies larger than this (HTTP 413)",
+    )
+    serve.add_argument(
+        "--access-log", default=None,
+        help="append one JSONL line per request to this path "
+        "(schema: docs/observability.md, Ops plane)",
+    )
+    serve.add_argument(
+        "--plan", default=None,
+        help="fault plan spec to arm while serving (smoke/chaos "
+        "testing); same grammar as 'xclean chaos --plan'",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for deterministic fault corruption offsets",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float, default=None,
+        help="seconds the circuit breaker stays open before the "
+        "half-open probe (default 30; smoke tests shrink it so "
+        "degraded /readyz verdicts clear quickly)",
+    )
+
+    status = sub.add_parser(
+        "status",
+        help="report service health, data generation, WAL depth, and "
+        "process gauges for an index (the /statusz payload, offline)",
+    )
+    status.add_argument(
+        "--index", required=True,
+        help="index path or shard-manifest directory",
+    )
+    status.add_argument(
+        "--replicas", type=int, default=0,
+        help="replica pools per shard when --index is a shard manifest",
+    )
+    status.add_argument(
+        "--routing", choices=("round-robin", "least-loaded"),
+        default="round-robin",
+    )
+    status.add_argument(
+        "--watch", action="store_true",
+        help="refresh a one-line summary every --interval seconds "
+        "until interrupted",
+    )
+    status.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between --watch refreshes",
     )
 
     verify = sub.add_parser(
@@ -751,6 +814,22 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     # The registry exists before the load so the index_load stage (and
     # the pool_init_bytes counter) lands in the exported snapshot.
     registry = MetricsRegistry()
+    if args.ops:
+        from repro.index.compaction import LiveIndexManager
+
+        document = (
+            XMLDocument.from_file(args.source) if args.source else None
+        )
+        with open(args.ops, encoding="utf-8") as handle:
+            ops = json.load(handle)
+        if isinstance(ops, dict):
+            ops = [ops]
+        with LiveIndexManager(
+            args.index, document=document, metrics=registry
+        ) as live:
+            live.apply(ops)
+            if args.compact:
+                live.compact()
     corpus = _load_any_index(args.index, metrics=registry)
     queries = _read_queries(args.queries)
     with SuggestionService(
@@ -909,6 +988,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service_kwargs = {}
     if args.result_cache_size is not None:
         service_kwargs["result_cache_size"] = args.result_cache_size
+    if args.breaker_cooldown is not None:
+        service_kwargs["breaker_cooldown"] = args.breaker_cooldown
     service = _open_service(
         args,
         registry,
@@ -918,10 +999,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             gamma=args.gamma,
             engine=args.engine,
             deadline_seconds=args.deadline,
+            fault_plan=args.plan,
+            fault_seed=args.seed,
         ),
         max_pending=args.max_pending or None,
         **service_kwargs,
     )
+    request_log = None
+    if args.access_log:
+        from repro.obs.logging import RequestLog
+
+        request_log = RequestLog(args.access_log, metrics=registry)
     front_end = HTTPFrontEnd(
         service,
         ServeConfig(
@@ -934,6 +1022,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             drain_grace=args.drain_grace,
             single_flight=not args.no_single_flight,
         ),
+        request_log=request_log,
     )
 
     async def _serve() -> None:
@@ -950,6 +1039,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     print("drained; exiting", flush=True)
     return 0
+
+
+def _status_line(payload: dict) -> str:
+    """One ``--watch`` row: the fields an operator scans first."""
+    health = payload["health"]
+    service = payload["service"]
+    process = payload["process"]
+    live = service.get("live") or {}
+    line = (
+        f"{time.strftime('%H:%M:%S')} {health['state']:<9} "
+        f"gen={service.get('data_generation')} "
+        f"epoch={service.get('swap_epoch')} "
+        f"inflight={service.get('inflight')} "
+        f"wal={live.get('wal_records', 0)} "
+        f"rss={process['rss_bytes'] // (1 << 20)}MiB"
+    )
+    if health["reasons"]:
+        line += " " + ",".join(health["reasons"])
+    return line
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.obs.ops import status_payload
+
+    registry = MetricsRegistry()
+    service = _open_service(args, registry, XCleanConfig())
+    with service:
+        if not args.watch:
+            print(json.dumps(
+                status_payload(service), indent=2, sort_keys=True
+            ))
+            return 0
+        try:
+            while True:
+                print(_status_line(status_payload(service)), flush=True)
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -1066,6 +1193,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,
+    "status": _cmd_status,
     "verify": _cmd_verify,
     "update": _cmd_update,
     "compact": _cmd_compact,

@@ -59,6 +59,7 @@ simply degrade to in-process execution.
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 import os
 import pickle
@@ -560,11 +561,66 @@ class SuggestionService:
         return self.metrics_registry.snapshot()
 
     # ------------------------------------------------------------------
+    # The ops plane (/readyz, /statusz — see repro/obs/ops.py)
+    # ------------------------------------------------------------------
+
+    def health(self, *, draining: bool = False):
+        """Readiness verdict: ready / degraded / not_ready + reasons.
+
+        Degraded means "still answering correctly, but impaired":
+        the worker-pool breaker is open, the backing snapshot was
+        quarantined, the service is pinned to the in-process path
+        (live overlay, or a suspect pool awaiting its re-fork).
+        ``draining`` is the front-end's shutdown flag.
+        """
+        from repro.obs.ops import evaluate_health
+
+        with self._lock:
+            breaker_state = self.breaker.state
+            quarantined = self._snapshot_degraded
+            pinned = self._live_pinned
+            suspect = self._pool_suspect
+            closed = self._closed
+        return evaluate_health(
+            not_ready=[
+                (closed, "service_closed"),
+                (draining, "draining"),
+            ],
+            degraded=[
+                (breaker_state == "open", "breaker_open"),
+                (quarantined, "snapshot_quarantined"),
+                (pinned, "live_overlay_pinned"),
+                (suspect, "worker_pool_suspect"),
+            ],
+        )
+
+    def status(self) -> dict:
+        """The service half of ``/statusz`` (see ``obs/ops.py``)."""
+        with self._lock:
+            payload = {
+                "mode": "single",
+                "data_generation": self.data_generation,
+                "swap_epoch": self._swap_epoch,
+                "inflight": self._inflight,
+                "breaker": self.breaker.state,
+                "live_pinned": self._live_pinned,
+                "snapshot_quarantined": self._snapshot_degraded,
+                "closed": self._closed,
+                "stats": dataclasses.asdict(self.stats),
+            }
+        live = self._live
+        payload["live"] = (
+            live.status() if live is not None else None
+        )
+        return payload
+
+    # ------------------------------------------------------------------
     # Tracing & the flight recorder
     # ------------------------------------------------------------------
 
     @contextmanager
     def _traced_request(self, name: str, query: str,
+                        trace_id: str | None = None,
                         **attributes) -> Iterator[None]:
         """Root span + flight-recorder entry around one request.
 
@@ -573,6 +629,11 @@ class SuggestionService:
         On close, the service-level verdict flags (partial / degraded
         / faulted / error) are derived from :attr:`stats` deltas and
         the finished trace is retained by the flight recorder.
+
+        ``trace_id`` lets a caller that already minted a correlation
+        id (the HTTP front-end, at request arrival) make it the trace
+        id, so the access-log line, the span tree, and any
+        flight-recorder entry all share one id.
         """
         tracer = self.tracer
         if not tracer.enabled:
@@ -588,7 +649,7 @@ class SuggestionService:
         degraded0 = stats.degraded_queries
         faults = _active_faults()
         fired0 = sum(faults.fired().values()) if faults.enabled else 0
-        tracer.begin(name, query=query, **attributes)
+        tracer.begin(name, trace_id=trace_id, query=query, **attributes)
         error: str | None = None
         try:
             yield
@@ -822,7 +883,8 @@ class SuggestionService:
         return self.suggest_detailed(query, k)[0]
 
     def suggest_detailed(
-        self, query: str, k: int = 10, *, pre_admitted: bool = False
+        self, query: str, k: int = 10, *, pre_admitted: bool = False,
+        trace_id: str | None = None,
     ) -> tuple[list[Suggestion], CleaningStats]:
         """:meth:`suggest` plus this call's own :class:`CleaningStats`.
 
@@ -833,9 +895,10 @@ class SuggestionService:
         already reserved its admission slot via :meth:`admit` (the
         HTTP front-end does, so shedding happens before the request
         ever occupies an executor thread) and keeps the obligation to
-        :meth:`release` it.
+        :meth:`release` it.  ``trace_id`` is the caller-minted
+        correlation id, if any (see :meth:`_traced_request`).
         """
-        with self._traced_request("request", query):
+        with self._traced_request("request", query, trace_id=trace_id):
             if not pre_admitted:
                 self._admit(1)
             try:
@@ -1645,6 +1708,8 @@ class SuggestionService:
         generation; the overlay path keeps the in-lock rebuild cheap
         via the incremental ``OverlayVariantGenerator``.
         """
+        metrics = self.metrics_registry
+        began = perf_counter() if metrics.enabled else 0.0
         if suggester is None:
             suggester = self._prepare_install(corpus)
         with self._lock:
@@ -1654,8 +1719,9 @@ class SuggestionService:
             self._live_pinned = pin
             self._snapshot_degraded = False
             self.stats.generation_swaps += 1
-        if self.metrics_registry.enabled:
-            self.metrics_registry.inc("generation_swaps_total")
+        if metrics.enabled:
+            metrics.inc("generation_swaps_total")
+            metrics.observe_stage("swap", perf_counter() - began)
 
     def _after_swap(self) -> None:
         """Retire the previous generation's worker pool.

@@ -32,6 +32,7 @@ recorder — so the HTTP front-end and the CLI drive either one.
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 import math
 import os
@@ -585,6 +586,85 @@ class ShardedSuggestionService:
             self._generation += 1
 
     # ------------------------------------------------------------------
+    # The ops plane (/readyz, /statusz — see repro/obs/ops.py)
+    # ------------------------------------------------------------------
+
+    def health(self, *, draining: bool = False):
+        """Readiness verdict: ready / degraded / not_ready + reasons.
+
+        A generation swap in progress is **ready**: the gate queues
+        arrivals instead of shedding them, so routine live updates
+        must not flap readiness.  An open replica breaker degrades; a
+        shard whose every replica breaker is open has fallen back to
+        in-process execution entirely — degraded too (and named so).
+        """
+        from repro.obs.ops import evaluate_health
+
+        degraded: list[tuple[bool, str]] = []
+        with self._lock:
+            closed = self._closed
+            for row in self._pools:
+                open_replicas = 0
+                for replica in row:
+                    if replica.breaker.state == "open":
+                        open_replicas += 1
+                        degraded.append((
+                            True,
+                            f"breaker_open shard={replica.shard_id} "
+                            f"replica={replica.replica_id}",
+                        ))
+                if row and open_replicas == len(row):
+                    degraded.append((
+                        True,
+                        f"in_process_fallback "
+                        f"shard={row[0].shard_id}",
+                    ))
+        return evaluate_health(
+            not_ready=[
+                (closed, "service_closed"),
+                (draining, "draining"),
+            ],
+            degraded=degraded,
+        )
+
+    def status(self) -> dict:
+        """The service half of ``/statusz`` (see ``obs/ops.py``)."""
+        with self._lock:
+            shards = [
+                {
+                    "shard": shard_id,
+                    "path": self._shard_paths[shard_id],
+                    "replicas": [
+                        {
+                            "replica": replica.replica_id,
+                            "breaker": replica.breaker.state,
+                            "inflight": replica.inflight,
+                        }
+                        for replica in row
+                    ],
+                }
+                for shard_id, row in enumerate(self._pools)
+            ]
+            payload = {
+                "mode": "sharded",
+                "data_generation": self.data_generation,
+                "swap_epoch": self._generation,
+                "swapping": self._swapping,
+                "inflight": self._inflight,
+                "shard_count": self.shard_count,
+                "replicas": self.replicas,
+                "routing": self.routing,
+                "closed": self._closed,
+                "shards": shards,
+                "stats": dataclasses.asdict(self.stats),
+            }
+        live = self._live
+        payload["live"] = (
+            live.status() if live is not None else None
+        )
+        return payload
+
+    # ------------------------------------------------------------------
     # Live updates & the generation swap
     # ------------------------------------------------------------------
     #
@@ -736,10 +816,13 @@ class ShardedSuggestionService:
                 f"generation swap cannot change the shard count "
                 f"({self.shard_count} -> {len(paths)})"
             )
+        metrics = self.metrics_registry
+        began = perf_counter() if metrics.enabled else 0.0
         with self._lock:
             self._swapping = True
             while self._inflight > 0:
                 self._swap_gate.wait()
+        drained = perf_counter() if metrics.enabled else 0.0
         try:
             with self._local_lock:
                 self._local = {}
@@ -753,8 +836,14 @@ class ShardedSuggestionService:
                 self._generation += 1
                 self.stats.generation_swaps += 1
             self.corpus = self._local_suggester(0).corpus
-            if self.metrics_registry.enabled:
-                self.metrics_registry.inc("generation_swaps_total")
+            if metrics.enabled:
+                metrics.inc("generation_swaps_total")
+                # Drain time is the availability-relevant slice: how
+                # long new arrivals sat queued behind the gate.
+                metrics.observe_stage("swap_drain", drained - began)
+                metrics.observe_stage(
+                    "swap", perf_counter() - began
+                )
         finally:
             with self._lock:
                 self._swapping = False
@@ -766,6 +855,7 @@ class ShardedSuggestionService:
 
     @contextmanager
     def _traced_request(self, name: str, query: str,
+                        trace_id: str | None = None,
                         **attributes) -> Iterator[None]:
         tracer = self.tracer
         if not tracer.enabled:
@@ -781,7 +871,7 @@ class ShardedSuggestionService:
         degraded0 = stats.degraded_queries
         faults = _active_faults()
         fired0 = sum(faults.fired().values()) if faults.enabled else 0
-        tracer.begin(name, query=query, **attributes)
+        tracer.begin(name, trace_id=trace_id, query=query, **attributes)
         error: str | None = None
         try:
             yield
@@ -945,11 +1035,13 @@ class ShardedSuggestionService:
         return self.suggest_detailed(query, k)[0]
 
     def suggest_detailed(
-        self, query: str, k: int = 10, *, pre_admitted: bool = False
+        self, query: str, k: int = 10, *, pre_admitted: bool = False,
+        trace_id: str | None = None,
     ) -> tuple[list[Suggestion], CleaningStats]:
         """:meth:`suggest` plus this call's own :class:`CleaningStats`."""
         with self._traced_request(
-            "request", query, shards=self.shard_count
+            "request", query, trace_id=trace_id,
+            shards=self.shard_count,
         ):
             if not pre_admitted:
                 self.admit(1)

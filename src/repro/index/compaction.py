@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import os
+from time import perf_counter
 
 from repro.exceptions import StorageError, UpdateError
 from repro.index.atomic import atomic_write
@@ -113,6 +114,14 @@ class LiveIndexManager:
         #: (which resets the log) would silently discard it;
         #: :meth:`compact` refuses while the gap exists.
         self.applied_records = 0
+        #: Records currently sitting in the WAL (since its last
+        #: reset): the "WAL depth" /statusz reports.  Replay seeds it;
+        #: every ack bumps it; compaction zeroes it.
+        self.wal_records = 0
+        #: ``{generation, duration_s, outcome, records_folded}`` of
+        #: the most recent :meth:`compact` (``outcome`` is ``"ok"`` or
+        #: ``"failed"``); ``None`` before the first one.
+        self.last_compaction: dict | None = None
 
         self.base = base if base is not None else self._load_base()
         self.generation = self._base_generation()
@@ -220,6 +229,7 @@ class LiveIndexManager:
                     result, self.tokenizer, self.base.path_table
                 )
         self.recovered_records = len(records)
+        self.wal_records = len(records)
         if records and not self.sharded:
             self.overlay.refresh()
 
@@ -289,19 +299,25 @@ class LiveIndexManager:
         segment.  A crash between ack and fold is repaired by WAL
         replay on the next open.
         """
+        metrics = self.metrics
         applied = 0
         for record in records:
             if isinstance(record, dict):
                 record = WalRecord.from_dict(record)
             self._validate(record)
-            self.wal.append(record)
+            with metrics.stage("wal_append"):
+                self.wal.append(record)
             self.acked_records += 1
-            result = apply_record(self.document, record)
-            self.applied_records += 1
-            if not self.sharded:
-                self.delta.apply(
-                    result, self.tokenizer, self.base.path_table
-                )
+            self.wal_records += 1
+            if metrics.enabled:
+                metrics.inc("wal_records_total")
+            with metrics.stage("delta_apply"):
+                result = apply_record(self.document, record)
+                self.applied_records += 1
+                if not self.sharded:
+                    self.delta.apply(
+                        result, self.tokenizer, self.base.path_table
+                    )
             applied += 1
         if applied and not self.sharded:
             self.overlay.refresh()
@@ -325,12 +341,38 @@ class LiveIndexManager:
                 f"resetting the WAL would discard them — reopen the "
                 f"index to recover them by replay"
             )
-        faults = _active_faults()
-        if faults.enabled:
-            faults.hit("compact.swap", path=self.wal_path)
+        began = perf_counter()
+        folding = self.wal_records
         new_generation = self.generation + 1
-        self._write_live_source(self.document, new_generation)
-        self._finish_compaction(new_generation, workers=workers)
+        try:
+            faults = _active_faults()
+            if faults.enabled:
+                faults.hit("compact.swap", path=self.wal_path)
+            self._write_live_source(self.document, new_generation)
+            self._finish_compaction(new_generation, workers=workers)
+        except BaseException:
+            duration = perf_counter() - began
+            self.last_compaction = {
+                "generation": new_generation,
+                "duration_s": duration,
+                "outcome": "failed",
+                "records_folded": folding,
+            }
+            if self.metrics.enabled:
+                self.metrics.inc(
+                    "compactions_total", outcome="failed"
+                )
+            raise
+        duration = perf_counter() - began
+        self.last_compaction = {
+            "generation": new_generation,
+            "duration_s": duration,
+            "outcome": "ok",
+            "records_folded": folding,
+        }
+        if self.metrics.enabled:
+            self.metrics.inc("compactions_total", outcome="ok")
+            self.metrics.observe_stage("compact", duration)
         return new_generation
 
     def _finish_compaction(
@@ -370,6 +412,7 @@ class LiveIndexManager:
             faults.hit("compact.swap", path=self.wal_path)
         self.wal = WriteAheadLog(self.wal_path)
         self.wal.reset(new_generation)
+        self.wal_records = 0
         self.generation = new_generation
         self.delta = DeltaSegment(max_records=self.max_records)
         self._overlay = None
@@ -385,6 +428,13 @@ class LiveIndexManager:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def wal_bytes(self) -> int:
+        """On-disk size of the WAL file (0 when absent)."""
+        try:
+            return os.path.getsize(self.wal_path)
+        except OSError:
+            return 0
+
     def describe(self) -> dict:
         return {
             "index_path": self.index_path,
@@ -393,4 +443,17 @@ class LiveIndexManager:
             "pending_records": len(self.delta.records),
             "recovered_records": self.recovered_records,
             "delta": self.delta.describe(),
+        }
+
+    def status(self) -> dict:
+        """The live-update half of ``/statusz`` (see ``obs/ops.py``)."""
+        return {
+            "generation": self.generation,
+            "wal_records": self.wal_records,
+            "wal_bytes": self.wal_bytes(),
+            "acked_records": self.acked_records,
+            "applied_records": self.applied_records,
+            "recovered_records": self.recovered_records,
+            "delta": self.delta.describe(),
+            "last_compaction": self.last_compaction,
         }

@@ -339,6 +339,28 @@ class DeltaSegment:
                 return True
         return False
 
+    def approx_bytes(self) -> int:
+        """Rough in-memory footprint of the segment.
+
+        A deterministic per-entry estimate (CPython container + tuple
+        overheads), not a deep ``getsizeof`` walk — /statusz polls
+        this, so it must stay O(tokens) and allocation-free.
+        """
+        postings = sum(len(p) for p in self.postings_add.values())
+        return (
+            64 * len(self.records)
+            + 88 * postings
+            + 56 * (
+                len(self.cf_delta) + len(self.df_delta)
+                + len(self.rel_new)
+            )
+            + 72 * (
+                len(self.subtree_delta) + len(self.path_node_delta)
+                + len(self.path_total_delta)
+            )
+            + 48 * (len(self.touched) + len(self.tombstones))
+        )
+
     def describe(self) -> dict:
         return {
             "records": len(self.records),
@@ -348,6 +370,7 @@ class DeltaSegment:
                 len(p) for p in self.postings_add.values()
             ),
             "total_tokens_delta": self.total_tokens_delta,
+            "approx_bytes": self.approx_bytes(),
             "needs_compaction": self.needs_compaction,
         }
 

@@ -219,6 +219,25 @@ def error_body(error: str, message: str, **extra: object) -> bytes:
     return json_body(payload)
 
 
+#: The correlation-id header, inbound (honored) and outbound (echoed).
+REQUEST_ID_HEADER = "x-request-id"
+
+#: Characters a client-supplied request id may use; anything else is
+#: discarded and a fresh id is minted (log-injection hygiene: the id
+#: lands verbatim in JSONL access logs and trace attributes).
+_REQUEST_ID_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_"
+)
+
+
+def valid_request_id(value: str | None) -> bool:
+    """Whether an inbound ``X-Request-Id`` is safe to adopt."""
+    if not value or len(value) > 64:
+        return False
+    return all(ch in _REQUEST_ID_OK for ch in value)
+
+
 def retry_after_header(seconds: float | None) -> tuple[str, str]:
     """A ``Retry-After`` header from a (possibly sub-second) hint.
 

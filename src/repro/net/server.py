@@ -41,6 +41,7 @@ from time import perf_counter
 from repro.core.server import SuggestionService
 from repro.exceptions import Overloaded, QueryError
 from repro.net.http import (
+    REQUEST_ID_HEADER,
     BadRequest,
     HTTPRequest,
     build_response,
@@ -48,14 +49,33 @@ from repro.net.http import (
     json_body,
     parse_request_head,
     retry_after_header,
+    valid_request_id,
 )
 from repro.net.singleflight import SingleFlight
+from repro.obs.logging import NULL_REQUEST_LOG, new_request_id
+from repro.obs.ops import export_process_gauges, status_payload
+from repro.obs.slo import SLOTracker
 
 logger = logging.getLogger(__name__)
 
 #: Upper bound on ``k`` accepted over the wire; a typo like
 #: ``k=100000`` must not turn one request into a giant answer.
 MAX_K = 100
+
+#: Outcomes the SLO tracker accepts (``repro/obs/slo.py``); 4xx client
+#: errors are logged but burn no error budget.
+_SLO_OUTCOMES = frozenset(("served", "partial", "shed", "error"))
+
+
+def _default_outcome(status: int) -> str:
+    """SLO outcome from an HTTP status when the answer set none."""
+    if status == 503:
+        return "shed"
+    if status >= 500:
+        return "error"
+    if status >= 400:
+        return "client_error"
+    return "served"
 
 
 @dataclass(frozen=True)
@@ -112,15 +132,19 @@ class _Answer:
 
     Built exactly once per single-flight leader; followers reuse the
     same instance, so ``body`` bytes are shared, not re-encoded.
+    ``outcome`` is the SLO verdict when the default status mapping is
+    not enough (a 200 that is a deadline-truncated ``partial``).
     """
 
-    __slots__ = ("status", "body", "retry_after")
+    __slots__ = ("status", "body", "retry_after", "outcome")
 
     def __init__(self, status: int, body: bytes,
-                 retry_after: float | None = None):
+                 retry_after: float | None = None,
+                 outcome: str | None = None):
         self.status = status
         self.body = body
         self.retry_after = retry_after
+        self.outcome = outcome
 
 
 class HTTPFrontEnd:
@@ -130,12 +154,21 @@ class HTTPFrontEnd:
         self,
         service: SuggestionService,
         config: ServeConfig | None = None,
+        *,
+        request_log=None,
+        slo=None,
     ):
         self.service = service
         self.config = config or ServeConfig()
         self.metrics = service.metrics_registry
         self.stats = FrontEndStats()
         self.singleflight = SingleFlight()
+        #: JSONL access log (``repro/obs/logging.py``); disabled
+        #: (null-object) unless the caller wires one.
+        self.request_log = request_log or NULL_REQUEST_LOG
+        #: Multi-window SLO rings (``repro/obs/slo.py``); on by
+        #: default — the record path is a few integer bumps.
+        self.slo = SLOTracker() if slo is None else slo
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.threads,
             thread_name_prefix="xclean-http",
@@ -222,6 +255,7 @@ class HTTPFrontEnd:
         if self._server is not None:
             await self._server.wait_closed()
         self._executor.shutdown(wait=True, cancel_futures=True)
+        self.request_log.close()
         logger.info("drain complete")
 
     async def run(self) -> None:
@@ -322,9 +356,20 @@ class HTTPFrontEnd:
         self.stats.requests_total += 1
         began = perf_counter()
         keep_alive = False
+        # The correlation id is minted at arrival — before parsing can
+        # fail — so even a 400's log line carries one; a well-formed
+        # inbound X-Request-Id replaces it below.
+        request_id = new_request_id()
+        method = ""
+        path = ""
+        log_fields: dict = {}
         extra: tuple[tuple[str, str], ...] = ()
         try:
             request = parse_request_head(head)
+            method, path = request.method, request.path
+            inbound = request.headers.get(REQUEST_ID_HEADER)
+            if valid_request_id(inbound):
+                request_id = inbound
             if len(head) > self.config.max_head_bytes:
                 raise BadRequest(
                     "request head exceeds limit", status=431
@@ -335,7 +380,7 @@ class HTTPFrontEnd:
             if length:
                 request.body = await reader.readexactly(length)
             keep_alive = request.keep_alive
-            answer = await self._route(request)
+            answer = await self._route(request, request_id, log_fields)
         except BadRequest as error:
             answer = _Answer(
                 error.status,
@@ -361,6 +406,7 @@ class HTTPFrontEnd:
             extra += (retry_after_header(answer.retry_after),)
         elif answer.status >= 500:
             self.stats.responses_5xx_other += 1
+        extra += (("X-Request-Id", request_id),)
         if self._draining:
             keep_alive = False
         writer.write(build_response(
@@ -370,20 +416,35 @@ class HTTPFrontEnd:
             extra_headers=extra,
         ))
         await writer.drain()
+        elapsed = perf_counter() - began
+        outcome = answer.outcome or _default_outcome(answer.status)
+        if path == "/suggest" and outcome in _SLO_OUTCOMES:
+            self.slo.record(outcome, elapsed)
+        if self.request_log.enabled:
+            self.request_log.log(dict(
+                {
+                    "id": request_id,
+                    "method": method,
+                    "path": path,
+                    "status": answer.status,
+                    "outcome": outcome,
+                    "latency_s": round(elapsed, 6),
+                },
+                **log_fields,
+            ))
         if self.metrics.enabled:
             self.metrics.inc(
                 "http_requests_total", status=str(answer.status)
             )
-            self.metrics.observe(
-                "http_request_seconds", perf_counter() - began
-            )
+            self.metrics.observe("http_request_seconds", elapsed)
         return keep_alive
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
 
-    async def _route(self, request: HTTPRequest) -> _Answer:
+    async def _route(self, request: HTTPRequest, request_id: str,
+                     log_fields: dict) -> _Answer:
         path = request.path
         if path == "/suggest":
             if request.method not in ("GET", "POST"):
@@ -391,7 +452,7 @@ class HTTPFrontEnd:
                     f"{request.method} not allowed on /suggest",
                     status=405,
                 )
-            return await self._suggest(request)
+            return await self._suggest(request, request_id, log_fields)
         if path == "/healthz":
             if request.method != "GET":
                 raise BadRequest("use GET /healthz", status=405)
@@ -400,6 +461,26 @@ class HTTPFrontEnd:
                 200 if status == "ok" else 503,
                 json_body({"status": status}),
             )
+        if path == "/readyz":
+            if request.method != "GET":
+                raise BadRequest("use GET /readyz", status=405)
+            health = self.service.health(draining=self._draining)
+            return _Answer(
+                health.http_status,
+                json_body({
+                    "status": health.state,
+                    "reasons": health.reasons,
+                }),
+            )
+        if path == "/statusz":
+            if request.method != "GET":
+                raise BadRequest("use GET /statusz", status=405)
+            return _Answer(200, json_body(status_payload(
+                self.service,
+                slo=self.slo,
+                front_end=self.stats_payload(),
+                draining=self._draining,
+            )))
         if path == "/metrics":
             if request.method != "GET":
                 raise BadRequest("use GET /metrics", status=405)
@@ -413,6 +494,11 @@ class HTTPFrontEnd:
         )
 
     def _metrics_answer(self, request: HTTPRequest) -> _Answer:
+        # Refresh the point-in-time gauges (process runtime, SLO
+        # windows) so every scrape sees current values.
+        if self.metrics.enabled:
+            export_process_gauges(self.metrics)
+            self.slo.export_gauges(self.metrics)
         snapshot = self.metrics.snapshot()
         if request.params.get("format") == "json":
             return _Answer(
@@ -462,10 +548,13 @@ class HTTPFrontEnd:
             raise BadRequest(f"k must be in [1, {MAX_K}], got {k}")
         return query, k
 
-    async def _suggest(self, request: HTTPRequest) -> _Answer:
+    async def _suggest(self, request: HTTPRequest, request_id: str,
+                       log_fields: dict) -> _Answer:
         query, k = self._parse_suggest(request)
+        log_fields["query"] = query
+        log_fields["k"] = k
         service = self.service
-        compute = partial(self._compute_suggest, query, k)
+        compute = partial(self._compute_suggest, query, k, request_id)
         if not self.config.single_flight:
             return await compute()
         # Normalized key: trivially rewritten duplicates ("Tree  ICDT"
@@ -473,6 +562,10 @@ class HTTPFrontEnd:
         # one result-cache slot.
         key = (tuple(service.corpus.tokenizer.tokenize(query)), k)
         answer, coalesced = await self.singleflight.run(key, compute)
+        # A follower shares the leader's computation, so its span tree
+        # (and flight entry) carries the *leader's* correlation id;
+        # the access-log flag is how the two ids are reconciled.
+        log_fields["coalesced"] = coalesced
         if coalesced:
             self.stats.coalesced_total += 1
             if self.metrics.enabled:
@@ -483,7 +576,9 @@ class HTTPFrontEnd:
                 self.metrics.inc("singleflight_leaders_total")
         return answer
 
-    async def _compute_suggest(self, query: str, k: int) -> _Answer:
+    async def _compute_suggest(
+        self, query: str, k: int, request_id: str
+    ) -> _Answer:
         """One backend execution: admit → executor → JSON bytes.
 
         Admission happens here, on the event loop, *inside* the
@@ -504,7 +599,7 @@ class HTTPFrontEnd:
                 self._executor,
                 partial(
                     service.suggest_detailed,
-                    query, k, pre_admitted=True,
+                    query, k, pre_admitted=True, trace_id=request_id,
                 ),
             )
         except QueryError as error:
@@ -529,7 +624,8 @@ class HTTPFrontEnd:
             "partial": bool(stats.partial),
             "cache_hit": stats.result_cache_hits > 0,
         }
-        return _Answer(200, json_body(payload))
+        outcome = "partial" if stats.partial else "served"
+        return _Answer(200, json_body(payload), outcome=outcome)
 
     def _overloaded_answer(self, error: Overloaded) -> _Answer:
         retry_after = error.retry_after

@@ -33,6 +33,9 @@ from repro.obs.trace import Span
 #: (name, labels, value, help)
 CounterState = tuple[str, dict[str, str], float, str]
 
+#: (name, labels, value, help) — same shape, gauge semantics.
+GaugeState = tuple[str, dict[str, str], float, str]
+
 #: (name, labels, buckets, counts, sum, count, help)
 HistogramState = tuple[
     str, dict[str, str], tuple[float, ...], tuple[int, ...], float, int,
@@ -55,7 +58,12 @@ def _render_labels(labels: dict[str, str],
     if not pairs:
         return ""
     escaped = (
-        (key, value.replace("\\", "\\\\").replace('"', '\\"'))
+        (
+            key,
+            value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"),
+        )
         for key, value in pairs
     )
     return "{" + ",".join(f'{k}="{v}"' for k, v in escaped) + "}"
@@ -90,23 +98,29 @@ def _histogram_summary(
 class MetricsSnapshot:
     """A frozen, export-ready copy of one registry's metrics."""
 
-    __slots__ = ("namespace", "counters", "histograms")
+    __slots__ = ("namespace", "counters", "histograms", "gauges")
 
     def __init__(
         self,
         namespace: str,
         counters: list[CounterState],
         histograms: list[HistogramState],
+        gauges: list[GaugeState] = (),
     ):
         self.namespace = namespace
         self.counters = list(counters)
         self.histograms = list(histograms)
+        self.gauges = list(gauges)
 
     def as_dict(self) -> dict:
         """JSON-friendly view; see the module docstring for the shape."""
         counters = {
             _series_key(name, labels): value
             for name, labels, value, _help in self.counters
+        }
+        gauges = {
+            _series_key(name, labels): value
+            for name, labels, value, _help in self.gauges
         }
         histograms = {}
         stages = {}
@@ -120,6 +134,7 @@ class MetricsSnapshot:
         return {
             "namespace": self.namespace,
             "counters": counters,
+            "gauges": gauges,
             "histograms": histograms,
             "stages": stages,
         }
@@ -128,47 +143,62 @@ class MetricsSnapshot:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
 
     def to_prometheus(self) -> str:
-        """The Prometheus text exposition format (version 0.0.4)."""
-        lines: list[str] = []
-        seen_headers: set[str] = set()
+        """The Prometheus text exposition format (version 0.0.4).
 
-        def header(name: str, kind: str, help: str) -> None:
-            if name in seen_headers:
-                return
-            seen_headers.add(name)
-            if help:
-                lines.append(f"# HELP {name} {help}")
-            lines.append(f"# TYPE {name} {kind}")
+        All samples of one metric family are grouped contiguously
+        under a single ``# HELP``/``# TYPE`` header, whatever order
+        the series were created in — the exposition format forbids a
+        family from appearing twice.
+        """
+        # family name -> (kind, help, [sample lines])
+        families: dict[str, tuple[str, str, list[str]]] = {}
+
+        def family(name: str, kind: str, help: str) -> list[str]:
+            found = families.get(name)
+            if found is None:
+                found = (kind, help, [])
+                families[name] = found
+            return found[2]
 
         ns = self.namespace
         for name, labels, value, help in self.counters:
-            full = f"{ns}_{name}"
-            header(full, "counter", help)
-            lines.append(
-                f"{full}{_render_labels(labels)} {_format_value(value)}"
+            family(f"{ns}_{name}", "counter", help).append(
+                f"{ns}_{name}{_render_labels(labels)} "
+                f"{_format_value(value)}"
+            )
+        for name, labels, value, help in self.gauges:
+            family(f"{ns}_{name}", "gauge", help).append(
+                f"{ns}_{name}{_render_labels(labels)} "
+                f"{_format_value(value)}"
             )
         for name, labels, buckets, counts, total, count, help in (
             self.histograms
         ):
             full = f"{ns}_{name}"
-            header(full, "histogram", help)
+            samples = family(full, "histogram", help)
             for bound, cumulative in zip(buckets, counts):
-                lines.append(
+                samples.append(
                     f"{full}_bucket"
                     f"{_render_labels(labels, (('le', _format_value(bound)),))}"
                     f" {cumulative}"
                 )
-            lines.append(
+            samples.append(
                 f"{full}_bucket"
                 f"{_render_labels(labels, (('le', '+Inf'),))} {count}"
             )
-            lines.append(
+            samples.append(
                 f"{full}_sum{_render_labels(labels)} "
                 f"{_format_value(total)}"
             )
-            lines.append(
+            samples.append(
                 f"{full}_count{_render_labels(labels)} {count}"
             )
+        lines: list[str] = []
+        for name, (kind, help, samples) in families.items():
+            if help:
+                lines.append(f"# HELP {name} {help}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.extend(samples)
         return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -1,0 +1,155 @@
+"""Structured JSONL request logging with correlation ids.
+
+One request, one line.  The HTTP front-end mints a **correlation id**
+at arrival (honoring an inbound ``X-Request-Id`` header, else a fresh
+:func:`~repro.obs.trace.new_trace_id`), echoes it back as
+``X-Request-Id``, and threads it through the service as the trace id —
+so the same 16-hex-char id joins three records of one request:
+
+* the **access-log line** this module writes (``id`` field);
+* the **span tree** the tracer builds (``trace_id`` root attribute);
+* any **flight-recorder entry** (``FlightEntry.trace_id``) and hence
+  any flight dump.
+
+Log schema (stable keys, one JSON object per line, sorted keys)::
+
+    {"ts": 1754700000.123,        # epoch seconds at response write
+     "id": "9f86d081884c7d65",    # correlation id
+     "method": "GET", "path": "/suggest",
+     "status": 200,               # HTTP status written
+     "outcome": "served",         # served|partial|shed|error (SLO vocab)
+     "latency_s": 0.0123,         # arrival -> response written
+     "query": "keywrod serach",   # suggest requests only
+     "k": 5,
+     "coalesced": false}          # single-flight follower?
+
+Extra keys are allowed and forward-compatible; consumers must ignore
+keys they do not know.  The writer is thread-safe (one lock around
+write+flush), append-only, and never raises into the request path —
+a failed write disables the log and counts
+``request_log_errors_total`` instead of breaking responses.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from time import time
+
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.trace import new_trace_id
+
+__all__ = [
+    "RequestLog",
+    "NullRequestLog",
+    "NULL_REQUEST_LOG",
+    "new_request_id",
+    "read_jsonl",
+]
+
+
+def new_request_id() -> str:
+    """A fresh correlation id (same format as trace ids, on purpose)."""
+    return new_trace_id()
+
+
+class RequestLog:
+    """Append-only JSONL access log (see module docstring for schema)."""
+
+    enabled = True
+
+    def __init__(self, target, *, metrics=None, clock=time):
+        """``target`` is a path to append to, or a file-like object.
+
+        A path is opened lazily on the first record so constructing a
+        service with a log configured but never hit creates no file.
+        """
+        self._path = target if isinstance(target, str) else None
+        self._handle = None if self._path else target
+        self._owns_handle = self._path is not None
+        self._metrics = metrics or NULL_METRICS
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failed = False
+
+    @property
+    def path(self) -> str | None:
+        return self._path
+
+    def log(self, record: dict) -> None:
+        """Write one record; stamps ``ts`` unless the caller did."""
+        if self._failed:
+            return
+        try:
+            line = json.dumps(
+                dict({"ts": round(self._clock(), 6)}, **record),
+                separators=(",", ":"), sort_keys=True,
+            )
+        except (TypeError, ValueError):
+            # One bad record (unserializable value) is dropped; the
+            # log itself stays healthy for the next request.
+            self._metrics.inc("request_log_errors_total")
+            return
+        try:
+            with self._lock:
+                if self._failed:
+                    return
+                if self._handle is None:
+                    self._handle = open(
+                        self._path, "a", encoding="utf-8"
+                    )
+                self._handle.write(line + "\n")
+                self._handle.flush()
+        except (OSError, ValueError):
+            # Never let a bad log target break the request path.
+            self._failed = True
+            self._metrics.inc("request_log_errors_total")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None and self._owns_handle:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+            self._handle = None
+
+    def __enter__(self) -> "RequestLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullRequestLog:
+    """Disabled log: every hook is a no-op (the default)."""
+
+    enabled = False
+    path = None
+
+    def log(self, record: dict) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullRequestLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+#: The shared disabled log; safe to use as a default everywhere.
+NULL_REQUEST_LOG = NullRequestLog()
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Parse an access log back into records (test/tooling helper)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

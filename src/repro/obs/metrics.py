@@ -92,6 +92,45 @@ class Counter:
         self._lock = threading.Lock()
 
 
+class Gauge:
+    """A settable point-in-time value (one label set).
+
+    Unlike :class:`Counter` a gauge can move in both directions —
+    RSS, WAL depth, in-flight requests.  ``set`` replaces the value;
+    ``inc``/``dec`` adjust it.
+    """
+
+    __slots__ = ("name", "help", "labels", "value", "_lock")
+
+    def __init__(self, name: str, help: str = "",
+                 labels: dict[str, str] | None = None,
+                 lock: threading.Lock | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.value = 0.0
+        self._lock = lock or threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value -= amount
+
+    def __getstate__(self):
+        return (self.name, self.help, self.labels, self.value)
+
+    def __setstate__(self, state) -> None:
+        self.name, self.help, self.labels, self.value = state
+        self._lock = threading.Lock()
+
+
 class Histogram:
     """A fixed-bucket latency histogram (Prometheus semantics).
 
@@ -237,8 +276,8 @@ class MetricsRegistry:
 
     enabled = True
 
-    __slots__ = ("namespace", "buckets", "_counters", "_histograms",
-                 "_stage_histograms", "_lock")
+    __slots__ = ("namespace", "buckets", "_counters", "_gauges",
+                 "_histograms", "_stage_histograms", "_lock")
 
     def __init__(self, namespace: str = "xclean",
                  buckets: tuple[float, ...] | None = None):
@@ -251,6 +290,7 @@ class MetricsRegistry:
         # existing series never contend with one another here.
         self._lock = threading.Lock()
         self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
         self._histograms: dict[tuple, Histogram] = {}
         # Hot-path shortcut: stage name -> its stage_seconds series,
         # skipping label-key construction on every observation.
@@ -268,6 +308,18 @@ class MetricsRegistry:
                 if found is None:
                     found = Counter(name, help, labels)
                     self._counters[key] = found
+        return found
+
+    def gauge(self, name: str, help: str = "",
+              **labels: str) -> Gauge:
+        key = (name, _label_key(labels))
+        found = self._gauges.get(key)
+        if found is None:
+            with self._lock:
+                found = self._gauges.get(key)
+                if found is None:
+                    found = Gauge(name, help, labels)
+                    self._gauges[key] = found
         return found
 
     def histogram(
@@ -294,6 +346,10 @@ class MetricsRegistry:
     def inc(self, name: str, amount: float = 1.0,
             **labels: str) -> None:
         self.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value: float,
+                  **labels: str) -> None:
+        self.gauge(name, **labels).set(value)
 
     def observe(self, name: str, value: float, **labels: str) -> None:
         self.histogram(name, **labels).observe(value)
@@ -376,10 +432,15 @@ class MetricsRegistry:
 
         with self._lock:
             all_counters = list(self._counters.values())
+            all_gauges = list(self._gauges.values())
             all_histograms = list(self._histograms.values())
         counters = [
             (c.name, dict(c.labels), c.value, c.help)
             for c in all_counters
+        ]
+        gauges = [
+            (g.name, dict(g.labels), g.value, g.help)
+            for g in all_gauges
         ]
         histograms = [
             (
@@ -393,7 +454,9 @@ class MetricsRegistry:
             )
             for h in all_histograms
         ]
-        return MetricsSnapshot(self.namespace, counters, histograms)
+        return MetricsSnapshot(
+            self.namespace, counters, histograms, gauges=gauges
+        )
 
     def to_json(self, indent: int | None = 2) -> str:
         return self.snapshot().to_json(indent=indent)
@@ -403,11 +466,17 @@ class MetricsRegistry:
 
     def __getstate__(self):
         return (self.namespace, self.buckets, self._counters,
-                self._histograms, self._stage_histograms)
+                self._histograms, self._stage_histograms, self._gauges)
 
     def __setstate__(self, state) -> None:
+        # Pre-gauge pickles (5-tuple) still load: a registry shipped
+        # to a pool worker round-trips within one process version, but
+        # the guard costs nothing.
+        if len(state) == 5:
+            state = state + ({},)
         (self.namespace, self.buckets, self._counters,
-         self._histograms, self._stage_histograms) = state
+         self._histograms, self._stage_histograms,
+         self._gauges) = state
         self._lock = threading.Lock()
 
 
@@ -432,6 +501,22 @@ class _NullCounter:
 
 
 _NULL_COUNTER = _NullCounter()
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+_NULL_GAUGE = _NullGauge()
 
 
 class _NullHistogram:
@@ -461,6 +546,14 @@ class NullMetrics:
     def counter(self, name: str, help: str = "",
                 **labels: str) -> _NullCounter:
         return _NULL_COUNTER
+
+    def gauge(self, name: str, help: str = "",
+              **labels: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def set_gauge(self, name: str, value: float,
+                  **labels: str) -> None:
+        pass
 
     def histogram(self, name: str, help: str = "",
                   buckets: tuple[float, ...] | None = None,

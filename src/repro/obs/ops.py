@@ -1,0 +1,189 @@
+"""The ops plane: health states, process gauges, and /statusz payloads.
+
+This module is the glue between the serving stack's internal state and
+what an operator (or a load balancer) sees:
+
+* **Health model** — three states with a strict meaning:
+
+  - ``ready`` — route traffic here.  Includes a mid-swap drain: the
+    sharded swap gate *queues* arrivals rather than shedding them, so
+    a swap in progress must not flip readiness (no flapping during
+    routine updates).
+  - ``degraded`` — still answering, but impaired: a circuit breaker is
+    open, a snapshot is quarantined, or the service fell back to
+    in-process execution because the worker pool died.  Keep routing
+    (answers are still correct) but alert.
+  - ``not_ready`` — do not route: the service is closed or the
+    front-end is draining.
+
+  :class:`Health` carries the state plus machine-readable reasons;
+  services build one via :func:`evaluate_health` from a list of
+  ``(condition, reason)`` pairs.
+
+* **Process runtime** — :func:`process_runtime` samples RSS, GC
+  generation counts, thread/fd counts, and uptime without psutil
+  (``/proc`` first, ``resource`` fallback);
+  :func:`export_process_gauges` mirrors the sample into Prometheus
+  gauges (``proc_rss_bytes``, ``proc_gc_collections{gen=}``, ...).
+
+* **/statusz** — :func:`status_payload` composes the service's own
+  ``status()`` dict (generation, swap epoch, WAL, delta, shards) with
+  health, SLO windows, front-end counters, and the process sample
+  into the one JSON document the endpoint serves.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+from time import monotonic, time
+
+__all__ = [
+    "READY",
+    "DEGRADED",
+    "NOT_READY",
+    "Health",
+    "evaluate_health",
+    "process_runtime",
+    "export_process_gauges",
+    "status_payload",
+]
+
+READY = "ready"
+DEGRADED = "degraded"
+NOT_READY = "not_ready"
+
+#: Process start reference for the uptime gauge (import time is as
+#: close to exec as a library can observe without psutil).
+_PROCESS_START = monotonic()
+
+
+class Health:
+    """One readiness verdict: a state plus its reasons."""
+
+    __slots__ = ("state", "reasons")
+
+    def __init__(self, state: str, reasons: list[str] | None = None):
+        self.state = state
+        self.reasons = list(reasons or [])
+
+    @property
+    def http_status(self) -> int:
+        """503 only when unroutable; degraded still serves traffic."""
+        return 200 if self.state in (READY, DEGRADED) else 503
+
+    def as_dict(self) -> dict:
+        return {"state": self.state, "reasons": self.reasons}
+
+
+def evaluate_health(
+    *,
+    not_ready: list[tuple[bool, str]] = (),
+    degraded: list[tuple[bool, str]] = (),
+) -> Health:
+    """Fold ``(condition, reason)`` pairs into one :class:`Health`.
+
+    ``not_ready`` conditions dominate ``degraded`` ones; with nothing
+    firing the verdict is ``ready`` with no reasons.
+    """
+    fatal = [reason for firing, reason in not_ready if firing]
+    if fatal:
+        return Health(NOT_READY, fatal)
+    impaired = [reason for firing, reason in degraded if firing]
+    if impaired:
+        return Health(DEGRADED, impaired)
+    return Health(READY)
+
+
+# ----------------------------------------------------------------------
+# Process runtime gauges
+# ----------------------------------------------------------------------
+
+
+def _rss_bytes() -> int:
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS bytes.
+        return usage * 1024 if usage < 1 << 40 else usage
+    except (ImportError, OSError):
+        return 0
+
+
+def _open_fds() -> int:
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return -1
+
+
+def process_runtime() -> dict:
+    """A point-in-time sample of this process's runtime state."""
+    return {
+        "pid": os.getpid(),
+        "rss_bytes": _rss_bytes(),
+        "gc_counts": list(gc.get_count()),
+        "gc_collections": [
+            stat.get("collections", 0) for stat in gc.get_stats()
+        ],
+        "threads": threading.active_count(),
+        "open_fds": _open_fds(),
+        "uptime_s": monotonic() - _PROCESS_START,
+    }
+
+
+def export_process_gauges(metrics, sample: dict | None = None) -> dict:
+    """Mirror a runtime sample into Prometheus gauges; returns it."""
+    if sample is None:
+        sample = process_runtime()
+    if metrics.enabled:
+        metrics.set_gauge("proc_rss_bytes", sample["rss_bytes"])
+        metrics.set_gauge("proc_threads", sample["threads"])
+        metrics.set_gauge("proc_open_fds", sample["open_fds"])
+        metrics.set_gauge("proc_uptime_seconds", sample["uptime_s"])
+        for gen, count in enumerate(sample["gc_collections"]):
+            metrics.set_gauge(
+                "proc_gc_collections", count, gen=str(gen)
+            )
+    return sample
+
+
+# ----------------------------------------------------------------------
+# /statusz composition
+# ----------------------------------------------------------------------
+
+
+def status_payload(
+    service,
+    *,
+    slo=None,
+    front_end: dict | None = None,
+    draining: bool = False,
+) -> dict:
+    """The /statusz JSON document (also the ``xclean status`` source).
+
+    ``service`` must expose ``health(draining=...)`` and ``status()``
+    — both :class:`~repro.core.server.SuggestionService` and
+    :class:`~repro.core.shards.ShardedSuggestionService` do.
+    """
+    health = service.health(draining=draining)
+    payload = {
+        "ts": round(time(), 6),
+        "health": health.as_dict(),
+        "service": service.status(),
+        "process": process_runtime(),
+    }
+    if slo is not None and getattr(slo, "enabled", False):
+        payload["slo"] = slo.report()
+    if front_end is not None:
+        payload["front_end"] = front_end
+    return payload

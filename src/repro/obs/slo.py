@@ -1,0 +1,230 @@
+"""Rolling multi-window SLO tracking for the serving stack.
+
+An :class:`SLOTracker` folds per-request outcomes into per-second
+ring-buffer cells and answers, for each configured window (1m/5m/1h by
+default): how available was the service, how often did it meet its
+latency objective, and how fast is it burning its error budget.
+
+**Outcome vocabulary** (one per request, recorded at response time):
+
+* ``served`` — a complete answer;
+* ``partial`` — a deadline-truncated answer (served, but counted
+  separately against the latency objective's spirit);
+* ``shed`` — refused under load (503);
+* ``error`` — an unexpected 5xx.
+
+**Availability** is ``(served + partial) / total``: a shed or errored
+request is an unavailable one.  **Latency attainment** is the fraction
+of answered requests at or under ``latency_threshold`` seconds.  Both
+compare against their objective as a **burn rate**: the observed
+bad-event rate divided by the budgeted bad-event rate, so 1.0 means
+"spending budget exactly as provisioned", 10 means "budget gone in a
+tenth of the window" (the classic multi-window multi-burn-rate alert
+input).  An empty window reports availability 1.0 and burn rate 0.0.
+
+The tracker is thread-safe and allocation-free on the record path: one
+lock, one ring index, a handful of integer bumps.  The clock is
+injectable so tests can step time deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import monotonic
+
+#: Request outcomes the tracker accepts.
+OUTCOMES = ("served", "partial", "shed", "error")
+
+#: Default window lengths in seconds (1m / 5m / 1h).
+DEFAULT_WINDOWS = (60, 300, 3600)
+
+
+def window_label(seconds: int) -> str:
+    """``60 -> "1m"``, ``3600 -> "1h"``, odd sizes fall back to ``Ns``."""
+    if seconds % 3600 == 0:
+        return f"{seconds // 3600}h"
+    if seconds % 60 == 0:
+        return f"{seconds // 60}m"
+    return f"{seconds}s"
+
+
+class _Cell:
+    """Tallies for one wall-clock second."""
+
+    __slots__ = ("stamp", "served", "partial", "shed", "error",
+                 "latency_ok", "answered")
+
+    def __init__(self) -> None:
+        self.reset(-1)
+
+    def reset(self, stamp: int) -> None:
+        self.stamp = stamp
+        self.served = 0
+        self.partial = 0
+        self.shed = 0
+        self.error = 0
+        self.latency_ok = 0
+        self.answered = 0
+
+
+class SLOTracker:
+    """Multi-window availability and latency burn-rate tracker."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        windows: tuple[int, ...] = DEFAULT_WINDOWS,
+        *,
+        availability_objective: float = 0.999,
+        latency_objective: float = 0.99,
+        latency_threshold: float = 0.100,
+        clock=monotonic,
+    ):
+        if not windows:
+            raise ValueError("SLOTracker needs at least one window")
+        for objective in (availability_objective, latency_objective):
+            if not 0.0 < objective < 1.0:
+                raise ValueError(
+                    "objectives must be in (0, 1) — an objective of "
+                    "1.0 has no error budget to burn"
+                )
+        self.windows = tuple(sorted(int(w) for w in windows))
+        self.availability_objective = availability_objective
+        self.latency_objective = latency_objective
+        self.latency_threshold = latency_threshold
+        self._clock = clock
+        self._size = self.windows[-1]
+        self._cells = [_Cell() for _ in range(self._size)]
+        self._lock = threading.Lock()
+
+    # -- recording ----------------------------------------------------
+
+    def record(self, outcome: str, latency_s: float = 0.0) -> None:
+        """Fold one request outcome into the current second's cell."""
+        if outcome not in OUTCOMES:
+            raise ValueError(
+                f"unknown SLO outcome {outcome!r}; expected one of "
+                f"{OUTCOMES}"
+            )
+        second = int(self._clock())
+        with self._lock:
+            cell = self._cells[second % self._size]
+            if cell.stamp != second:
+                cell.reset(second)
+            setattr(cell, outcome, getattr(cell, outcome) + 1)
+            if outcome in ("served", "partial"):
+                cell.answered += 1
+                if latency_s <= self.latency_threshold:
+                    cell.latency_ok += 1
+
+    # -- read-out -----------------------------------------------------
+
+    def _window_tallies(self, seconds: int, now: int) -> tuple:
+        served = partial = shed = error = ok = answered = 0
+        oldest = now - seconds + 1
+        for cell in self._cells:
+            if oldest <= cell.stamp <= now:
+                served += cell.served
+                partial += cell.partial
+                shed += cell.shed
+                error += cell.error
+                ok += cell.latency_ok
+                answered += cell.answered
+        return served, partial, shed, error, ok, answered
+
+    @staticmethod
+    def _burn_rate(bad: int, total: int, objective: float) -> float:
+        if total == 0:
+            return 0.0
+        budget = 1.0 - objective
+        return (bad / total) / budget
+
+    def window_report(self, seconds: int) -> dict:
+        """One window's tallies, ratios, and burn rates."""
+        now = int(self._clock())
+        with self._lock:
+            (served, partial, shed, error, ok,
+             answered) = self._window_tallies(seconds, now)
+        total = served + partial + shed + error
+        unavailable = shed + error
+        availability = (
+            (served + partial) / total if total else 1.0
+        )
+        latency_attainment = ok / answered if answered else 1.0
+        return {
+            "window": window_label(seconds),
+            "seconds": seconds,
+            "total": total,
+            "served": served,
+            "partial": partial,
+            "shed": shed,
+            "error": error,
+            "availability": availability,
+            "availability_burn_rate": self._burn_rate(
+                unavailable, total, self.availability_objective
+            ),
+            "latency_attainment": latency_attainment,
+            "latency_burn_rate": self._burn_rate(
+                answered - ok, answered, self.latency_objective
+            ),
+        }
+
+    def report(self) -> dict:
+        """All windows plus the configured objectives."""
+        return {
+            "objectives": {
+                "availability": self.availability_objective,
+                "latency": self.latency_objective,
+                "latency_threshold_s": self.latency_threshold,
+            },
+            "windows": [
+                self.window_report(seconds) for seconds in self.windows
+            ],
+        }
+
+    def export_gauges(self, metrics) -> None:
+        """Mirror every window's ratios into Prometheus gauges."""
+        if not metrics.enabled:
+            return
+        for seconds in self.windows:
+            view = self.window_report(seconds)
+            label = view["window"]
+            metrics.set_gauge(
+                "slo_availability", view["availability"], window=label
+            )
+            metrics.set_gauge(
+                "slo_availability_burn_rate",
+                view["availability_burn_rate"], window=label,
+            )
+            metrics.set_gauge(
+                "slo_latency_attainment",
+                view["latency_attainment"], window=label,
+            )
+            metrics.set_gauge(
+                "slo_latency_burn_rate",
+                view["latency_burn_rate"], window=label,
+            )
+
+
+class NullSLOTracker:
+    """Disabled tracker: every hook is a no-op."""
+
+    enabled = False
+    windows: tuple[int, ...] = ()
+
+    def record(self, outcome: str, latency_s: float = 0.0) -> None:
+        pass
+
+    def window_report(self, seconds: int) -> dict:
+        return {}
+
+    def report(self) -> dict:
+        return {"objectives": {}, "windows": []}
+
+    def export_gauges(self, metrics) -> None:
+        pass
+
+
+#: The shared disabled tracker; safe to use as a default everywhere.
+NULL_SLO = NullSLOTracker()

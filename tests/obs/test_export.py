@@ -46,6 +46,95 @@ class TestPrometheusText:
         assert counts == sorted(counts)
         assert counts[-1] == 5  # +Inf bucket equals count
 
+    def test_newline_and_backslash_escaping(self):
+        registry = MetricsRegistry()
+        registry.inc("odd_total", q="line1\nline2", p="a\\b")
+        text = registry.to_prometheus()
+        assert 'q="line1\\nline2"' in text
+        assert 'p="a\\\\b"' in text
+        # The exposition format is line-oriented: a raw newline in a
+        # label value would split one sample into two garbage lines.
+        for line in text.splitlines():
+            assert "line2" not in line or "line1" in line
+
+    def test_type_emitted_once_per_family_with_label_sets(self):
+        registry = MetricsRegistry()
+        registry.inc("queries_total", outcome="served")
+        registry.inc("queries_total", outcome="shed")
+        registry.inc("other_total")
+        registry.inc("queries_total", outcome="error")
+        text = registry.to_prometheus()
+        type_lines = [
+            line for line in text.splitlines()
+            if line.startswith("# TYPE xclean_queries_total ")
+        ]
+        assert len(type_lines) == 1
+
+    def test_family_samples_are_contiguous(self):
+        # Interleave two counter families' series creation; the
+        # export must still group each family into one block.
+        registry = MetricsRegistry()
+        registry.inc("a_total", x="1")
+        registry.inc("b_total")
+        registry.inc("a_total", x="2")
+        text = registry.to_prometheus()
+        owners = [
+            line.split("{")[0].split(" ")[0]
+            for line in text.splitlines()
+            if not line.startswith("#")
+        ]
+        seen, last = set(), None
+        for owner in owners:
+            if owner != last:
+                assert owner not in seen, f"{owner} split into blocks"
+                seen.add(owner)
+                last = owner
+
+    def test_gauges_export_with_gauge_type(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("proc_threads", 4)
+        registry.set_gauge("slo_availability", 0.999, window="1m")
+        text = registry.to_prometheus()
+        assert "# TYPE xclean_proc_threads gauge" in text
+        assert "xclean_proc_threads 4" in text
+        assert 'xclean_slo_availability{window="1m"} 0.999' in text
+
+    def test_promtext_lint(self):
+        """Every exported line satisfies the exposition grammar."""
+        import re
+
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
+            r"(\{[a-zA-Z_][a-zA-Z0-9_]*="          # first label
+            r"\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\""    # escaped value
+            r"(,[a-zA-Z_][a-zA-Z0-9_]*="
+            r"\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\")*"
+            r"\})?"
+            r" (?:[0-9.eE+-]+|\+Inf|-Inf|NaN)$"    # value
+        )
+        registry = MetricsRegistry()
+        registry.inc("queries_total", outcome="served")
+        registry.inc("odd_total", q='say "hi"\\now\nnext')
+        registry.set_gauge("slo_availability", 1.0, window="1m")
+        registry.observe_stage("merge", 0.004)
+        text = registry.to_prometheus()
+        assert text.endswith("\n")
+        families_seen = set()
+        current_family = None
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ", 3)
+                assert kind in ("counter", "gauge", "histogram")
+                assert name not in families_seen
+                families_seen.add(name)
+                current_family = name
+            elif line.startswith("# HELP "):
+                continue
+            else:
+                assert sample.match(line), f"bad sample line: {line!r}"
+                assert current_family is not None
+                assert line.startswith(current_family)
+
     def test_counter_monotonicity_across_snapshots(self):
         registry = MetricsRegistry()
         values = []

@@ -1,0 +1,127 @@
+"""Tests for the ops plane: health model, process gauges, /statusz."""
+
+from repro.obs import MetricsRegistry
+from repro.obs.ops import (
+    DEGRADED,
+    NOT_READY,
+    READY,
+    Health,
+    evaluate_health,
+    export_process_gauges,
+    process_runtime,
+    status_payload,
+)
+from repro.obs.slo import NULL_SLO, SLOTracker
+
+
+class TestEvaluateHealth:
+    def test_nothing_firing_is_ready(self):
+        health = evaluate_health(
+            not_ready=[(False, "closed")],
+            degraded=[(False, "breaker_open")],
+        )
+        assert health.state == READY
+        assert health.reasons == []
+        assert health.http_status == 200
+
+    def test_degraded_collects_every_firing_reason(self):
+        health = evaluate_health(
+            degraded=[
+                (True, "breaker_open"),
+                (False, "snapshot_quarantined"),
+                (True, "worker_pool_suspect"),
+            ],
+        )
+        assert health.state == DEGRADED
+        assert health.reasons == ["breaker_open", "worker_pool_suspect"]
+        # Degraded still serves traffic: LBs keep routing, humans alert.
+        assert health.http_status == 200
+
+    def test_not_ready_dominates_degraded(self):
+        health = evaluate_health(
+            not_ready=[(True, "draining")],
+            degraded=[(True, "breaker_open")],
+        )
+        assert health.state == NOT_READY
+        assert health.reasons == ["draining"]
+        assert health.http_status == 503
+
+    def test_as_dict_shape(self):
+        assert Health(READY).as_dict() == {
+            "state": "ready", "reasons": [],
+        }
+
+
+class TestProcessRuntime:
+    def test_sample_shape(self):
+        sample = process_runtime()
+        assert sample["pid"] > 0
+        assert sample["rss_bytes"] > 0
+        assert sample["threads"] >= 1
+        assert sample["uptime_s"] >= 0.0
+        assert len(sample["gc_counts"]) == 3
+        assert len(sample["gc_collections"]) == 3
+
+    def test_export_process_gauges(self):
+        registry = MetricsRegistry()
+        sample = export_process_gauges(registry)
+        gauges = registry.snapshot().as_dict()["gauges"]
+        assert gauges["proc_rss_bytes"] == sample["rss_bytes"]
+        assert gauges["proc_threads"] == sample["threads"]
+        assert 'proc_gc_collections{gen="0"}' in gauges
+        assert 'proc_gc_collections{gen="2"}' in gauges
+
+    def test_export_skips_disabled_registry(self):
+        from repro.obs import NULL_METRICS
+
+        sample = export_process_gauges(NULL_METRICS)
+        assert sample["pid"] > 0  # still returns the sample
+
+
+class _FakeService:
+    """The minimal health()/status() surface status_payload needs."""
+
+    def __init__(self, state=READY, reasons=()):
+        self._health = Health(state, list(reasons))
+        self.last_draining = None
+
+    def health(self, *, draining=False):
+        self.last_draining = draining
+        return self._health
+
+    def status(self):
+        return {"mode": "fake", "data_generation": 3}
+
+
+class TestStatusPayload:
+    def test_composes_health_service_process(self):
+        payload = status_payload(_FakeService())
+        assert payload["health"]["state"] == "ready"
+        assert payload["service"]["data_generation"] == 3
+        assert payload["process"]["pid"] > 0
+        assert payload["ts"] > 0
+        assert "slo" not in payload
+        assert "front_end" not in payload
+
+    def test_draining_flag_reaches_service_health(self):
+        service = _FakeService()
+        status_payload(service, draining=True)
+        assert service.last_draining is True
+
+    def test_slo_report_included_when_enabled(self):
+        slo = SLOTracker(windows=(60,))
+        slo.record("served", 0.01)
+        payload = status_payload(_FakeService(), slo=slo)
+        (window,) = payload["slo"]["windows"]
+        assert window["window"] == "1m"
+        assert window["served"] == 1
+
+    def test_null_slo_omitted(self):
+        payload = status_payload(_FakeService(), slo=NULL_SLO)
+        assert "slo" not in payload
+
+    def test_front_end_section_passthrough(self):
+        payload = status_payload(
+            _FakeService(), front_end={"requests_total": 9}
+        )
+        assert payload["front_end"] == {"requests_total": 9}

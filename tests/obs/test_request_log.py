@@ -1,0 +1,114 @@
+"""Tests for structured JSONL request logging."""
+
+import json
+
+from repro.obs import MetricsRegistry
+from repro.obs.logging import (
+    NULL_REQUEST_LOG,
+    NullRequestLog,
+    RequestLog,
+    new_request_id,
+    read_jsonl,
+)
+
+
+class TestRequestLog:
+    def test_writes_one_json_line_per_record(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with RequestLog(str(path)) as log:
+            log.log({"id": "a", "status": 200})
+            log.log({"id": "b", "status": 503})
+        lines = read_jsonl(str(path))
+        assert [line["id"] for line in lines] == ["a", "b"]
+        assert lines[1]["status"] == 503
+
+    def test_every_line_gets_a_timestamp(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with RequestLog(str(path), clock=lambda: 1234.5678901) as log:
+            log.log({"id": "a"})
+        (line,) = read_jsonl(str(path))
+        assert line["ts"] == 1234.56789
+
+    def test_record_fields_win_over_stamped_ts(self, tmp_path):
+        # A caller-supplied ts is preserved, not overwritten.
+        path = tmp_path / "access.jsonl"
+        with RequestLog(str(path)) as log:
+            log.log({"id": "a", "ts": 7.0})
+        (line,) = read_jsonl(str(path))
+        assert line["ts"] == 7.0
+
+    def test_lines_are_valid_json_and_sorted(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with RequestLog(str(path)) as log:
+            log.log({"zeta": 1, "alpha": 2})
+        raw = path.read_text(encoding="utf-8").strip()
+        assert json.loads(raw)
+        assert raw.index('"alpha"') < raw.index('"zeta"')
+
+    def test_lazy_open(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = RequestLog(str(path))
+        assert not path.exists()  # nothing logged yet
+        log.log({"id": "a"})
+        assert path.exists()
+        log.close()
+
+    def test_append_mode_across_reopens(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with RequestLog(str(path)) as log:
+            log.log({"id": "a"})
+        with RequestLog(str(path)) as log:
+            log.log({"id": "b"})
+        assert [r["id"] for r in read_jsonl(str(path))] == ["a", "b"]
+
+    def test_file_like_target(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            log = RequestLog(handle)
+            log.log({"id": "a"})
+        assert read_jsonl(str(path))[0]["id"] == "a"
+
+    def test_failure_never_raises_and_bumps_counter(self, tmp_path):
+        registry = MetricsRegistry()
+        log = RequestLog(
+            str(tmp_path / "missing-dir" / "access.jsonl"),
+            metrics=registry,
+        )
+        log.log({"id": "a"})  # open fails: parent dir does not exist
+        log.log({"id": "b"})  # still must not raise
+        counters = registry.snapshot().as_dict()["counters"]
+        assert counters["request_log_errors_total"] >= 1
+        log.close()
+
+    def test_unserializable_record_does_not_raise(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = RequestLog(str(path))
+        log.log({"id": object()})  # json.dumps raises TypeError inside
+        log.log({"id": "ok"})
+        log.close()
+        ids = [r["id"] for r in read_jsonl(str(path))]
+        assert "ok" in ids
+
+    def test_close_is_idempotent(self, tmp_path):
+        log = RequestLog(str(tmp_path / "a.jsonl"))
+        log.log({"id": "a"})
+        log.close()
+        log.close()
+
+
+class TestNullRequestLog:
+    def test_inert(self):
+        assert NULL_REQUEST_LOG.enabled is False
+        NULL_REQUEST_LOG.log({"id": "a"})
+        NULL_REQUEST_LOG.close()
+        with NullRequestLog() as log:
+            log.log({"anything": 1})
+
+
+class TestRequestId:
+    def test_ids_are_unique_hex(self):
+        ids = {new_request_id() for _ in range(100)}
+        assert len(ids) == 100
+        for value in ids:
+            assert len(value) == 16
+            int(value, 16)

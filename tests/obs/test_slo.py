@@ -1,0 +1,189 @@
+"""Tests for the rolling multi-window SLO tracker."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    NULL_SLO,
+    SLOTracker,
+    window_label,
+)
+
+
+class FakeClock:
+    """A steppable monotonic clock."""
+
+    def __init__(self, value: float = 1000.0):
+        self.value = value
+
+    def __call__(self) -> float:
+        return self.value
+
+    def tick(self, seconds: float = 1.0) -> None:
+        self.value += seconds
+
+
+def make_tracker(**kwargs):
+    clock = FakeClock()
+    kwargs.setdefault("windows", (10, 60))
+    tracker = SLOTracker(clock=clock, **kwargs)
+    return tracker, clock
+
+
+class TestWindowLabel:
+    def test_round_units(self):
+        assert window_label(60) == "1m"
+        assert window_label(300) == "5m"
+        assert window_label(3600) == "1h"
+        assert window_label(7200) == "2h"
+
+    def test_odd_sizes_fall_back_to_seconds(self):
+        assert window_label(10) == "10s"
+        assert window_label(90) == "90s"
+
+
+class TestRecording:
+    def test_unknown_outcome_rejected(self):
+        tracker, _ = make_tracker()
+        with pytest.raises(ValueError):
+            tracker.record("client_error")
+
+    def test_availability_counts_partial_as_available(self):
+        tracker, _ = make_tracker()
+        tracker.record("served", 0.01)
+        tracker.record("partial", 0.01)
+        tracker.record("shed")
+        tracker.record("error")
+        view = tracker.window_report(10)
+        assert view["total"] == 4
+        assert view["availability"] == pytest.approx(0.5)
+
+    def test_empty_window_is_healthy(self):
+        tracker, _ = make_tracker()
+        view = tracker.window_report(10)
+        assert view["total"] == 0
+        assert view["availability"] == 1.0
+        assert view["availability_burn_rate"] == 0.0
+        assert view["latency_attainment"] == 1.0
+        assert view["latency_burn_rate"] == 0.0
+
+    def test_latency_attainment_uses_threshold_at_record_time(self):
+        tracker, _ = make_tracker(latency_threshold=0.1)
+        tracker.record("served", 0.05)
+        tracker.record("served", 0.5)
+        view = tracker.window_report(10)
+        assert view["latency_attainment"] == pytest.approx(0.5)
+
+    def test_shed_does_not_count_against_latency(self):
+        # A shed request has no latency to attain; only answered
+        # requests (served/partial) enter the latency denominator.
+        tracker, _ = make_tracker()
+        tracker.record("served", 0.01)
+        tracker.record("shed", 99.0)
+        view = tracker.window_report(10)
+        assert view["latency_attainment"] == 1.0
+
+
+class TestBurnRates:
+    def test_all_good_burns_nothing(self):
+        tracker, _ = make_tracker(availability_objective=0.999)
+        for _ in range(100):
+            tracker.record("served", 0.01)
+        assert tracker.window_report(10)["availability_burn_rate"] == 0.0
+
+    def test_total_outage_burn_is_inverse_budget(self):
+        # 100% bad with a 0.1% budget burns 1000x provisioned rate.
+        tracker, _ = make_tracker(availability_objective=0.999)
+        for _ in range(10):
+            tracker.record("error")
+        burn = tracker.window_report(10)["availability_burn_rate"]
+        assert burn == pytest.approx(1000.0)
+
+    def test_burn_exactly_at_objective_is_one(self):
+        tracker, _ = make_tracker(availability_objective=0.9)
+        for _ in range(9):
+            tracker.record("served", 0.01)
+        tracker.record("error")
+        burn = tracker.window_report(10)["availability_burn_rate"]
+        assert burn == pytest.approx(1.0)
+
+    def test_objective_validation(self):
+        with pytest.raises(ValueError):
+            SLOTracker(availability_objective=1.0)
+        with pytest.raises(ValueError):
+            SLOTracker(latency_objective=0.0)
+        with pytest.raises(ValueError):
+            SLOTracker(windows=())
+
+
+class TestRingExpiry:
+    def test_old_seconds_age_out_of_small_window(self):
+        tracker, clock = make_tracker(windows=(10, 60))
+        tracker.record("error")
+        clock.tick(30)
+        tracker.record("served", 0.01)
+        # The 10s window only sees the recent success ...
+        small = tracker.window_report(10)
+        assert small["total"] == 1
+        assert small["availability"] == 1.0
+        # ... while the 60s window still remembers the error.
+        large = tracker.window_report(60)
+        assert large["total"] == 2
+        assert large["availability"] == pytest.approx(0.5)
+
+    def test_cells_recycle_after_largest_window(self):
+        tracker, clock = make_tracker(windows=(10,))
+        tracker.record("error")
+        clock.tick(10)  # one full ring revolution for size-10
+        tracker.record("served", 0.01)
+        view = tracker.window_report(10)
+        assert view["error"] == 0
+        assert view["total"] == 1
+
+    def test_same_second_shares_a_cell(self):
+        tracker, clock = make_tracker(windows=(10,))
+        clock.value = 2000.2
+        tracker.record("served", 0.01)
+        clock.value = 2000.9
+        tracker.record("served", 0.01)
+        assert tracker.window_report(10)["served"] == 2
+
+
+class TestReport:
+    def test_report_covers_all_windows_and_objectives(self):
+        tracker, _ = make_tracker(windows=(60, 300))
+        report = tracker.report()
+        assert [w["window"] for w in report["windows"]] == ["1m", "5m"]
+        assert report["objectives"]["availability"] == 0.999
+        assert report["objectives"]["latency_threshold_s"] == 0.100
+
+    def test_default_windows(self):
+        tracker = SLOTracker()
+        assert tracker.windows == tuple(sorted(DEFAULT_WINDOWS))
+
+    def test_export_gauges(self):
+        tracker, _ = make_tracker(windows=(60,))
+        tracker.record("served", 0.01)
+        registry = MetricsRegistry()
+        tracker.export_gauges(registry)
+        gauges = registry.snapshot().as_dict()["gauges"]
+        assert gauges['slo_availability{window="1m"}'] == 1.0
+        assert gauges['slo_availability_burn_rate{window="1m"}'] == 0.0
+        assert gauges['slo_latency_attainment{window="1m"}'] == 1.0
+
+    def test_export_gauges_skips_disabled_registry(self):
+        from repro.obs import NULL_METRICS
+
+        tracker, _ = make_tracker()
+        tracker.record("served", 0.01)
+        tracker.export_gauges(NULL_METRICS)  # must not raise
+
+
+class TestNullTracker:
+    def test_null_is_inert(self):
+        NULL_SLO.record("anything-at-all", -1.0)  # no validation
+        assert NULL_SLO.enabled is False
+        assert NULL_SLO.window_report(60) == {}
+        assert NULL_SLO.report()["windows"] == []
+        NULL_SLO.export_gauges(MetricsRegistry())
